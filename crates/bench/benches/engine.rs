@@ -1,0 +1,82 @@
+//! Criterion benchmarks of the discrete-event core: event-queue
+//! scheduling/popping and the full packet path through the fabric.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use anp_simnet::{drain, EventQueue, Fabric, NetEvent, NodeId, SimTime, SwitchConfig};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for n in [1_000u64, 100_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_function(format!("schedule_pop_{n}"), |b| {
+            b.iter_batched(
+                EventQueue::<u64>::new,
+                |mut q| {
+                    // Interleaved times exercise heap reordering.
+                    for i in 0..n {
+                        q.schedule_at(SimTime::from_nanos((i * 7919) % (n * 4)), i);
+                    }
+                    let mut acc = 0u64;
+                    while let Some((_, e)) = q.pop() {
+                        acc = acc.wrapping_add(e);
+                    }
+                    acc
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_fabric_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric");
+    g.bench_function("single_packet_end_to_end", |b| {
+        b.iter_batched(
+            || {
+                (
+                    Fabric::new(SwitchConfig::tiny_deterministic()),
+                    EventQueue::<NetEvent>::new(),
+                )
+            },
+            |(mut fab, mut q)| {
+                fab.send_message(&mut q, 0, NodeId(0), NodeId(1), 512);
+                drain(&mut fab, &mut q, SimTime::from_secs(1)).len()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    // Sustained many-sender load at Cab scale: measures events/sec of the
+    // whole switch model under contention.
+    let msgs = 2_000u64;
+    g.throughput(Throughput::Elements(msgs));
+    g.bench_function("cab_contended_2000_msgs", |b| {
+        b.iter_batched(
+            || {
+                (
+                    Fabric::new(SwitchConfig::cab().with_seed(1)),
+                    EventQueue::<NetEvent>::new(),
+                )
+            },
+            |(mut fab, mut q)| {
+                for i in 0..msgs {
+                    fab.send_message(
+                        &mut q,
+                        i % 36,
+                        NodeId((i % 18) as u32),
+                        NodeId(((i + 7) % 18) as u32),
+                        4096 * 3,
+                    );
+                }
+                drain(&mut fab, &mut q, SimTime::from_secs(10)).len()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_fabric_path);
+criterion_main!(benches);

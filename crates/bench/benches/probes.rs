@@ -1,0 +1,64 @@
+//! Criterion benchmark of a complete small impact experiment: the
+//! end-to-end cost of probing the switch, the unit of work every harness
+//! repeats dozens of times.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use anp_simmpi::World;
+use anp_simnet::{SimDuration, SimTime, SwitchConfig};
+use anp_workloads::{build_compressionb, build_impactb, CompressionConfig, ImpactConfig};
+
+fn bench_impact_experiment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+
+    g.bench_function("impact_idle_20ms", |b| {
+        b.iter_batched(
+            || {
+                let mut w = World::new(SwitchConfig::cab().with_seed(3));
+                let cfg = ImpactConfig {
+                    period: SimDuration::from_micros(500),
+                    ..ImpactConfig::default()
+                };
+                let (members, sink) = build_impactb(&cfg, 18);
+                w.add_job("impactb", members);
+                (w, sink)
+            },
+            |(mut w, sink)| {
+                w.run_until(SimTime::from_millis(20));
+                sink.borrow().len()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("impact_under_compression_10ms", |b| {
+        b.iter_batched(
+            || {
+                let mut w = World::new(SwitchConfig::cab().with_seed(3));
+                let cfg = ImpactConfig {
+                    period: SimDuration::from_micros(500),
+                    ..ImpactConfig::default()
+                };
+                let (members, sink) = build_impactb(&cfg, 18);
+                w.add_job("impactb", members);
+                let comp = CompressionConfig::new(7, 2_500_000, 1);
+                w.add_job(
+                    "compressionb",
+                    build_compressionb(&comp, 18, 2, 2_600_000_000),
+                );
+                (w, sink)
+            },
+            |(mut w, sink)| {
+                w.run_until(SimTime::from_millis(10));
+                sink.borrow().len()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_impact_experiment);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Substrate calibration report (not a paper artefact): the simulated
+//! switch's idle behaviour, the queue-model calibration, and each
+//! workload's one-line footprint. Useful when re-tuning `SwitchConfig` or
+//! application parameters.
+//!
+//! ```text
+//! cargo run --release -p anp-bench --bin calibration_report [--quick]
+//! ```
+
+use anp_bench::{banner, HarnessOpts};
+use anp_core::{
+    calibrate, degradation_percent, idle_profile, impact_profile_of_app,
+    impact_profile_of_compression, runtime_under_compression, solo_runtime, MuPolicy,
+};
+use anp_simmpi::World;
+use anp_simnet::SimTime;
+use anp_workloads::{AppKind, CompressionConfig, RunMode};
+
+/// Measures the fraction of an app's solo runtime spent blocked on the
+/// network (via the world's phase accounting) — the ceiling on how much
+/// interference can hurt it.
+fn solo_wait_fraction(opts: &HarnessOpts, app: AppKind) -> f64 {
+    let cfg = opts.experiment_config();
+    let mut world = World::new(cfg.switch.clone());
+    let job = world.add_job(app.name(), app.build(RunMode::Iterations(0), 17));
+    world.enable_tracing();
+    world.run_until_job_done(job, SimTime::ZERO + cfg.run_cap);
+    world.job_phase_totals(job).waiting_fraction()
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    banner("Calibration", "substrate sanity report", &opts);
+    let cfg = opts.experiment_config();
+
+    let idle = idle_profile(&cfg).expect("idle profile");
+    let calib = calibrate(&cfg, MuPolicy::MinLatency).expect("calibration");
+    println!(
+        "idle switch: mean={:.3}us sd={:.3}us min={:.3}us max={:.3}us (n={})",
+        idle.mean(),
+        idle.std_dev(),
+        idle.min(),
+        idle.max(),
+        idle.count()
+    );
+    println!(
+        "queue calibration: mu={:.4}/us Var(S)={:.4}us^2 idle-reading={:.1}%",
+        calib.mu,
+        calib.var_s,
+        calib.utilization(&idle) * 100.0
+    );
+    println!();
+
+    let heavy = CompressionConfig::new(17, 25_000, 10);
+    let heavy_profile = impact_profile_of_compression(&cfg, &heavy).expect("heavy impact");
+    println!(
+        "heaviest CompressionB ({}): probe mean={:.2}us -> util={:.1}%",
+        heavy.label(),
+        heavy_profile.mean(),
+        calib.utilization(&heavy_profile) * 100.0
+    );
+    println!();
+
+    println!(
+        "{:<8} {:>7} {:>11} {:>10} {:>14}",
+        "app", "util", "solo", "net-wait", "degr@heavy"
+    );
+    for app in opts.apps() {
+        let p = impact_profile_of_app(&cfg, app).expect("app impact");
+        let solo = solo_runtime(&cfg, app).expect("solo runtime");
+        let wait = solo_wait_fraction(&opts, app);
+        let loaded = runtime_under_compression(&cfg, app, &heavy).expect("loaded runtime");
+        println!(
+            "{:<8} {:>6.1}% {:>11} {:>9.0}% {:>+13.1}%",
+            app.name(),
+            calib.utilization(&p) * 100.0,
+            format!("{solo}"),
+            wait * 100.0,
+            degradation_percent(solo, loaded)
+        );
+    }
+    println!();
+    println!("net-wait is the solo run's network-blocked time fraction (phase");
+    println!("tracing): the ceiling on how much switch contention can hurt.");
+}

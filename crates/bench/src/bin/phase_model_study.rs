@@ -1,0 +1,131 @@
+//! Extension study: the **phase-aware queue model** on the pairing the
+//! paper could not predict.
+//!
+//! §V-B identifies the queue model's only significant error: predicting
+//! FFTW's slowdown next to AMG. "As AMG executions go through phases that
+//! do not significantly use the network, the switch capacity available to
+//! FFTW is close to 100 % during a significant portion of its co-run …
+//! the queue model has not considered [this] as it assumes a constant
+//! utilization." This harness implements the fix that discussion implies:
+//! evaluate the utilization per time window of the probe series and
+//! average the victim's degradation curve over the *distribution* of
+//! utilizations instead of its mean.
+//!
+//! The study measures phased co-runners (AMG and bursty MCB) against
+//! network-sensitive victims and compares three predictors: the plain
+//! queue model, the phase-aware model, and the measured truth.
+//!
+//! ```text
+//! cargo run --release -p anp-bench --bin phase_model_study [--quick]
+//! ```
+
+use anp_bench::{banner, HarnessOpts};
+use anp_core::{
+    calibrate, degradation_percent, impact_series_of_app, runtime_under_corun, solo_runtime,
+    LookupTable, MuPolicy, QueueModel, QueuePhaseModel, SlowdownModel,
+};
+use anp_simnet::SimDuration;
+use anp_workloads::AppKind;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    banner(
+        "Phase model",
+        "time-aware utilization vs constant-utilization prediction",
+        &opts,
+    );
+    let cfg = opts.experiment_config();
+
+    // Victims: the network-sensitive applications; co-runners: the phased
+    // ones whose average footprint misrepresents their instantaneous one.
+    let victims = if opts.quick {
+        vec![AppKind::Fftw]
+    } else {
+        vec![AppKind::Fftw, AppKind::Vpfft, AppKind::Milc]
+    };
+    let phased = [AppKind::Amg, AppKind::Mcb];
+
+    // Look-up table over a reduced sweep (the degradation curves only
+    // need enough points to interpolate).
+    println!("[measuring look-up table]");
+    let calib = calibrate(&cfg, MuPolicy::MinLatency).expect("calibration");
+    let sweep = {
+        let opts_sweep = HarnessOpts {
+            quick: true,
+            ..opts.clone()
+        };
+        opts_sweep.compression_sweep()
+    };
+    let table = LookupTable::measure(&cfg, calib, &victims, &sweep, |line| {
+        println!("  {line}");
+    })
+    .expect("table");
+
+    let phase_model = QueuePhaseModel {
+        window: SimDuration::from_millis(10),
+        min_samples: 4,
+    };
+
+    println!();
+    println!(
+        "{:<8} {:<8} {:>9} {:>9} {:>11} | {:>8} {:>10}",
+        "victim", "with", "measured", "Queue", "QueuePhase", "err(Q)", "err(QP)"
+    );
+    let mut q_errors = Vec::new();
+    let mut qp_errors = Vec::new();
+    for &other in &phased {
+        // One timed impact series per phased co-runner.
+        let series = impact_series_of_app(&cfg, other).expect("impact series");
+        let dist = series.utilization_distribution(
+            &table.calibration,
+            phase_model.window,
+            phase_model.min_samples,
+        );
+        let u_lo = dist.iter().map(|(u, _)| *u).fold(1.0, f64::min);
+        let u_hi = dist.iter().map(|(u, _)| *u).fold(0.0, f64::max);
+        println!(
+            "-- {} windows: {} usable, utilization spread {:.0}%..{:.0}% (mean-based reading {:.0}%)",
+            other.name(),
+            dist.len(),
+            u_lo * 100.0,
+            u_hi * 100.0,
+            table.calibration.utilization(&series.profile()) * 100.0
+        );
+        for &victim in &victims {
+            let solo = solo_runtime(&cfg, victim).expect("solo");
+            let loaded = runtime_under_corun(&cfg, victim, other).expect("corun");
+            let measured = degradation_percent(solo, loaded);
+            let q = QueueModel
+                .predict(&table, victim, &series.profile())
+                .expect("queue prediction");
+            let qp = phase_model
+                .predict_series(&table, victim, &series)
+                .expect("phase prediction");
+            q_errors.push((measured - q).abs());
+            qp_errors.push((measured - qp).abs());
+            println!(
+                "{:<8} {:<8} {:>+8.1}% {:>+8.1}% {:>+10.1}% | {:>8.1} {:>10.1}",
+                victim.name(),
+                other.name(),
+                measured,
+                q,
+                qp,
+                (measured - q).abs(),
+                (measured - qp).abs()
+            );
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!();
+    println!(
+        "mean |error|: Queue {:.1} pts, QueuePhase {:.1} pts over {} pairings",
+        mean(&q_errors),
+        mean(&qp_errors),
+        q_errors.len()
+    );
+    println!();
+    println!("Expected: for phased co-runners the time-blind queue model");
+    println!("over-predicts (it charges the victim for the co-runner's burst");
+    println!("utilization all the time); the phase-aware average is closer to");
+    println!("the measured slowdown.");
+}

@@ -1,0 +1,118 @@
+//! Validates the paper's **performance-relativity principle** directly —
+//! something the original study could not do, because real switches cannot
+//! be down-clocked: *"from the perspective of software components, less
+//! capable networks behave very similarly to networks that are partially
+//! utilized by other software components"* (§I).
+//!
+//! In simulation we can build literally degraded switches. For each
+//! application and each degradation level this harness measures:
+//!
+//! 1. the runtime on a *literally* less capable switch (link bandwidth and
+//!    routing parallelism scaled down);
+//! 2. the probe utilization `U` that the degraded switch exhibits relative
+//!    to the intact one (how much capability "went missing");
+//! 3. the runtime on the intact switch next to the CompressionB
+//!    configuration whose utilization is closest to `U` — the paper's
+//!    software emulation of (1).
+//!
+//! If the relativity principle holds in this model, columns (1) and (3)
+//! should tell similar stories. This also doubles as the §I motivation
+//! use-case: predicting performance on future systems with poorer
+//! network-to-node ratios.
+//!
+//! ```text
+//! cargo run --release -p anp-bench --bin relativity_check [--quick]
+//! ```
+
+use anp_bench::{banner, HarnessOpts};
+use anp_core::{
+    calibrate, degradation_percent, impact_profile_of_compression, runtime_under_compression,
+    solo_runtime, ExperimentConfig, MuPolicy,
+};
+use anp_workloads::{AppKind, CompressionConfig};
+
+/// A literally degraded Cab: ports and routing scaled by `num/den`.
+fn degraded(cfg: &ExperimentConfig, num: u64, den: u64) -> ExperimentConfig {
+    let mut out = cfg.clone();
+    out.switch.link_bandwidth = cfg.switch.link_bandwidth * num / den;
+    out.switch.local_bandwidth = cfg.switch.local_bandwidth * num / den;
+    out.switch.route_servers = ((u64::from(cfg.switch.route_servers) * num / den).max(1)) as u32;
+    out
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    banner(
+        "Relativity",
+        "degraded switches vs CompressionB emulation",
+        &opts,
+    );
+    let cfg = opts.experiment_config();
+    let calib = calibrate(&cfg, MuPolicy::MinLatency).expect("calibration");
+
+    // Utilization of each sweep configuration, measured once.
+    let sweep = opts.compression_sweep();
+    let sweep_utils: Vec<f64> = sweep
+        .iter()
+        .map(|c| {
+            let p = impact_profile_of_compression(&cfg, c).expect("impact");
+            calib.utilization(&p)
+        })
+        .collect();
+    let nearest_config = |target: f64| -> (&CompressionConfig, f64) {
+        sweep
+            .iter()
+            .zip(&sweep_utils)
+            .min_by(|a, b| {
+                (a.1 - target)
+                    .abs()
+                    .partial_cmp(&(b.1 - target).abs())
+                    .unwrap()
+            })
+            .map(|(c, u)| (c, *u))
+            .expect("sweep is non-empty")
+    };
+
+    let apps = if opts.quick {
+        vec![AppKind::Fftw, AppKind::Milc]
+    } else {
+        vec![AppKind::Fftw, AppKind::Vpfft, AppKind::Milc, AppKind::Lulesh]
+    };
+    let fractions: [(u64, u64); 3] = [(3, 4), (1, 2), (1, 4)];
+
+    for app in apps {
+        let solo = solo_runtime(&cfg, app).expect("solo");
+        println!("{} (solo on intact switch: {})", app.name(), solo);
+        println!(
+            "  {:>9} | {:>14} | {:>7} {:>16} {:>14}",
+            "capability", "degraded switch", "~util", "emulating config", "emulated run"
+        );
+        for (num, den) in fractions {
+            let weak = degraded(&cfg, num, den);
+            let t_weak = solo_runtime(&weak, app).expect("degraded runtime");
+            let d_weak = degradation_percent(solo, t_weak);
+            // The capability removed, expressed on the paper's utilization
+            // scale: a switch at num/den capability behaves like the intact
+            // one with (1 - num/den) consumed by someone else.
+            let removed = 1.0 - num as f64 / den as f64;
+            let (comp, u) = nearest_config(removed + calib.utilization_from_sojourn(calib.idle_mean));
+            let t_emul = runtime_under_compression(&cfg, app, comp).expect("emulated runtime");
+            let d_emul = degradation_percent(solo, t_emul);
+            println!(
+                "  {:>6}/{:<2} | {:>+13.1}% | {:>6.1}% {:>16} {:>+13.1}%",
+                num,
+                den,
+                d_weak,
+                u * 100.0,
+                comp.label(),
+                d_emul
+            );
+        }
+        println!();
+    }
+    println!("Reading: for each capability fraction, the left column is the");
+    println!("ground truth (a literally weaker switch) and the right column is");
+    println!("the paper's software emulation at the matching utilization. The");
+    println!("relativity principle predicts they agree in sign and order of");
+    println!("magnitude for network-sensitive applications.");
+}

@@ -1,0 +1,52 @@
+//! Reproduces **Table I**: the measured % performance slowdown of every
+//! application when co-run with every application (including itself) on
+//! the same switch — 36 directed pairings for the 6 applications.
+//!
+//! ```text
+//! cargo run --release -p anp-bench --bin table1_pair_slowdowns [--quick]
+//! ```
+
+use anp_bench::{banner, HarnessOpts};
+use anp_core::{degradation_percent, runtime_under_corun, solo_runtime};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    banner(
+        "Table I",
+        "measured slowdowns for all combined workloads (%)",
+        &opts,
+    );
+    let cfg = opts.experiment_config();
+    let apps = opts.apps();
+
+    let solos: Vec<_> = apps
+        .iter()
+        .map(|&a| {
+            let t = solo_runtime(&cfg, a).expect("solo runtime");
+            println!("solo {:<7} {}", a.name(), t);
+            t
+        })
+        .collect();
+    println!();
+
+    // Header row: co-runner names.
+    print!("{:<8}", "victim\\w");
+    for other in &apps {
+        print!(" {:>7}", other.name());
+    }
+    println!();
+    for (i, &victim) in apps.iter().enumerate() {
+        print!("{:<8}", victim.name());
+        for &other in &apps {
+            let t = runtime_under_corun(&cfg, victim, other).expect("co-run runtime");
+            let d = degradation_percent(solos[i], t);
+            print!(" {:>7.0}", d);
+        }
+        println!();
+    }
+    println!();
+    println!("Rows: the measured application; columns: the co-running one.");
+    println!("Paper shape check: the FFT row dominates (45% with itself in the");
+    println!("paper), MILC+FFT is the next largest, and rows for Lulesh, MCB");
+    println!("and AMG stay in the low single digits.");
+}

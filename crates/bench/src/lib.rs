@@ -1,0 +1,348 @@
+//! # anp-bench — experiment harnesses for every table and figure
+//!
+//! One binary per artefact of the paper's evaluation:
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `fig3_latency_distributions` | Fig. 3 — probe-latency distributions (idle + 6 apps) |
+//! | `fig6_compression_utilization` | Fig. 6 — switch utilization of the 40 CompressionB configs |
+//! | `fig7_degradation_curves` | Fig. 7 — % degradation vs % utilization per app |
+//! | `table1_pair_slowdowns` | Table I — measured slowdowns of all 36 app pairs |
+//! | `fig8_prediction_errors` | Fig. 8 — per-pairing |real − predicted| for the 4 models |
+//! | `fig9_error_summary` | Fig. 9 — quartile summary of model errors |
+//!
+//! Extension harnesses beyond the paper's artefacts:
+//!
+//! | Binary | What it studies |
+//! |---|---|
+//! | `calibration_report` | the substrate's calibration at a glance, incl. per-app network-wait fractions |
+//! | `ablation_report` | µ policy, routing parallelism, exchange chaining |
+//! | `relativity_check` | literally degraded switches vs CompressionB emulation |
+//! | `phase_model_study` | the §V-B phase-aware queue model |
+//! | `seed_sensitivity` | across-seed spread of headline metrics |
+//!
+//! Every binary accepts `--quick` (a scaled-down sweep for smoke runs),
+//! `--seed <n>`, and prints plain-text tables. `fig8`/`fig9` additionally
+//! accept `--cache <path>` to reuse the expensive measurement study across
+//! invocations.
+//!
+//! The `benches/` directory holds Criterion micro-benchmarks of the
+//! simulator and model kernels (event queue, switch path, matching,
+//! collectives, histogram metrics, P-K inversion, end-to-end probes).
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use anp_core::{
+    calibrate, error_summaries, Calibration, ExperimentConfig, LatencyProfile, LookupTable,
+    MuPolicy, PairOutcome, Study,
+};
+use anp_workloads::{AppKind, CompressionConfig};
+
+/// Command-line options shared by all harness binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessOpts {
+    /// Run a scaled-down sweep (fewer configurations / pairings).
+    pub quick: bool,
+    /// Base seed for the whole study.
+    pub seed: u64,
+    /// Optional path for caching study measurements (fig8/fig9).
+    pub cache: Option<PathBuf>,
+}
+
+impl HarnessOpts {
+    /// Parses `--quick`, `--seed <n>`, `--cache <path>` from `std::env`.
+    pub fn from_args() -> Self {
+        let mut opts = HarnessOpts {
+            quick: false,
+            seed: 0xA11CE,
+            cache: None,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => opts.quick = true,
+                "--seed" => {
+                    let v = args.next().expect("--seed needs a value");
+                    opts.seed = v.parse().expect("--seed needs an integer");
+                }
+                "--cache" => {
+                    let v = args.next().expect("--cache needs a path");
+                    opts.cache = Some(PathBuf::from(v));
+                }
+                other => panic!("unknown argument: {other} (try --quick / --seed N / --cache P)"),
+            }
+        }
+        opts
+    }
+
+    /// The experiment configuration this harness run uses.
+    pub fn experiment_config(&self) -> ExperimentConfig {
+        ExperimentConfig::cab().with_seed(self.seed)
+    }
+
+    /// The CompressionB sweep: the paper's 40 configurations, or an
+    /// 8-configuration subset in quick mode.
+    pub fn compression_sweep(&self) -> Vec<CompressionConfig> {
+        let all = CompressionConfig::paper_sweep();
+        if self.quick {
+            // Diagonal subset: one config per (B, M) group with a cycling
+            // partner count, so the quick sweep still spans P, B and M.
+            all.into_iter()
+                .enumerate()
+                .filter(|(i, _)| i % 5 == (i / 5) % 5)
+                .map(|(_, c)| c)
+                .collect()
+        } else {
+            all
+        }
+    }
+
+    /// The applications under study: all six, or three in quick mode.
+    pub fn apps(&self) -> Vec<AppKind> {
+        if self.quick {
+            vec![AppKind::Fftw, AppKind::Lulesh, AppKind::Milc]
+        } else {
+            AppKind::ALL.to_vec()
+        }
+    }
+}
+
+/// Prints the standard harness banner.
+pub fn banner(artifact: &str, what: &str, opts: &HarnessOpts) {
+    println!("=== {artifact} — {what} ===");
+    println!(
+        "(Casas & Bronevetsky, IPDPS 2014; simulated Cab switch, seed={}, {})",
+        opts.seed,
+        if opts.quick { "QUICK sweep" } else { "full sweep" }
+    );
+    println!();
+}
+
+/// Measures the queue calibration, look-up table, and app impact profiles
+/// — everything the prediction study needs except co-run ground truth.
+pub fn measure_study(
+    cfg: &ExperimentConfig,
+    apps: &[AppKind],
+    sweep: &[CompressionConfig],
+    verbose: bool,
+) -> Study {
+    let progress = |line: &str| {
+        if verbose {
+            println!("  [measure] {line}");
+        }
+    };
+    let calibration: Calibration =
+        calibrate(cfg, MuPolicy::MinLatency).expect("idle calibration failed");
+    let table = LookupTable::measure(cfg, calibration, apps, sweep, progress)
+        .expect("look-up table measurement failed");
+    Study::measure_profiles(cfg, table, apps, |line| {
+        if verbose {
+            println!("  [measure] {line}");
+        }
+    })
+    .expect("app impact profiles failed")
+}
+
+/// Runs (or loads from cache) the complete prediction study: isolated
+/// measurements, predictions for every ordered pair, and co-run ground
+/// truth. Returns outcomes in victim-major order.
+pub fn full_outcomes(opts: &HarnessOpts) -> Vec<PairOutcome> {
+    if let Some(path) = &opts.cache {
+        if let Some(outcomes) = load_outcomes(path) {
+            println!(
+                "(loaded {} cached pairings from {})",
+                outcomes.len(),
+                path.display()
+            );
+            return outcomes;
+        }
+    }
+    let cfg = opts.experiment_config();
+    let apps = opts.apps();
+    let sweep = opts.compression_sweep();
+    let study = measure_study(&cfg, &apps, &sweep, true);
+    let models = anp_core::all_models();
+    let mut outcomes = study.predict_all(&apps, &models);
+    for o in outcomes.iter_mut() {
+        study
+            .measure_pair(&cfg, o)
+            .expect("co-run measurement failed");
+        println!(
+            "  [corun] {} with {} -> measured {:+.1}%",
+            o.victim.name(),
+            o.other.name(),
+            o.measured.unwrap()
+        );
+    }
+    if let Some(path) = &opts.cache {
+        save_outcomes(path, &outcomes);
+        println!("(cached pairings to {})", path.display());
+    }
+    outcomes
+}
+
+/// Serializes outcomes to a plain TSV file (no external dependencies).
+pub fn save_outcomes(path: &Path, outcomes: &[PairOutcome]) {
+    let mut out = String::from("victim\tother\tmeasured\tmodel=prediction...\n");
+    for o in outcomes {
+        out.push_str(&format!(
+            "{}\t{}\t{}",
+            o.victim.name(),
+            o.other.name(),
+            o.measured.map_or("NA".to_owned(), |m| format!("{m:.6}"))
+        ));
+        for (name, p) in &o.predicted {
+            out.push_str(&format!("\t{name}={p:.6}"));
+        }
+        out.push('\n');
+    }
+    let mut f = std::fs::File::create(path).expect("cannot create cache file");
+    f.write_all(out.as_bytes()).expect("cannot write cache file");
+}
+
+/// Loads outcomes from [`save_outcomes`]' format; `None` if absent or
+/// malformed.
+pub fn load_outcomes(path: &Path) -> Option<Vec<PairOutcome>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut out = Vec::new();
+    for line in text.lines().skip(1) {
+        let mut cols = line.split('\t');
+        let victim = AppKind::from_name(cols.next()?)?;
+        let other = AppKind::from_name(cols.next()?)?;
+        let measured = match cols.next()? {
+            "NA" => None,
+            v => Some(v.parse().ok()?),
+        };
+        let mut predicted = BTreeMap::new();
+        for kv in cols {
+            let (name, v) = kv.split_once('=')?;
+            let name: &'static str = match name {
+                "AverageLT" => "AverageLT",
+                "AverageStDevLT" => "AverageStDevLT",
+                "PDFLT" => "PDFLT",
+                "Queue" => "Queue",
+                _ => return None,
+            };
+            predicted.insert(name, v.parse().ok()?);
+        }
+        out.push(PairOutcome {
+            victim,
+            other,
+            measured,
+            predicted,
+        });
+    }
+    (!out.is_empty()).then_some(out)
+}
+
+/// Renders a latency histogram as rows of `bin-center  frequency%  bar`,
+/// the textual equivalent of one Fig. 3 series.
+pub fn render_histogram(profile: &LatencyProfile) -> String {
+    let h = profile.histogram();
+    let mut out = String::new();
+    for i in 0..h.bins() {
+        let f = h.frequency(i) * 100.0;
+        let bar = "#".repeat((f / 2.0).round() as usize);
+        out.push_str(&format!("{:>6.2}us {:>5.1}% {}\n", h.bin_center(i), f, bar));
+    }
+    let over = h.overflow() as f64 / h.total().max(1) as f64 * 100.0;
+    if over > 0.0 {
+        out.push_str(&format!("  >10us {over:>5.1}%\n"));
+    }
+    out
+}
+
+/// Prints the Fig. 9-style summary table from pairing outcomes.
+pub fn print_error_summary(outcomes: &[PairOutcome]) {
+    let names = ["AverageLT", "AverageStDevLT", "PDFLT", "Queue"];
+    let summaries = error_summaries(outcomes, &names);
+    println!(
+        "{:<15} {:>7} {:>7} {:>7} {:>7} {:>7}  {:>10}",
+        "model", "min", "q1", "median", "q3", "max", "<10% err"
+    );
+    for name in names {
+        if let Some(s) = summaries.get(name) {
+            let errors: Vec<f64> = outcomes.iter().filter_map(|o| o.abs_error(name)).collect();
+            let under10 =
+                errors.iter().filter(|e| **e < 10.0).count() as f64 / errors.len() as f64 * 100.0;
+            println!(
+                "{:<15} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1}  {:>9.0}%",
+                name, s.min, s.q1, s.median, s.q3, s.max, under10
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_cache_roundtrips() {
+        let dir = std::env::temp_dir().join("anp_bench_cache_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("outcomes.tsv");
+        let outcomes = vec![
+            PairOutcome {
+                victim: AppKind::Fftw,
+                other: AppKind::Mcb,
+                measured: Some(12.5),
+                predicted: [("Queue", 11.0), ("AverageLT", 30.0)]
+                    .into_iter()
+                    .collect(),
+            },
+            PairOutcome {
+                victim: AppKind::Amg,
+                other: AppKind::Amg,
+                measured: None,
+                predicted: BTreeMap::new(),
+            },
+        ];
+        save_outcomes(&path, &outcomes);
+        let loaded = load_outcomes(&path).expect("cache must load");
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].victim, AppKind::Fftw);
+        assert_eq!(loaded[0].measured, Some(12.5));
+        assert_eq!(loaded[0].predicted["Queue"], 11.0);
+        assert_eq!(loaded[1].measured, None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_cache_returns_none() {
+        assert!(load_outcomes(Path::new("/nonexistent/anp.tsv")).is_none());
+    }
+
+    #[test]
+    fn quick_sweep_is_a_subset() {
+        let quick = HarnessOpts {
+            quick: true,
+            seed: 1,
+            cache: None,
+        };
+        let full = HarnessOpts {
+            quick: false,
+            seed: 1,
+            cache: None,
+        };
+        assert_eq!(full.compression_sweep().len(), 40);
+        assert_eq!(quick.compression_sweep().len(), 8);
+        let partners: std::collections::HashSet<u32> =
+            quick.compression_sweep().iter().map(|c| c.partners).collect();
+        assert!(partners.len() >= 3, "quick sweep must vary P");
+        assert_eq!(full.apps().len(), 6);
+        assert_eq!(quick.apps().len(), 3);
+    }
+
+    #[test]
+    fn histogram_rendering_contains_all_bins() {
+        let p = LatencyProfile::from_samples(&[1.1, 1.3, 2.4, 11.0]);
+        let text = render_histogram(&p);
+        assert_eq!(text.lines().count(), 21, "20 bins + overflow row");
+        assert!(text.contains(">10us"));
+    }
+}

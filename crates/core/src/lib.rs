@@ -1,0 +1,57 @@
+//! # anp-core — the paper's measurement-and-prediction methodology
+//!
+//! Implementation of *Active Measurement of the Impact of Network Switch
+//! Utilization on Application Performance* (Casas & Bronevetsky, IPDPS
+//! 2014) over the simulated substrates in `anp-simnet` / `anp-simmpi` /
+//! `anp-workloads`:
+//!
+//! * [`samples`] — latency profiles (mean, σ, binned PDF) of impact
+//!   measurements;
+//! * [`queue`] — the M/G/1 switch metric: idle-switch calibration and the
+//!   Pollaczek–Khinchine inversion from mean probe latency to switch
+//!   utilization (§IV-B);
+//! * [`experiments`] — impact, compression, calibration, and co-run
+//!   experiment drivers (§III, §V);
+//! * [`lut`] — the per-CompressionB-configuration look-up table (§IV-A,
+//!   §IV-C);
+//! * [`models`] — the four predictors: AverageLT, AverageStDevLT, PDFLT,
+//!   and the queue model (§IV);
+//! * [`prediction`] — the pairing study: predict all N² co-run slowdowns
+//!   from N isolated measurements and score them against ground truth
+//!   (§V).
+//!
+//! ## The methodology in one paragraph
+//!
+//! Probe the switch with tiny ping-pongs while a workload runs
+//! ([`experiments::impact_profile_of_app`]); the latency distribution of
+//! the probes is the workload's *footprint*. Separately, run each
+//! application against a sweep of CompressionB interference configurations
+//! ([`lut::LookupTable::measure`]) to learn how it degrades as switch
+//! capability shrinks. To predict A's slowdown next to B, summarize B's
+//! footprint (mean / interval / PDF / P-K utilization), find the
+//! CompressionB configuration with the matching footprint, and read off
+//! A's measured degradation under that configuration
+//! ([`prediction::Study::predict_pair`]).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod lut;
+pub mod models;
+pub mod prediction;
+pub mod queue;
+pub mod samples;
+pub mod series;
+
+pub use experiments::{
+    calibrate, degradation_percent, idle_profile, impact_profile, impact_profile_of_app,
+    impact_profile_of_compression, impact_series, impact_series_of_app, runtime_of,
+    runtime_under_compression, runtime_under_corun, solo_runtime, ExperimentConfig,
+    ExperimentError, Members,
+};
+pub use lut::{CompressionEntry, LookupTable};
+pub use models::{all_models, AverageLt, AverageStDevLt, PdfLt, QueueModel, QueuePhaseModel, SlowdownModel};
+pub use prediction::{error_summaries, PairOutcome, Study};
+pub use queue::{Calibration, MuPolicy};
+pub use samples::LatencyProfile;
+pub use series::TimedSeries;

@@ -1,0 +1,263 @@
+//! The look-up table: everything measured once per CompressionB
+//! configuration (paper §IV-A, §IV-C).
+//!
+//! For each of the 40 CompressionB configurations `Ci` the table stores:
+//!
+//! * the impact profile measured while `Ci` runs (its latency footprint —
+//!   mean, σ, and PDF, feeding the three LUT models);
+//! * the switch utilization the queue model attributes to `Ci` (Fig. 6);
+//! * the measured performance degradation of each application under `Ci`
+//!   (Fig. 7).
+//!
+//! Building the full table is the expensive, *linear* part of the paper's
+//! methodology: measurements grow with the number of components, while the
+//! pairings predicted from the table grow quadratically.
+
+use std::collections::BTreeMap;
+
+use anp_simnet::SimDuration;
+use anp_workloads::{AppKind, CompressionConfig};
+
+use crate::experiments::{
+    degradation_percent, impact_profile_of_compression, runtime_under_compression, solo_runtime,
+    ExperimentConfig, ExperimentError,
+};
+use crate::queue::Calibration;
+use crate::samples::LatencyProfile;
+
+/// Everything measured for one CompressionB configuration.
+#[derive(Debug, Clone)]
+pub struct CompressionEntry {
+    /// The configuration.
+    pub config: CompressionConfig,
+    /// Probe latency profile while the configuration runs.
+    pub profile: LatencyProfile,
+    /// Queue-model switch utilization of the configuration (`ρ` in [0, 1)).
+    pub utilization: f64,
+    /// Measured % degradation of each application under this
+    /// configuration.
+    pub slowdown: BTreeMap<AppKind, f64>,
+}
+
+/// The full look-up table plus the calibration it was measured under.
+#[derive(Debug, Clone)]
+pub struct LookupTable {
+    /// Idle-switch queue calibration.
+    pub calibration: Calibration,
+    /// One entry per measured CompressionB configuration.
+    pub entries: Vec<CompressionEntry>,
+    /// Solo runtime of each application (degradation baselines).
+    pub solo: BTreeMap<AppKind, SimDuration>,
+}
+
+impl LookupTable {
+    /// Assembles a table from already-measured parts (used by tests and by
+    /// harnesses that parallelize the measurement loop).
+    pub fn from_parts(
+        calibration: Calibration,
+        entries: Vec<CompressionEntry>,
+        solo: BTreeMap<AppKind, SimDuration>,
+    ) -> Self {
+        assert!(!entries.is_empty(), "a look-up table needs entries");
+        LookupTable {
+            calibration,
+            entries,
+            solo,
+        }
+    }
+
+    /// Measures the complete table: for every configuration an impact
+    /// profile, and for every (app, configuration) pair a compression
+    /// experiment. This is the expensive path — `configs.len()` impact
+    /// runs plus `apps.len() × configs.len()` runtime runs; use
+    /// [`LookupTable::from_parts`] to assemble pre-measured pieces.
+    ///
+    /// `progress` is called with a human-readable line as each measurement
+    /// lands (pass `|_| {}` to discard).
+    pub fn measure(
+        cfg: &ExperimentConfig,
+        calibration: Calibration,
+        apps: &[AppKind],
+        configs: &[CompressionConfig],
+        mut progress: impl FnMut(&str),
+    ) -> Result<Self, ExperimentError> {
+        let mut solo = BTreeMap::new();
+        for &app in apps {
+            let t = solo_runtime(cfg, app)?;
+            progress(&format!("solo {} = {t}", app.name()));
+            solo.insert(app, t);
+        }
+        let mut entries = Vec::with_capacity(configs.len());
+        for comp in configs {
+            let profile = impact_profile_of_compression(cfg, comp)?;
+            let utilization = calibration.utilization(&profile);
+            progress(&format!(
+                "impact {} -> mean {:.2}us util {:.1}%",
+                comp.label(),
+                profile.mean(),
+                utilization * 100.0
+            ));
+            let mut slowdown = BTreeMap::new();
+            for &app in apps {
+                let t = runtime_under_compression(cfg, app, comp)?;
+                let d = degradation_percent(solo[&app], t);
+                progress(&format!(
+                    "  {} under {} -> {:.1}%",
+                    app.name(),
+                    comp.label(),
+                    d
+                ));
+                slowdown.insert(app, d);
+            }
+            entries.push(CompressionEntry {
+                config: *comp,
+                profile,
+                utilization,
+                slowdown,
+            });
+        }
+        Ok(LookupTable::from_parts(calibration, entries, solo))
+    }
+
+    /// The (utilization, slowdown) curve of one application, sorted by
+    /// utilization — the `p_A` mapping of §V-B.
+    pub fn degradation_curve(&self, app: AppKind) -> Vec<(f64, f64)> {
+        let mut pts: Vec<(f64, f64)> = self
+            .entries
+            .iter()
+            .filter_map(|e| e.slowdown.get(&app).map(|d| (e.utilization, *d)))
+            .collect();
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("utilization is never NaN"));
+        pts
+    }
+
+    /// Range of utilizations covered by the table (the paper reports
+    /// 26–92 % on Cab).
+    pub fn utilization_range(&self) -> (f64, f64) {
+        let lo = self
+            .entries
+            .iter()
+            .map(|e| e.utilization)
+            .fold(f64::INFINITY, f64::min);
+        let hi = self
+            .entries
+            .iter()
+            .map(|e| e.utilization)
+            .fold(f64::NEG_INFINITY, f64::max);
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use crate::queue::MuPolicy;
+
+    /// A synthetic latency profile centred on `mean_us` with spread
+    /// `sigma_us` (triangular-ish, deterministic).
+    pub fn synthetic_profile(mean_us: f64, sigma_us: f64) -> LatencyProfile {
+        let samples: Vec<f64> = (0..200)
+            .map(|i| {
+                let t = (i % 21) as f64 / 10.0 - 1.0; // -1 .. 1
+                (mean_us + t * sigma_us * 1.7).max(0.05)
+            })
+            .collect();
+        LatencyProfile::from_samples(&samples)
+    }
+
+    /// A synthetic calibration: µ = 1 /µs, Var(S) = 0.25 µs².
+    pub fn synthetic_calibration() -> Calibration {
+        Calibration {
+            mu: 1.0,
+            var_s: 0.25,
+            idle_mean: 1.1,
+            policy: MuPolicy::MinLatency,
+        }
+    }
+
+    /// A synthetic table with `n` entries of rising utilization where each
+    /// app's slowdown is `gain × utilization²` percent.
+    pub fn synthetic_table(n: usize, gains: &[(AppKind, f64)]) -> LookupTable {
+        let calibration = synthetic_calibration();
+        let entries: Vec<CompressionEntry> = (0..n)
+            .map(|i| {
+                let u = 0.2 + 0.7 * i as f64 / (n.max(2) - 1) as f64;
+                // Invert utilization to the sojourn the calibration would
+                // need to see, so profiles and utilization stay coherent.
+                let lambda = u * calibration.mu;
+                let w = calibration.pk_sojourn(lambda);
+                let profile = synthetic_profile(w, 0.2 + u);
+                let utilization = calibration.utilization(&profile);
+                let slowdown = gains
+                    .iter()
+                    .map(|&(app, g)| (app, g * utilization * utilization * 100.0))
+                    .collect();
+                CompressionEntry {
+                    config: CompressionConfig::new(1, 25_000 * (i as u64 + 1), 1),
+                    profile,
+                    utilization,
+                    slowdown,
+                }
+            })
+            .collect();
+        let solo = gains
+            .iter()
+            .map(|&(app, _)| (app, SimDuration::from_millis(100)))
+            .collect();
+        LookupTable::from_parts(calibration, entries, solo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::*;
+    use super::*;
+
+    #[test]
+    fn degradation_curve_is_sorted_and_complete() {
+        let table = synthetic_table(8, &[(AppKind::Fftw, 2.0), (AppKind::Mcb, 0.05)]);
+        let curve = table.degradation_curve(AppKind::Fftw);
+        assert_eq!(curve.len(), 8);
+        for w in curve.windows(2) {
+            assert!(w[0].0 <= w[1].0, "curve must be sorted by utilization");
+            assert!(w[0].1 <= w[1].1, "synthetic slowdown grows with utilization");
+        }
+    }
+
+    #[test]
+    fn missing_app_yields_empty_curve() {
+        let table = synthetic_table(4, &[(AppKind::Fftw, 1.0)]);
+        assert!(table.degradation_curve(AppKind::Amg).is_empty());
+    }
+
+    #[test]
+    fn utilization_range_brackets_entries() {
+        let table = synthetic_table(6, &[(AppKind::Milc, 1.0)]);
+        let (lo, hi) = table.utilization_range();
+        assert!(lo < hi);
+        for e in &table.entries {
+            assert!((lo..=hi).contains(&e.utilization));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs entries")]
+    fn empty_table_panics() {
+        LookupTable::from_parts(synthetic_calibration(), vec![], BTreeMap::new());
+    }
+
+    #[test]
+    fn synthetic_utilizations_are_coherent() {
+        // The synthetic profiles are built by inverting P-K, so the
+        // recovered utilization must be close to the intended one.
+        let table = synthetic_table(5, &[(AppKind::Fftw, 1.0)]);
+        for (i, e) in table.entries.iter().enumerate() {
+            let intended = 0.2 + 0.7 * i as f64 / 4.0;
+            assert!(
+                (e.utilization - intended).abs() < 0.15,
+                "entry {i}: intended {intended}, got {}",
+                e.utilization
+            );
+        }
+    }
+}

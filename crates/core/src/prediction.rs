@@ -1,0 +1,243 @@
+//! The end-to-end prediction pipeline (paper §V).
+//!
+//! A [`Study`] bundles everything measured in isolation — the look-up
+//! table, each application's impact profile, and each application's solo
+//! runtime — and predicts the slowdown of every ordered application pair
+//! with every model. Comparing against measured co-run slowdowns yields
+//! the per-pairing errors of Fig. 8 and the quartile summaries of Fig. 9.
+
+use std::collections::BTreeMap;
+
+use anp_metrics::QuartileSummary;
+use anp_workloads::AppKind;
+
+use crate::experiments::{
+    degradation_percent, impact_profile_of_app, runtime_under_corun, ExperimentConfig,
+    ExperimentError,
+};
+use crate::lut::LookupTable;
+use crate::models::SlowdownModel;
+use crate::samples::LatencyProfile;
+
+/// One directed pairing: the slowdown of `victim` when co-run with
+/// `other`.
+#[derive(Debug, Clone)]
+pub struct PairOutcome {
+    /// The application whose slowdown is being predicted.
+    pub victim: AppKind,
+    /// The co-running application.
+    pub other: AppKind,
+    /// Measured % slowdown (ground truth; `None` until measured).
+    pub measured: Option<f64>,
+    /// Model name → predicted % slowdown.
+    pub predicted: BTreeMap<&'static str, f64>,
+}
+
+impl PairOutcome {
+    /// The |measured − predicted| error of one model, if both sides exist.
+    pub fn abs_error(&self, model: &str) -> Option<f64> {
+        Some((self.measured? - self.predicted.get(model)?).abs())
+    }
+}
+
+/// Everything measured in isolation, ready to predict any pairing.
+#[derive(Debug, Clone)]
+pub struct Study {
+    /// The look-up table (compression entries + calibration + solos).
+    pub table: LookupTable,
+    /// Impact profile of each application.
+    pub app_profiles: BTreeMap<AppKind, LatencyProfile>,
+}
+
+impl Study {
+    /// Assembles a study from measured parts.
+    pub fn from_parts(
+        table: LookupTable,
+        app_profiles: BTreeMap<AppKind, LatencyProfile>,
+    ) -> Self {
+        Study {
+            table,
+            app_profiles,
+        }
+    }
+
+    /// Measures the application impact profiles for `apps` (the table must
+    /// already exist).
+    pub fn measure_profiles(
+        cfg: &ExperimentConfig,
+        table: LookupTable,
+        apps: &[AppKind],
+        mut progress: impl FnMut(&str),
+    ) -> Result<Self, ExperimentError> {
+        let mut app_profiles = BTreeMap::new();
+        for &app in apps {
+            let p = impact_profile_of_app(cfg, app)?;
+            progress(&format!(
+                "impact {} -> mean {:.2}us sd {:.2}us util {:.1}%",
+                app.name(),
+                p.mean(),
+                p.std_dev(),
+                table.calibration.utilization(&p) * 100.0
+            ));
+            app_profiles.insert(app, p);
+        }
+        Ok(Study::from_parts(table, app_profiles))
+    }
+
+    /// Predicts the slowdown of `victim` co-run with `other` under every
+    /// given model.
+    pub fn predict_pair(
+        &self,
+        victim: AppKind,
+        other: AppKind,
+        models: &[Box<dyn SlowdownModel>],
+    ) -> PairOutcome {
+        let mut predicted = BTreeMap::new();
+        if let Some(other_profile) = self.app_profiles.get(&other) {
+            for m in models {
+                if let Some(p) = m.predict(&self.table, victim, other_profile) {
+                    predicted.insert(m.name(), p);
+                }
+            }
+        }
+        PairOutcome {
+            victim,
+            other,
+            measured: None,
+            predicted,
+        }
+    }
+
+    /// Predicts every ordered pair from `apps` (the paper's 36 pairings
+    /// for 6 applications, including self-pairings).
+    pub fn predict_all(
+        &self,
+        apps: &[AppKind],
+        models: &[Box<dyn SlowdownModel>],
+    ) -> Vec<PairOutcome> {
+        let mut out = Vec::with_capacity(apps.len() * apps.len());
+        for &victim in apps {
+            for &other in apps {
+                out.push(self.predict_pair(victim, other, models));
+            }
+        }
+        out
+    }
+
+    /// Measures the co-run ground truth for one pairing and fills it in.
+    pub fn measure_pair(
+        &self,
+        cfg: &ExperimentConfig,
+        outcome: &mut PairOutcome,
+    ) -> Result<(), ExperimentError> {
+        let solo = self.table.solo[&outcome.victim];
+        let loaded = runtime_under_corun(cfg, outcome.victim, outcome.other)?;
+        outcome.measured = Some(degradation_percent(solo, loaded));
+        Ok(())
+    }
+}
+
+/// Per-model quartile summary of |measured − predicted| errors across a
+/// set of pairings — the Fig. 9 box-plot data.
+pub fn error_summaries(
+    outcomes: &[PairOutcome],
+    model_names: &[&'static str],
+) -> BTreeMap<&'static str, QuartileSummary> {
+    let mut out = BTreeMap::new();
+    for &name in model_names {
+        let errors: Vec<f64> = outcomes.iter().filter_map(|o| o.abs_error(name)).collect();
+        if !errors.is_empty() {
+            out.insert(name, QuartileSummary::of(&errors));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lut::test_support::{synthetic_profile, synthetic_table};
+    use crate::models::all_models;
+
+    fn study() -> Study {
+        let table = synthetic_table(
+            8,
+            &[
+                (AppKind::Fftw, 2.0),
+                (AppKind::Mcb, 0.05),
+                (AppKind::Milc, 0.8),
+            ],
+        );
+        let mut app_profiles = BTreeMap::new();
+        // FFTW perturbs the switch heavily, MCB moderately (bursty), MILC
+        // lightly — synthetic profiles at different means.
+        app_profiles.insert(AppKind::Fftw, synthetic_profile(4.0, 1.0));
+        app_profiles.insert(AppKind::Mcb, synthetic_profile(2.2, 1.4));
+        app_profiles.insert(AppKind::Milc, synthetic_profile(1.6, 0.4));
+        Study::from_parts(table, app_profiles)
+    }
+
+    #[test]
+    fn predict_all_covers_every_ordered_pair() {
+        let s = study();
+        let apps = [AppKind::Fftw, AppKind::Mcb, AppKind::Milc];
+        let models = all_models();
+        let outcomes = s.predict_all(&apps, &models);
+        assert_eq!(outcomes.len(), 9);
+        for o in &outcomes {
+            assert_eq!(o.predicted.len(), 4, "{:?}+{:?}", o.victim, o.other);
+        }
+    }
+
+    #[test]
+    fn heavier_partner_predicts_larger_slowdown() {
+        let s = study();
+        let models = all_models();
+        // FFTW (the victim, gain 2.0) next to heavy FFTW vs. light MILC.
+        let with_heavy = s.predict_pair(AppKind::Fftw, AppKind::Fftw, &models);
+        let with_light = s.predict_pair(AppKind::Fftw, AppKind::Milc, &models);
+        for m in &models {
+            let h = with_heavy.predicted[m.name()];
+            let l = with_light.predicted[m.name()];
+            assert!(
+                h >= l,
+                "{}: heavy partner {h} must beat light partner {l}",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_partner_yields_no_predictions() {
+        let s = study();
+        let outcome = s.predict_pair(AppKind::Fftw, AppKind::Amg, &all_models());
+        assert!(outcome.predicted.is_empty());
+    }
+
+    #[test]
+    fn abs_error_requires_both_sides() {
+        let s = study();
+        let mut o = s.predict_pair(AppKind::Fftw, AppKind::Mcb, &all_models());
+        assert_eq!(o.abs_error("Queue"), None, "not measured yet");
+        o.measured = Some(o.predicted["Queue"] + 5.0);
+        assert!((o.abs_error("Queue").unwrap() - 5.0).abs() < 1e-9);
+        assert_eq!(o.abs_error("NoSuchModel"), None);
+    }
+
+    #[test]
+    fn error_summaries_aggregate_per_model() {
+        let s = study();
+        let apps = [AppKind::Fftw, AppKind::Mcb, AppKind::Milc];
+        let mut outcomes = s.predict_all(&apps, &all_models());
+        for (i, o) in outcomes.iter_mut().enumerate() {
+            o.measured = Some(o.predicted["Queue"] + i as f64);
+        }
+        let sums = error_summaries(&outcomes, &["AverageLT", "Queue"]);
+        assert_eq!(sums.len(), 2);
+        // Queue's error was constructed as 0..8 → median 4.
+        let q = &sums["Queue"];
+        assert!((q.median - 4.0).abs() < 1e-9);
+        assert_eq!(q.min, 0.0);
+        assert_eq!(q.max, 8.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Time-resolved probe series and windowed utilization analysis.
+//!
+//! The paper's §V-B explains the queue model's one significant miss (FFTW
+//! predicted against AMG): AMG "executions go through phases that do not
+//! significantly use the network, [so] the switch capacity available to
+//! FFTW is close to 100 % during a significant portion of its co-run …
+//! which is something that the queue model has not considered as it
+//! assumes a constant utilization of the network".
+//!
+//! This module keeps probe samples *with their timestamps*, so the
+//! utilization can be evaluated per time window instead of once globally —
+//! the input of the phase-aware extension model in
+//! [`crate::models::QueuePhaseModel`].
+
+use anp_simnet::{SimDuration, SimTime};
+use anp_workloads::ProbeSample;
+
+use crate::queue::Calibration;
+use crate::samples::LatencyProfile;
+
+/// A time-ordered collection of probe samples from one impact experiment.
+#[derive(Debug, Clone)]
+pub struct TimedSeries {
+    samples: Vec<ProbeSample>,
+}
+
+impl TimedSeries {
+    /// Builds a series; samples are sorted by timestamp if not already.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty.
+    pub fn new(mut samples: Vec<ProbeSample>) -> Self {
+        assert!(!samples.is_empty(), "a timed series needs samples");
+        if !samples.windows(2).all(|w| w[0].at <= w[1].at) {
+            samples.sort_by_key(|s| s.at);
+        }
+        TimedSeries { samples }
+    }
+
+    /// Builds a series discarding the first `warmup_frac` of the samples.
+    pub fn with_warmup(samples: Vec<ProbeSample>, warmup_frac: f64) -> Self {
+        assert!((0.0..1.0).contains(&warmup_frac), "bad warmup fraction");
+        let skip = (samples.len() as f64 * warmup_frac).floor() as usize;
+        TimedSeries::new(samples[skip..].to_vec())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the series holds no samples (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The raw samples, time-ordered.
+    pub fn samples(&self) -> &[ProbeSample] {
+        &self.samples
+    }
+
+    /// Time span covered by the series.
+    pub fn span(&self) -> (SimTime, SimTime) {
+        (
+            self.samples[0].at,
+            self.samples[self.samples.len() - 1].at,
+        )
+    }
+
+    /// Collapses the series into a single (time-blind) latency profile —
+    /// what the paper's four baseline models consume.
+    pub fn profile(&self) -> LatencyProfile {
+        let lat: Vec<f64> = self.samples.iter().map(|s| s.one_way_us).collect();
+        LatencyProfile::from_samples(&lat)
+    }
+
+    /// Splits the series into consecutive `window`-long segments and
+    /// profiles each segment that contains at least `min_samples` samples.
+    /// Returns `(window_profile, sample_count)` pairs in time order.
+    pub fn windowed_profiles(
+        &self,
+        window: SimDuration,
+        min_samples: usize,
+    ) -> Vec<(LatencyProfile, usize)> {
+        assert!(window > SimDuration::ZERO, "window must be positive");
+        let (start, end) = self.span();
+        let mut out = Vec::new();
+        let mut cursor = start;
+        let mut idx = 0;
+        while cursor <= end {
+            let next = cursor + window;
+            let begin = idx;
+            while idx < self.samples.len() && self.samples[idx].at < next {
+                idx += 1;
+            }
+            let slice = &self.samples[begin..idx];
+            if slice.len() >= min_samples.max(1) {
+                let lat: Vec<f64> = slice.iter().map(|s| s.one_way_us).collect();
+                out.push((LatencyProfile::from_samples(&lat), slice.len()));
+            }
+            cursor = next;
+        }
+        out
+    }
+
+    /// The per-window utilization distribution under `calib`: one
+    /// `(utilization, weight)` entry per window, weights summing to 1.
+    /// This is the phase description the §V-B discussion calls for.
+    pub fn utilization_distribution(
+        &self,
+        calib: &Calibration,
+        window: SimDuration,
+        min_samples: usize,
+    ) -> Vec<(f64, f64)> {
+        let windows = self.windowed_profiles(window, min_samples);
+        let total: usize = windows.iter().map(|(_, n)| n).sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        windows
+            .into_iter()
+            .map(|(p, n)| (calib.utilization(&p), n as f64 / total as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::MuPolicy;
+
+    fn sample(at_us: u64, lat: f64) -> ProbeSample {
+        ProbeSample {
+            at: SimTime::from_micros(at_us),
+            one_way_us: lat,
+        }
+    }
+
+    fn calib() -> Calibration {
+        Calibration {
+            mu: 1.0,
+            var_s: 0.25,
+            idle_mean: 1.1,
+            policy: MuPolicy::MinLatency,
+        }
+    }
+
+    #[test]
+    fn series_sorts_and_spans() {
+        let s = TimedSeries::new(vec![sample(30, 1.0), sample(10, 2.0), sample(20, 3.0)]);
+        assert_eq!(s.len(), 3);
+        let (a, b) = s.span();
+        assert_eq!(a, SimTime::from_micros(10));
+        assert_eq!(b, SimTime::from_micros(30));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn profile_matches_flat_samples() {
+        let s = TimedSeries::new(vec![sample(1, 1.0), sample(2, 2.0), sample(3, 3.0)]);
+        assert!((s.profile().mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warmup_trims_earliest() {
+        let s = TimedSeries::with_warmup(
+            vec![sample(1, 9.0), sample(2, 9.0), sample(3, 1.0), sample(4, 1.0)],
+            0.5,
+        );
+        assert_eq!(s.len(), 2);
+        assert!((s.profile().mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windowing_partitions_by_time() {
+        // Two clearly separated phases: busy (5 µs latencies) then idle
+        // (1 µs), 10 samples each, 1 ms apart within phase.
+        let mut v = Vec::new();
+        for i in 0..10u64 {
+            v.push(sample(i * 1_000, 5.0));
+        }
+        for i in 0..10u64 {
+            v.push(sample(20_000 + i * 1_000, 1.0));
+        }
+        let s = TimedSeries::new(v);
+        let windows = s.windowed_profiles(SimDuration::from_millis(10), 3);
+        assert_eq!(windows.len(), 2, "two phases, two qualifying windows");
+        assert!(windows[0].0.mean() > 4.5);
+        assert!(windows[1].0.mean() < 1.5);
+    }
+
+    #[test]
+    fn sparse_windows_are_dropped() {
+        let s = TimedSeries::new(vec![
+            sample(0, 1.0),
+            sample(1_000, 1.0),
+            sample(50_000, 2.0), // lone straggler in its own window
+        ]);
+        let windows = s.windowed_profiles(SimDuration::from_millis(10), 2);
+        assert_eq!(windows.len(), 1, "the lone-sample window is dropped");
+    }
+
+    #[test]
+    fn utilization_distribution_weights_sum_to_one() {
+        let mut v = Vec::new();
+        for i in 0..40u64 {
+            // Alternating 10 ms phases of idle-ish and loaded latencies.
+            let phase_loaded = (i / 10) % 2 == 1;
+            v.push(sample(
+                i * 1_000,
+                if phase_loaded { 6.0 } else { 1.05 },
+            ));
+        }
+        let s = TimedSeries::new(v);
+        let dist = s.utilization_distribution(&calib(), SimDuration::from_millis(10), 3);
+        assert!(dist.len() >= 3);
+        let total_weight: f64 = dist.iter().map(|(_, w)| w).sum();
+        assert!((total_weight - 1.0).abs() < 1e-9);
+        // Loaded windows must read much higher utilization than idle ones.
+        let max_u = dist.iter().map(|(u, _)| *u).fold(0.0, f64::max);
+        let min_u = dist.iter().map(|(u, _)| *u).fold(1.0, f64::min);
+        assert!(max_u > min_u + 0.3, "phases must separate: {min_u}..{max_u}");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs samples")]
+    fn empty_series_panics() {
+        TimedSeries::new(vec![]);
+    }
+}

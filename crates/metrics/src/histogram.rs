@@ -1,0 +1,326 @@
+//! Fixed-bin histograms and distribution-comparison metrics.
+//!
+//! The paper's Fig. 3 presents packet-latency distributions as percentage
+//! frequencies over fixed latency bins, and its PDFLT model compares two
+//! latency distributions by the overlap integral `∫ f·g` (§IV-A.3). This
+//! module provides both.
+
+/// A histogram over `[lo, hi)` with equal-width bins plus an overflow bin
+/// for samples at or above `hi` (the paper's latency plots likewise lump
+/// everything past the last tick).
+///
+/// ```
+/// use anp_metrics::Histogram;
+///
+/// let mut h = Histogram::latency_us(); // Fig. 3 binning: 0–10 µs, 0.5 µs bins
+/// h.extend([1.2, 1.3, 1.2, 2.6, 11.5]);
+/// assert_eq!(h.total(), 5);
+/// assert_eq!(h.overflow(), 1);
+/// // 3 of 5 samples fall in the 1.0–1.5 µs bin (center 1.25):
+/// assert!((h.frequency(2) - 0.6).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    underflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` equal-width bins over
+    /// `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo` or the bounds are non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && hi > lo, "bad bounds");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            overflow: 0,
+            underflow: 0,
+            total: 0,
+        }
+    }
+
+    /// The binning used for packet transmission times in the paper's
+    /// Fig. 3: 0.5 µs bins from 0 to 10 µs (values in microseconds).
+    pub fn latency_us() -> Self {
+        Histogram::new(0.0, 10.0, 20)
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = (((x - self.lo) / w) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Adds every item of an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+
+    /// Builds a histogram of a slice with the given bounds/bins.
+    pub fn of(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Self {
+        let mut h = Histogram::new(lo, hi, bins);
+        h.extend(xs.iter().copied());
+        h
+    }
+
+    /// Number of regular bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Raw count of bin `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Total samples pushed (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Samples at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Samples below the lower bound.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Fraction of samples in bin `i` (0 when empty).
+    pub fn frequency(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / self.total as f64
+        }
+    }
+
+    /// All bin frequencies, in order. Includes neither underflow nor
+    /// overflow; the vector sums to ≤ 1.
+    pub fn frequencies(&self) -> Vec<f64> {
+        (0..self.bins()).map(|i| self.frequency(i)).collect()
+    }
+
+    /// The discretized probability *density* per bin: frequency divided by
+    /// bin width, so that `Σ density·width ≤ 1` with equality when nothing
+    /// over/underflowed.
+    pub fn densities(&self) -> Vec<f64> {
+        let w = self.bin_width();
+        self.frequencies().iter().map(|f| f / w).collect()
+    }
+
+    /// The paper's PDFLT similarity: the discretized overlap integral
+    /// `∫ f·g ≈ Σ_i f_i · g_i · width` over the common bins.
+    ///
+    /// Larger values mean more similar distributions. Both histograms must
+    /// share the same binning.
+    ///
+    /// # Panics
+    /// Panics if the two histograms have different bounds or bin counts.
+    pub fn pdf_product_integral(&self, other: &Histogram) -> f64 {
+        self.assert_compatible(other);
+        let w = self.bin_width();
+        self.densities()
+            .iter()
+            .zip(other.densities())
+            .map(|(a, b)| a * b * w)
+            .sum()
+    }
+
+    /// L1 distance between the two frequency vectors (total variation ×2).
+    pub fn l1_distance(&self, other: &Histogram) -> f64 {
+        self.assert_compatible(other);
+        self.frequencies()
+            .iter()
+            .zip(other.frequencies())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            + (self.overflow_frequency() - other.overflow_frequency()).abs()
+            + (self.underflow_frequency() - other.underflow_frequency()).abs()
+    }
+
+    /// Kolmogorov–Smirnov statistic over the binned CDFs.
+    pub fn ks_distance(&self, other: &Histogram) -> f64 {
+        self.assert_compatible(other);
+        let mut ca = self.underflow_frequency();
+        let mut cb = other.underflow_frequency();
+        let mut d: f64 = (ca - cb).abs();
+        for i in 0..self.bins() {
+            ca += self.frequency(i);
+            cb += other.frequency(i);
+            d = d.max((ca - cb).abs());
+        }
+        d
+    }
+
+    fn overflow_frequency(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.overflow as f64 / self.total as f64
+        }
+    }
+
+    fn underflow_frequency(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.underflow as f64 / self.total as f64
+        }
+    }
+
+    fn assert_compatible(&self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins() == other.bins(),
+            "histograms have incompatible binning"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn binning_is_half_open() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.push(0.0); // first bin
+        h.push(0.999); // still first bin
+        h.push(1.0); // second bin
+        h.push(9.999); // last bin
+        h.push(10.0); // overflow
+        h.push(-0.1); // underflow
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn latency_us_matches_fig3_axis() {
+        let h = Histogram::latency_us();
+        assert_eq!(h.bins(), 20);
+        assert!((h.bin_width() - 0.5).abs() < 1e-12);
+        assert!((h.bin_center(2) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequencies_sum_to_one_without_outliers() {
+        let xs: Vec<f64> = (0..100).map(|i| (i % 10) as f64 + 0.5).collect();
+        let h = Histogram::of(&xs, 0.0, 10.0, 10);
+        let sum: f64 = h.frequencies().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        for i in 0..10 {
+            assert!((h.frequency(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn identical_distributions_maximize_overlap() {
+        let a: Vec<f64> = (0..1000).map(|i| (i % 7) as f64).collect();
+        let h1 = Histogram::of(&a, 0.0, 10.0, 20);
+        let h2 = Histogram::of(&a, 0.0, 10.0, 20);
+        let shifted: Vec<f64> = a.iter().map(|x| x + 3.0).collect();
+        let h3 = Histogram::of(&shifted, 0.0, 10.0, 20);
+        let self_overlap = h1.pdf_product_integral(&h2);
+        let cross_overlap = h1.pdf_product_integral(&h3);
+        assert!(self_overlap > cross_overlap);
+    }
+
+    #[test]
+    fn disjoint_distributions_have_zero_overlap() {
+        let a = Histogram::of(&[1.0, 1.2, 1.4], 0.0, 10.0, 10);
+        let b = Histogram::of(&[8.0, 8.2, 8.4], 0.0, 10.0, 10);
+        assert_eq!(a.pdf_product_integral(&b), 0.0);
+        assert!((a.ks_distance(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_of_identical_is_zero() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 / 7.0).collect();
+        let a = Histogram::of(&xs, 0.0, 10.0, 20);
+        assert_eq!(a.ks_distance(&a.clone()), 0.0);
+        assert_eq!(a.l1_distance(&a.clone()), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn incompatible_binning_panics() {
+        let a = Histogram::new(0.0, 10.0, 10);
+        let b = Histogram::new(0.0, 10.0, 20);
+        let _ = a.pdf_product_integral(&b);
+    }
+
+    proptest! {
+        /// Every pushed sample lands somewhere: bins + overflow + underflow
+        /// equals total.
+        #[test]
+        fn prop_mass_conservation(xs in proptest::collection::vec(-20.0f64..20.0, 0..300)) {
+            let h = Histogram::of(&xs, 0.0, 10.0, 13);
+            let binned: u64 = (0..h.bins()).map(|i| h.count(i)).sum();
+            prop_assert_eq!(binned + h.overflow() + h.underflow(), xs.len() as u64);
+            prop_assert_eq!(h.total(), xs.len() as u64);
+        }
+
+        /// The overlap integral is symmetric and non-negative.
+        #[test]
+        fn prop_overlap_symmetric(
+            a in proptest::collection::vec(0.0f64..10.0, 1..100),
+            b in proptest::collection::vec(0.0f64..10.0, 1..100),
+        ) {
+            let ha = Histogram::of(&a, 0.0, 10.0, 16);
+            let hb = Histogram::of(&b, 0.0, 10.0, 16);
+            let ab = ha.pdf_product_integral(&hb);
+            let ba = hb.pdf_product_integral(&ha);
+            prop_assert!((ab - ba).abs() < 1e-9);
+            prop_assert!(ab >= 0.0);
+        }
+
+        /// KS distance is a bounded pseudo-metric: 0 ≤ d ≤ 1, symmetric.
+        #[test]
+        fn prop_ks_bounds(
+            a in proptest::collection::vec(-5.0f64..15.0, 1..100),
+            b in proptest::collection::vec(-5.0f64..15.0, 1..100),
+        ) {
+            let ha = Histogram::of(&a, 0.0, 10.0, 16);
+            let hb = Histogram::of(&b, 0.0, 10.0, 16);
+            let d = ha.ks_distance(&hb);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&d));
+            prop_assert!((d - hb.ks_distance(&ha)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Mean ± σ intervals and their overlap — the AverageStDevLT metric.
+//!
+//! The paper's second look-up-table model (§IV-A.2) describes a latency
+//! distribution by the interval `[µ−σ, µ+σ]` and matches an application to
+//! the CompressionB configuration whose interval has the largest overlap
+//! with the application's.
+
+/// A closed interval on the real line.
+///
+/// ```
+/// use anp_metrics::Interval;
+///
+/// let a = Interval::mean_pm_sigma(2.0, 0.5); // [1.5, 2.5]
+/// let b = Interval::mean_pm_sigma(2.4, 0.3); // [2.1, 2.7]
+/// assert!((a.overlap(&b) - 0.4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower end.
+    pub lo: f64,
+    /// Upper end.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Creates an interval; swaps the ends if given in reverse order.
+    pub fn new(a: f64, b: f64) -> Self {
+        if a <= b {
+            Interval { lo: a, hi: b }
+        } else {
+            Interval { lo: b, hi: a }
+        }
+    }
+
+    /// The paper's construction: `[µ−σ, µ+σ]`.
+    pub fn mean_pm_sigma(mean: f64, sigma: f64) -> Self {
+        let s = sigma.abs();
+        Interval {
+            lo: mean - s,
+            hi: mean + s,
+        }
+    }
+
+    /// Interval length.
+    pub fn length(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Length of the intersection with `other` (0 when disjoint) — the
+    /// quantity AverageStDevLT maximizes.
+    pub fn overlap(&self, other: &Interval) -> f64 {
+        (self.hi.min(other.hi) - self.lo.max(other.lo)).max(0.0)
+    }
+
+    /// True if `x` lies inside the closed interval.
+    pub fn contains(&self, x: f64) -> bool {
+        (self.lo..=self.hi).contains(&x)
+    }
+
+    /// Midpoint.
+    pub fn center(&self) -> f64 {
+        (self.lo + self.hi) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_normalizes_order() {
+        let i = Interval::new(5.0, 2.0);
+        assert_eq!(i.lo, 2.0);
+        assert_eq!(i.hi, 5.0);
+    }
+
+    #[test]
+    fn mean_pm_sigma_handles_negative_sigma() {
+        let i = Interval::mean_pm_sigma(10.0, -2.0);
+        assert_eq!(i.lo, 8.0);
+        assert_eq!(i.hi, 12.0);
+        assert_eq!(i.center(), 10.0);
+        assert_eq!(i.length(), 4.0);
+    }
+
+    #[test]
+    fn overlap_cases() {
+        let a = Interval::new(0.0, 10.0);
+        assert_eq!(a.overlap(&Interval::new(5.0, 15.0)), 5.0); // partial
+        assert_eq!(a.overlap(&Interval::new(2.0, 3.0)), 1.0); // contained
+        assert_eq!(a.overlap(&Interval::new(20.0, 30.0)), 0.0); // disjoint
+        assert_eq!(a.overlap(&Interval::new(10.0, 20.0)), 0.0); // touching
+        assert_eq!(a.overlap(&a), 10.0); // self
+    }
+
+    #[test]
+    fn degenerate_interval() {
+        let p = Interval::new(3.0, 3.0);
+        assert_eq!(p.length(), 0.0);
+        assert!(p.contains(3.0));
+        assert_eq!(p.overlap(&Interval::new(0.0, 10.0)), 0.0);
+    }
+
+    proptest! {
+        /// Overlap is symmetric, non-negative, and bounded by both lengths.
+        #[test]
+        fn prop_overlap_properties(
+            a in -100.0f64..100.0, b in -100.0f64..100.0,
+            c in -100.0f64..100.0, d in -100.0f64..100.0,
+        ) {
+            let x = Interval::new(a, b);
+            let y = Interval::new(c, d);
+            let o = x.overlap(&y);
+            prop_assert!((o - y.overlap(&x)).abs() < 1e-12);
+            prop_assert!(o >= 0.0);
+            prop_assert!(o <= x.length() + 1e-12);
+            prop_assert!(o <= y.length() + 1e-12);
+        }
+
+        /// An interval's overlap with itself is its own length.
+        #[test]
+        fn prop_self_overlap(a in -100.0f64..100.0, b in -100.0f64..100.0) {
+            let x = Interval::new(a, b);
+            prop_assert!((x.overlap(&x) - x.length()).abs() < 1e-12);
+        }
+    }
+}

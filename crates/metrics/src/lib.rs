@@ -1,0 +1,26 @@
+//! # anp-metrics — statistics substrate
+//!
+//! Small, dependency-free statistical tools shared by the measurement
+//! methodology (`anp-core`) and the experiment harnesses (`anp-bench`):
+//!
+//! * [`OnlineStats`] — streaming mean/variance (Welford) for latency
+//!   samples;
+//! * [`Histogram`] — fixed-bin latency histograms with the paper's PDFLT
+//!   overlap integral `∫ f·g` and distance metrics;
+//! * [`Interval`] — `µ±σ` intervals and their overlap (AverageStDevLT);
+//! * [`QuartileSummary`] — five-number summaries (Fig. 9 box data);
+//! * [`linear_fit`] — least-squares trend lines (Fig. 7 overlays).
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod interval;
+pub mod linfit;
+pub mod online;
+pub mod quartiles;
+
+pub use histogram::Histogram;
+pub use interval::Interval;
+pub use linfit::{linear_fit, LinearFit};
+pub use online::OnlineStats;
+pub use quartiles::{quantile, quantile_sorted, QuartileSummary};

@@ -1,0 +1,138 @@
+//! Ordinary least-squares linear fit.
+//!
+//! The paper's Fig. 7 overlays "the best linear approximation" on each
+//! application's degradation-vs-utilization scatter to highlight the trend;
+//! the Fig. 7 harness uses this fit for the same purpose.
+
+/// Result of a least-squares fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination R² (1 for a perfect fit; 0 when the
+    /// fit explains nothing, or when y is constant).
+    pub r2: f64,
+}
+
+impl LinearFit {
+    /// Evaluates the fitted line at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fits a line through `(x, y)` pairs.
+///
+/// Returns `None` when fewer than two points are given or when all x values
+/// coincide (vertical line — slope undefined).
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mx = xs.iter().sum::<f64>() / nf;
+    let my = ys.iter().sum::<f64>() / nf;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let r2 = if syy == 0.0 {
+        // y constant: the horizontal line fits exactly, but R² is
+        // conventionally 0/0; report 1 if the fit is flat (it will be).
+        1.0
+    } else {
+        let ss_res: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(x, y)| {
+                let e = y - (slope * x + intercept);
+                e * e
+            })
+            .sum();
+        (1.0 - ss_res / syy).clamp(0.0, 1.0)
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let xs: Vec<f64> = (0..10).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 2.0).collect();
+        let f = linear_fit(&xs, &ys).unwrap();
+        assert!((f.slope - 3.0).abs() < 1e-12);
+        assert!((f.intercept + 2.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+        assert!((f.predict(20.0) - 58.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_y_gives_zero_slope() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [5.0, 5.0, 5.0];
+        let f = linear_fit(&xs, &ys).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.intercept, 5.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        assert!(linear_fit(&[], &[]).is_none());
+        assert!(linear_fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = linear_fit(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    fn noisy_fit_has_plausible_r2() {
+        let xs: Vec<f64> = (0..50).map(f64::from).collect();
+        // y = 2x + 1 with deterministic "noise".
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 2.0 * x + 1.0 + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let f = linear_fit(&xs, &ys).unwrap();
+        assert!((f.slope - 2.0).abs() < 0.01);
+        assert!(f.r2 > 0.99);
+    }
+
+    proptest! {
+        /// R² is always within [0, 1] and the fit passes through the
+        /// centroid of the data.
+        #[test]
+        fn prop_fit_invariants(
+            pts in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..100)
+        ) {
+            let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+            if let Some(f) = linear_fit(&xs, &ys) {
+                prop_assert!((0.0..=1.0).contains(&f.r2));
+                let mx = xs.iter().sum::<f64>() / xs.len() as f64;
+                let my = ys.iter().sum::<f64>() / ys.len() as f64;
+                prop_assert!((f.predict(mx) - my).abs() < 1e-6 * (1.0 + my.abs()));
+            }
+        }
+    }
+}

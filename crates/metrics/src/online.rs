@@ -1,0 +1,206 @@
+//! Streaming moment estimators (Welford's algorithm).
+
+/// Single-pass mean/variance/min/max accumulator.
+///
+/// Uses Welford's update, which is numerically stable for long streams —
+/// important because impact experiments can collect millions of latency
+/// samples in nanoseconds, where naive sum-of-squares catastrophically
+/// cancels.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Adds every item of an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+
+    /// Builds an accumulator from a slice.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut s = OnlineStats::new();
+        s.extend(xs.iter().copied());
+        s
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by n; 0 when empty).
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Unbiased sample variance (divides by n−1; 0 when n < 2).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_stats_are_well_defined() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = OnlineStats::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn single_sample_has_zero_variance() {
+        let s = OnlineStats::from_slice(&[3.5]);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.mean(), 3.5);
+    }
+
+    #[test]
+    fn merge_empty_is_identity() {
+        let mut a = OnlineStats::from_slice(&[1.0, 2.0, 3.0]);
+        let before = a.clone();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert!((e.mean() - before.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stable_for_large_offsets() {
+        // Welford must survive a huge common offset where naive sum of
+        // squares loses all precision.
+        let base = 1e12;
+        let s = OnlineStats::from_slice(&[base + 1.0, base + 2.0, base + 3.0]);
+        assert!((s.mean() - (base + 2.0)).abs() < 1e-3);
+        assert!((s.variance() - 2.0 / 3.0).abs() < 1e-3);
+    }
+
+    proptest! {
+        /// Merging two accumulators equals accumulating the concatenation.
+        #[test]
+        fn prop_merge_equals_concat(
+            a in proptest::collection::vec(-1e6f64..1e6, 0..50),
+            b in proptest::collection::vec(-1e6f64..1e6, 0..50),
+        ) {
+            let mut left = OnlineStats::from_slice(&a);
+            left.merge(&OnlineStats::from_slice(&b));
+            let mut all = a.clone();
+            all.extend_from_slice(&b);
+            let full = OnlineStats::from_slice(&all);
+            prop_assert_eq!(left.count(), full.count());
+            if full.count() > 0 {
+                prop_assert!((left.mean() - full.mean()).abs() < 1e-6);
+                prop_assert!((left.variance() - full.variance()).abs() < 1e-3);
+            }
+        }
+
+        /// Variance is never negative and min ≤ mean ≤ max.
+        #[test]
+        fn prop_invariants(xs in proptest::collection::vec(-1e9f64..1e9, 1..200)) {
+            let s = OnlineStats::from_slice(&xs);
+            prop_assert!(s.variance() >= 0.0);
+            prop_assert!(s.min().unwrap() <= s.mean() + 1e-6);
+            prop_assert!(s.mean() <= s.max().unwrap() + 1e-6);
+        }
+    }
+}

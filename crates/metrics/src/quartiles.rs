@@ -1,0 +1,143 @@
+//! Quantiles and five-number summaries (the paper's Fig. 9 box plots).
+
+/// Five-number summary of a sample: min, Q1, median, Q3, max.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuartileSummary {
+    /// Smallest observation.
+    pub min: f64,
+    /// First quartile (25th percentile).
+    pub q1: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// Third quartile (75th percentile).
+    pub q3: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+/// Linearly interpolated quantile (the "type 7" estimator used by R and
+/// NumPy). `q` must be in `[0, 1]`.
+///
+/// # Panics
+/// Panics if `xs` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile fraction out of range");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    quantile_sorted(&v, q)
+}
+
+/// Quantile of an already-sorted slice (avoids repeated sorting when
+/// computing several quantiles of the same sample).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile fraction out of range");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+impl QuartileSummary {
+    /// Computes the five-number summary of a sample.
+    ///
+    /// # Panics
+    /// Panics if `xs` is empty or contains NaN.
+    pub fn of(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "summary of empty sample");
+        let mut v = xs.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+        QuartileSummary {
+            min: v[0],
+            q1: quantile_sorted(&v, 0.25),
+            median: quantile_sorted(&v, 0.5),
+            q3: quantile_sorted(&v, 0.75),
+            max: v[v.len() - 1],
+        }
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        // 0..=8: quartiles interpolate exactly on integers.
+        let xs: Vec<f64> = (0..9).map(f64::from).collect();
+        let s = QuartileSummary::of(&xs);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.median, 4.0);
+        assert_eq!(s.q3, 6.0);
+        assert_eq!(s.max, 8.0);
+        assert_eq!(s.iqr(), 4.0);
+    }
+
+    #[test]
+    fn interpolated_quantiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.5), 2.5);
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_element() {
+        let s = QuartileSummary::of(&[7.0]);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.max, 7.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let s = QuartileSummary::of(&[9.0, 1.0, 5.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        let _ = QuartileSummary::of(&[]);
+    }
+
+    proptest! {
+        /// The summary is ordered: min ≤ q1 ≤ median ≤ q3 ≤ max, and all
+        /// quantiles lie within the sample range.
+        #[test]
+        fn prop_summary_ordered(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let s = QuartileSummary::of(&xs);
+            prop_assert!(s.min <= s.q1);
+            prop_assert!(s.q1 <= s.median);
+            prop_assert!(s.median <= s.q3);
+            prop_assert!(s.q3 <= s.max);
+        }
+
+        /// Quantile is monotone in q.
+        #[test]
+        fn prop_quantile_monotone(
+            xs in proptest::collection::vec(-1e6f64..1e6, 1..100),
+            q1 in 0.0f64..1.0,
+            q2 in 0.0f64..1.0,
+        ) {
+            let (a, b) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(quantile(&xs, a) <= quantile(&xs, b) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! # anp-simmpi — message-passing layer over the simulated switch
+//!
+//! An MPI-like substrate for `anp-simnet`: ranks, jobs, non-blocking
+//! point-to-point communication with MPI matching semantics, and the
+//! collectives the paper's applications need (barrier, allreduce,
+//! alltoall), all lowered to packets through the simulated switch.
+//!
+//! This crate replaces the "thin MPI bindings plus cluster" the original
+//! study relied on. A rank's behaviour is a [`Program`]: a pull-based
+//! stream of [`Op`]s (compute spans, `Isend`/`Irecv`/`WaitAll`,
+//! collectives) executed cooperatively by the [`World`]. Because ranks are
+//! state machines on one deterministic event queue — not OS threads — the
+//! same configuration always produces the same run.
+//!
+//! Protocol notes (documented simplifications):
+//!
+//! * **Eager everywhere.** Sends complete when the last packet leaves the
+//!   source NIC; receivers buffer unexpected messages without flow control.
+//!   All messages in the paper's workloads are ≤ 40 KB — inside the eager
+//!   domain of real MPI stacks on InfiniBand.
+//! * **Collectives may not overlap p2p.** A rank entering a collective must
+//!   have no outstanding requests (asserted). The paper's six proxy
+//!   applications and both micro-benchmarks respect this by construction.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use anp_simmpi::{World, Op, Src, Scripted, Program};
+//! use anp_simnet::{NodeId, SimTime, SwitchConfig};
+//!
+//! let mut world = World::new(SwitchConfig::tiny_deterministic());
+//! let tx = Scripted::new(vec![
+//!     Op::Isend { dst: 1, bytes: 1024, tag: 0 },
+//!     Op::WaitAll,
+//!     Op::Stop,
+//! ]);
+//! let rx = Scripted::new(vec![
+//!     Op::Irecv { src: Src::Rank(0), tag: 0 },
+//!     Op::WaitAll,
+//!     Op::Stop,
+//! ]);
+//! let job = world.add_job("hello", vec![
+//!     (Box::new(tx) as Box<dyn Program>, NodeId(0)),
+//!     (Box::new(rx) as Box<dyn Program>, NodeId(1)),
+//! ]);
+//! assert!(world.run_until_job_done(job, SimTime::from_secs(1)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod coll;
+pub mod op;
+pub mod p2p;
+pub mod program;
+pub mod trace;
+pub mod world;
+
+pub use op::{Op, Src};
+pub use program::{Ctx, Looping, Program, Scripted};
+pub use trace::{PhaseTotals, RankPhase, TraceLog};
+pub use world::{JobId, World, WorldEvent};

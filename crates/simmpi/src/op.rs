@@ -1,0 +1,160 @@
+//! The operation alphabet ranks execute.
+//!
+//! A rank's behaviour is a stream of [`Op`]s produced by its
+//! [`Program`](crate::program::Program). The set mirrors the MPI subset the
+//! paper's pseudo-code uses (Figs. 2 and 5): non-blocking point-to-point,
+//! waits, and the collectives the six applications need.
+
+use anp_simnet::SimDuration;
+
+/// Source selector for a receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Src {
+    /// Receive only from this job-local rank.
+    Rank(u32),
+    /// Receive from any rank (`MPI_ANY_SOURCE`).
+    Any,
+}
+
+impl Src {
+    /// True if a message from `src` satisfies this selector.
+    pub fn matches(self, src: u32) -> bool {
+        match self {
+            Src::Rank(r) => r == src,
+            Src::Any => true,
+        }
+    }
+}
+
+/// One operation issued by a rank. All rank numbers are job-local.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Advance this rank's clock by `0`: do useful CPU work for the span.
+    Compute(SimDuration),
+    /// Advance this rank's clock while idle (`usleep` in the paper's
+    /// micro-benchmarks). Identical to `Compute` for the simulation; kept
+    /// distinct for intent and tracing.
+    Sleep(SimDuration),
+    /// Non-blocking send of `bytes` to `dst` with tag `tag`
+    /// (`MPI_Isend`). Completes locally when the last packet leaves the
+    /// NIC (eager protocol).
+    Isend {
+        /// Destination job-local rank.
+        dst: u32,
+        /// Payload bytes.
+        bytes: u64,
+        /// Match tag. Must be below [`Op::RESERVED_TAG_BASE`].
+        tag: u32,
+    },
+    /// Non-blocking receive (`MPI_Irecv`). Completes when a matching
+    /// message has fully arrived.
+    Irecv {
+        /// Source selector.
+        src: Src,
+        /// Match tag. Must be below [`Op::RESERVED_TAG_BASE`].
+        tag: u32,
+    },
+    /// Block until every outstanding request on this rank has completed
+    /// (`MPI_Waitall` over everything posted since the last wait).
+    WaitAll,
+    /// Synchronize all ranks of the job (`MPI_Barrier`). Must be called
+    /// with no outstanding requests.
+    Barrier,
+    /// Reduce-to-all of a `bytes`-sized buffer (`MPI_Allreduce`),
+    /// lowered to recursive doubling. Must be called with no outstanding
+    /// requests.
+    Allreduce {
+        /// Buffer size in bytes.
+        bytes: u64,
+    },
+    /// Personalized all-to-all exchange (`MPI_Alltoall`) of
+    /// `bytes_per_pair` to every other rank, lowered to windowed pairwise
+    /// exchange. Must be called with no outstanding requests.
+    Alltoall {
+        /// Bytes sent to each peer.
+        bytes_per_pair: u64,
+    },
+    /// One-to-all broadcast (`MPI_Bcast`), lowered to a binomial tree.
+    /// Must be called with no outstanding requests.
+    Bcast {
+        /// Job-local root rank.
+        root: u32,
+        /// Buffer size in bytes.
+        bytes: u64,
+    },
+    /// All-to-one reduction (`MPI_Reduce`), lowered to a binomial tree.
+    /// Must be called with no outstanding requests.
+    Reduce {
+        /// Job-local root rank.
+        root: u32,
+        /// Buffer size in bytes.
+        bytes: u64,
+    },
+    /// All-gather (`MPI_Allgather`) of `bytes_per_rank` from every rank,
+    /// lowered to a ring. Must be called with no outstanding requests.
+    Allgather {
+        /// Bytes contributed by each rank.
+        bytes_per_rank: u64,
+    },
+    /// Terminate this rank; its stop time is recorded as the job's
+    /// completion time contribution.
+    Stop,
+}
+
+impl Op {
+    /// Tags at or above this value are reserved for collective lowering.
+    /// User code must tag point-to-point traffic below it.
+    pub const RESERVED_TAG_BASE: u32 = 1 << 30;
+
+    /// True for operations that can block the rank.
+    pub fn is_blocking(&self) -> bool {
+        matches!(
+            self,
+            Op::Compute(_)
+                | Op::Sleep(_)
+                | Op::WaitAll
+                | Op::Barrier
+                | Op::Allreduce { .. }
+                | Op::Alltoall { .. }
+                | Op::Bcast { .. }
+                | Op::Reduce { .. }
+                | Op::Allgather { .. }
+                | Op::Stop
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn src_matching() {
+        assert!(Src::Any.matches(0));
+        assert!(Src::Any.matches(99));
+        assert!(Src::Rank(3).matches(3));
+        assert!(!Src::Rank(3).matches(4));
+    }
+
+    #[test]
+    fn blocking_classification() {
+        assert!(Op::WaitAll.is_blocking());
+        assert!(Op::Barrier.is_blocking());
+        assert!(Op::Stop.is_blocking());
+        assert!(Op::Bcast { root: 0, bytes: 1 }.is_blocking());
+        assert!(Op::Reduce { root: 0, bytes: 1 }.is_blocking());
+        assert!(Op::Allgather { bytes_per_rank: 1 }.is_blocking());
+        assert!(Op::Compute(SimDuration::from_nanos(1)).is_blocking());
+        assert!(!Op::Isend {
+            dst: 0,
+            bytes: 1,
+            tag: 0
+        }
+        .is_blocking());
+        assert!(!Op::Irecv {
+            src: Src::Any,
+            tag: 0
+        }
+        .is_blocking());
+    }
+}

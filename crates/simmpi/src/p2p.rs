@@ -1,0 +1,210 @@
+//! Point-to-point message matching: posted receives vs. unexpected
+//! messages, with MPI ordering semantics.
+
+use std::collections::VecDeque;
+
+use crate::op::Src;
+
+/// A message (or rendezvous announcement) waiting to be matched at the
+/// destination rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Envelope {
+    /// Job-local source rank.
+    pub src: u32,
+    /// Match tag.
+    pub tag: u32,
+    /// Payload size.
+    pub bytes: u64,
+    /// For rendezvous traffic: the handshake id of the RTS this envelope
+    /// announces. `None` for eager messages, whose payload has already
+    /// arrived when the envelope matches.
+    pub rendezvous: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PostedRecv {
+    src: Src,
+    tag: u32,
+}
+
+/// Per-rank matching engine.
+///
+/// Semantics follow MPI: a receive matches the *earliest* unexpected
+/// message satisfying its `(src, tag)` selector; an arriving message
+/// matches the earliest posted receive that accepts it. Messages between
+/// the same (src, dst, tag) triple are non-overtaking because the fabric
+/// delivers a sender's packets in order and matching is FIFO.
+#[derive(Debug, Default)]
+pub struct Mailbox {
+    posted: VecDeque<PostedRecv>,
+    unexpected: VecDeque<Envelope>,
+}
+
+impl Mailbox {
+    /// Posts a receive. Returns `Some(envelope)` if an already-arrived
+    /// message matches (the receive completes immediately); `None` if the
+    /// receive is now pending.
+    pub fn post(&mut self, src: Src, tag: u32) -> Option<Envelope> {
+        if let Some(pos) = self
+            .unexpected
+            .iter()
+            .position(|e| src.matches(e.src) && e.tag == tag)
+        {
+            return self.unexpected.remove(pos);
+        }
+        self.posted.push_back(PostedRecv { src, tag });
+        None
+    }
+
+    /// Delivers an arrived message. Returns `true` if it completed a
+    /// posted receive, `false` if it was queued as unexpected.
+    pub fn deliver(&mut self, env: Envelope) -> bool {
+        if let Some(pos) = self
+            .posted
+            .iter()
+            .position(|r| r.src.matches(env.src) && r.tag == env.tag)
+        {
+            self.posted.remove(pos);
+            true
+        } else {
+            self.unexpected.push_back(env);
+            false
+        }
+    }
+
+    /// Receives posted but not yet matched.
+    pub fn pending_recvs(&self) -> usize {
+        self.posted.len()
+    }
+
+    /// Messages arrived but not yet matched.
+    pub fn unexpected_len(&self) -> usize {
+        self.unexpected.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn env(src: u32, tag: u32) -> Envelope {
+        Envelope {
+            src,
+            tag,
+            bytes: 64,
+            rendezvous: None,
+        }
+    }
+
+    #[test]
+    fn recv_before_message() {
+        let mut mb = Mailbox::default();
+        assert!(mb.post(Src::Rank(1), 7).is_none());
+        assert!(mb.deliver(env(1, 7)), "must match the posted recv");
+        assert_eq!(mb.pending_recvs(), 0);
+        assert_eq!(mb.unexpected_len(), 0);
+    }
+
+    #[test]
+    fn message_before_recv() {
+        let mut mb = Mailbox::default();
+        assert!(!mb.deliver(env(2, 5)), "no recv posted: unexpected");
+        let got = mb.post(Src::Rank(2), 5);
+        assert_eq!(got, Some(env(2, 5)));
+    }
+
+    #[test]
+    fn tag_mismatch_does_not_match() {
+        let mut mb = Mailbox::default();
+        mb.post(Src::Rank(1), 7);
+        assert!(!mb.deliver(env(1, 8)));
+        assert_eq!(mb.pending_recvs(), 1);
+        assert_eq!(mb.unexpected_len(), 1);
+    }
+
+    #[test]
+    fn src_mismatch_does_not_match() {
+        let mut mb = Mailbox::default();
+        mb.post(Src::Rank(1), 7);
+        assert!(!mb.deliver(env(2, 7)));
+    }
+
+    #[test]
+    fn wildcard_source_matches_anyone() {
+        let mut mb = Mailbox::default();
+        mb.post(Src::Any, 3);
+        assert!(mb.deliver(env(42, 3)));
+    }
+
+    #[test]
+    fn fifo_matching_of_unexpected() {
+        let mut mb = Mailbox::default();
+        mb.deliver(env(1, 0));
+        mb.deliver(env(2, 0));
+        // A wildcard recv must take the earliest arrival.
+        assert_eq!(mb.post(Src::Any, 0).unwrap().src, 1);
+        assert_eq!(mb.post(Src::Any, 0).unwrap().src, 2);
+    }
+
+    #[test]
+    fn fifo_matching_of_posted() {
+        let mut mb = Mailbox::default();
+        mb.post(Src::Any, 0); // recv A
+        mb.post(Src::Rank(1), 0); // recv B
+        // A message from rank 1 matches recv A (posted earlier, wildcard).
+        assert!(mb.deliver(env(1, 0)));
+        assert_eq!(mb.pending_recvs(), 1);
+        // Next message from rank 1 matches recv B.
+        assert!(mb.deliver(env(1, 0)));
+        assert_eq!(mb.pending_recvs(), 0);
+    }
+
+    #[test]
+    fn same_source_messages_do_not_overtake() {
+        let mut mb = Mailbox::default();
+        mb.deliver(Envelope {
+            src: 1,
+            tag: 0,
+            bytes: 111,
+            rendezvous: None,
+        });
+        mb.deliver(Envelope {
+            src: 1,
+            tag: 0,
+            bytes: 222,
+            rendezvous: None,
+        });
+        assert_eq!(mb.post(Src::Rank(1), 0).unwrap().bytes, 111);
+        assert_eq!(mb.post(Src::Rank(1), 0).unwrap().bytes, 222);
+    }
+
+    proptest! {
+        /// Conservation: every delivery either matches a posted recv or
+        /// lands in the unexpected queue; queue sizes always reconcile.
+        #[test]
+        fn prop_conservation(
+            actions in proptest::collection::vec((0u8..2, 0u32..4, 0u32..3), 0..100)
+        ) {
+            let mut mb = Mailbox::default();
+            let mut posts = 0u64;
+            let mut delivers = 0u64;
+            let mut matched = 0u64;
+            for (kind, src, tag) in actions {
+                if kind == 0 {
+                    if mb.post(Src::Rank(src), tag).is_some() {
+                        matched += 1;
+                    }
+                    posts += 1;
+                } else {
+                    if mb.deliver(Envelope { src, tag, bytes: 1, rendezvous: None }) {
+                        matched += 1;
+                    }
+                    delivers += 1;
+                }
+            }
+            prop_assert_eq!(mb.pending_recvs() as u64, posts - matched);
+            prop_assert_eq!(mb.unexpected_len() as u64, delivers - matched);
+        }
+    }
+}

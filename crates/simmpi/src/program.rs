@@ -1,0 +1,154 @@
+//! The `Program` trait: the code a simulated rank runs.
+
+use anp_simnet::SimTime;
+
+use crate::op::Op;
+
+/// Per-callback context handed to a program.
+#[derive(Debug, Clone, Copy)]
+pub struct Ctx {
+    /// Current simulated time on this rank.
+    pub now: SimTime,
+}
+
+/// The behaviour of one rank, expressed as a pull-based operation stream.
+///
+/// The world calls [`Program::next_op`] whenever the rank is ready to issue
+/// its next operation — at start, after a compute/sleep span elapses, and
+/// after a blocking wait satisfies. Programs are plain state machines; all
+/// placement knowledge (rank id, job size, node layout) is baked in at
+/// construction by the workload builders.
+pub trait Program {
+    /// Produces the rank's next operation.
+    fn next_op(&mut self, ctx: &Ctx) -> Op;
+
+    /// A short label for tracing and error messages.
+    fn name(&self) -> &str {
+        "program"
+    }
+}
+
+/// A program that replays a fixed list of operations, then stops.
+/// Useful for tests and micro-experiments.
+pub struct Scripted {
+    ops: std::vec::IntoIter<Op>,
+    label: String,
+}
+
+impl Scripted {
+    /// Builds a scripted program from an op list. A final [`Op::Stop`] is
+    /// appended implicitly if absent.
+    pub fn new(ops: Vec<Op>) -> Self {
+        Scripted {
+            ops: ops.into_iter(),
+            label: "scripted".to_owned(),
+        }
+    }
+
+    /// Sets the trace label.
+    pub fn named(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+impl Program for Scripted {
+    fn next_op(&mut self, _ctx: &Ctx) -> Op {
+        self.ops.next().unwrap_or(Op::Stop)
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// A program that runs `body` forever, restarting the op list each time it
+/// drains. Useful for interference benchmarks that loop until the horizon.
+pub struct Looping {
+    body: Vec<Op>,
+    pos: usize,
+    label: String,
+}
+
+impl Looping {
+    /// Builds a looping program from one iteration's op list.
+    ///
+    /// # Panics
+    /// Panics if `body` is empty or contains [`Op::Stop`] (a looping
+    /// program never stops).
+    pub fn new(body: Vec<Op>) -> Self {
+        assert!(!body.is_empty(), "looping body must not be empty");
+        assert!(
+            !body.iter().any(|op| matches!(op, Op::Stop)),
+            "looping body must not contain Stop"
+        );
+        Looping {
+            body,
+            pos: 0,
+            label: "looping".to_owned(),
+        }
+    }
+
+    /// Sets the trace label.
+    pub fn named(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+impl Program for Looping {
+    fn next_op(&mut self, _ctx: &Ctx) -> Op {
+        let op = self.body[self.pos];
+        self.pos = (self.pos + 1) % self.body.len();
+        op
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anp_simnet::SimDuration;
+
+    fn ctx() -> Ctx {
+        Ctx { now: SimTime::ZERO }
+    }
+
+    #[test]
+    fn scripted_replays_then_stops() {
+        let mut p = Scripted::new(vec![Op::Compute(SimDuration::from_nanos(5)), Op::WaitAll]);
+        assert_eq!(p.next_op(&ctx()), Op::Compute(SimDuration::from_nanos(5)));
+        assert_eq!(p.next_op(&ctx()), Op::WaitAll);
+        assert_eq!(p.next_op(&ctx()), Op::Stop);
+        assert_eq!(p.next_op(&ctx()), Op::Stop, "stop is sticky");
+    }
+
+    #[test]
+    fn looping_wraps_around() {
+        let mut p = Looping::new(vec![
+            Op::Compute(SimDuration::from_nanos(1)),
+            Op::Sleep(SimDuration::from_nanos(2)),
+        ]);
+        for _ in 0..3 {
+            assert_eq!(p.next_op(&ctx()), Op::Compute(SimDuration::from_nanos(1)));
+            assert_eq!(p.next_op(&ctx()), Op::Sleep(SimDuration::from_nanos(2)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not contain Stop")]
+    fn looping_rejects_stop() {
+        Looping::new(vec![Op::Stop]);
+    }
+
+    #[test]
+    fn labels_propagate() {
+        let p = Scripted::new(vec![]).named("probe");
+        assert_eq!(p.name(), "probe");
+        let l = Looping::new(vec![Op::WaitAll]).named("noise");
+        assert_eq!(l.name(), "noise");
+    }
+}

@@ -1,0 +1,187 @@
+//! Per-rank time accounting: where does each rank's time go?
+//!
+//! The paper's related work (§VI) contrasts its active probing with
+//! tracing tools like Vampir and Paraver. This module provides the
+//! minimal, always-consistent core of such a tool for the simulated world:
+//! every rank's wall time is attributed to *computing* (inside
+//! `Compute`/`Sleep` spans), *waiting* (blocked in `WaitAll`, i.e. on the
+//! network), or *running* (executing operations, effectively zero-width in
+//! this model but kept for completeness).
+//!
+//! The breakdown answers the calibration question behind every proxy
+//! application: what fraction of the runtime is exposed to network
+//! behaviour? A rank that waits 60 % of its time can slow down by at most
+//! ~2.5× however bad the switch gets; one that waits 2 % is immune.
+
+use anp_simnet::SimTime;
+
+/// The accounting states a rank can be in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankPhase {
+    /// Executing a `Compute` or `Sleep` span.
+    Computing,
+    /// Blocked in `WaitAll` — exposed to network latency.
+    Waiting,
+    /// Ready/executing operations (instantaneous in this model).
+    Running,
+}
+
+/// Accumulated nanoseconds per phase for one rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTotals {
+    /// Time inside compute/sleep spans.
+    pub computing_ns: u64,
+    /// Time blocked on communication.
+    pub waiting_ns: u64,
+    /// Everything else (op execution, idle-ready).
+    pub running_ns: u64,
+}
+
+impl PhaseTotals {
+    /// Total accounted time.
+    pub fn total_ns(&self) -> u64 {
+        self.computing_ns + self.waiting_ns + self.running_ns
+    }
+
+    /// Fraction of accounted time spent waiting on the network
+    /// (0 when nothing is accounted yet).
+    pub fn waiting_fraction(&self) -> f64 {
+        let t = self.total_ns();
+        if t == 0 {
+            0.0
+        } else {
+            self.waiting_ns as f64 / t as f64
+        }
+    }
+
+    /// Fraction of accounted time spent computing.
+    pub fn computing_fraction(&self) -> f64 {
+        let t = self.total_ns();
+        if t == 0 {
+            0.0
+        } else {
+            self.computing_ns as f64 / t as f64
+        }
+    }
+}
+
+/// Phase accounting for every rank of a world. Disabled by default; when
+/// disabled every call is a no-op so the hot path pays one branch.
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    enabled: bool,
+    /// Per rank: current phase and when it started.
+    current: Vec<(RankPhase, SimTime)>,
+    totals: Vec<PhaseTotals>,
+}
+
+impl TraceLog {
+    /// Creates a disabled log (ranks register lazily on enable).
+    pub fn new() -> Self {
+        TraceLog::default()
+    }
+
+    /// Turns accounting on for `ranks` ranks starting at `now`.
+    pub fn enable(&mut self, ranks: usize, now: SimTime) {
+        self.enabled = true;
+        self.current = vec![(RankPhase::Running, now); ranks];
+        self.totals = vec![PhaseTotals::default(); ranks];
+    }
+
+    /// True when accounting is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records that `rank` entered `phase` at `now`, closing its previous
+    /// phase span. No-op when disabled.
+    pub fn transition(&mut self, rank: u32, phase: RankPhase, now: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        let (prev, since) = self.current[rank as usize];
+        let span = now.saturating_since(since).as_nanos();
+        let t = &mut self.totals[rank as usize];
+        match prev {
+            RankPhase::Computing => t.computing_ns += span,
+            RankPhase::Waiting => t.waiting_ns += span,
+            RankPhase::Running => t.running_ns += span,
+        }
+        self.current[rank as usize] = (phase, now);
+    }
+
+    /// Snapshot of one rank's totals, with the open span closed at `now`.
+    pub fn totals_at(&self, rank: u32, now: SimTime) -> PhaseTotals {
+        if !self.enabled {
+            return PhaseTotals::default();
+        }
+        let mut t = self.totals[rank as usize];
+        let (phase, since) = self.current[rank as usize];
+        let span = now.saturating_since(since).as_nanos();
+        match phase {
+            RankPhase::Computing => t.computing_ns += span,
+            RankPhase::Waiting => t.waiting_ns += span,
+            RankPhase::Running => t.running_ns += span,
+        }
+        t
+    }
+
+    /// Aggregated totals over a set of ranks at `now`.
+    pub fn aggregate_at(&self, ranks: &[u32], now: SimTime) -> PhaseTotals {
+        let mut agg = PhaseTotals::default();
+        for &r in ranks {
+            let t = self.totals_at(r, now);
+            agg.computing_ns += t.computing_ns;
+            agg.waiting_ns += t.waiting_ns;
+            agg.running_ns += t.running_ns;
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_is_inert() {
+        let mut log = TraceLog::new();
+        assert!(!log.is_enabled());
+        log.transition(0, RankPhase::Computing, SimTime::from_nanos(5));
+        assert_eq!(log.totals_at(0, SimTime::from_nanos(10)), PhaseTotals::default());
+    }
+
+    #[test]
+    fn spans_accumulate_per_phase() {
+        let mut log = TraceLog::new();
+        log.enable(1, SimTime::ZERO);
+        log.transition(0, RankPhase::Computing, SimTime::from_nanos(10)); // ran 10
+        log.transition(0, RankPhase::Waiting, SimTime::from_nanos(110)); // computed 100
+        log.transition(0, RankPhase::Running, SimTime::from_nanos(160)); // waited 50
+        let t = log.totals_at(0, SimTime::from_nanos(200)); // running 40 open
+        assert_eq!(t.computing_ns, 100);
+        assert_eq!(t.waiting_ns, 50);
+        assert_eq!(t.running_ns, 50);
+        assert_eq!(t.total_ns(), 200);
+        assert!((t.waiting_fraction() - 0.25).abs() < 1e-12);
+        assert!((t.computing_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_sums_ranks() {
+        let mut log = TraceLog::new();
+        log.enable(2, SimTime::ZERO);
+        log.transition(0, RankPhase::Computing, SimTime::ZERO);
+        log.transition(1, RankPhase::Waiting, SimTime::ZERO);
+        let agg = log.aggregate_at(&[0, 1], SimTime::from_nanos(100));
+        assert_eq!(agg.computing_ns, 100);
+        assert_eq!(agg.waiting_ns, 100);
+    }
+
+    #[test]
+    fn empty_totals_have_zero_fractions() {
+        let t = PhaseTotals::default();
+        assert_eq!(t.waiting_fraction(), 0.0);
+        assert_eq!(t.computing_fraction(), 0.0);
+    }
+}

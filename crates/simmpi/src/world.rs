@@ -1,0 +1,1552 @@
+//! The world: jobs of ranks executing op streams over a shared fabric.
+//!
+//! A *job* is one MPI-like application: a set of ranks with job-local
+//! numbering, its own tag space, and its own collectives. Several jobs can
+//! share the same switch — exactly the co-scheduling scenario the paper
+//! studies (an application plus ImpactB, plus CompressionB, plus a second
+//! application).
+//!
+//! Ranks are cooperative state machines: the world pulls operations from a
+//! rank's [`Program`] until the rank blocks (compute span, wait, stop), and
+//! resumes it when the blocking condition resolves. Everything runs on one
+//! event queue, so software timing and network timing share one clock and
+//! every run is deterministic for a given configuration seed.
+
+use std::collections::VecDeque;
+
+use anp_simnet::util::IdHashMap;
+use anp_simnet::{
+    EventQueue, Fabric, MessageId, NetEvent, NodeId, Notice, SimDuration, SimTime, SwitchConfig,
+};
+
+use crate::coll::{
+    expand_allgather, expand_allreduce, expand_alltoall, expand_barrier, expand_bcast,
+    expand_reduce,
+};
+use crate::op::Op;
+use crate::p2p::{Envelope, Mailbox};
+use crate::program::{Ctx, Program};
+use crate::trace::{PhaseTotals, RankPhase, TraceLog};
+
+/// Identifies a job (one application / benchmark instance) in the world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u32);
+
+/// Event type of the composed simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorldEvent {
+    /// A network event for the fabric.
+    Net(NetEvent),
+    /// A rank's compute/sleep span elapsed.
+    RankTimer {
+        /// Global rank index.
+        rank: u32,
+    },
+}
+
+impl From<NetEvent> for WorldEvent {
+    fn from(ev: NetEvent) -> Self {
+        WorldEvent::Net(ev)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Ready,
+    Computing,
+    BlockedWaitAll,
+    Stopped,
+}
+
+struct RankState {
+    job: JobId,
+    local: u32,
+    node: NodeId,
+    program: Box<dyn Program>,
+    /// Ops injected by collective lowering, drained before the program is
+    /// consulted again.
+    injected: VecDeque<Op>,
+    /// Requests posted since the last completed wait.
+    outstanding: u32,
+    mailbox: Mailbox,
+    status: Status,
+    stopped_at: Option<SimTime>,
+    coll_seq: u32,
+    ops_executed: u64,
+}
+
+struct JobInfo {
+    name: String,
+    /// Global rank index of each job-local rank.
+    ranks: Vec<u32>,
+}
+
+/// What a wire message carries, protocol-wise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WireKind {
+    /// Payload sent optimistically (send completes on injection).
+    Eager,
+    /// Rendezvous request-to-send announcing `payload` bytes; the wire
+    /// message itself is a small control packet.
+    Rts {
+        /// Announced payload size.
+        payload: u64,
+    },
+    /// Clear-to-send answering the RTS with this handshake id.
+    Cts {
+        /// The RTS message id being answered.
+        answer: u64,
+    },
+    /// Rendezvous payload for this handshake id.
+    Data {
+        /// The RTS message id being answered.
+        answer: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WireMeta {
+    job: JobId,
+    src_local: u32,
+    dst_local: u32,
+    tag: u32,
+    bytes: u64,
+    kind: WireKind,
+}
+
+/// Size of RTS/CTS control messages on the wire.
+const RENDEZVOUS_CTRL_BYTES: u64 = 64;
+
+/// The composed simulation: fabric + jobs + event loop.
+pub struct World {
+    fabric: Fabric,
+    q: EventQueue<WorldEvent>,
+    ranks: Vec<RankState>,
+    jobs: Vec<JobInfo>,
+    meta: IdHashMap<MessageId, WireMeta>,
+    /// Global rank whose send request completes when the message injects.
+    send_owner: IdHashMap<MessageId, u32>,
+    ready: VecDeque<u32>,
+    in_ready: Vec<bool>,
+    started: bool,
+    notice_scratch: Vec<Notice>,
+    trace: TraceLog,
+    /// Messages at or above this size use the rendezvous protocol
+    /// (RTS/CTS handshake before the payload moves). `u64::MAX` = eager
+    /// everywhere, the default.
+    eager_threshold: u64,
+    /// Sender side of open handshakes: RTS id → (sender global rank,
+    /// payload bytes, dst node).
+    rendezvous_sends: IdHashMap<u64, (u32, u64, NodeId)>,
+    /// Receiver side: RTS id → receiver global rank awaiting the payload.
+    awaiting_data: IdHashMap<u64, u32>,
+}
+
+impl World {
+    /// Creates a world over a fresh fabric.
+    pub fn new(cfg: SwitchConfig) -> Self {
+        World {
+            fabric: Fabric::new(cfg),
+            q: EventQueue::new(),
+            ranks: Vec::new(),
+            jobs: Vec::new(),
+            meta: IdHashMap::default(),
+            send_owner: IdHashMap::default(),
+            ready: VecDeque::new(),
+            in_ready: Vec::new(),
+            started: false,
+            notice_scratch: Vec::new(),
+            trace: TraceLog::new(),
+            eager_threshold: u64::MAX,
+            rendezvous_sends: IdHashMap::default(),
+            awaiting_data: IdHashMap::default(),
+        }
+    }
+
+    /// Sets the eager/rendezvous protocol split: messages of `bytes` or
+    /// more handshake (RTS/CTS) before moving their payload, as real MPI
+    /// stacks do for large transfers. The default (`u64::MAX`) keeps
+    /// everything eager. Call before the world starts.
+    pub fn set_eager_threshold(&mut self, bytes: u64) {
+        assert!(!self.started, "set the protocol split before running");
+        self.eager_threshold = bytes;
+    }
+
+    /// Turns on per-rank phase accounting (compute vs network-wait vs
+    /// run). Call after adding all jobs and before running.
+    pub fn enable_tracing(&mut self) {
+        self.trace.enable(self.ranks.len(), self.q.now());
+    }
+
+    /// This rank's phase totals up to the current time (zeros unless
+    /// tracing was enabled).
+    pub fn rank_phase_totals(&self, rank: u32) -> PhaseTotals {
+        self.trace.totals_at(rank, self.q.now())
+    }
+
+    /// Aggregated phase totals over all ranks of `job` (zeros unless
+    /// tracing was enabled).
+    pub fn job_phase_totals(&self, job: JobId) -> PhaseTotals {
+        self.trace
+            .aggregate_at(&self.jobs[job.0 as usize].ranks, self.q.now())
+    }
+
+    /// Adds a job: one program per rank, with its node placement.
+    ///
+    /// # Panics
+    /// Panics if called after the simulation started, if `members` is
+    /// empty, or if any node index is out of range.
+    pub fn add_job(
+        &mut self,
+        name: impl Into<String>,
+        members: Vec<(Box<dyn Program>, NodeId)>,
+    ) -> JobId {
+        assert!(!self.started, "cannot add jobs after the world started");
+        assert!(!members.is_empty(), "a job needs at least one rank");
+        let job = JobId(self.jobs.len() as u32);
+        let mut ranks = Vec::with_capacity(members.len());
+        for (local, (program, node)) in members.into_iter().enumerate() {
+            assert!(
+                node.index() < self.fabric.nodes() as usize,
+                "node {} out of range for a {}-node fabric",
+                node.0,
+                self.fabric.nodes()
+            );
+            let global = self.ranks.len() as u32;
+            ranks.push(global);
+            self.ranks.push(RankState {
+                job,
+                local: local as u32,
+                node,
+                program,
+                injected: VecDeque::new(),
+                outstanding: 0,
+                mailbox: Mailbox::default(),
+                status: Status::Ready,
+                stopped_at: None,
+                coll_seq: 0,
+                ops_executed: 0,
+            });
+            self.in_ready.push(false);
+        }
+        self.jobs.push(JobInfo {
+            name: name.into(),
+            ranks,
+        });
+        job
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.q.now()
+    }
+
+    /// The underlying fabric (telemetry).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Mutable fabric access (e.g. to reset telemetry windows).
+    pub fn fabric_mut(&mut self) -> &mut Fabric {
+        &mut self.fabric
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.q.events_processed()
+    }
+
+    /// Number of ranks across all jobs.
+    pub fn rank_count(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Job name.
+    pub fn job_name(&self, job: JobId) -> &str {
+        &self.jobs[job.0 as usize].name
+    }
+
+    /// True when every rank of `job` has executed [`Op::Stop`].
+    pub fn job_done(&self, job: JobId) -> bool {
+        self.jobs[job.0 as usize]
+            .ranks
+            .iter()
+            .all(|&g| self.ranks[g as usize].status == Status::Stopped)
+    }
+
+    /// The time the last rank of `job` stopped, if the job is done.
+    pub fn job_finish_time(&self, job: JobId) -> Option<SimTime> {
+        let info = &self.jobs[job.0 as usize];
+        info.ranks
+            .iter()
+            .map(|&g| self.ranks[g as usize].stopped_at)
+            .try_fold(SimTime::ZERO, |acc, t| t.map(|t| acc.max(t)))
+    }
+
+    /// Total ops executed by all ranks of a job (progress telemetry).
+    pub fn job_ops_executed(&self, job: JobId) -> u64 {
+        self.jobs[job.0 as usize]
+            .ranks
+            .iter()
+            .map(|&g| self.ranks[g as usize].ops_executed)
+            .sum()
+    }
+
+    /// Runs until no events remain at or before `horizon`.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        self.bootstrap();
+        while self.step(horizon) {}
+    }
+
+    /// Runs until `job` completes or `horizon` passes. Returns `true` if
+    /// the job completed.
+    pub fn run_until_job_done(&mut self, job: JobId, horizon: SimTime) -> bool {
+        self.bootstrap();
+        while !self.job_done(job) {
+            if !self.step(horizon) {
+                break;
+            }
+        }
+        self.job_done(job)
+    }
+
+    fn bootstrap(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for g in 0..self.ranks.len() as u32 {
+            self.make_ready(g);
+        }
+        self.drain_ready();
+    }
+
+    /// Processes one event. Returns `false` when the queue is empty or the
+    /// next event lies beyond `horizon`.
+    fn step(&mut self, horizon: SimTime) -> bool {
+        let Some(t) = self.q.peek_time() else {
+            return false;
+        };
+        if t > horizon {
+            return false;
+        }
+        let (_, ev) = self.q.pop().expect("peeked event vanished");
+        match ev {
+            WorldEvent::Net(ne) => {
+                let mut notices = std::mem::take(&mut self.notice_scratch);
+                notices.clear();
+                self.fabric.handle(&mut self.q, ne, &mut notices);
+                for n in notices.drain(..) {
+                    self.apply_notice(n);
+                }
+                self.notice_scratch = notices;
+            }
+            WorldEvent::RankTimer { rank } => {
+                debug_assert_eq!(self.ranks[rank as usize].status, Status::Computing);
+                self.make_ready(rank);
+            }
+        }
+        self.drain_ready();
+        true
+    }
+
+    fn apply_notice(&mut self, n: Notice) {
+        match n {
+            Notice::MessageInjected { msg, .. } => {
+                if let Some(owner) = self.send_owner.remove(&msg) {
+                    let r = &mut self.ranks[owner as usize];
+                    debug_assert!(r.outstanding > 0);
+                    r.outstanding -= 1;
+                    self.maybe_unblock(owner);
+                }
+            }
+            Notice::MessageDelivered { msg, .. } => {
+                let meta = self
+                    .meta
+                    .remove(&msg)
+                    .expect("delivered message without metadata");
+                let dst_global = self.jobs[meta.job.0 as usize].ranks[meta.dst_local as usize];
+                match meta.kind {
+                    WireKind::Eager => {
+                        let r = &mut self.ranks[dst_global as usize];
+                        let matched = r.mailbox.deliver(Envelope {
+                            src: meta.src_local,
+                            tag: meta.tag,
+                            bytes: meta.bytes,
+                            rendezvous: None,
+                        });
+                        if matched {
+                            debug_assert!(r.outstanding > 0);
+                            r.outstanding -= 1;
+                            self.maybe_unblock(dst_global);
+                        }
+                    }
+                    WireKind::Rts { payload } => {
+                        // The announcement enters matching; when matched
+                        // (now or at a later Irecv) the receiver answers
+                        // with a CTS. The recv request stays outstanding
+                        // until the payload lands.
+                        let matched = self.ranks[dst_global as usize].mailbox.deliver(Envelope {
+                            src: meta.src_local,
+                            tag: meta.tag,
+                            bytes: payload,
+                            rendezvous: Some(msg.0),
+                        });
+                        if matched {
+                            self.send_cts(dst_global, msg.0);
+                        }
+                    }
+                    WireKind::Cts { answer } => {
+                        // The receiver is ready: move the payload.
+                        let (sender_rank, bytes, dst_node) = self
+                            .rendezvous_sends
+                            .remove(&answer)
+                            .expect("CTS for unknown handshake");
+                        let src_node = self.ranks[sender_rank as usize].node;
+                        let data = self.fabric.send_message(
+                            &mut self.q,
+                            u64::from(sender_rank),
+                            src_node,
+                            dst_node,
+                            bytes,
+                        );
+                        self.meta.insert(
+                            data,
+                            WireMeta {
+                                job: meta.job,
+                                src_local: meta.dst_local,
+                                dst_local: meta.src_local,
+                                tag: 0,
+                                bytes,
+                                kind: WireKind::Data { answer },
+                            },
+                        );
+                        // The send request completes when the payload has
+                        // left the sender (local completion).
+                        self.send_owner.insert(data, sender_rank);
+                    }
+                    WireKind::Data { answer } => {
+                        let receiver = self
+                            .awaiting_data
+                            .remove(&answer)
+                            .expect("payload for unknown handshake");
+                        debug_assert_eq!(receiver, dst_global);
+                        let r = &mut self.ranks[receiver as usize];
+                        debug_assert!(r.outstanding > 0);
+                        r.outstanding -= 1;
+                        self.maybe_unblock(receiver);
+                    }
+                }
+            }
+            Notice::PacketDelivered { .. } => {}
+        }
+    }
+
+    fn maybe_unblock(&mut self, rank: u32) {
+        let r = &self.ranks[rank as usize];
+        if r.status == Status::BlockedWaitAll && r.outstanding == 0 {
+            self.make_ready(rank);
+        }
+    }
+
+    fn make_ready(&mut self, rank: u32) {
+        let r = &mut self.ranks[rank as usize];
+        if r.status == Status::Stopped || self.in_ready[rank as usize] {
+            return;
+        }
+        r.status = Status::Ready;
+        self.trace.transition(rank, RankPhase::Running, self.q.now());
+        self.in_ready[rank as usize] = true;
+        self.ready.push_back(rank);
+    }
+
+    fn drain_ready(&mut self) {
+        while let Some(rank) = self.ready.pop_front() {
+            self.in_ready[rank as usize] = false;
+            if self.ranks[rank as usize].status == Status::Ready {
+                self.advance(rank);
+            }
+        }
+    }
+
+    /// Executes ops for one rank until it blocks or stops.
+    fn advance(&mut self, rank: u32) {
+        loop {
+            let op = {
+                let r = &mut self.ranks[rank as usize];
+                match r.injected.pop_front() {
+                    Some(op) => op,
+                    None => {
+                        let ctx = Ctx { now: self.q.now() };
+                        r.program.next_op(&ctx)
+                    }
+                }
+            };
+            self.ranks[rank as usize].ops_executed += 1;
+            match op {
+                Op::Compute(d) | Op::Sleep(d) => {
+                    if d == SimDuration::ZERO {
+                        continue;
+                    }
+                    self.ranks[rank as usize].status = Status::Computing;
+                    self.trace
+                        .transition(rank, RankPhase::Computing, self.q.now());
+                    self.q.schedule_after(d, WorldEvent::RankTimer { rank });
+                    return;
+                }
+                Op::Isend { dst, bytes, tag } => {
+                    self.do_isend(rank, dst, bytes, tag);
+                }
+                Op::Irecv { src, tag } => {
+                    let matched = self.ranks[rank as usize].mailbox.post(src, tag);
+                    match matched {
+                        None => self.ranks[rank as usize].outstanding += 1,
+                        Some(env) => {
+                            if let Some(rts_id) = env.rendezvous {
+                                // Matched a pending announcement: answer
+                                // CTS and wait for the payload.
+                                self.ranks[rank as usize].outstanding += 1;
+                                self.send_cts(rank, rts_id);
+                            }
+                            // Eager match: payload already arrived, the
+                            // request is complete immediately.
+                        }
+                    }
+                }
+                Op::WaitAll => {
+                    let r = &mut self.ranks[rank as usize];
+                    if r.outstanding > 0 {
+                        r.status = Status::BlockedWaitAll;
+                        self.trace
+                            .transition(rank, RankPhase::Waiting, self.q.now());
+                        return;
+                    }
+                }
+                Op::Barrier => self.inject_collective(rank, CollKind::Barrier),
+                Op::Allreduce { bytes } => {
+                    self.inject_collective(rank, CollKind::Allreduce { bytes })
+                }
+                Op::Alltoall { bytes_per_pair } => {
+                    self.inject_collective(rank, CollKind::Alltoall { bytes_per_pair })
+                }
+                Op::Bcast { root, bytes } => {
+                    self.inject_collective(rank, CollKind::Bcast { root, bytes })
+                }
+                Op::Reduce { root, bytes } => {
+                    self.inject_collective(rank, CollKind::Reduce { root, bytes })
+                }
+                Op::Allgather { bytes_per_rank } => {
+                    self.inject_collective(rank, CollKind::Allgather { bytes_per_rank })
+                }
+                Op::Stop => {
+                    let r = &mut self.ranks[rank as usize];
+                    assert_eq!(
+                        r.outstanding, 0,
+                        "rank stopped with outstanding requests (job {:?} local {})",
+                        r.job, r.local
+                    );
+                    r.status = Status::Stopped;
+                    r.stopped_at = Some(self.q.now());
+                    self.trace.transition(rank, RankPhase::Running, self.q.now());
+                    return;
+                }
+            }
+        }
+    }
+
+    fn do_isend(&mut self, rank: u32, dst_local: u32, bytes: u64, tag: u32) {
+        let (job, src_local, src_node) = {
+            let r = &self.ranks[rank as usize];
+            (r.job, r.local, r.node)
+        };
+        let job_info = &self.jobs[job.0 as usize];
+        assert!(
+            (dst_local as usize) < job_info.ranks.len(),
+            "Isend to rank {dst_local} outside job '{}' of size {}",
+            job_info.name,
+            job_info.ranks.len()
+        );
+        let dst_global = job_info.ranks[dst_local as usize];
+        let dst_node = self.ranks[dst_global as usize].node;
+        if bytes >= self.eager_threshold {
+            // Rendezvous: announce with a small RTS; the payload moves
+            // only after the receiver matches and answers with a CTS.
+            let rts = self.fabric.send_message(
+                &mut self.q,
+                u64::from(rank),
+                src_node,
+                dst_node,
+                RENDEZVOUS_CTRL_BYTES,
+            );
+            self.meta.insert(
+                rts,
+                WireMeta {
+                    job,
+                    src_local,
+                    dst_local,
+                    tag,
+                    bytes,
+                    kind: WireKind::Rts { payload: bytes },
+                },
+            );
+            self.rendezvous_sends
+                .insert(rts.0, (rank, bytes, dst_node));
+            self.ranks[rank as usize].outstanding += 1;
+            return;
+        }
+        let msg = self
+            .fabric
+            .send_message(&mut self.q, u64::from(rank), src_node, dst_node, bytes);
+        self.meta.insert(
+            msg,
+            WireMeta {
+                job,
+                src_local,
+                dst_local,
+                tag,
+                bytes,
+                kind: WireKind::Eager,
+            },
+        );
+        self.send_owner.insert(msg, rank);
+        self.ranks[rank as usize].outstanding += 1;
+    }
+
+    /// Sends the CTS answering handshake `rts_id` from the receiver back
+    /// to the sender.
+    fn send_cts(&mut self, receiver: u32, rts_id: u64) {
+        let (sender_rank, _, _) = self.rendezvous_sends[&rts_id];
+        let (job, dst_local, dst_node) = {
+            let r = &self.ranks[receiver as usize];
+            (r.job, r.local, r.node)
+        };
+        let sender_node = self.ranks[sender_rank as usize].node;
+        let cts = self.fabric.send_message(
+            &mut self.q,
+            u64::from(receiver),
+            dst_node,
+            sender_node,
+            RENDEZVOUS_CTRL_BYTES,
+        );
+        self.meta.insert(
+            cts,
+            WireMeta {
+                job,
+                src_local: dst_local,
+                dst_local: self.ranks[sender_rank as usize].local,
+                tag: 0,
+                bytes: RENDEZVOUS_CTRL_BYTES,
+                kind: WireKind::Cts { answer: rts_id },
+            },
+        );
+        self.awaiting_data.insert(rts_id, receiver);
+    }
+
+    fn inject_collective(&mut self, rank: u32, kind: CollKind) {
+        let (job, local, seq) = {
+            let r = &mut self.ranks[rank as usize];
+            assert_eq!(
+                r.outstanding, 0,
+                "collective entered with outstanding requests (job {:?} local {})",
+                r.job, r.local
+            );
+            let seq = r.coll_seq;
+            r.coll_seq = r.coll_seq.wrapping_add(1);
+            (r.job, r.local, seq)
+        };
+        let n = self.jobs[job.0 as usize].ranks.len() as u32;
+        // Two tags per instance, cycling within the reserved tag space.
+        let tag_base = Op::RESERVED_TAG_BASE + ((seq % (1 << 28)) << 1);
+        let ops = match kind {
+            CollKind::Barrier => expand_barrier(local, n, tag_base),
+            CollKind::Allreduce { bytes } => expand_allreduce(local, n, bytes, tag_base),
+            CollKind::Alltoall { bytes_per_pair } => {
+                expand_alltoall(local, n, bytes_per_pair, tag_base)
+            }
+            CollKind::Bcast { root, bytes } => expand_bcast(local, root, n, bytes, tag_base),
+            CollKind::Reduce { root, bytes } => expand_reduce(local, root, n, bytes, tag_base),
+            CollKind::Allgather { bytes_per_rank } => {
+                expand_allgather(local, n, bytes_per_rank, tag_base)
+            }
+        };
+        let r = &mut self.ranks[rank as usize];
+        debug_assert!(
+            r.injected.is_empty(),
+            "collective issued from within a collective expansion"
+        );
+        r.injected.extend(ops);
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CollKind {
+    Barrier,
+    Allreduce { bytes: u64 },
+    Alltoall { bytes_per_pair: u64 },
+    Bcast { root: u32, bytes: u64 },
+    Reduce { root: u32, bytes: u64 },
+    Allgather { bytes_per_rank: u64 },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Src;
+    use crate::program::{Looping, Scripted};
+    use proptest::prelude::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn tiny_world() -> World {
+        World::new(SwitchConfig::tiny_deterministic())
+    }
+
+    fn boxed(p: impl Program + 'static) -> Box<dyn Program> {
+        Box::new(p)
+    }
+
+    #[test]
+    fn compute_only_job_finishes_at_sum_of_spans() {
+        let mut w = tiny_world();
+        let job = w.add_job(
+            "calc",
+            vec![(
+                boxed(Scripted::new(vec![
+                    Op::Compute(SimDuration::from_nanos(100)),
+                    Op::Compute(SimDuration::from_nanos(150)),
+                    Op::Stop,
+                ])),
+                NodeId(0),
+            )],
+        );
+        assert!(w.run_until_job_done(job, SimTime::from_nanos(10_000)));
+        assert_eq!(w.job_finish_time(job), Some(SimTime::from_nanos(250)));
+    }
+
+    #[test]
+    fn ping_pong_completes_with_exact_latency() {
+        let mut w = tiny_world();
+        // Rank 0 on node 0 sends 512 B to rank 1 on node 1, which replies.
+        // One-way: 512 (nic) + 100 (wire) + 200 (svc) + 512 (egress) + 100
+        // (wire) = 1424 ns; round trip 2848 ns.
+        let job = w.add_job(
+            "pingpong",
+            vec![
+                (
+                    boxed(Scripted::new(vec![
+                        Op::Isend {
+                            dst: 1,
+                            bytes: 512,
+                            tag: 0,
+                        },
+                        Op::Irecv {
+                            src: Src::Rank(1),
+                            tag: 1,
+                        },
+                        Op::WaitAll,
+                        Op::Stop,
+                    ])),
+                    NodeId(0),
+                ),
+                (
+                    boxed(Scripted::new(vec![
+                        Op::Irecv {
+                            src: Src::Rank(0),
+                            tag: 0,
+                        },
+                        Op::WaitAll,
+                        Op::Isend {
+                            dst: 0,
+                            bytes: 512,
+                            tag: 1,
+                        },
+                        Op::WaitAll,
+                        Op::Stop,
+                    ])),
+                    NodeId(1),
+                ),
+            ],
+        );
+        assert!(w.run_until_job_done(job, SimTime::from_nanos(100_000)));
+        assert_eq!(w.job_finish_time(job), Some(SimTime::from_nanos(2848)));
+    }
+
+    #[test]
+    fn barrier_synchronizes_ranks() {
+        // Rank 0 computes 10 µs before the barrier; all ranks must leave
+        // the barrier after it.
+        let mut w = tiny_world();
+        let mk = |first_compute: u64| {
+            boxed(Scripted::new(vec![
+                Op::Compute(SimDuration::from_nanos(first_compute)),
+                Op::Barrier,
+                Op::Stop,
+            ]))
+        };
+        let job = w.add_job(
+            "barrier",
+            vec![
+                (mk(10_000), NodeId(0)),
+                (mk(10), NodeId(1)),
+                (mk(10), NodeId(2)),
+                (mk(10), NodeId(3)),
+            ],
+        );
+        assert!(w.run_until_job_done(job, SimTime::from_secs(1)));
+        let t = w.job_finish_time(job).unwrap();
+        assert!(
+            t > SimTime::from_nanos(10_000),
+            "barrier must not complete before the slowest rank arrives (t={t})"
+        );
+    }
+
+    #[test]
+    fn allreduce_completes_on_non_power_of_two() {
+        let mut w = tiny_world();
+        let members: Vec<_> = (0..3)
+            .map(|i| {
+                (
+                    boxed(Scripted::new(vec![
+                        Op::Allreduce { bytes: 800 },
+                        Op::Stop,
+                    ])),
+                    NodeId(i),
+                )
+            })
+            .collect();
+        let job = w.add_job("allreduce3", members);
+        assert!(w.run_until_job_done(job, SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn alltoall_completes_and_moves_all_pairs() {
+        let mut w = tiny_world();
+        let members: Vec<_> = (0..4)
+            .map(|i| {
+                (
+                    boxed(Scripted::new(vec![
+                        Op::Alltoall {
+                            bytes_per_pair: 256,
+                        },
+                        Op::Stop,
+                    ])),
+                    NodeId(i),
+                )
+            })
+            .collect();
+        let job = w.add_job("a2a", members);
+        assert!(w.run_until_job_done(job, SimTime::from_secs(1)));
+        // 4 ranks × 3 peers = 12 messages.
+        assert_eq!(w.fabric().stats().messages_sent, 12);
+        assert_eq!(w.fabric().stats().messages_delivered, 12);
+    }
+
+    #[test]
+    fn bcast_reduce_allgather_complete() {
+        let mut w = tiny_world();
+        let members: Vec<_> = (0..6)
+            .map(|i| {
+                (
+                    boxed(Scripted::new(vec![
+                        Op::Bcast {
+                            root: 2,
+                            bytes: 4_000,
+                        },
+                        Op::Reduce {
+                            root: 1,
+                            bytes: 2_000,
+                        },
+                        Op::Allgather {
+                            bytes_per_rank: 512,
+                        },
+                        Op::Stop,
+                    ])),
+                    NodeId(i % 4),
+                )
+            })
+            .collect();
+        let job = w.add_job("rooted", members);
+        assert!(w.run_until_job_done(job, SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn rooted_collectives_with_every_root_complete() {
+        for root in 0..5u32 {
+            let mut w = tiny_world();
+            let members: Vec<_> = (0..5)
+                .map(|i| {
+                    (
+                        boxed(Scripted::new(vec![
+                            Op::Bcast { root, bytes: 1_000 },
+                            Op::Reduce { root, bytes: 1_000 },
+                            Op::Stop,
+                        ])),
+                        NodeId(i % 4),
+                    )
+                })
+                .collect();
+            let job = w.add_job("rooted", members);
+            assert!(
+                w.run_until_job_done(job, SimTime::from_secs(10)),
+                "root {root} deadlocked"
+            );
+        }
+    }
+
+    #[test]
+    fn jobs_have_isolated_tag_spaces() {
+        // Two jobs exchange with the same tags between the same nodes; the
+        // matching must never cross jobs.
+        let mut w = tiny_world();
+        let mk_sender = || {
+            boxed(Scripted::new(vec![
+                Op::Isend {
+                    dst: 1,
+                    bytes: 128,
+                    tag: 42,
+                },
+                Op::WaitAll,
+                Op::Stop,
+            ]))
+        };
+        let mk_recver = || {
+            boxed(Scripted::new(vec![
+                Op::Irecv {
+                    src: Src::Rank(0),
+                    tag: 42,
+                },
+                Op::WaitAll,
+                Op::Stop,
+            ]))
+        };
+        let a = w.add_job("a", vec![(mk_sender(), NodeId(0)), (mk_recver(), NodeId(1))]);
+        let b = w.add_job("b", vec![(mk_sender(), NodeId(0)), (mk_recver(), NodeId(1))]);
+        w.run_until(SimTime::from_secs(1));
+        assert!(w.job_done(a));
+        assert!(w.job_done(b));
+    }
+
+    #[test]
+    fn wildcard_receive_accepts_any_source() {
+        let mut w = tiny_world();
+        let job = w.add_job(
+            "wild",
+            vec![
+                (
+                    boxed(Scripted::new(vec![
+                        Op::Irecv {
+                            src: Src::Any,
+                            tag: 0,
+                        },
+                        Op::Irecv {
+                            src: Src::Any,
+                            tag: 0,
+                        },
+                        Op::WaitAll,
+                        Op::Stop,
+                    ])),
+                    NodeId(0),
+                ),
+                (
+                    boxed(Scripted::new(vec![
+                        Op::Isend {
+                            dst: 0,
+                            bytes: 100,
+                            tag: 0,
+                        },
+                        Op::WaitAll,
+                        Op::Stop,
+                    ])),
+                    NodeId(1),
+                ),
+                (
+                    boxed(Scripted::new(vec![
+                        Op::Isend {
+                            dst: 0,
+                            bytes: 100,
+                            tag: 0,
+                        },
+                        Op::WaitAll,
+                        Op::Stop,
+                    ])),
+                    NodeId(2),
+                ),
+            ],
+        );
+        assert!(w.run_until_job_done(job, SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn same_node_ranks_communicate_locally() {
+        let mut w = tiny_world();
+        let job = w.add_job(
+            "local",
+            vec![
+                (
+                    boxed(Scripted::new(vec![
+                        Op::Isend {
+                            dst: 1,
+                            bytes: 2048,
+                            tag: 0,
+                        },
+                        Op::WaitAll,
+                        Op::Stop,
+                    ])),
+                    NodeId(0),
+                ),
+                (
+                    boxed(Scripted::new(vec![
+                        Op::Irecv {
+                            src: Src::Rank(0),
+                            tag: 0,
+                        },
+                        Op::WaitAll,
+                        Op::Stop,
+                    ])),
+                    NodeId(0),
+                ),
+            ],
+        );
+        assert!(w.run_until_job_done(job, SimTime::from_secs(1)));
+        assert_eq!(w.fabric().switch_stats().arrivals, 0);
+        assert_eq!(w.fabric().stats().local_messages, 1);
+    }
+
+    #[test]
+    fn looping_job_runs_to_horizon_without_stopping() {
+        let mut w = tiny_world();
+        let job = w.add_job(
+            "noise",
+            vec![
+                (
+                    boxed(
+                        Looping::new(vec![
+                            Op::Isend {
+                                dst: 1,
+                                bytes: 512,
+                                tag: 0,
+                            },
+                            Op::Irecv {
+                                src: Src::Rank(1),
+                                tag: 0,
+                            },
+                            Op::WaitAll,
+                            Op::Sleep(SimDuration::from_micros(10)),
+                        ])
+                        .named("ping"),
+                    ),
+                    NodeId(0),
+                ),
+                (
+                    boxed(
+                        Looping::new(vec![
+                            Op::Irecv {
+                                src: Src::Rank(0),
+                                tag: 0,
+                            },
+                            Op::Isend {
+                                dst: 0,
+                                bytes: 512,
+                                tag: 0,
+                            },
+                            Op::WaitAll,
+                            Op::Sleep(SimDuration::from_micros(10)),
+                        ])
+                        .named("pong"),
+                    ),
+                    NodeId(1),
+                ),
+            ],
+        );
+        w.run_until(SimTime::from_millis(1));
+        assert!(!w.job_done(job));
+        // ~1 ms / ~12.8 µs per iteration ≈ 78 exchanges of 2 messages.
+        let sent = w.fabric().stats().messages_sent;
+        assert!(sent > 100, "expected steady traffic, got {sent} messages");
+    }
+
+    #[test]
+    fn determinism_across_identical_runs() {
+        let run = || {
+            let mut w = World::new(SwitchConfig::cab().with_seed(3));
+            let members: Vec<_> = (0..8)
+                .map(|i| {
+                    (
+                        boxed(Scripted::new(vec![
+                            Op::Alltoall {
+                                bytes_per_pair: 4096,
+                            },
+                            Op::Allreduce { bytes: 1024 },
+                            Op::Stop,
+                        ])),
+                        NodeId(i % 18),
+                    )
+                })
+                .collect();
+            let job = w.add_job("det", members);
+            assert!(w.run_until_job_done(job, SimTime::from_secs(10)));
+            (w.job_finish_time(job), w.events_processed())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn program_ctx_reports_simulated_time() {
+        struct TimeProbe {
+            times: Rc<RefCell<Vec<SimTime>>>,
+            step: u32,
+        }
+        impl Program for TimeProbe {
+            fn next_op(&mut self, ctx: &Ctx) -> Op {
+                self.times.borrow_mut().push(ctx.now);
+                self.step += 1;
+                match self.step {
+                    1 => Op::Compute(SimDuration::from_nanos(500)),
+                    _ => Op::Stop,
+                }
+            }
+        }
+        let times = Rc::new(RefCell::new(Vec::new()));
+        let mut w = tiny_world();
+        let job = w.add_job(
+            "probe",
+            vec![(
+                Box::new(TimeProbe {
+                    times: Rc::clone(&times),
+                    step: 0,
+                }) as Box<dyn Program>,
+                NodeId(0),
+            )],
+        );
+        assert!(w.run_until_job_done(job, SimTime::from_secs(1)));
+        let t = times.borrow();
+        assert_eq!(t[0], SimTime::ZERO);
+        assert_eq!(t[1], SimTime::from_nanos(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside job")]
+    fn isend_outside_job_panics() {
+        let mut w = tiny_world();
+        let job = w.add_job(
+            "bad",
+            vec![(
+                boxed(Scripted::new(vec![Op::Isend {
+                    dst: 5,
+                    bytes: 1,
+                    tag: 0,
+                }])),
+                NodeId(0),
+            )],
+        );
+        w.run_until_job_done(job, SimTime::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot add jobs")]
+    fn adding_jobs_after_start_panics() {
+        let mut w = tiny_world();
+        let job = w.add_job(
+            "first",
+            vec![(boxed(Scripted::new(vec![Op::Stop])), NodeId(0))],
+        );
+        w.run_until_job_done(job, SimTime::from_secs(1));
+        w.add_job(
+            "late",
+            vec![(boxed(Scripted::new(vec![Op::Stop])), NodeId(0))],
+        );
+    }
+
+    #[test]
+    fn job_finish_time_is_none_while_running() {
+        let mut w = tiny_world();
+        let job = w.add_job(
+            "slow",
+            vec![(
+                boxed(Scripted::new(vec![
+                    Op::Compute(SimDuration::from_secs(5)),
+                    Op::Stop,
+                ])),
+                NodeId(0),
+            )],
+        );
+        w.run_until(SimTime::from_secs(1));
+        assert!(!w.job_done(job));
+        assert_eq!(w.job_finish_time(job), None);
+    }
+
+    #[test]
+    fn rendezvous_roundtrip_completes() {
+        let mut w = tiny_world();
+        let job = w.add_job(
+            "rdv",
+            vec![
+                (
+                    boxed(Scripted::new(vec![
+                        Op::Isend {
+                            dst: 1,
+                            bytes: 8_192,
+                            tag: 0,
+                        },
+                        Op::WaitAll,
+                        Op::Stop,
+                    ])),
+                    NodeId(0),
+                ),
+                (
+                    boxed(Scripted::new(vec![
+                        Op::Irecv {
+                            src: Src::Rank(0),
+                            tag: 0,
+                        },
+                        Op::WaitAll,
+                        Op::Stop,
+                    ])),
+                    NodeId(1),
+                ),
+            ],
+        );
+        w.set_eager_threshold(4_096);
+        assert!(w.run_until_job_done(job, SimTime::from_secs(1)));
+        // RTS + CTS + payload = three wire messages.
+        assert_eq!(w.fabric().stats().messages_sent, 3);
+        assert_eq!(w.fabric().stats().messages_delivered, 3);
+    }
+
+    #[test]
+    fn rendezvous_send_blocks_until_receiver_posts() {
+        // The defining semantic difference from eager: a large send cannot
+        // complete before the receiver matches. The receiver computes
+        // 500 µs before posting; the sender's WaitAll must outlast that.
+        let mut w = tiny_world();
+        let job = w.add_job(
+            "late-recv",
+            vec![
+                (
+                    boxed(Scripted::new(vec![
+                        Op::Isend {
+                            dst: 1,
+                            bytes: 8_192,
+                            tag: 0,
+                        },
+                        Op::WaitAll,
+                        Op::Stop,
+                    ])),
+                    NodeId(0),
+                ),
+                (
+                    boxed(Scripted::new(vec![
+                        Op::Compute(SimDuration::from_micros(500)),
+                        Op::Irecv {
+                            src: Src::Rank(0),
+                            tag: 0,
+                        },
+                        Op::WaitAll,
+                        Op::Stop,
+                    ])),
+                    NodeId(1),
+                ),
+            ],
+        );
+        w.set_eager_threshold(4_096);
+        assert!(w.run_until_job_done(job, SimTime::from_secs(1)));
+        // The *sender* (rank 0) stops only after CTS returns, i.e. well
+        // past the receiver's 500 µs compute.
+        let sender_stop = {
+            let t = w.job_finish_time(job).unwrap();
+            t
+        };
+        assert!(
+            sender_stop > SimTime::from_micros(500),
+            "rendezvous must wait for the late receiver (stopped {sender_stop})"
+        );
+    }
+
+    #[test]
+    fn eager_send_completes_before_receiver_posts() {
+        // Control experiment for the rendezvous test: with the default
+        // eager protocol, the sender finishes long before the receiver
+        // posts its receive.
+        let mut w = tiny_world();
+        let sender_stop = Rc::new(RefCell::new(SimTime::ZERO));
+        struct StopProbe {
+            inner: Scripted,
+            stop_at: Rc<RefCell<SimTime>>,
+        }
+        impl Program for StopProbe {
+            fn next_op(&mut self, ctx: &Ctx) -> Op {
+                let op = self.inner.next_op(ctx);
+                if matches!(op, Op::Stop) {
+                    *self.stop_at.borrow_mut() = ctx.now;
+                }
+                op
+            }
+        }
+        let job = w.add_job(
+            "eager-early",
+            vec![
+                (
+                    Box::new(StopProbe {
+                        inner: Scripted::new(vec![
+                            Op::Isend {
+                                dst: 1,
+                                bytes: 8_192,
+                                tag: 0,
+                            },
+                            Op::WaitAll,
+                            Op::Stop,
+                        ]),
+                        stop_at: Rc::clone(&sender_stop),
+                    }) as Box<dyn Program>,
+                    NodeId(0),
+                ),
+                (
+                    boxed(Scripted::new(vec![
+                        Op::Compute(SimDuration::from_micros(500)),
+                        Op::Irecv {
+                            src: Src::Rank(0),
+                            tag: 0,
+                        },
+                        Op::WaitAll,
+                        Op::Stop,
+                    ])),
+                    NodeId(1),
+                ),
+            ],
+        );
+        assert!(w.run_until_job_done(job, SimTime::from_secs(1)));
+        assert!(
+            *sender_stop.borrow() < SimTime::from_micros(100),
+            "eager sender must finish on injection (stopped {})",
+            sender_stop.borrow()
+        );
+    }
+
+    #[test]
+    fn mixed_eager_and_rendezvous_traffic() {
+        let mut w = tiny_world();
+        let job = w.add_job(
+            "mixed",
+            vec![
+                (
+                    boxed(Scripted::new(vec![
+                        Op::Isend {
+                            dst: 1,
+                            bytes: 128, // eager
+                            tag: 1,
+                        },
+                        Op::Isend {
+                            dst: 1,
+                            bytes: 16_384, // rendezvous
+                            tag: 2,
+                        },
+                        Op::WaitAll,
+                        Op::Stop,
+                    ])),
+                    NodeId(0),
+                ),
+                (
+                    boxed(Scripted::new(vec![
+                        Op::Irecv {
+                            src: Src::Rank(0),
+                            tag: 2,
+                        },
+                        Op::Irecv {
+                            src: Src::Rank(0),
+                            tag: 1,
+                        },
+                        Op::WaitAll,
+                        Op::Stop,
+                    ])),
+                    NodeId(1),
+                ),
+            ],
+        );
+        w.set_eager_threshold(4_096);
+        assert!(w.run_until_job_done(job, SimTime::from_secs(1)));
+        // 1 eager + RTS + CTS + payload.
+        assert_eq!(w.fabric().stats().messages_sent, 4);
+    }
+
+    #[test]
+    fn collectives_work_under_rendezvous() {
+        let mut w = tiny_world();
+        let members: Vec<_> = (0..4)
+            .map(|i| {
+                (
+                    boxed(Scripted::new(vec![
+                        Op::Allreduce { bytes: 60_000 },
+                        Op::Alltoall {
+                            bytes_per_pair: 50_000,
+                        },
+                        Op::Stop,
+                    ])),
+                    NodeId(i),
+                )
+            })
+            .collect();
+        let job = w.add_job("coll-rdv", members);
+        w.set_eager_threshold(8_192);
+        assert!(w.run_until_job_done(job, SimTime::from_secs(10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "before running")]
+    fn protocol_split_is_fixed_after_start() {
+        let mut w = tiny_world();
+        let job = w.add_job(
+            "j",
+            vec![(boxed(Scripted::new(vec![Op::Stop])), NodeId(0))],
+        );
+        w.run_until_job_done(job, SimTime::from_secs(1));
+        w.set_eager_threshold(1);
+    }
+
+    #[test]
+    fn tracing_attributes_compute_time() {
+        let mut w = tiny_world();
+        let job = w.add_job(
+            "calc",
+            vec![(
+                boxed(Scripted::new(vec![
+                    Op::Compute(SimDuration::from_micros(100)),
+                    Op::Stop,
+                ])),
+                NodeId(0),
+            )],
+        );
+        w.enable_tracing();
+        assert!(w.run_until_job_done(job, SimTime::from_secs(1)));
+        let t = w.job_phase_totals(job);
+        assert!(
+            t.computing_fraction() > 0.99,
+            "pure compute must account as computing: {t:?}"
+        );
+        assert_eq!(t.waiting_ns, 0);
+    }
+
+    #[test]
+    fn tracing_attributes_network_wait() {
+        let mut w = tiny_world();
+        // Rank 0 waits for a message that only arrives after rank 1
+        // computes 100 µs: almost all of rank 0's time is Waiting.
+        let job = w.add_job(
+            "waity",
+            vec![
+                (
+                    boxed(Scripted::new(vec![
+                        Op::Irecv {
+                            src: Src::Rank(1),
+                            tag: 0,
+                        },
+                        Op::WaitAll,
+                        Op::Stop,
+                    ])),
+                    NodeId(0),
+                ),
+                (
+                    boxed(Scripted::new(vec![
+                        Op::Compute(SimDuration::from_micros(100)),
+                        Op::Isend {
+                            dst: 0,
+                            bytes: 64,
+                            tag: 0,
+                        },
+                        Op::WaitAll,
+                        Op::Stop,
+                    ])),
+                    NodeId(1),
+                ),
+            ],
+        );
+        w.enable_tracing();
+        assert!(w.run_until_job_done(job, SimTime::from_secs(1)));
+        let waiter = w.rank_phase_totals(0);
+        assert!(
+            waiter.waiting_fraction() > 0.95,
+            "receiver must account as waiting: {waiter:?}"
+        );
+        let sender = w.rank_phase_totals(1);
+        assert!(sender.computing_fraction() > 0.95, "{sender:?}");
+    }
+
+    #[test]
+    fn tracing_disabled_reports_zeros() {
+        let mut w = tiny_world();
+        let job = w.add_job(
+            "calc",
+            vec![(
+                boxed(Scripted::new(vec![
+                    Op::Compute(SimDuration::from_micros(10)),
+                    Op::Stop,
+                ])),
+                NodeId(0),
+            )],
+        );
+        assert!(w.run_until_job_done(job, SimTime::from_secs(1)));
+        assert_eq!(w.job_phase_totals(job).total_ns(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Allreduce and barrier complete without deadlock for arbitrary
+        /// job sizes and node placements.
+        #[test]
+        fn prop_collectives_complete(n in 2u32..14, per_node in 1u32..4) {
+            let mut w = tiny_world();
+            let members: Vec<_> = (0..n)
+                .map(|i| {
+                    (
+                        boxed(Scripted::new(vec![
+                            Op::Allreduce { bytes: 256 },
+                            Op::Barrier,
+                            Op::Stop,
+                        ])),
+                        NodeId((i / per_node) % 4),
+                    )
+                })
+                .collect();
+            let job = w.add_job("coll", members);
+            prop_assert!(w.run_until_job_done(job, SimTime::from_secs(60)));
+        }
+
+        /// A random mesh of paired sends/recvs always drains: for every
+        /// (src, dst) exchange both sides are generated, so WaitAll can
+        /// never hang.
+        #[test]
+        fn prop_paired_p2p_completes(
+            pairs in proptest::collection::vec((0u32..6, 0u32..6, 1u64..5_000), 1..20)
+        ) {
+            let n = 6u32;
+            // sends[i] = list of (dst, bytes); recvs[i] = list of srcs.
+            let mut sends = vec![Vec::new(); n as usize];
+            let mut recvs = vec![Vec::new(); n as usize];
+            for (a, b, bytes) in &pairs {
+                sends[*a as usize].push((*b, *bytes));
+                recvs[*b as usize].push(*a);
+            }
+            let mut w = tiny_world();
+            let members: Vec<_> = (0..n)
+                .map(|i| {
+                    let mut ops = Vec::new();
+                    for src in &recvs[i as usize] {
+                        ops.push(Op::Irecv { src: Src::Rank(*src), tag: 0 });
+                    }
+                    for (dst, bytes) in &sends[i as usize] {
+                        ops.push(Op::Isend { dst: *dst, bytes: *bytes, tag: 0 });
+                    }
+                    ops.push(Op::WaitAll);
+                    ops.push(Op::Stop);
+                    (boxed(Scripted::new(ops)), NodeId(i % 4))
+                })
+                .collect();
+            let job = w.add_job("mesh", members);
+            prop_assert!(w.run_until_job_done(job, SimTime::from_secs(60)));
+            prop_assert_eq!(
+                w.fabric().stats().messages_sent,
+                pairs.len() as u64
+            );
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Deterministic discrete-event queue.
+//!
+//! Events are ordered by `(time, sequence)`. The sequence number is assigned
+//! at scheduling time, so two events scheduled for the same instant fire in
+//! scheduling order — a total order that makes every run byte-for-byte
+//! reproducible regardless of heap internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A time-ordered event queue with a monotonically advancing clock.
+///
+/// `EventQueue` is the single source of truth for "now" in a simulation:
+/// [`EventQueue::pop`] advances the clock to the popped event's timestamp.
+/// Scheduling into the past is a logic error and panics.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: SimTime,
+    seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// The current simulation time: the timestamp of the most recently
+    /// popped event (zero before any pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting to fire.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events popped so far (simulation-size telemetry).
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `event` to fire at the absolute instant `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current clock.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Schedules `event` to fire `after` the current clock.
+    pub fn schedule_after(&mut self, after: SimDuration, event: E) {
+        self.schedule_at(self.now + after, event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now, "event queue went backwards");
+        self.now = entry.time;
+        self.popped += 1;
+        Some((entry.time, entry.event))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(30), "c");
+        q.schedule_at(SimTime::from_nanos(10), "a");
+        q.schedule_at(SimTime::from_nanos(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_fire_in_scheduling_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(SimTime::from_nanos(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_after(SimDuration::from_nanos(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_nanos(7));
+        assert_eq!(q.now(), t);
+        assert_eq!(q.events_processed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(50), ());
+        q.pop();
+        q.schedule_at(SimTime::from_nanos(10), ());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(10), 1u32);
+        q.schedule_at(SimTime::from_nanos(30), 3u32);
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(e, 1);
+        // Schedule between the popped event and the remaining one.
+        q.schedule_at(SimTime::from_nanos(20), 2u32);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    proptest! {
+        /// Popping must yield a non-decreasing time sequence, and events
+        /// sharing a timestamp must come out in insertion order.
+        #[test]
+        fn prop_total_order(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.schedule_at(SimTime::from_nanos(*t), i);
+            }
+            let mut last_time = SimTime::ZERO;
+            let mut last_idx_at_time: Option<usize> = None;
+            while let Some((t, idx)) = q.pop() {
+                prop_assert!(t >= last_time);
+                if t == last_time {
+                    if let Some(prev) = last_idx_at_time {
+                        prop_assert!(idx > prev, "stability violated");
+                    }
+                }
+                last_time = t;
+                last_idx_at_time = Some(idx);
+            }
+        }
+
+        /// The queue drains exactly the number of scheduled events.
+        #[test]
+        fn prop_conservation(times in proptest::collection::vec(0u64..100, 0..64)) {
+            let mut q = EventQueue::new();
+            for t in &times {
+                q.schedule_at(SimTime::from_nanos(*t), ());
+            }
+            prop_assert_eq!(q.len(), times.len());
+            let mut n = 0usize;
+            while q.pop().is_some() { n += 1; }
+            prop_assert_eq!(n, times.len());
+            prop_assert!(q.is_empty());
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Packets and messages.
+//!
+//! The fabric deals in *messages* (what a rank sends) and *packets* (what
+//! the switch routes). A message is segmented into MTU-sized packets at the
+//! source NIC — the property the paper's Fig. 1 builds on: "application
+//! messages are broken up into multiple small (few KB) packets and sent to
+//! the network switch".
+
+use crate::time::SimTime;
+
+/// Identifies a compute node attached to the switch (also its port index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node index as a usize, for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Unique identifier of a message within one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MessageId(pub u64);
+
+/// A message handed to the fabric by the upper layer.
+///
+/// The fabric is deliberately payload-free: only sizes and identifiers move
+/// through the simulation, never data bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Message {
+    /// Fabric-assigned identifier, returned by `Fabric::send_message`.
+    pub id: MessageId,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Payload size in bytes.
+    pub bytes: u64,
+}
+
+/// One MTU-or-smaller unit routed by the switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// The message this packet belongs to.
+    pub msg: MessageId,
+    /// Index of this packet within its message (0-based).
+    pub index: u32,
+    /// True for the final packet of the message.
+    pub last: bool,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Bytes carried by this packet (≤ MTU; the last packet may be short).
+    pub bytes: u64,
+    /// When the packet was enqueued at the source NIC (message send time).
+    pub created: SimTime,
+}
+
+/// Splits `bytes` into MTU-sized chunks; the final chunk carries the
+/// remainder. A zero-byte message still produces one (empty) packet so that
+/// zero-payload control messages (barrier tokens, eager headers) transit the
+/// switch like any other traffic.
+pub fn segment_sizes(bytes: u64, mtu: u64) -> Vec<u64> {
+    assert!(mtu > 0, "MTU must be positive");
+    if bytes == 0 {
+        return vec![0];
+    }
+    let full = (bytes / mtu) as usize;
+    let rem = bytes % mtu;
+    let mut out = Vec::with_capacity(full + usize::from(rem > 0));
+    out.extend(std::iter::repeat(mtu).take(full));
+    if rem > 0 {
+        out.push(rem);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn segmentation_exact_multiple() {
+        assert_eq!(segment_sizes(8192, 4096), vec![4096, 4096]);
+    }
+
+    #[test]
+    fn segmentation_with_remainder() {
+        assert_eq!(segment_sizes(5000, 4096), vec![4096, 904]);
+    }
+
+    #[test]
+    fn segmentation_small_message_is_single_packet() {
+        // The paper's ImpactB probes are 1 KB "to ensure that they are
+        // communicated via a single network packet".
+        assert_eq!(segment_sizes(1024, 4096), vec![1024]);
+    }
+
+    #[test]
+    fn zero_byte_message_is_one_empty_packet() {
+        assert_eq!(segment_sizes(0, 4096), vec![0]);
+    }
+
+    proptest! {
+        /// Segmentation conserves bytes and respects the MTU.
+        #[test]
+        fn prop_segmentation_conserves_bytes(bytes in 0u64..1_000_000, mtu in 1u64..10_000) {
+            let segs = segment_sizes(bytes, mtu);
+            prop_assert_eq!(segs.iter().sum::<u64>(), bytes);
+            prop_assert!(segs.iter().all(|&s| s <= mtu));
+            // Only the last packet may be short.
+            for s in &segs[..segs.len().saturating_sub(1)] {
+                prop_assert_eq!(*s, mtu);
+            }
+        }
+    }
+}

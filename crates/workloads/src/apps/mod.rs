@@ -1,0 +1,11 @@
+//! The six application proxies of the paper's evaluation.
+
+pub mod amg;
+pub mod common;
+pub mod fftw;
+pub mod lulesh;
+pub mod mcb;
+pub mod milc;
+pub mod vpfft;
+
+pub use common::{IterativeProgram, RunMode};

@@ -1,0 +1,310 @@
+//! ImpactB: the light latency-probe micro-benchmark (paper §III-A, Fig. 2).
+//!
+//! Compute nodes are paired; on each pair a pinger and a ponger exchange a
+//! 1 KB message (one network packet) and the pinger records half the
+//! round-trip time as the one-way packet latency. Exchanges are separated
+//! by a long sleep so the probe's own load on the switch is negligible.
+//! The distribution of these latencies is the paper's window into how much
+//! switch capability a concurrently running application consumes.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use anp_simmpi::{Ctx, Looping, Op, Program, Src};
+use anp_simnet::{NodeId, SimDuration, SimTime};
+
+use crate::placement::Layout;
+
+/// One probe measurement: when the ping-pong completed and the one-way
+/// latency it observed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeSample {
+    /// Completion time of the exchange.
+    pub at: SimTime,
+    /// One-way latency (half the round trip), microseconds.
+    pub one_way_us: f64,
+}
+
+/// Shared collector of probe samples.
+pub type SampleSink = Rc<RefCell<Vec<ProbeSample>>>;
+
+/// Creates an empty sample sink.
+pub fn new_sink() -> SampleSink {
+    Rc::new(RefCell::new(Vec::new()))
+}
+
+/// Extracts just the latencies from a sink's samples, in collection
+/// order.
+pub fn latencies(samples: &[ProbeSample]) -> Vec<f64> {
+    samples.iter().map(|s| s.one_way_us).collect()
+}
+
+/// ImpactB parameters.
+#[derive(Debug, Clone)]
+pub struct ImpactConfig {
+    /// Probe message size. The paper uses 1 KB so each probe is a single
+    /// network packet.
+    pub msg_bytes: u64,
+    /// Idle time between consecutive ping-pong exchanges. The paper uses
+    /// 100 ms on wall-clock hardware; simulations default shorter so a few
+    /// hundred samples fit into a few simulated seconds while probe load
+    /// stays well under 1 % of switch capacity.
+    pub period: SimDuration,
+    /// Probe process pairs per node pair (the paper runs one per socket,
+    /// i.e. 2).
+    pub pairs_per_node: u32,
+    /// Match tag used by probe traffic.
+    pub tag: u32,
+}
+
+impl Default for ImpactConfig {
+    fn default() -> Self {
+        ImpactConfig {
+            msg_bytes: 1024,
+            period: SimDuration::from_millis(2),
+            pairs_per_node: 2,
+            tag: 9_001,
+        }
+    }
+}
+
+/// The pinging side of one probe pair.
+struct Pinger {
+    partner: u32,
+    bytes: u64,
+    period: SimDuration,
+    tag: u32,
+    sink: SampleSink,
+    t0: SimTime,
+    step: u8,
+    /// Initial offset so concurrent probe pairs do not fire in lock-step
+    /// and contend with each other at the switch (which would bias the
+    /// idle-latency baseline upward).
+    start_delay: SimDuration,
+    started: bool,
+}
+
+impl Program for Pinger {
+    fn next_op(&mut self, ctx: &Ctx) -> Op {
+        if !self.started {
+            self.started = true;
+            if self.start_delay > SimDuration::ZERO {
+                return Op::Sleep(self.start_delay);
+            }
+        }
+        match self.step {
+            0 => {
+                self.t0 = ctx.now;
+                self.step = 1;
+                Op::Isend {
+                    dst: self.partner,
+                    bytes: self.bytes,
+                    tag: self.tag,
+                }
+            }
+            1 => {
+                self.step = 2;
+                Op::Irecv {
+                    src: Src::Rank(self.partner),
+                    tag: self.tag,
+                }
+            }
+            2 => {
+                self.step = 3;
+                Op::WaitAll
+            }
+            _ => {
+                // The round trip completed when WaitAll returned; half of
+                // it approximates the one-way packet latency, as in the
+                // paper ("the entire exchange is timed by the initiator to
+                // determine the average latency of the two messages").
+                let rtt = ctx.now.since(self.t0);
+                self.sink.borrow_mut().push(ProbeSample {
+                    at: ctx.now,
+                    one_way_us: rtt.as_micros_f64() / 2.0,
+                });
+                self.step = 0;
+                Op::Sleep(self.period)
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "impactb-ping"
+    }
+}
+
+/// Builds the ponger side: receive, reply, forever.
+fn ponger(partner: u32, bytes: u64, tag: u32) -> Looping {
+    Looping::new(vec![
+        Op::Irecv {
+            src: Src::Rank(partner),
+            tag,
+        },
+        Op::WaitAll,
+        Op::Isend {
+            dst: partner,
+            bytes,
+            tag,
+        },
+        Op::WaitAll,
+    ])
+    .named("impactb-pong")
+}
+
+/// Builds the ImpactB job for a switch of `nodes` nodes.
+///
+/// Nodes are paired `(0,1), (2,3), …`; each pair runs
+/// `cfg.pairs_per_node` ping-pong couples (one per socket on Cab). An odd
+/// final node is left unused, as on real clusters. Returns the job members
+/// (program + node placement, node-major) and the shared latency sink.
+///
+/// # Panics
+/// Panics if fewer than two nodes are available.
+pub fn build_impactb(
+    cfg: &ImpactConfig,
+    nodes: u32,
+) -> (Vec<(Box<dyn Program>, NodeId)>, SampleSink) {
+    assert!(nodes >= 2, "ImpactB needs at least one node pair");
+    let sink = new_sink();
+    let layout = Layout::new(nodes - nodes % 2, cfg.pairs_per_node);
+    let total_pairs = (layout.nodes / 2) * cfg.pairs_per_node;
+    let mut members: Vec<(Box<dyn Program>, NodeId)> = Vec::new();
+    let mut pair_idx = 0u32;
+    for local in 0..layout.ranks() {
+        let node_idx = layout.node_index_of(local);
+        let core = layout.core_of(local);
+        let node = layout.node_of(local);
+        let program: Box<dyn Program> = if node_idx % 2 == 0 {
+            let partner = layout.rank_at(node_idx + 1, core);
+            let start_delay = cfg.period * u64::from(pair_idx) / u64::from(total_pairs.max(1));
+            pair_idx += 1;
+            Box::new(Pinger {
+                partner,
+                bytes: cfg.msg_bytes,
+                period: cfg.period,
+                tag: cfg.tag,
+                sink: Rc::clone(&sink),
+                t0: SimTime::ZERO,
+                step: 0,
+                start_delay,
+                started: false,
+            })
+        } else {
+            let partner = layout.rank_at(node_idx - 1, core);
+            Box::new(ponger(partner, cfg.msg_bytes, cfg.tag))
+        };
+        members.push((program, node));
+    }
+    (members, sink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anp_simmpi::World;
+    use anp_simnet::SwitchConfig;
+
+    #[test]
+    fn default_config_matches_paper_probe() {
+        let cfg = ImpactConfig::default();
+        assert_eq!(cfg.msg_bytes, 1024, "1 KB probes = one packet");
+        assert_eq!(cfg.pairs_per_node, 2, "one probe per socket");
+    }
+
+    #[test]
+    fn builder_places_pairs_on_adjacent_nodes() {
+        let (members, _) = build_impactb(&ImpactConfig::default(), 4);
+        // 4 nodes × 2 per node = 8 ranks.
+        assert_eq!(members.len(), 8);
+        assert_eq!(members[0].1, NodeId(0));
+        assert_eq!(members[2].1, NodeId(1));
+        assert_eq!(members[7].1, NodeId(3));
+    }
+
+    #[test]
+    fn odd_node_is_left_out() {
+        let (members, _) = build_impactb(&ImpactConfig::default(), 5);
+        assert_eq!(members.len(), 8, "the 5th node hosts no probe");
+    }
+
+    #[test]
+    fn probes_collect_latency_samples_on_idle_switch() {
+        let mut world = World::new(SwitchConfig::tiny_deterministic());
+        let cfg = ImpactConfig {
+            period: SimDuration::from_micros(50),
+            pairs_per_node: 1,
+            ..ImpactConfig::default()
+        };
+        let (members, sink) = build_impactb(&cfg, 4);
+        world.add_job("impactb", members);
+        world.run_until(SimTime::from_millis(2));
+        let samples = sink.borrow();
+        assert!(
+            samples.len() > 50,
+            "expected steady sampling, got {}",
+            samples.len()
+        );
+        // tiny_deterministic one-way for 1 KB: 1024 (nic) + 100 + 200 +
+        // 1024 + 100 = 2448 ns ≈ 2.448 µs; RTT/2 equals one-way on an
+        // idle deterministic switch.
+        let mut last_at = SimTime::ZERO;
+        for s in samples.iter() {
+            assert!(
+                (s.one_way_us - 2.448).abs() < 0.1,
+                "latency sample {} off",
+                s.one_way_us
+            );
+            assert!(s.at >= last_at, "timestamps must be non-decreasing");
+            last_at = s.at;
+        }
+    }
+
+    #[test]
+    fn samples_shift_right_under_load() {
+        // Compare idle-probe latency vs. probe latency with a heavy
+        // contender sharing the switch.
+        let run = |with_noise: bool| -> f64 {
+            let mut world = World::new(SwitchConfig::cab().with_seed(5));
+            let cfg = ImpactConfig {
+                period: SimDuration::from_micros(200),
+                ..ImpactConfig::default()
+            };
+            let (members, sink) = build_impactb(&cfg, 18);
+            world.add_job("impactb", members);
+            if with_noise {
+                let noisy: Vec<_> = (0..18)
+                    .map(|n| {
+                        let next = (n + 1) % 18;
+                        (
+                            Box::new(Looping::new(vec![
+                                Op::Isend {
+                                    dst: next,
+                                    bytes: 40 * 1024,
+                                    tag: 1,
+                                },
+                                Op::Irecv {
+                                    src: Src::Any,
+                                    tag: 1,
+                                },
+                                Op::WaitAll,
+                            ])) as Box<dyn Program>,
+                            NodeId(n),
+                        )
+                    })
+                    .collect();
+                world.add_job("noise", noisy);
+            }
+            world.run_until(SimTime::from_millis(20));
+            let s = sink.borrow();
+            assert!(!s.is_empty());
+            s.iter().map(|p| p.one_way_us).sum::<f64>() / s.len() as f64
+        };
+        let idle = run(false);
+        let loaded = run(true);
+        assert!(
+            loaded > idle * 1.3,
+            "load must inflate probe latency: idle={idle:.3}us loaded={loaded:.3}us"
+        );
+    }
+}

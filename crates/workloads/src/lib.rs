@@ -1,0 +1,31 @@
+//! # anp-workloads — micro-benchmarks and application proxies
+//!
+//! The software that runs *on* the simulated cluster:
+//!
+//! * [`impactb`] — the paper's light latency probe (Fig. 2);
+//! * [`compressionb`] — the paper's heavy interference benchmark (Fig. 5)
+//!   with its full 40-configuration sweep (§IV-C);
+//! * [`apps`] / [`registry`] — proxies for the six HPC applications of the
+//!   evaluation (AMG, FFTW, Lulesh, MCB, MILC, VPFFT), reproducing each
+//!   code's communication skeleton at the paper's scale (144 ranks on 18
+//!   nodes; Lulesh 64 on 16);
+//! * [`placement`] — the node-major rank layouts and torus topologies.
+//!
+//! The production applications themselves are not available in this
+//! environment; per DESIGN.md, each proxy preserves the property the
+//! methodology actually consumes — the app's probe-latency footprint and
+//! its sensitivity to reduced switch capability.
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod compressionb;
+pub mod impactb;
+pub mod placement;
+pub mod registry;
+
+pub use apps::common::RunMode;
+pub use compressionb::{build_compressionb, CompressionConfig};
+pub use impactb::{build_impactb, latencies, new_sink, ImpactConfig, ProbeSample, SampleSink};
+pub use placement::Layout;
+pub use registry::AppKind;

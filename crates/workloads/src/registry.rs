@@ -1,0 +1,136 @@
+//! The application registry: one entry per paper application, with the
+//! paper's layouts and default parameters.
+
+use anp_simmpi::Program;
+use anp_simnet::NodeId;
+
+use crate::apps::amg::{build_amg, AmgParams};
+use crate::apps::common::RunMode;
+use crate::apps::fftw::{build_fftw, FftwParams};
+use crate::apps::lulesh::{build_lulesh, LuleshParams};
+use crate::apps::mcb::{build_mcb, McbParams};
+use crate::apps::milc::{build_milc, MilcParams};
+use crate::apps::vpfft::{build_vpfft, VpfftParams};
+use crate::placement::Layout;
+
+/// The six applications of the paper's evaluation (§II), in the order of
+/// Table I / Fig. 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AppKind {
+    /// FFTW — 2-D FFT, all-to-all dominated.
+    Fftw,
+    /// Lulesh — shock hydrodynamics, stencil + heavy compute.
+    Lulesh,
+    /// MCB — Monte Carlo burnup, compute-dominated with bursts.
+    Mcb,
+    /// MILC — lattice QCD conjugate gradient, latency-sensitive.
+    Milc,
+    /// VPFFT — crystal plasticity FFT, all-to-all + heavy compute.
+    Vpfft,
+    /// AMG — algebraic multigrid, phased behaviour.
+    Amg,
+}
+
+impl AppKind {
+    /// All applications in the paper's presentation order.
+    pub const ALL: [AppKind; 6] = [
+        AppKind::Fftw,
+        AppKind::Lulesh,
+        AppKind::Mcb,
+        AppKind::Milc,
+        AppKind::Vpfft,
+        AppKind::Amg,
+    ];
+
+    /// Display name (paper's spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::Fftw => "FFTW",
+            AppKind::Lulesh => "Lulesh",
+            AppKind::Mcb => "MCB",
+            AppKind::Milc => "MILC",
+            AppKind::Vpfft => "VPFFT",
+            AppKind::Amg => "AMG",
+        }
+    }
+
+    /// Parses a case-insensitive application name.
+    pub fn from_name(name: &str) -> Option<AppKind> {
+        AppKind::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(name))
+    }
+
+    /// The paper's rank layout for this application: 144 ranks on 18 nodes
+    /// for everything except Lulesh, which needs a cubic count and runs 64
+    /// ranks on 16 nodes.
+    pub fn layout(self) -> Layout {
+        match self {
+            AppKind::Lulesh => Layout::cab_lulesh(),
+            _ => Layout::cab_standard(),
+        }
+    }
+
+    /// Builds the proxy application with its default parameters.
+    pub fn build(self, mode: RunMode, seed: u64) -> Vec<(Box<dyn Program>, NodeId)> {
+        let layout = self.layout();
+        match self {
+            AppKind::Fftw => build_fftw(&FftwParams::default(), &layout, mode, seed),
+            AppKind::Vpfft => build_vpfft(&VpfftParams::default(), &layout, mode, seed),
+            AppKind::Lulesh => build_lulesh(&LuleshParams::default(), &layout, mode, seed),
+            AppKind::Milc => build_milc(&MilcParams::default(), &layout, mode, seed),
+            AppKind::Mcb => build_mcb(&McbParams::default(), &layout, mode, seed),
+            AppKind::Amg => build_amg(&AmgParams::default(), &layout, mode, seed),
+        }
+    }
+}
+
+impl std::fmt::Display for AppKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_apps_with_unique_names() {
+        let mut names: Vec<&str> = AppKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for k in AppKind::ALL {
+            assert_eq!(AppKind::from_name(k.name()), Some(k));
+            assert_eq!(AppKind::from_name(&k.name().to_lowercase()), Some(k));
+        }
+        assert_eq!(AppKind::from_name("nosuch"), None);
+    }
+
+    #[test]
+    fn layouts_match_paper() {
+        for k in AppKind::ALL {
+            let l = k.layout();
+            if k == AppKind::Lulesh {
+                assert_eq!(l.ranks(), 64);
+                assert_eq!(l.nodes, 16);
+            } else {
+                assert_eq!(l.ranks(), 144);
+                assert_eq!(l.nodes, 18);
+            }
+        }
+    }
+
+    #[test]
+    fn every_app_builds_a_full_job() {
+        for k in AppKind::ALL {
+            let members = k.build(RunMode::Iterations(1), 7);
+            assert_eq!(members.len(), k.layout().ranks() as usize, "{k}");
+        }
+    }
+}

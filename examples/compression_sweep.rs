@@ -1,0 +1,55 @@
+//! Compression sweep: how does an application perform on *less capable*
+//! switches?
+//!
+//! The paper's §III-B insight ("performance relativity") is that a switch
+//! partially consumed by an interfering workload looks, to an application,
+//! like a smaller switch. This example sweeps the MILC proxy against a
+//! ladder of CompressionB configurations and prints the degradation curve
+//! — one application's slice of Fig. 7.
+//!
+//! ```text
+//! cargo run --release --example compression_sweep
+//! ```
+
+use active_netprobe::core::{
+    calibrate, degradation_percent, impact_profile_of_compression, runtime_under_compression,
+    solo_runtime, ExperimentConfig, MuPolicy,
+};
+use active_netprobe::workloads::{AppKind, CompressionConfig};
+
+fn main() {
+    let cfg = ExperimentConfig::cab();
+    let calib = calibrate(&cfg, MuPolicy::MinLatency).expect("calibration");
+    let app = AppKind::Milc;
+
+    let solo = solo_runtime(&cfg, app).expect("solo runtime");
+    println!("{} solo runtime: {}", app.name(), solo);
+    println!();
+    println!("{:<18} {:>8} {:>10}", "CompressionB", "util", "degradation");
+
+    // A ladder from nearly-idle to saturating interference.
+    let ladder = [
+        CompressionConfig::new(1, 25_000_000, 1),
+        CompressionConfig::new(7, 25_000_000, 10),
+        CompressionConfig::new(7, 2_500_000, 10),
+        CompressionConfig::new(14, 250_000, 1),
+        CompressionConfig::new(17, 250_000, 10),
+        CompressionConfig::new(17, 25_000, 10),
+    ];
+    for comp in &ladder {
+        let profile = impact_profile_of_compression(&cfg, comp).expect("impact");
+        let util = calib.utilization(&profile);
+        let loaded = runtime_under_compression(&cfg, app, comp).expect("loaded runtime");
+        let degr = degradation_percent(solo, loaded);
+        println!(
+            "{:<18} {:>7.1}% {:>+9.1}%",
+            comp.label(),
+            util * 100.0,
+            degr
+        );
+    }
+    println!();
+    println!("Reading the curve: to estimate {}'s performance on a switch", app.name());
+    println!("with only (100-U)% of Cab's capability, look up the row whose");
+    println!("utilization is U — that is the paper's performance-relativity move.");
+}

@@ -1,0 +1,60 @@
+//! Quickstart: measure how much of a switch an application consumes.
+//!
+//! Builds the simulated Cab switch, runs the FFTW proxy with ImpactB
+//! probes alongside, and turns the probe latencies into the paper's
+//! queue-utilization metric.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use active_netprobe::core::{
+    calibrate, idle_profile, impact_profile_of_app, ExperimentConfig, MuPolicy,
+};
+use active_netprobe::workloads::AppKind;
+
+fn main() {
+    // The paper's experimental setup: 18 nodes on one QLogic-like switch.
+    let cfg = ExperimentConfig::cab();
+
+    // Step 1 — calibrate the queue model on an idle switch (§IV-B):
+    // 1/µ is the minimum idle probe latency, Var(S) the idle variance.
+    let idle = idle_profile(&cfg).expect("idle profile");
+    let calib = calibrate(&cfg, MuPolicy::MinLatency).expect("calibration");
+    println!(
+        "idle switch: mean probe latency {:.2}us (min {:.2}us, sd {:.2}us)",
+        idle.mean(),
+        idle.min(),
+        idle.std_dev()
+    );
+    println!(
+        "queue calibration: mu = {:.3} packets/us, Var(S) = {:.3} us^2",
+        calib.mu, calib.var_s
+    );
+
+    // Step 2 — run an application with probes alongside (an "impact
+    // experiment", §III-A) and summarize the probe latencies.
+    let app = AppKind::Fftw;
+    let profile = impact_profile_of_app(&cfg, app).expect("impact profile");
+    println!(
+        "\nwhile {} runs: mean probe latency {:.2}us (sd {:.2}us, n={})",
+        app.name(),
+        profile.mean(),
+        profile.std_dev(),
+        profile.count()
+    );
+
+    // Step 3 — invert Pollaczek–Khinchine: mean latency → arrival rate →
+    // switch utilization (the paper's eq. 3).
+    let util = calib.utilization(&profile);
+    println!(
+        "{} occupies about {:.0}% of the switch queue capability",
+        app.name(),
+        util * 100.0
+    );
+    println!(
+        "(the idle baseline reads {:.0}%, so the application adds ~{:.0} points)",
+        calib.utilization(&idle) * 100.0,
+        (util - calib.utilization(&idle)) * 100.0
+    );
+}

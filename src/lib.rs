@@ -1,0 +1,10 @@
+//! Umbrella crate for the Active Network Probe workspace.
+//!
+//! Re-exports the public API of every workspace crate so integration tests
+//! and examples can use a single `active_netprobe::` namespace.
+
+pub use anp_core as core;
+pub use anp_metrics as metrics;
+pub use anp_simmpi as simmpi;
+pub use anp_simnet as simnet;
+pub use anp_workloads as workloads;

@@ -1,0 +1,163 @@
+//! `anp` — command-line front end for the active-measurement toolkit.
+//!
+//! ```text
+//! anp calibrate                 # idle-switch calibration
+//! anp probe <APP>               # impact experiment: APP's switch footprint
+//! anp sweep <APP>               # degradation ladder for APP (mini Fig. 7)
+//! anp predict <APP> <APP>       # predict mutual slowdown of a pairing
+//! anp apps                      # list the built-in application proxies
+//! ```
+//!
+//! Global flags: `--seed <n>`. All commands run on the simulated Cab
+//! switch; see the `anp-bench` binaries for the full paper harnesses.
+
+use anp_core::{
+    all_models, calibrate, degradation_percent, idle_profile, impact_profile_of_app,
+    impact_profile_of_compression, runtime_under_compression, solo_runtime, ExperimentConfig,
+    LookupTable, MuPolicy, Study,
+};
+use anp_workloads::{AppKind, CompressionConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: anp [--seed N] <command>\n\
+         commands:\n\
+         \x20 calibrate            idle-switch calibration report\n\
+         \x20 apps                 list application proxies\n\
+         \x20 probe <APP>          measure APP's switch utilization\n\
+         \x20 sweep <APP>          degradation vs utilization ladder for APP\n\
+         \x20 predict <A> <B>      predict A and B's mutual slowdown\n\
+         APP is one of: FFTW, Lulesh, MCB, MILC, VPFFT, AMG (case-insensitive)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_app(arg: Option<String>) -> AppKind {
+    let Some(name) = arg else { usage() };
+    match AppKind::from_name(&name) {
+        Some(app) => app,
+        None => {
+            eprintln!("unknown application '{name}'");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut seed = 0xA11CEu64;
+    while let Some(a) = args.peek() {
+        if a == "--seed" {
+            args.next();
+            let v = args.next().unwrap_or_else(|| usage());
+            seed = v.parse().unwrap_or_else(|_| usage());
+        } else {
+            break;
+        }
+    }
+    let cfg = ExperimentConfig::cab().with_seed(seed);
+    let Some(cmd) = args.next() else { usage() };
+
+    match cmd.as_str() {
+        "calibrate" => {
+            let idle = idle_profile(&cfg).expect("idle profile");
+            let calib = calibrate(&cfg, MuPolicy::MinLatency).expect("calibration");
+            println!(
+                "idle probe latency: mean {:.3}us, sd {:.3}us, min {:.3}us (n={})",
+                idle.mean(),
+                idle.std_dev(),
+                idle.min(),
+                idle.count()
+            );
+            println!(
+                "queue model: mu = {:.4} packets/us, Var(S) = {:.4} us^2",
+                calib.mu, calib.var_s
+            );
+            println!(
+                "idle utilization reading: {:.1}%",
+                calib.utilization(&idle) * 100.0
+            );
+        }
+        "apps" => {
+            for app in AppKind::ALL {
+                let l = app.layout();
+                println!(
+                    "{:<7} {:>4} ranks on {:>2} nodes ({} per node)",
+                    app.name(),
+                    l.ranks(),
+                    l.nodes,
+                    l.per_node
+                );
+            }
+        }
+        "probe" => {
+            let app = parse_app(args.next());
+            let calib = calibrate(&cfg, MuPolicy::MinLatency).expect("calibration");
+            let p = impact_profile_of_app(&cfg, app).expect("impact profile");
+            println!(
+                "{}: probe mean {:.2}us (sd {:.2}us, n={})",
+                app.name(),
+                p.mean(),
+                p.std_dev(),
+                p.count()
+            );
+            println!(
+                "estimated switch utilization: {:.1}%",
+                calib.utilization(&p) * 100.0
+            );
+        }
+        "sweep" => {
+            let app = parse_app(args.next());
+            let calib = calibrate(&cfg, MuPolicy::MinLatency).expect("calibration");
+            let solo = solo_runtime(&cfg, app).expect("solo runtime");
+            println!("{} solo: {}", app.name(), solo);
+            println!("{:<18} {:>7} {:>12}", "config", "util", "degradation");
+            for comp in [
+                CompressionConfig::new(1, 25_000_000, 1),
+                CompressionConfig::new(7, 2_500_000, 10),
+                CompressionConfig::new(14, 250_000, 1),
+                CompressionConfig::new(17, 25_000, 10),
+            ] {
+                let p = impact_profile_of_compression(&cfg, &comp).expect("impact");
+                let t = runtime_under_compression(&cfg, app, &comp).expect("runtime");
+                println!(
+                    "{:<18} {:>6.1}% {:>+11.1}%",
+                    comp.label(),
+                    calib.utilization(&p) * 100.0,
+                    degradation_percent(solo, t)
+                );
+            }
+        }
+        "predict" => {
+            let a = parse_app(args.next());
+            let b = parse_app(args.next());
+            let apps = if a == b { vec![a] } else { vec![a, b] };
+            eprintln!("measuring look-up table (this takes a few minutes)...");
+            let calib = calibrate(&cfg, MuPolicy::MinLatency).expect("calibration");
+            let sweep: Vec<CompressionConfig> = CompressionConfig::paper_sweep()
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| i % 5 == (i / 5) % 5)
+                .map(|(_, c)| c)
+                .collect();
+            let table = LookupTable::measure(&cfg, calib, &apps, &sweep, |line| {
+                eprintln!("  {line}");
+            })
+            .expect("table");
+            let study =
+                Study::measure_profiles(&cfg, table, &apps, |_| {}).expect("app profiles");
+            let models = all_models();
+            for (victim, other) in [(a, b), (b, a)] {
+                let outcome = study.predict_pair(victim, other, &models);
+                println!("{} co-run with {}:", victim.name(), other.name());
+                for (model, pred) in &outcome.predicted {
+                    println!("  {:<15} predicts {:+6.1}%", model, pred);
+                }
+                if a == b {
+                    break;
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,154 @@
+//! Integration tests of the measurement methodology: probes, the
+//! Pollaczek–Khinchine inversion, and the relationship between inferred
+//! and true switch utilization. These cross `anp-simnet`, `anp-simmpi`,
+//! `anp-workloads` and `anp-core`.
+
+use active_netprobe::core::{Calibration, LatencyProfile, MuPolicy, TimedSeries};
+use active_netprobe::simmpi::{Looping, Op, Program, Src, World};
+use active_netprobe::simnet::{NodeId, SimDuration, SimTime, SwitchConfig};
+use active_netprobe::workloads::{build_impactb, ImpactConfig};
+
+/// Probes the Cab fabric under a synthetic ring load; returns the probe
+/// profile and the true routing-stage utilization.
+fn probe_under_ring_load(bytes: u64, gap: SimDuration, seed: u64) -> (LatencyProfile, f64) {
+    let mut world = World::new(SwitchConfig::cab().with_seed(seed));
+    let cfg = ImpactConfig {
+        period: SimDuration::from_micros(500),
+        ..ImpactConfig::default()
+    };
+    let (probes, sink) = build_impactb(&cfg, 18);
+    world.add_job("impactb", probes);
+    if bytes > 0 {
+        let noisy: Vec<(Box<dyn Program>, NodeId)> = (0..18u32)
+            .map(|n| {
+                (
+                    Box::new(Looping::new(vec![
+                        Op::Isend {
+                            dst: (n + 1) % 18,
+                            bytes,
+                            tag: 1,
+                        },
+                        Op::Irecv {
+                            src: Src::Any,
+                            tag: 1,
+                        },
+                        Op::WaitAll,
+                        Op::Sleep(gap),
+                    ])) as Box<dyn Program>,
+                    NodeId(n),
+                )
+            })
+            .collect();
+        world.add_job("load", noisy);
+    }
+    world.run_until(SimTime::from_millis(60));
+    let samples = sink.borrow();
+    let profile = TimedSeries::with_warmup(samples.clone(), 0.1).profile();
+    let true_util = world.fabric().switch_stats().utilization(world.now());
+    (profile, true_util)
+}
+
+#[test]
+fn idle_probe_latency_matches_cab_target() {
+    // The paper reports ~1.25 µs idle packet latency on Cab's switches.
+    let (idle, true_util) = probe_under_ring_load(0, SimDuration::ZERO, 7);
+    assert!(
+        (1.1..1.5).contains(&idle.mean()),
+        "idle mean {} outside the calibrated Cab window",
+        idle.mean()
+    );
+    assert!(true_util < 0.05, "probes alone must barely load the switch");
+    // The idle distribution has the Fig. 3 shape: a dominant mode with a
+    // small far tail.
+    let h = idle.histogram();
+    let mode_bin = (0..h.bins()).max_by_key(|&i| h.count(i)).unwrap();
+    assert!((h.bin_center(mode_bin) - 1.25).abs() < 0.5);
+    assert!(idle.max() > 2.5, "the rare slow packets must exist");
+}
+
+#[test]
+fn inferred_utilization_is_monotone_in_true_load() {
+    let ladder: [(u64, u64); 4] = [
+        (0, 0),
+        (64 << 10, 1_000_000),
+        (256 << 10, 300_000),
+        (1 << 20, 20_000),
+    ];
+    let (idle, _) = probe_under_ring_load(0, SimDuration::ZERO, 3);
+    let calib = Calibration::from_idle_profile(&idle, MuPolicy::MinLatency);
+    let mut last_inferred = -1.0;
+    let mut last_true = -1.0;
+    for (bytes, gap) in ladder {
+        let (p, true_util) = probe_under_ring_load(bytes, SimDuration::from_nanos(gap), 3);
+        let inferred = calib.utilization(&p);
+        assert!(
+            inferred >= last_inferred - 0.02,
+            "inferred utilization regressed: {inferred} after {last_inferred}"
+        );
+        assert!(
+            true_util >= last_true - 0.02,
+            "true utilization regressed: {true_util} after {last_true}"
+        );
+        last_inferred = inferred;
+        last_true = true_true_guard(true_util);
+    }
+    assert!(
+        last_inferred > 0.5,
+        "heavy load must read as substantial utilization, got {last_inferred}"
+    );
+}
+
+fn true_true_guard(u: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&u), "true utilization out of range");
+    u
+}
+
+#[test]
+fn pk_inversion_consistent_with_forward_model() {
+    // Independent of any simulation: calibrations over a grid of (µ, Var)
+    // must invert their own forward model exactly.
+    for mu in [0.3, 0.8, 1.5] {
+        for var in [0.0, 0.2, 2.0] {
+            let calib = Calibration {
+                mu,
+                var_s: var,
+                idle_mean: 1.0 / mu,
+                policy: MuPolicy::MinLatency,
+            };
+            for frac in [0.1, 0.5, 0.9] {
+                let lambda = mu * frac;
+                let w = calib.pk_sojourn(lambda);
+                let rho = calib.utilization_from_sojourn(w);
+                assert!(
+                    (rho - frac).abs() < 1e-6,
+                    "mu={mu} var={var} frac={frac}: got rho={rho}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn probe_footprint_is_stable_across_probe_rate() {
+    // Impact probes must be light enough that doubling their rate barely
+    // changes what they measure (the paper's "do not impact applications"
+    // requirement).
+    let run = |period_us: u64| {
+        let mut world = World::new(SwitchConfig::cab().with_seed(11));
+        let cfg = ImpactConfig {
+            period: SimDuration::from_micros(period_us),
+            ..ImpactConfig::default()
+        };
+        let (probes, sink) = build_impactb(&cfg, 18);
+        world.add_job("impactb", probes);
+        world.run_until(SimTime::from_millis(40));
+        let s = sink.borrow();
+        TimedSeries::with_warmup(s.clone(), 0.1).profile().mean()
+    };
+    let slow = run(2_000);
+    let fast = run(500);
+    assert!(
+        (slow - fast).abs() / slow < 0.08,
+        "probe self-interference too high: {slow} vs {fast}"
+    );
+}

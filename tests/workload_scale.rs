@@ -1,0 +1,165 @@
+//! Paper-scale smoke tests: every application proxy and both
+//! micro-benchmarks at their real rank counts on the Cab fabric.
+//!
+//! Iteration counts are cut down so the whole file stays fast in debug
+//! builds; the point is that 144-rank collectives, 64-rank stencils and
+//! ring benchmarks all complete, stay deadlock-free, and conserve
+//! messages at scale.
+
+use active_netprobe::simmpi::World;
+use active_netprobe::simnet::{SimTime, SwitchConfig};
+use active_netprobe::workloads::apps::amg::{build_amg, AmgParams};
+use active_netprobe::workloads::apps::fftw::{build_fftw, FftwParams};
+use active_netprobe::workloads::apps::lulesh::{build_lulesh, LuleshParams};
+use active_netprobe::workloads::apps::mcb::{build_mcb, McbParams};
+use active_netprobe::workloads::apps::milc::{build_milc, MilcParams};
+use active_netprobe::workloads::apps::vpfft::{build_vpfft, VpfftParams};
+use active_netprobe::workloads::{
+    build_compressionb, build_impactb, AppKind, CompressionConfig, ImpactConfig, Layout, RunMode,
+};
+
+fn world() -> World {
+    World::new(SwitchConfig::cab().with_seed(99))
+}
+
+#[test]
+fn fftw_at_paper_scale() {
+    let mut w = world();
+    let members = build_fftw(
+        &FftwParams {
+            iterations: 2,
+            ..FftwParams::default()
+        },
+        &Layout::cab_standard(),
+        RunMode::Iterations(2),
+        1,
+    );
+    assert_eq!(members.len(), 144);
+    let job = w.add_job("fftw", members);
+    assert!(w.run_until_job_done(job, SimTime::from_secs(30)));
+    // Every alltoall moves 144×143 messages; two per iteration.
+    assert_eq!(w.fabric().stats().messages_sent, 144 * 143 * 2 * 2);
+    assert_eq!(
+        w.fabric().stats().messages_sent,
+        w.fabric().stats().messages_delivered
+    );
+}
+
+#[test]
+fn vpfft_at_paper_scale() {
+    let mut w = world();
+    let members = build_vpfft(
+        &VpfftParams {
+            iterations: 2,
+            ..VpfftParams::default()
+        },
+        &Layout::cab_standard(),
+        RunMode::Iterations(2),
+        2,
+    );
+    let job = w.add_job("vpfft", members);
+    assert!(w.run_until_job_done(job, SimTime::from_secs(30)));
+}
+
+#[test]
+fn lulesh_at_paper_scale() {
+    let mut w = world();
+    let members = build_lulesh(
+        &LuleshParams {
+            iterations: 3,
+            ..LuleshParams::default()
+        },
+        &Layout::cab_lulesh(),
+        RunMode::Iterations(3),
+        3,
+    );
+    assert_eq!(members.len(), 64);
+    let job = w.add_job("lulesh", members);
+    assert!(w.run_until_job_done(job, SimTime::from_secs(30)));
+    // 26 halo messages per rank per step, plus allreduce lowering.
+    assert!(w.fabric().stats().messages_sent >= 64 * 26 * 3);
+}
+
+#[test]
+fn milc_at_paper_scale() {
+    let mut w = world();
+    let members = build_milc(
+        &MilcParams {
+            iterations: 5,
+            ..MilcParams::default()
+        },
+        &Layout::cab_standard(),
+        RunMode::Iterations(5),
+        4,
+    );
+    let job = w.add_job("milc", members);
+    assert!(w.run_until_job_done(job, SimTime::from_secs(30)));
+}
+
+#[test]
+fn mcb_and_amg_at_paper_scale() {
+    let mut w = world();
+    let mcb = build_mcb(
+        &McbParams {
+            iterations: 3,
+            compute_ns: 500_000,
+            ..McbParams::default()
+        },
+        &Layout::cab_standard(),
+        RunMode::Iterations(3),
+        5,
+    );
+    let amg = build_amg(
+        &AmgParams {
+            iterations: 2,
+            ..AmgParams::default()
+        },
+        &Layout::cab_standard(),
+        RunMode::Iterations(2),
+        6,
+    );
+    let j1 = w.add_job("mcb", mcb);
+    let j2 = w.add_job("amg", amg);
+    assert!(w.run_until_job_done(j1, SimTime::from_secs(60)));
+    assert!(w.run_until_job_done(j2, SimTime::from_secs(60)));
+}
+
+#[test]
+fn probes_and_compression_share_the_switch_with_an_app() {
+    // The paper's full co-location: application + ImpactB + CompressionB
+    // all on the same 18 nodes, none starving.
+    let mut w = world();
+    let (probes, sink) = build_impactb(&ImpactConfig::default(), 18);
+    w.add_job("impactb", probes);
+    let comp = CompressionConfig::new(7, 2_500_000, 1);
+    w.add_job("compressionb", build_compressionb(&comp, 18, 2, 2_600_000_000));
+    let app = build_milc(
+        &MilcParams {
+            iterations: 10,
+            ..MilcParams::default()
+        },
+        &Layout::cab_standard(),
+        RunMode::Iterations(10),
+        7,
+    );
+    let job = w.add_job("milc", app);
+    assert!(w.run_until_job_done(job, SimTime::from_secs(30)));
+    assert!(
+        !sink.borrow().is_empty(),
+        "probes must keep sampling under full co-location"
+    );
+}
+
+#[test]
+fn registry_default_builds_run_one_iteration_each() {
+    for kind in AppKind::ALL {
+        let mut w = World::new(SwitchConfig::cab().with_seed(kind as u64));
+        let job = w.add_job(kind.name(), kind.build(RunMode::Iterations(1), 8));
+        assert!(
+            w.run_until_job_done(job, SimTime::from_secs(30)),
+            "{} did not finish one iteration",
+            kind.name()
+        );
+        assert!(w.fabric().stats().messages_sent > 0, "{}", kind.name());
+    }
+}
