@@ -111,7 +111,7 @@ fn bench_world_exchange(c: &mut Criterion) {
                 (w, job)
             },
             |(mut w, job)| {
-                assert!(w.run_until_job_done(job, SimTime::from_secs(5)));
+                assert!(w.run_until_job_done(job, SimTime::from_secs(5)).completed());
                 w.events_processed()
             },
             BatchSize::SmallInput,

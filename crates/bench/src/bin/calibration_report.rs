@@ -24,7 +24,11 @@ fn solo_wait_fraction(opts: &HarnessOpts, app: AppKind) -> f64 {
     let mut world = World::new(cfg.switch.clone());
     let job = world.add_job(app.name(), app.build(RunMode::Iterations(0), 17));
     world.enable_tracing();
-    world.run_until_job_done(job, SimTime::ZERO + cfg.run_cap);
+    let outcome = world.run_until_job_done(job, SimTime::ZERO + cfg.run_cap);
+    assert!(
+        outcome.completed(),
+        "solo calibration run did not converge: {outcome:?}"
+    );
     world.job_phase_totals(job).waiting_fraction()
 }
 

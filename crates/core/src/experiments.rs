@@ -12,8 +12,8 @@
 //! * **Calibration** — impact with no workload at all, yielding the idle
 //!   profile that parameterizes the queue model (§IV-B).
 
-use anp_simmpi::{JobId, Program, World};
-use anp_simnet::{NodeId, SimDuration, SimTime, SwitchConfig};
+use anp_simmpi::{JobId, Program, ReliabilityConfig, RunOutcome, StallReport, World};
+use anp_simnet::{FaultPlan, NodeId, SimDuration, SimTime, SwitchConfig};
 use anp_workloads::{
     build_compressionb, build_impactb, AppKind, CompressionConfig, ImpactConfig, RunMode,
 };
@@ -37,6 +37,9 @@ pub enum ExperimentError {
     },
     /// The probe job produced no samples inside the measurement window.
     NoSamples,
+    /// The measured job can never finish: the event queue drained with
+    /// ranks still blocked (deadlock, or messages lost for good).
+    Stalled(StallReport),
 }
 
 impl std::fmt::Display for ExperimentError {
@@ -46,6 +49,7 @@ impl std::fmt::Display for ExperimentError {
                 write!(f, "job '{job}' did not finish before {cap}")
             }
             ExperimentError::NoSamples => write!(f, "no probe samples collected"),
+            ExperimentError::Stalled(report) => write!(f, "stalled: {report}"),
         }
     }
 }
@@ -176,22 +180,32 @@ pub fn runtime_of(
     app_members: Members,
     interferer: Option<Members>,
 ) -> Result<SimDuration, ExperimentError> {
-    let mut world = World::new(cfg.switch.clone());
+    let world = World::new(cfg.switch.clone());
+    runtime_in_world(world, cfg, name, app_members, interferer)
+}
+
+/// Shared tail of the runtime experiments: installs the jobs, runs to
+/// completion, and maps the three run outcomes onto the error type.
+fn runtime_in_world(
+    mut world: World,
+    cfg: &ExperimentConfig,
+    name: &str,
+    app_members: Members,
+    interferer: Option<Members>,
+) -> Result<SimDuration, ExperimentError> {
     let job: JobId = world.add_job(name, app_members);
     if let Some(members) = interferer {
         world.add_job("interferer", members);
     }
     let cap = SimTime::ZERO + cfg.run_cap;
-    if !world.run_until_job_done(job, cap) {
-        return Err(ExperimentError::HorizonExceeded {
+    match world.run_until_job_done(job, cap) {
+        RunOutcome::Completed { at } => Ok(at.since(SimTime::ZERO)),
+        RunOutcome::DeadlineExpired(_) => Err(ExperimentError::HorizonExceeded {
             job: name.to_owned(),
             cap,
-        });
+        }),
+        RunOutcome::Stalled(report) => Err(ExperimentError::Stalled(report)),
     }
-    Ok(world
-        .job_finish_time(job)
-        .expect("done job has a finish time")
-        .since(SimTime::ZERO))
 }
 
 /// Solo runtime of `app` at its default iteration count.
@@ -227,6 +241,48 @@ pub fn runtime_under_corun(
     // do not run two phase-locked clones.
     let noise = other.build(RunMode::Endless, cfg.workload_seed(other as u64 + 101));
     runtime_of(cfg, victim.name(), members, Some(noise))
+}
+
+/// Runtime of `app` on a fabric losing packets uniformly at probability
+/// `loss`, with the message layer's retransmitting reliability protocol
+/// enabled.
+///
+/// This opens the slowdown-vs-loss-rate experiment family: the paper
+/// studies degradation from switch *congestion*; this driver measures the
+/// analogous curve for fabric *unreliability* — how much a given loss rate
+/// stretches an application, with recovery cost (timeouts, retransmits,
+/// resequencing stalls) included. `loss = 0` reduces to [`solo_runtime`]
+/// modulo the reliability layer's sequencing.
+pub fn runtime_under_loss(
+    cfg: &ExperimentConfig,
+    app: AppKind,
+    loss: f64,
+    reliability: ReliabilityConfig,
+) -> Result<SimDuration, ExperimentError> {
+    let switch = cfg
+        .switch
+        .clone()
+        .with_fault_plan(FaultPlan::uniform_loss(loss).with_seed(cfg.seed ^ 0xFA_17));
+    let mut world = World::new(switch);
+    world.set_reliability(reliability);
+    let members = app.build(RunMode::Iterations(0), cfg.workload_seed(app as u64 + 1));
+    runtime_in_world(world, cfg, app.name(), members, None)
+}
+
+/// [`runtime_under_loss`] over a list of loss rates: the degradation
+/// curve `(loss, runtime)` for one application. Loss rates where the
+/// application could not finish (retry budget exhausted, horizon hit)
+/// yield an `Err` entry rather than aborting the sweep.
+pub fn loss_sweep(
+    cfg: &ExperimentConfig,
+    app: AppKind,
+    losses: &[f64],
+    reliability: ReliabilityConfig,
+) -> Vec<(f64, Result<SimDuration, ExperimentError>)> {
+    losses
+        .iter()
+        .map(|&loss| (loss, runtime_under_loss(cfg, app, loss, reliability)))
+        .collect()
 }
 
 /// The paper's degradation metric:
@@ -394,6 +450,64 @@ mod tests {
         let loaded = runtime_of(&cfg, "app", mk_job(), Some(noisy_members(4))).unwrap();
         let deg = degradation_percent(solo, loaded);
         assert!(deg > 10.0, "expected visible slowdown, got {deg:.1}%");
+    }
+
+    #[test]
+    fn stalled_job_is_reported_with_diagnostics() {
+        // A receive with no sender: the queue drains, and the error must
+        // carry the structured report rather than a bare timeout.
+        let cfg = tiny_cfg();
+        let members: Members = vec![(
+            Box::new(Scripted::new(vec![
+                Op::Irecv {
+                    src: Src::Rank(0),
+                    tag: 3,
+                },
+                Op::WaitAll,
+                Op::Stop,
+            ])) as Box<dyn Program>,
+            NodeId(0),
+        )];
+        let err = runtime_of(&cfg, "hung", members, None).unwrap_err();
+        let ExperimentError::Stalled(report) = err else {
+            panic!("expected Stalled, got {err:?}");
+        };
+        assert_eq!(report.blocked.len(), 1);
+        assert!(report.to_string().contains("tag 3"));
+    }
+
+    #[test]
+    fn loss_sweep_degrades_runtime() {
+        // Packet loss must never make the app faster, and a 0.1% loss
+        // rate must visibly stretch it (every recovery costs a full
+        // timeout). Two regimes matter for the parameters: the timeout
+        // must sit well above the congested delivery latency of a 64-rank
+        // halo burst (or spurious retransmits snowball into congestion
+        // collapse — the clean run finishes in ~85ms, so 50ms is safe),
+        // and loss x packets-per-message must stay well below 1, because
+        // the ARQ is message-grained: a 24KB halo is 24 packets, and at
+        // 1% per-wire loss every attempt would die with ~50% probability.
+        // The apps need the paper's 18-node layout; keep the deterministic
+        // service so the comparison is noise-free.
+        let mut switch = SwitchConfig::tiny_deterministic();
+        switch.nodes = 18;
+        switch.route_servers = 18;
+        let cfg = ExperimentConfig {
+            switch,
+            run_cap: SimDuration::from_secs(60),
+            ..tiny_cfg()
+        };
+        let rel = ReliabilityConfig {
+            retransmit_timeout: SimDuration::from_millis(50),
+            max_retries: 10,
+        };
+        let results = loss_sweep(&cfg, AppKind::Lulesh, &[0.0, 0.001], rel);
+        let clean = results[0].1.clone().expect("lossless run completes");
+        let lossy = results[1].1.clone().expect("0.1% loss must still recover");
+        assert!(
+            lossy > clean,
+            "loss must cost time: clean {clean} vs lossy {lossy}"
+        );
     }
 
     #[test]

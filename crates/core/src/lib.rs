@@ -45,9 +45,9 @@ pub mod series;
 
 pub use experiments::{
     calibrate, degradation_percent, idle_profile, impact_profile, impact_profile_of_app,
-    impact_profile_of_compression, impact_series, impact_series_of_app, runtime_of,
-    runtime_under_compression, runtime_under_corun, solo_runtime, ExperimentConfig,
-    ExperimentError, Members,
+    impact_profile_of_compression, impact_series, impact_series_of_app, loss_sweep, runtime_of,
+    runtime_under_compression, runtime_under_corun, runtime_under_loss, solo_runtime,
+    ExperimentConfig, ExperimentError, Members,
 };
 pub use lut::{CompressionEntry, LookupTable};
 pub use models::{all_models, AverageLt, AverageStDevLt, PdfLt, QueueModel, QueuePhaseModel, SlowdownModel};

@@ -43,8 +43,14 @@
 //!     (Box::new(tx) as Box<dyn Program>, NodeId(0)),
 //!     (Box::new(rx) as Box<dyn Program>, NodeId(1)),
 //! ]);
-//! assert!(world.run_until_job_done(job, SimTime::from_secs(1)));
+//! assert!(world.run_until_job_done(job, SimTime::from_secs(1)).completed());
 //! ```
+//!
+//! `run_until_job_done` returns a [`RunOutcome`]: completion, deadline
+//! expiry, or a stall — the two failure cases carrying a [`StallReport`]
+//! naming each blocked rank and what it waits on. On a lossy fabric (see
+//! `anp_simnet::FaultPlan`), enable the retransmitting reliability layer
+//! with [`World::set_reliability`].
 
 #![warn(missing_docs)]
 
@@ -58,4 +64,7 @@ pub mod world;
 pub use op::{Op, Src};
 pub use program::{Ctx, Looping, Program, Scripted};
 pub use trace::{PhaseTotals, RankPhase, TraceLog};
-pub use world::{JobId, World, WorldEvent};
+pub use world::{
+    BlockedOn, BlockedRank, FailedSend, JobId, ReliabilityConfig, ReliabilityStats, RunOutcome,
+    StallReport, World, WorldEvent,
+};

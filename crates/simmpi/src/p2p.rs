@@ -77,6 +77,12 @@ impl Mailbox {
         self.posted.len()
     }
 
+    /// The `(source, tag)` selectors of every unmatched posted receive, in
+    /// posting order (stall diagnostics).
+    pub fn posted_descriptors(&self) -> Vec<(Src, u32)> {
+        self.posted.iter().map(|r| (r.src, r.tag)).collect()
+    }
+
     /// Messages arrived but not yet matched.
     pub fn unexpected_len(&self) -> usize {
         self.unexpected.len()

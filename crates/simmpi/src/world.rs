@@ -12,18 +12,20 @@
 //! event queue, so software timing and network timing share one clock and
 //! every run is deterministic for a given configuration seed.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
 
 use anp_simnet::util::IdHashMap;
 use anp_simnet::{
-    EventQueue, Fabric, MessageId, NetEvent, NodeId, Notice, SimDuration, SimTime, SwitchConfig,
+    ConfigError, EventQueue, Fabric, MessageId, NetEvent, NodeId, Notice, SimDuration, SimTime,
+    SwitchConfig,
 };
 
 use crate::coll::{
     expand_allgather, expand_allreduce, expand_alltoall, expand_barrier, expand_bcast,
     expand_reduce,
 };
-use crate::op::Op;
+use crate::op::{Op, Src};
 use crate::p2p::{Envelope, Mailbox};
 use crate::program::{Ctx, Program};
 use crate::trace::{PhaseTotals, RankPhase, TraceLog};
@@ -41,6 +43,13 @@ pub enum WorldEvent {
     RankTimer {
         /// Global rank index.
         rank: u32,
+    },
+    /// A reliability-layer retransmit timeout fired for a tracked send.
+    RetransmitTimer {
+        /// The pending-send token the timer guards. Stale timers (the
+        /// message was delivered, or a newer attempt re-armed the timer)
+        /// are ignored.
+        token: u64,
     },
 }
 
@@ -112,10 +121,236 @@ struct WireMeta {
     tag: u32,
     bytes: u64,
     kind: WireKind,
+    /// Reliability-layer sequence number (eager sends with reliability
+    /// enabled only; `None` bypasses resequencing).
+    seq: Option<u64>,
 }
 
 /// Size of RTS/CTS control messages on the wire.
 const RENDEZVOUS_CTRL_BYTES: u64 = 64;
+
+/// Retransmission policy for the eager-protocol reliability layer.
+///
+/// Strictly opt-in (see [`World::set_reliability`]): without it the
+/// message layer assumes a lossless fabric, which is exact for the default
+/// [`anp_simnet::FaultPlan::none`] configuration. With it, every eager
+/// send carries a per-(source, destination) sequence number, the receiver
+/// delivers in sequence order, and the sender re-sends on timeout with
+/// exponential backoff until the message lands or the retry budget is
+/// spent — after which the send is reported failed (see
+/// [`StallReport::failed_sends`]) rather than retried forever.
+///
+/// Rendezvous traffic (RTS/CTS handshakes and their payloads) is *not*
+/// covered: a lost control message stalls the handshake and surfaces in
+/// the [`StallReport`]. Collectives are covered, since they lower to eager
+/// point-to-point sends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReliabilityConfig {
+    /// Delay before the first retransmission of an unacknowledged send.
+    /// Subsequent attempts back off exponentially (×2 each).
+    pub retransmit_timeout: SimDuration,
+    /// Retransmissions allowed per message before it is declared failed.
+    pub max_retries: u32,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        ReliabilityConfig {
+            retransmit_timeout: SimDuration::from_micros(100),
+            max_retries: 8,
+        }
+    }
+}
+
+/// How a [`World::run_until_job_done`] call ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every rank of the job executed [`Op::Stop`].
+    Completed {
+        /// When the last rank stopped.
+        at: SimTime,
+    },
+    /// The horizon passed with events still queued: the job was making
+    /// (or could still make) progress but ran out of simulated time.
+    DeadlineExpired(StallReport),
+    /// The event queue drained with the job incomplete: no future event
+    /// can unblock it. This is a deadlock or a permanent message loss.
+    Stalled(StallReport),
+}
+
+impl RunOutcome {
+    /// `true` iff the job ran to completion.
+    pub fn completed(&self) -> bool {
+        matches!(self, RunOutcome::Completed { .. })
+    }
+
+    /// The stall diagnostics, for the two incomplete outcomes.
+    pub fn stall_report(&self) -> Option<&StallReport> {
+        match self {
+            RunOutcome::Completed { .. } => None,
+            RunOutcome::DeadlineExpired(r) | RunOutcome::Stalled(r) => Some(r),
+        }
+    }
+}
+
+/// Structured diagnostics for a job that failed to complete: which ranks
+/// are blocked, on what, and which sends the reliability layer gave up on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallReport {
+    /// The job that did not finish.
+    pub job: JobId,
+    /// Its human-readable name.
+    pub job_name: String,
+    /// Simulated time when the run gave up.
+    pub at: SimTime,
+    /// Every rank of the job that has not executed [`Op::Stop`].
+    pub blocked: Vec<BlockedRank>,
+    /// Sends abandoned after exhausting the retry budget (empty unless
+    /// reliability is enabled and the fabric lost messages for good).
+    pub failed_sends: Vec<FailedSend>,
+}
+
+impl fmt::Display for StallReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "job '{}' incomplete at {}: {} rank(s) not stopped",
+            self.job_name,
+            self.at,
+            self.blocked.len()
+        )?;
+        for b in &self.blocked {
+            writeln!(f, "  {b}")?;
+        }
+        for s in &self.failed_sends {
+            writeln!(f, "  {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One unfinished rank in a [`StallReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockedRank {
+    /// Job-local rank index.
+    pub local: u32,
+    /// Global rank index.
+    pub global: u32,
+    /// The node the rank runs on.
+    pub node: NodeId,
+    /// What the rank is blocked on.
+    pub waiting_on: BlockedOn,
+}
+
+impl fmt::Display for BlockedRank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank {} (node {}): ", self.local, self.node.0)?;
+        match &self.waiting_on {
+            BlockedOn::WaitAll {
+                outstanding,
+                pending_recvs,
+            } => {
+                write!(f, "WaitAll on {outstanding} request(s)")?;
+                if !pending_recvs.is_empty() {
+                    write!(f, ", unmatched recvs:")?;
+                    for (src, tag) in pending_recvs {
+                        match src {
+                            Src::Any => write!(f, " (any, tag {tag})")?,
+                            Src::Rank(r) => write!(f, " (rank {r}, tag {tag})")?,
+                        }
+                    }
+                }
+                Ok(())
+            }
+            BlockedOn::Computing => write!(f, "mid-compute span"),
+            BlockedOn::Ready => write!(f, "runnable (never blocked)"),
+        }
+    }
+}
+
+/// The blocking condition of one rank in a [`StallReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockedOn {
+    /// Blocked in [`Op::WaitAll`].
+    WaitAll {
+        /// Requests still outstanding.
+        outstanding: u32,
+        /// Posted receives with no matching message, as `(source, tag)`
+        /// selectors — the usual culprits when a message was lost.
+        pending_recvs: Vec<(Src, u32)>,
+    },
+    /// Inside a compute/sleep span (only possible for
+    /// [`RunOutcome::DeadlineExpired`]; a drained queue has no timers).
+    Computing,
+    /// Runnable but not finished when the run gave up.
+    Ready,
+}
+
+/// A send the reliability layer abandoned after its retry budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedSend {
+    /// The job the send belongs to.
+    pub job: JobId,
+    /// Job-local sending rank.
+    pub src: u32,
+    /// Job-local destination rank.
+    pub dst: u32,
+    /// Match tag.
+    pub tag: u32,
+    /// Payload size.
+    pub bytes: u64,
+    /// Per-(src, dst) sequence number of the lost message.
+    pub seq: u64,
+    /// Wire attempts made (1 original + retries).
+    pub attempts: u32,
+}
+
+impl fmt::Display for FailedSend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "send failed: rank {} -> rank {} tag {} ({} B, seq {}) after {} attempts",
+            self.src, self.dst, self.tag, self.bytes, self.seq, self.attempts
+        )
+    }
+}
+
+/// Reliability-layer counters (all zero unless [`World::set_reliability`]
+/// was called).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReliabilityStats {
+    /// Messages re-sent after a timeout.
+    pub retransmits: u64,
+    /// Duplicate deliveries suppressed by sequence numbers (a spurious
+    /// retransmit whose original arrived late).
+    pub duplicates: u64,
+    /// Sends abandoned after the retry budget.
+    pub failures: u64,
+}
+
+/// Sender-side state of one tracked (in-flight, unacknowledged) eager send.
+#[derive(Debug, Clone, Copy)]
+struct PendingSend {
+    meta: WireMeta,
+    src_global: u32,
+    src_node: NodeId,
+    dst_node: NodeId,
+    seq: u64,
+    /// Wire attempts made so far (1 = original send only).
+    attempts: u32,
+    current_msg: MessageId,
+}
+
+/// Receiver-side resequencing state for one (src, dst) global-rank pair.
+#[derive(Debug, Default)]
+struct PairRecv {
+    /// Next sequence number to hand to matching.
+    next: u64,
+    /// Out-of-order arrivals, `None` marking a sequence number voided by a
+    /// failed send (its slot is consumed so later messages can drain; the
+    /// matching receive simply never completes).
+    buffer: BTreeMap<u64, Option<Envelope>>,
+}
 
 /// The composed simulation: fabric + jobs + event loop.
 pub struct World {
@@ -140,13 +375,41 @@ pub struct World {
     rendezvous_sends: IdHashMap<u64, (u32, u64, NodeId)>,
     /// Receiver side: RTS id → receiver global rank awaiting the payload.
     awaiting_data: IdHashMap<u64, u32>,
+    /// Retransmission policy; `None` (the default) assumes a lossless
+    /// fabric and adds zero overhead.
+    reliability: Option<ReliabilityConfig>,
+    /// Next pending-send token.
+    next_token: u64,
+    /// Tracked unacknowledged sends by token.
+    pending_sends: IdHashMap<u64, PendingSend>,
+    /// Wire message id → pending-send token (one entry per live attempt).
+    msg_token: IdHashMap<MessageId, u64>,
+    /// Next sequence number per (src_global << 32 | dst_global) pair.
+    send_seq: IdHashMap<u64, u64>,
+    /// Receiver resequencing state per (src_global << 32 | dst_global).
+    recv_seq: IdHashMap<u64, PairRecv>,
+    /// Sends abandoned after the retry budget, in failure order.
+    failed_sends: Vec<FailedSend>,
+    rel_stats: ReliabilityStats,
 }
 
 impl World {
     /// Creates a world over a fresh fabric.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid; use [`World::try_new`] to
+    /// handle [`ConfigError`] gracefully.
     pub fn new(cfg: SwitchConfig) -> Self {
-        World {
-            fabric: Fabric::new(cfg),
+        match Self::try_new(cfg) {
+            Ok(w) => w,
+            Err(e) => panic!("invalid switch configuration: {e}"),
+        }
+    }
+
+    /// Creates a world over a fresh fabric, validating the configuration.
+    pub fn try_new(cfg: SwitchConfig) -> Result<Self, ConfigError> {
+        Ok(World {
+            fabric: Fabric::try_new(cfg)?,
             q: EventQueue::new(),
             ranks: Vec::new(),
             jobs: Vec::new(),
@@ -160,7 +423,33 @@ impl World {
             eager_threshold: u64::MAX,
             rendezvous_sends: IdHashMap::default(),
             awaiting_data: IdHashMap::default(),
-        }
+            reliability: None,
+            next_token: 0,
+            pending_sends: IdHashMap::default(),
+            msg_token: IdHashMap::default(),
+            send_seq: IdHashMap::default(),
+            recv_seq: IdHashMap::default(),
+            failed_sends: Vec::new(),
+            rel_stats: ReliabilityStats::default(),
+        })
+    }
+
+    /// Enables the eager-protocol reliability layer (sequence numbers,
+    /// in-order delivery, timeout-driven retransmission). Required for
+    /// applications to survive a lossy [`anp_simnet::FaultPlan`]; useless
+    /// overhead on a lossless fabric. Call before the world starts.
+    pub fn set_reliability(&mut self, cfg: ReliabilityConfig) {
+        assert!(!self.started, "enable reliability before running");
+        assert!(
+            cfg.retransmit_timeout > SimDuration::ZERO,
+            "retransmit timeout must be positive"
+        );
+        self.reliability = Some(cfg);
+    }
+
+    /// Reliability-layer counters (zeros when reliability is off).
+    pub fn reliability_stats(&self) -> ReliabilityStats {
+        self.rel_stats
     }
 
     /// Sets the eager/rendezvous protocol split: messages of `bytes` or
@@ -298,16 +587,68 @@ impl World {
         while self.step(horizon) {}
     }
 
-    /// Runs until `job` completes or `horizon` passes. Returns `true` if
-    /// the job completed.
-    pub fn run_until_job_done(&mut self, job: JobId, horizon: SimTime) -> bool {
+    /// Runs until `job` completes, the event queue drains, or `horizon`
+    /// passes — three distinct outcomes (completion, deadlock/stall,
+    /// deadline expiry) that callers must not conflate: an expired
+    /// deadline means "needed more simulated time", a stall means no
+    /// amount of time can help.
+    pub fn run_until_job_done(&mut self, job: JobId, horizon: SimTime) -> RunOutcome {
         self.bootstrap();
         while !self.job_done(job) {
             if !self.step(horizon) {
                 break;
             }
         }
-        self.job_done(job)
+        if self.job_done(job) {
+            return RunOutcome::Completed {
+                at: self.job_finish_time(job).unwrap_or_else(|| self.q.now()),
+            };
+        }
+        let report = self.stall_report(job);
+        if self.q.peek_time().is_some() {
+            RunOutcome::DeadlineExpired(report)
+        } else {
+            RunOutcome::Stalled(report)
+        }
+    }
+
+    /// Diagnostics for an unfinished job: every non-stopped rank with its
+    /// blocking condition, plus any sends the reliability layer abandoned.
+    pub fn stall_report(&self, job: JobId) -> StallReport {
+        let blocked = self.jobs[job.0 as usize]
+            .ranks
+            .iter()
+            .filter_map(|&g| {
+                let r = &self.ranks[g as usize];
+                let waiting_on = match r.status {
+                    Status::Stopped => return None,
+                    Status::Computing => BlockedOn::Computing,
+                    Status::Ready => BlockedOn::Ready,
+                    Status::BlockedWaitAll => BlockedOn::WaitAll {
+                        outstanding: r.outstanding,
+                        pending_recvs: r.mailbox.posted_descriptors(),
+                    },
+                };
+                Some(BlockedRank {
+                    local: r.local,
+                    global: g,
+                    node: r.node,
+                    waiting_on,
+                })
+            })
+            .collect();
+        StallReport {
+            job,
+            job_name: self.jobs[job.0 as usize].name.clone(),
+            at: self.q.now(),
+            blocked,
+            failed_sends: self
+                .failed_sends
+                .iter()
+                .filter(|s| s.job == job)
+                .cloned()
+                .collect(),
+        }
     }
 
     fn bootstrap(&mut self) {
@@ -315,6 +656,8 @@ impl World {
             return;
         }
         self.started = true;
+        // Announce scheduled link-down/up windows (no-op without faults).
+        self.fabric.prime_fault_events(&mut self.q);
         for g in 0..self.ranks.len() as u32 {
             self.make_ready(g);
         }
@@ -345,6 +688,7 @@ impl World {
                 debug_assert_eq!(self.ranks[rank as usize].status, Status::Computing);
                 self.make_ready(rank);
             }
+            WorldEvent::RetransmitTimer { token } => self.retransmit_or_fail(token),
         }
         self.drain_ready();
         true
@@ -368,17 +712,23 @@ impl World {
                 let dst_global = self.jobs[meta.job.0 as usize].ranks[meta.dst_local as usize];
                 match meta.kind {
                     WireKind::Eager => {
-                        let r = &mut self.ranks[dst_global as usize];
-                        let matched = r.mailbox.deliver(Envelope {
+                        let env = Envelope {
                             src: meta.src_local,
                             tag: meta.tag,
                             bytes: meta.bytes,
                             rendezvous: None,
-                        });
-                        if matched {
-                            debug_assert!(r.outstanding > 0);
-                            r.outstanding -= 1;
-                            self.maybe_unblock(dst_global);
+                        };
+                        if let Some(seq) = meta.seq {
+                            // Tracked send: acknowledge (drop the pending
+                            // record and its timer guard) and resequence.
+                            if let Some(token) = self.msg_token.remove(&msg) {
+                                self.pending_sends.remove(&token);
+                            }
+                            let src_global =
+                                self.jobs[meta.job.0 as usize].ranks[meta.src_local as usize];
+                            self.accept_sequenced(src_global, dst_global, seq, env);
+                        } else {
+                            self.deliver_envelope(dst_global, env);
                         }
                     }
                     WireKind::Rts { payload } => {
@@ -419,6 +769,7 @@ impl World {
                                 tag: 0,
                                 bytes,
                                 kind: WireKind::Data { answer },
+                                seq: None,
                             },
                         );
                         // The send request completes when the payload has
@@ -438,8 +789,120 @@ impl World {
                     }
                 }
             }
-            Notice::PacketDelivered { .. } => {}
+            Notice::MessageDropped { msg, .. } => {
+                // The fabric lost the message to an injected fault. The
+                // sender's request already completed at injection (eager
+                // semantics); recovery, if any, is timer-driven — the
+                // reliability layer deliberately ignores this omniscient
+                // signal, exactly like a real sender would have to.
+                self.meta.remove(&msg);
+                self.msg_token.remove(&msg);
+            }
+            Notice::PacketDelivered { .. }
+            | Notice::PacketDropped { .. }
+            | Notice::LinkDown { .. }
+            | Notice::LinkUp { .. } => {}
         }
+    }
+
+    /// Hands an eager envelope to the destination rank's matching engine.
+    fn deliver_envelope(&mut self, dst_global: u32, env: Envelope) {
+        let r = &mut self.ranks[dst_global as usize];
+        let matched = r.mailbox.deliver(env);
+        if matched {
+            debug_assert!(r.outstanding > 0);
+            r.outstanding -= 1;
+            self.maybe_unblock(dst_global);
+        }
+    }
+
+    /// Accepts a sequenced arrival: suppresses duplicates, buffers
+    /// out-of-order messages, and drains everything now in order.
+    fn accept_sequenced(&mut self, src_global: u32, dst_global: u32, seq: u64, env: Envelope) {
+        let key = pair_key(src_global, dst_global);
+        let pair = self.recv_seq.entry(key).or_default();
+        if seq < pair.next || pair.buffer.contains_key(&seq) {
+            self.rel_stats.duplicates += 1;
+            return;
+        }
+        pair.buffer.insert(seq, Some(env));
+        self.drain_sequenced(key, dst_global);
+    }
+
+    /// Marks `seq` as permanently lost so later messages on the pair can
+    /// still be delivered in order. The receive that would have matched it
+    /// stays pending forever — visible in the [`StallReport`].
+    fn void_sequenced(&mut self, src_global: u32, dst_global: u32, seq: u64) {
+        let key = pair_key(src_global, dst_global);
+        let pair = self.recv_seq.entry(key).or_default();
+        if seq < pair.next {
+            return; // A duplicate of the "failed" message made it after all.
+        }
+        pair.buffer.insert(seq, None);
+        self.drain_sequenced(key, dst_global);
+    }
+
+    /// Delivers the in-order prefix of a pair's resequencing buffer.
+    fn drain_sequenced(&mut self, key: u64, dst_global: u32) {
+        loop {
+            let pair = self.recv_seq.get_mut(&key).expect("pair state vanished");
+            let next = pair.next;
+            let Some(slot) = pair.buffer.remove(&next) else {
+                return;
+            };
+            pair.next += 1;
+            if let Some(env) = slot {
+                self.deliver_envelope(dst_global, env);
+            }
+        }
+    }
+
+    /// A retransmit timer fired: re-send the message if its budget allows,
+    /// declare it failed otherwise. Stale timers (message acknowledged, or
+    /// a newer attempt re-armed) are ignored.
+    fn retransmit_or_fail(&mut self, token: u64) {
+        let Some(p) = self.pending_sends.get(&token).copied() else {
+            return;
+        };
+        let rel = self
+            .reliability
+            .expect("pending send tracked without a reliability config");
+        if p.attempts > rel.max_retries {
+            // Budget spent: give up and unblock the destination's later
+            // traffic by voiding the sequence number.
+            self.pending_sends.remove(&token);
+            let dst_global = self.jobs[p.meta.job.0 as usize].ranks[p.meta.dst_local as usize];
+            self.rel_stats.failures += 1;
+            self.failed_sends.push(FailedSend {
+                job: p.meta.job,
+                src: p.meta.src_local,
+                dst: p.meta.dst_local,
+                tag: p.meta.tag,
+                bytes: p.meta.bytes,
+                seq: p.seq,
+                attempts: p.attempts,
+            });
+            self.void_sequenced(p.src_global, dst_global, p.seq);
+            return;
+        }
+        // Re-send. The sender's request completed at first injection, so
+        // no send_owner entry; the new wire message maps to the same token.
+        self.rel_stats.retransmits += 1;
+        let msg = self.fabric.send_message(
+            &mut self.q,
+            u64::from(p.src_global),
+            p.src_node,
+            p.dst_node,
+            p.meta.bytes,
+        );
+        self.meta.insert(msg, p.meta);
+        self.msg_token.insert(msg, token);
+        let entry = self.pending_sends.get_mut(&token).expect("checked above");
+        entry.attempts += 1;
+        entry.current_msg = msg;
+        let backoff = rel.retransmit_timeout * (1u64 << (entry.attempts - 1).min(20));
+        self.q
+            .schedule_after(backoff, WorldEvent::RetransmitTimer { token });
     }
 
     fn maybe_unblock(&mut self, rank: u32) {
@@ -587,6 +1050,7 @@ impl World {
                     tag,
                     bytes,
                     kind: WireKind::Rts { payload: bytes },
+                    seq: None,
                 },
             );
             self.rendezvous_sends
@@ -597,6 +1061,38 @@ impl World {
         let msg = self
             .fabric
             .send_message(&mut self.q, u64::from(rank), src_node, dst_node, bytes);
+        let seq = self.reliability.map(|rel| {
+            let counter = self.send_seq.entry(pair_key(rank, dst_global)).or_insert(0);
+            let seq = *counter;
+            *counter += 1;
+            let token = self.next_token;
+            self.next_token += 1;
+            let meta = WireMeta {
+                job,
+                src_local,
+                dst_local,
+                tag,
+                bytes,
+                kind: WireKind::Eager,
+                seq: Some(seq),
+            };
+            self.pending_sends.insert(
+                token,
+                PendingSend {
+                    meta,
+                    src_global: rank,
+                    src_node,
+                    dst_node,
+                    seq,
+                    attempts: 1,
+                    current_msg: msg,
+                },
+            );
+            self.msg_token.insert(msg, token);
+            self.q
+                .schedule_after(rel.retransmit_timeout, WorldEvent::RetransmitTimer { token });
+            seq
+        });
         self.meta.insert(
             msg,
             WireMeta {
@@ -606,6 +1102,7 @@ impl World {
                 tag,
                 bytes,
                 kind: WireKind::Eager,
+                seq,
             },
         );
         self.send_owner.insert(msg, rank);
@@ -637,6 +1134,7 @@ impl World {
                 tag: 0,
                 bytes: RENDEZVOUS_CTRL_BYTES,
                 kind: WireKind::Cts { answer: rts_id },
+                seq: None,
             },
         );
         self.awaiting_data.insert(rts_id, receiver);
@@ -676,6 +1174,11 @@ impl World {
         );
         r.injected.extend(ops);
     }
+}
+
+/// Dense key for a (source, destination) global-rank pair.
+fn pair_key(src_global: u32, dst_global: u32) -> u64 {
+    (u64::from(src_global) << 32) | u64::from(dst_global)
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -719,7 +1222,7 @@ mod tests {
                 NodeId(0),
             )],
         );
-        assert!(w.run_until_job_done(job, SimTime::from_nanos(10_000)));
+        assert!(w.run_until_job_done(job, SimTime::from_nanos(10_000)).completed());
         assert_eq!(w.job_finish_time(job), Some(SimTime::from_nanos(250)));
     }
 
@@ -767,7 +1270,7 @@ mod tests {
                 ),
             ],
         );
-        assert!(w.run_until_job_done(job, SimTime::from_nanos(100_000)));
+        assert!(w.run_until_job_done(job, SimTime::from_nanos(100_000)).completed());
         assert_eq!(w.job_finish_time(job), Some(SimTime::from_nanos(2848)));
     }
 
@@ -792,7 +1295,7 @@ mod tests {
                 (mk(10), NodeId(3)),
             ],
         );
-        assert!(w.run_until_job_done(job, SimTime::from_secs(1)));
+        assert!(w.run_until_job_done(job, SimTime::from_secs(1)).completed());
         let t = w.job_finish_time(job).unwrap();
         assert!(
             t > SimTime::from_nanos(10_000),
@@ -815,7 +1318,7 @@ mod tests {
             })
             .collect();
         let job = w.add_job("allreduce3", members);
-        assert!(w.run_until_job_done(job, SimTime::from_secs(1)));
+        assert!(w.run_until_job_done(job, SimTime::from_secs(1)).completed());
     }
 
     #[test]
@@ -835,7 +1338,7 @@ mod tests {
             })
             .collect();
         let job = w.add_job("a2a", members);
-        assert!(w.run_until_job_done(job, SimTime::from_secs(1)));
+        assert!(w.run_until_job_done(job, SimTime::from_secs(1)).completed());
         // 4 ranks × 3 peers = 12 messages.
         assert_eq!(w.fabric().stats().messages_sent, 12);
         assert_eq!(w.fabric().stats().messages_delivered, 12);
@@ -866,7 +1369,7 @@ mod tests {
             })
             .collect();
         let job = w.add_job("rooted", members);
-        assert!(w.run_until_job_done(job, SimTime::from_secs(10)));
+        assert!(w.run_until_job_done(job, SimTime::from_secs(10)).completed());
     }
 
     #[test]
@@ -887,7 +1390,7 @@ mod tests {
                 .collect();
             let job = w.add_job("rooted", members);
             assert!(
-                w.run_until_job_done(job, SimTime::from_secs(10)),
+                w.run_until_job_done(job, SimTime::from_secs(10)).completed(),
                 "root {root} deadlocked"
             );
         }
@@ -973,7 +1476,7 @@ mod tests {
                 ),
             ],
         );
-        assert!(w.run_until_job_done(job, SimTime::from_secs(1)));
+        assert!(w.run_until_job_done(job, SimTime::from_secs(1)).completed());
     }
 
     #[test]
@@ -1007,7 +1510,7 @@ mod tests {
                 ),
             ],
         );
-        assert!(w.run_until_job_done(job, SimTime::from_secs(1)));
+        assert!(w.run_until_job_done(job, SimTime::from_secs(1)).completed());
         assert_eq!(w.fabric().switch_stats().arrivals, 0);
         assert_eq!(w.fabric().stats().local_messages, 1);
     }
@@ -1084,7 +1587,7 @@ mod tests {
                 })
                 .collect();
             let job = w.add_job("det", members);
-            assert!(w.run_until_job_done(job, SimTime::from_secs(10)));
+            assert!(w.run_until_job_done(job, SimTime::from_secs(10)).completed());
             (w.job_finish_time(job), w.events_processed())
         };
         assert_eq!(run(), run());
@@ -1118,7 +1621,7 @@ mod tests {
                 NodeId(0),
             )],
         );
-        assert!(w.run_until_job_done(job, SimTime::from_secs(1)));
+        assert!(w.run_until_job_done(job, SimTime::from_secs(1)).completed());
         let t = times.borrow();
         assert_eq!(t[0], SimTime::ZERO);
         assert_eq!(t[1], SimTime::from_nanos(500));
@@ -1207,7 +1710,7 @@ mod tests {
             ],
         );
         w.set_eager_threshold(4_096);
-        assert!(w.run_until_job_done(job, SimTime::from_secs(1)));
+        assert!(w.run_until_job_done(job, SimTime::from_secs(1)).completed());
         // RTS + CTS + payload = three wire messages.
         assert_eq!(w.fabric().stats().messages_sent, 3);
         assert_eq!(w.fabric().stats().messages_delivered, 3);
@@ -1249,7 +1752,7 @@ mod tests {
             ],
         );
         w.set_eager_threshold(4_096);
-        assert!(w.run_until_job_done(job, SimTime::from_secs(1)));
+        assert!(w.run_until_job_done(job, SimTime::from_secs(1)).completed());
         // The *sender* (rank 0) stops only after CTS returns, i.e. well
         // past the receiver's 500 µs compute.
         let sender_stop = {
@@ -1314,7 +1817,7 @@ mod tests {
                 ),
             ],
         );
-        assert!(w.run_until_job_done(job, SimTime::from_secs(1)));
+        assert!(w.run_until_job_done(job, SimTime::from_secs(1)).completed());
         assert!(
             *sender_stop.borrow() < SimTime::from_micros(100),
             "eager sender must finish on injection (stopped {})",
@@ -1363,7 +1866,7 @@ mod tests {
             ],
         );
         w.set_eager_threshold(4_096);
-        assert!(w.run_until_job_done(job, SimTime::from_secs(1)));
+        assert!(w.run_until_job_done(job, SimTime::from_secs(1)).completed());
         // 1 eager + RTS + CTS + payload.
         assert_eq!(w.fabric().stats().messages_sent, 4);
     }
@@ -1387,7 +1890,7 @@ mod tests {
             .collect();
         let job = w.add_job("coll-rdv", members);
         w.set_eager_threshold(8_192);
-        assert!(w.run_until_job_done(job, SimTime::from_secs(10)));
+        assert!(w.run_until_job_done(job, SimTime::from_secs(10)).completed());
     }
 
     #[test]
@@ -1416,7 +1919,7 @@ mod tests {
             )],
         );
         w.enable_tracing();
-        assert!(w.run_until_job_done(job, SimTime::from_secs(1)));
+        assert!(w.run_until_job_done(job, SimTime::from_secs(1)).completed());
         let t = w.job_phase_totals(job);
         assert!(
             t.computing_fraction() > 0.99,
@@ -1460,7 +1963,7 @@ mod tests {
             ],
         );
         w.enable_tracing();
-        assert!(w.run_until_job_done(job, SimTime::from_secs(1)));
+        assert!(w.run_until_job_done(job, SimTime::from_secs(1)).completed());
         let waiter = w.rank_phase_totals(0);
         assert!(
             waiter.waiting_fraction() > 0.95,
@@ -1483,8 +1986,260 @@ mod tests {
                 NodeId(0),
             )],
         );
-        assert!(w.run_until_job_done(job, SimTime::from_secs(1)));
+        assert!(w.run_until_job_done(job, SimTime::from_secs(1)).completed());
         assert_eq!(w.job_phase_totals(job).total_ns(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Run outcomes, fault tolerance, and stall diagnostics.
+
+    use anp_simnet::{FaultPlan, FaultWindow, LinkFault, LinkId, LinkSelector};
+
+    #[test]
+    fn deadline_expiry_is_distinct_from_completion() {
+        let mut w = tiny_world();
+        let job = w.add_job(
+            "slow",
+            vec![(
+                boxed(Scripted::new(vec![
+                    Op::Compute(SimDuration::from_secs(5)),
+                    Op::Stop,
+                ])),
+                NodeId(0),
+            )],
+        );
+        let outcome = w.run_until_job_done(job, SimTime::from_secs(1));
+        let RunOutcome::DeadlineExpired(report) = outcome else {
+            panic!("expected DeadlineExpired, got {outcome:?}");
+        };
+        assert_eq!(report.blocked.len(), 1);
+        assert_eq!(report.blocked[0].waiting_on, BlockedOn::Computing);
+        assert!(report.failed_sends.is_empty());
+    }
+
+    #[test]
+    fn stall_report_names_the_blocked_recv() {
+        // Rank 0 waits for a message nobody sends: the queue drains and
+        // the report must name the rank and its unmatched selector.
+        let mut w = tiny_world();
+        let job = w.add_job(
+            "orphan",
+            vec![
+                (
+                    boxed(Scripted::new(vec![
+                        Op::Irecv {
+                            src: Src::Rank(1),
+                            tag: 9,
+                        },
+                        Op::WaitAll,
+                        Op::Stop,
+                    ])),
+                    NodeId(0),
+                ),
+                (boxed(Scripted::new(vec![Op::Stop])), NodeId(1)),
+            ],
+        );
+        let outcome = w.run_until_job_done(job, SimTime::from_secs(1));
+        let RunOutcome::Stalled(report) = outcome else {
+            panic!("expected Stalled, got {outcome:?}");
+        };
+        assert_eq!(report.blocked.len(), 1);
+        assert_eq!(report.blocked[0].local, 0);
+        assert_eq!(
+            report.blocked[0].waiting_on,
+            BlockedOn::WaitAll {
+                outstanding: 1,
+                pending_recvs: vec![(Src::Rank(1), 9)],
+            }
+        );
+        // The rendered report is meant for humans; spot-check it.
+        let text = report.to_string();
+        assert!(text.contains("rank 0"), "{text}");
+        assert!(text.contains("tag 9"), "{text}");
+    }
+
+    fn ping_pong_world(plan: FaultPlan, rounds: usize) -> (World, JobId) {
+        let mut w = World::new(SwitchConfig::tiny_deterministic().with_fault_plan(plan));
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for _ in 0..rounds {
+            a.extend([
+                Op::Isend {
+                    dst: 1,
+                    bytes: 512,
+                    tag: 0,
+                },
+                Op::Irecv {
+                    src: Src::Rank(1),
+                    tag: 0,
+                },
+                Op::WaitAll,
+            ]);
+            b.extend([
+                Op::Irecv {
+                    src: Src::Rank(0),
+                    tag: 0,
+                },
+                Op::WaitAll,
+                Op::Isend {
+                    dst: 0,
+                    bytes: 512,
+                    tag: 0,
+                },
+                Op::WaitAll,
+            ]);
+        }
+        a.push(Op::Stop);
+        b.push(Op::Stop);
+        let job = w.add_job(
+            "pingpong",
+            vec![
+                (boxed(Scripted::new(a)), NodeId(0)),
+                (boxed(Scripted::new(b)), NodeId(1)),
+            ],
+        );
+        (w, job)
+    }
+
+    #[test]
+    fn reliability_layer_is_inert_on_a_lossless_fabric() {
+        let (mut w, job) = ping_pong_world(FaultPlan::none(), 1);
+        w.set_reliability(ReliabilityConfig::default());
+        let outcome = w.run_until_job_done(job, SimTime::from_secs(1));
+        // Sequencing and timers must not change message timing at all.
+        assert_eq!(outcome, RunOutcome::Completed { at: SimTime::from_nanos(2848) });
+        assert_eq!(w.reliability_stats(), ReliabilityStats::default());
+    }
+
+    #[test]
+    fn lossy_ping_pong_completes_via_retransmission() {
+        let run = || {
+            let (mut w, job) = ping_pong_world(FaultPlan::uniform_loss(0.2).with_seed(11), 50);
+            w.set_reliability(ReliabilityConfig {
+                retransmit_timeout: SimDuration::from_micros(10),
+                max_retries: 10,
+            });
+            let outcome = w.run_until_job_done(job, SimTime::from_secs(10));
+            assert!(outcome.completed(), "lossy run must recover: {outcome:?}");
+            let stats = w.reliability_stats();
+            assert!(stats.retransmits > 0, "20% loss must force retransmits");
+            assert_eq!(stats.failures, 0);
+            // Every one of the 100 application messages was eventually
+            // handed to matching exactly once (the job completing all its
+            // WaitAlls proves delivery; stats prove loss happened).
+            assert!(w.fabric().stats().messages_dropped > 0);
+            (w.job_finish_time(job), w.events_processed(), stats)
+        };
+        assert_eq!(run(), run(), "recovery must be deterministic");
+    }
+
+    #[test]
+    fn dead_link_exhausts_retries_and_later_traffic_still_drains() {
+        // Node 0's uplink is dead for the first 50 µs. Message A (sent at
+        // t=0, small retry budget) dies inside the window; message B (sent
+        // after a 60 µs compute) sails through. The failed send must void
+        // its sequence number so B can still be delivered, and the stall
+        // report must name both the failure and the orphaned recv.
+        let fault = LinkFault::on(LinkSelector::Link(LinkId::NodeUp(NodeId(0)))).with_down(
+            FaultWindow::new(SimTime::ZERO, SimTime::from_micros(50)),
+        );
+        let mut w = World::new(
+            SwitchConfig::tiny_deterministic()
+                .with_fault_plan(FaultPlan::none().with_link_fault(fault)),
+        );
+        w.set_reliability(ReliabilityConfig {
+            retransmit_timeout: SimDuration::from_micros(10),
+            max_retries: 1,
+        });
+        let job = w.add_job(
+            "partial",
+            vec![
+                (
+                    boxed(Scripted::new(vec![
+                        Op::Isend {
+                            dst: 1,
+                            bytes: 512,
+                            tag: 0,
+                        },
+                        Op::WaitAll,
+                        Op::Compute(SimDuration::from_micros(60)),
+                        Op::Isend {
+                            dst: 1,
+                            bytes: 512,
+                            tag: 1,
+                        },
+                        Op::WaitAll,
+                        Op::Stop,
+                    ])),
+                    NodeId(0),
+                ),
+                (
+                    boxed(Scripted::new(vec![
+                        Op::Irecv {
+                            src: Src::Rank(0),
+                            tag: 0,
+                        },
+                        Op::Irecv {
+                            src: Src::Rank(0),
+                            tag: 1,
+                        },
+                        Op::WaitAll,
+                        Op::Stop,
+                    ])),
+                    NodeId(1),
+                ),
+            ],
+        );
+        let outcome = w.run_until_job_done(job, SimTime::from_secs(1));
+        let RunOutcome::Stalled(report) = outcome else {
+            panic!("expected Stalled, got {outcome:?}");
+        };
+        assert_eq!(w.reliability_stats().failures, 1);
+        assert_eq!(report.failed_sends.len(), 1);
+        let failed = &report.failed_sends[0];
+        assert_eq!((failed.src, failed.dst, failed.tag, failed.seq), (0, 1, 0, 0));
+        assert_eq!(failed.attempts, 2, "1 original + 1 retry");
+        // Message B was delivered despite A's failure: the receiver's only
+        // unmatched recv is A's.
+        assert_eq!(report.blocked.len(), 1);
+        assert_eq!(report.blocked[0].local, 1);
+        assert_eq!(
+            report.blocked[0].waiting_on,
+            BlockedOn::WaitAll {
+                outstanding: 1,
+                pending_recvs: vec![(Src::Rank(0), 0)],
+            }
+        );
+    }
+
+    #[test]
+    fn collectives_survive_a_lossy_fabric() {
+        let mut w = World::new(
+            SwitchConfig::tiny_deterministic()
+                .with_fault_plan(FaultPlan::uniform_loss(0.1).with_seed(5)),
+        );
+        w.set_reliability(ReliabilityConfig {
+            retransmit_timeout: SimDuration::from_micros(10),
+            max_retries: 10,
+        });
+        let members: Vec<_> = (0..4)
+            .map(|i| {
+                (
+                    boxed(Scripted::new(vec![
+                        Op::Allreduce { bytes: 800 },
+                        Op::Barrier,
+                        Op::Alltoall {
+                            bytes_per_pair: 256,
+                        },
+                        Op::Stop,
+                    ])),
+                    NodeId(i),
+                )
+            })
+            .collect();
+        let job = w.add_job("coll-lossy", members);
+        assert!(w.run_until_job_done(job, SimTime::from_secs(10)).completed());
+        assert!(w.reliability_stats().retransmits > 0);
     }
 
     proptest! {
@@ -1508,7 +2263,7 @@ mod tests {
                 })
                 .collect();
             let job = w.add_job("coll", members);
-            prop_assert!(w.run_until_job_done(job, SimTime::from_secs(60)));
+            prop_assert!(w.run_until_job_done(job, SimTime::from_secs(60)).completed());
         }
 
         /// A random mesh of paired sends/recvs always drains: for every
@@ -1542,7 +2297,7 @@ mod tests {
                 })
                 .collect();
             let job = w.add_job("mesh", members);
-            prop_assert!(w.run_until_job_done(job, SimTime::from_secs(60)));
+            prop_assert!(w.run_until_job_done(job, SimTime::from_secs(60)).completed());
             prop_assert_eq!(
                 w.fabric().stats().messages_sent,
                 pairs.len() as u64

@@ -1,7 +1,144 @@
 //! Fabric configuration and the Cab-cluster preset.
 
+use std::fmt;
+
+use crate::fault::FaultPlan;
 use crate::service::ServiceDistribution;
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
+
+/// Why a [`SwitchConfig`] (or its [`FaultPlan`]) is unusable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// Fewer than two nodes: there is nothing to switch between.
+    TooFewNodes {
+        /// The configured node count.
+        nodes: u32,
+    },
+    /// `mtu == 0`: messages could never be segmented.
+    ZeroMtu,
+    /// `link_bandwidth == 0`: packets would serialize forever.
+    ZeroLinkBandwidth,
+    /// `local_bandwidth == 0`: intra-node messages would never move.
+    ZeroLocalBandwidth,
+    /// `switch_capacity == 0`: no packet could ever be admitted.
+    ZeroSwitchCapacity,
+    /// `route_servers == 0`: the routing stage could never serve.
+    ZeroRouteServers,
+    /// `cpu_hz == 0`: cycle-denominated workloads cannot be converted.
+    ZeroCpuHz,
+    /// The service distribution's mean is not positive.
+    NonPositiveServiceMean,
+    /// A fat tree needs at least two leaf switches.
+    FatTreeTooFewLeaves {
+        /// The configured leaf count.
+        leaves: u32,
+    },
+    /// A fat tree needs at least one spine switch.
+    FatTreeNoSpines,
+    /// Nodes must spread evenly over the leaves.
+    UnevenNodesPerLeaf {
+        /// The configured node count.
+        nodes: u32,
+        /// The configured leaf count.
+        leaves: u32,
+    },
+    /// A link-fault loss probability is outside `[0, 1]`.
+    InvalidLossProbability {
+        /// The offending probability.
+        loss: f64,
+    },
+    /// A link-fault bandwidth factor is outside `(0, 1]`.
+    InvalidBandwidthFactor {
+        /// The offending factor.
+        factor: f64,
+    },
+    /// A server-fault slowdown factor is not a positive finite number.
+    InvalidSlowdownFactor {
+        /// The offending factor.
+        factor: f64,
+    },
+    /// A fault window is empty (`until <= from`).
+    EmptyFaultWindow {
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        until: SimTime,
+    },
+    /// A fault references a node the fabric does not have.
+    FaultNodeOutOfRange {
+        /// The referenced node index.
+        node: u32,
+        /// The fabric's node count.
+        nodes: u32,
+    },
+    /// A fault references a switch the fabric does not have.
+    FaultSwitchOutOfRange {
+        /// The referenced switch index.
+        sw: u32,
+        /// The fabric's switch count.
+        switches: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::TooFewNodes { nodes } => {
+                write!(f, "a switch needs at least 2 nodes (got {nodes})")
+            }
+            ConfigError::ZeroMtu => write!(f, "MTU must be positive"),
+            ConfigError::ZeroLinkBandwidth => write!(f, "link_bandwidth must be positive"),
+            ConfigError::ZeroLocalBandwidth => write!(f, "local_bandwidth must be positive"),
+            ConfigError::ZeroSwitchCapacity => write!(f, "switch_capacity must be positive"),
+            ConfigError::ZeroRouteServers => write!(f, "route_servers must be positive"),
+            ConfigError::ZeroCpuHz => write!(f, "cpu_hz must be positive"),
+            ConfigError::NonPositiveServiceMean => {
+                write!(f, "service-time mean must be positive")
+            }
+            ConfigError::FatTreeTooFewLeaves { leaves } => {
+                write!(f, "a fat tree needs at least 2 leaves (got {leaves})")
+            }
+            ConfigError::FatTreeNoSpines => write!(f, "a fat tree needs at least 1 spine"),
+            ConfigError::UnevenNodesPerLeaf { nodes, leaves } => {
+                write!(
+                    f,
+                    "nodes must divide evenly over leaves ({nodes} nodes on {leaves} leaves)"
+                )
+            }
+            ConfigError::InvalidLossProbability { loss } => {
+                write!(f, "loss probability must be within [0, 1] (got {loss})")
+            }
+            ConfigError::InvalidBandwidthFactor { factor } => {
+                write!(f, "bandwidth factor must be within (0, 1] (got {factor})")
+            }
+            ConfigError::InvalidSlowdownFactor { factor } => {
+                write!(f, "slowdown factor must be positive and finite (got {factor})")
+            }
+            ConfigError::EmptyFaultWindow { from, until } => {
+                write!(
+                    f,
+                    "fault window is empty: from {} ns, until {} ns",
+                    from.as_nanos(),
+                    until.as_nanos()
+                )
+            }
+            ConfigError::FaultNodeOutOfRange { node, nodes } => {
+                write!(
+                    f,
+                    "fault references node {node}, but the fabric has {nodes} nodes"
+                )
+            }
+            ConfigError::FaultSwitchOutOfRange { sw, switches } => {
+                write!(
+                    f,
+                    "fault references switch {sw}, but the fabric has {switches} switches"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// The network's switch arrangement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +195,10 @@ pub struct SwitchConfig {
     pub cpu_hz: u64,
     /// Seed for the fabric's random number generator (service-time draws).
     pub seed: u64,
+    /// Fault-injection schedule. [`FaultPlan::none`] (the default)
+    /// disables the fault layer entirely: no extra events, no extra RNG
+    /// draws, byte-identical behaviour to a fault-free build.
+    pub fault_plan: FaultPlan,
 }
 
 impl SwitchConfig {
@@ -106,6 +247,7 @@ impl SwitchConfig {
             local_bandwidth: 10_000_000_000,
             cpu_hz: 2_600_000_000,
             seed: 0xCAB_5EED,
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -126,6 +268,7 @@ impl SwitchConfig {
             local_bandwidth: 4_000_000_000,
             cpu_hz: 1_000_000_000,
             seed: 1,
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -158,44 +301,62 @@ impl SwitchConfig {
         self
     }
 
-    /// Validates internal consistency; called by the fabric constructor.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Replaces the fault plan (builder style).
+    pub fn with_fault_plan(mut self, fault_plan: FaultPlan) -> Self {
+        self.fault_plan = fault_plan;
+        self
+    }
+
+    /// Number of switches the topology implies.
+    pub fn switch_count(&self) -> u32 {
+        match self.topology {
+            Topology::SingleSwitch => 1,
+            Topology::FatTree { leaves, spines } => leaves + spines,
+        }
+    }
+
+    /// Validates internal consistency, including the fault plan; called
+    /// by the fabric constructor and the CLI before building anything.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.nodes < 2 {
-            return Err("a switch needs at least 2 nodes".into());
+            return Err(ConfigError::TooFewNodes { nodes: self.nodes });
         }
         if self.mtu == 0 {
-            return Err("MTU must be positive".into());
+            return Err(ConfigError::ZeroMtu);
         }
-        if self.link_bandwidth == 0 || self.local_bandwidth == 0 {
-            return Err("bandwidths must be positive".into());
+        if self.link_bandwidth == 0 {
+            return Err(ConfigError::ZeroLinkBandwidth);
+        }
+        if self.local_bandwidth == 0 {
+            return Err(ConfigError::ZeroLocalBandwidth);
         }
         if self.switch_capacity == 0 {
-            return Err("switch capacity must be positive".into());
+            return Err(ConfigError::ZeroSwitchCapacity);
         }
         if self.route_servers == 0 {
-            return Err("route_servers must be positive".into());
+            return Err(ConfigError::ZeroRouteServers);
         }
         if self.cpu_hz == 0 {
-            return Err("cpu_hz must be positive".into());
+            return Err(ConfigError::ZeroCpuHz);
         }
         if self.service.mean_ns() <= 0.0 {
-            return Err("service mean must be positive".into());
+            return Err(ConfigError::NonPositiveServiceMean);
         }
         if let Topology::FatTree { leaves, spines } = self.topology {
             if leaves < 2 {
-                return Err("a fat tree needs at least 2 leaves".into());
+                return Err(ConfigError::FatTreeTooFewLeaves { leaves });
             }
             if spines == 0 {
-                return Err("a fat tree needs at least 1 spine".into());
+                return Err(ConfigError::FatTreeNoSpines);
             }
-            if self.nodes % leaves != 0 {
-                return Err("nodes must divide evenly over leaves".into());
-            }
-            if self.nodes / leaves == 0 {
-                return Err("each leaf needs at least one node".into());
+            if !self.nodes.is_multiple_of(leaves) || self.nodes / leaves == 0 {
+                return Err(ConfigError::UnevenNodesPerLeaf {
+                    nodes: self.nodes,
+                    leaves,
+                });
             }
         }
-        Ok(())
+        self.fault_plan.validate(self.nodes, self.switch_count())
     }
 }
 
@@ -239,6 +400,45 @@ mod tests {
         let c = SwitchConfig::cab().with_seed(7).with_nodes(8);
         assert_eq!(c.seed, 7);
         assert_eq!(c.nodes, 8);
+    }
+
+    #[test]
+    fn validation_errors_are_typed_and_descriptive() {
+        assert_eq!(
+            SwitchConfig::cab().with_nodes(1).validate(),
+            Err(ConfigError::TooFewNodes { nodes: 1 })
+        );
+        let mut c = SwitchConfig::cab();
+        c.link_bandwidth = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroLinkBandwidth));
+        let mut c = SwitchConfig::cab();
+        c.route_servers = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroRouteServers));
+        let mut bad = SwitchConfig::cab_fat_tree(4, 2);
+        bad.nodes = 70;
+        assert_eq!(
+            bad.validate(),
+            Err(ConfigError::UnevenNodesPerLeaf {
+                nodes: 70,
+                leaves: 4
+            })
+        );
+        // Every error renders a human-readable message.
+        assert!(ConfigError::ZeroMtu.to_string().contains("MTU"));
+        assert!(ConfigError::TooFewNodes { nodes: 1 }
+            .to_string()
+            .contains("got 1"));
+    }
+
+    #[test]
+    fn validation_covers_the_fault_plan() {
+        let bad = SwitchConfig::cab().with_fault_plan(crate::fault::FaultPlan::uniform_loss(1.5));
+        assert!(matches!(
+            bad.validate(),
+            Err(ConfigError::InvalidLossProbability { .. })
+        ));
+        let ok = SwitchConfig::cab().with_fault_plan(crate::fault::FaultPlan::uniform_loss(0.01));
+        ok.validate().unwrap();
     }
 
     #[test]

@@ -37,13 +37,16 @@ use std::collections::VecDeque;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::config::{SwitchConfig, Topology};
+use rand::Rng;
+
+use crate::config::{ConfigError, SwitchConfig, Topology};
 use crate::event::EventQueue;
+use crate::fault::{LinkId, LinkState, ServerFaultState};
 use crate::nic::Nic;
 use crate::packet::{segment_sizes, MessageId, NodeId, Packet};
 use crate::stats::{FabricStats, SwitchStats};
 use crate::switch::{CentralStage, CreditPool, EgressPort};
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use crate::util::IdHashMap;
 
 /// Events internal to the network. Compose into a larger event type via
@@ -89,6 +92,15 @@ pub enum NetEvent {
         /// The locally-sent message.
         msg: MessageId,
     },
+    /// A scheduled fault window opens or closes on a link (only emitted
+    /// when a [`FaultPlan`](crate::FaultPlan) declares down windows and
+    /// [`Fabric::prime_fault_events`] was called).
+    LinkStateChange {
+        /// The affected link.
+        link: LinkId,
+        /// `true` when the link comes back up.
+        up: bool,
+    },
 }
 
 /// Upcalls from the fabric to the layer above.
@@ -119,6 +131,36 @@ pub enum Notice {
         /// Message payload size.
         bytes: u64,
     },
+    /// A packet was lost to an injected fault while crossing `link`.
+    PacketDropped {
+        /// The lost packet.
+        packet: Packet,
+        /// The link that ate it.
+        link: LinkId,
+    },
+    /// At least one packet of the message was dropped, and all its other
+    /// packets have finished (delivered or dropped): the message will
+    /// never complete. A reliability layer above may retransmit.
+    MessageDropped {
+        /// The incomplete message.
+        msg: MessageId,
+        /// Originating node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Message payload size.
+        bytes: u64,
+    },
+    /// A scheduled link-down window opened.
+    LinkDown {
+        /// The failed link.
+        link: LinkId,
+    },
+    /// A scheduled link-down window closed.
+    LinkUp {
+        /// The recovered link.
+        link: LinkId,
+    },
 }
 
 #[derive(Debug)]
@@ -127,6 +169,16 @@ struct MsgProgress {
     dst: NodeId,
     bytes: u64,
     deliver_remaining: u32,
+    /// Packets of this message lost to injected faults.
+    dropped: u32,
+}
+
+/// Resolved per-link fault state plus the dedicated loss RNG. Present
+/// only when the configured [`FaultPlan`](crate::FaultPlan) is non-empty,
+/// so fault-free fabrics pay nothing and draw nothing.
+struct FaultLayer {
+    links: Vec<LinkState>,
+    rng: StdRng,
 }
 
 /// Where a switch egress port's wire leads.
@@ -260,19 +312,44 @@ pub struct Fabric {
     next_msg: u64,
     inflight: IdHashMap<MessageId, MsgProgress>,
     stats: FabricStats,
+    faults: Option<FaultLayer>,
+}
+
+/// Maps a dense link index back to its [`LinkId`] (inverse of
+/// [`Fabric::link_index`]).
+fn link_from_index(nodes: usize, switch_count: usize, idx: usize) -> LinkId {
+    if idx < nodes {
+        LinkId::NodeUp(NodeId(idx as u32))
+    } else if idx < 2 * nodes {
+        LinkId::NodeDown(NodeId((idx - nodes) as u32))
+    } else {
+        let t = idx - 2 * nodes;
+        LinkId::Trunk {
+            from: (t / switch_count) as u32,
+            to: (t % switch_count) as u32,
+        }
+    }
 }
 
 impl Fabric {
     /// Builds a fabric from a validated configuration.
     ///
     /// # Panics
-    /// Panics if the configuration fails [`SwitchConfig::validate`].
+    /// Panics if the configuration fails [`SwitchConfig::validate`]. Use
+    /// [`Fabric::try_new`] to handle invalid configurations gracefully.
     pub fn new(cfg: SwitchConfig) -> Self {
-        if let Err(e) = cfg.validate() {
-            panic!("invalid SwitchConfig: {e}");
+        match Fabric::try_new(cfg) {
+            Ok(f) => f,
+            Err(e) => panic!("invalid SwitchConfig: {e}"),
         }
+    }
+
+    /// Builds a fabric, reporting configuration problems as a typed
+    /// [`ConfigError`] instead of panicking.
+    pub fn try_new(cfg: SwitchConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let routes = Routes::from_config(&cfg);
-        let switches = (0..routes.switch_count())
+        let mut switches: Vec<SwitchUnit> = (0..routes.switch_count())
             .map(|sw| {
                 let classes = if routes.is_spine(sw) || routes.spines == 0 {
                     1
@@ -291,7 +368,31 @@ impl Fabric {
                 }
             })
             .collect();
-        Fabric {
+        let faults = if cfg.fault_plan.is_none() {
+            None
+        } else {
+            let nodes = cfg.nodes as usize;
+            let sc = routes.switch_count() as usize;
+            let mut links = vec![LinkState::nominal(); 2 * nodes + sc * sc];
+            for (idx, state) in links.iter_mut().enumerate() {
+                let link = link_from_index(nodes, sc, idx);
+                for lf in &cfg.fault_plan.link_faults {
+                    if lf.links.matches(link) {
+                        state.apply(lf);
+                    }
+                }
+            }
+            for sf in &cfg.fault_plan.server_faults {
+                switches[sf.sw as usize]
+                    .central
+                    .set_fault(ServerFaultState::from_fault(sf));
+            }
+            Some(FaultLayer {
+                links,
+                rng: StdRng::seed_from_u64(cfg.fault_plan.seed),
+            })
+        };
+        Ok(Fabric {
             routes,
             nics: (0..cfg.nodes as usize).map(|_| Nic::default()).collect(),
             switches,
@@ -300,7 +401,123 @@ impl Fabric {
             next_msg: 0,
             inflight: IdHashMap::default(),
             stats: FabricStats::default(),
+            faults,
             cfg,
+        })
+    }
+
+    /// Dense index of `link` into the fault-state table.
+    fn link_index(&self, link: LinkId) -> usize {
+        let nodes = self.cfg.nodes as usize;
+        match link {
+            LinkId::NodeUp(node) => node.index(),
+            LinkId::NodeDown(node) => nodes + node.index(),
+            LinkId::Trunk { from, to } => {
+                2 * nodes
+                    + from as usize * self.routes.switch_count() as usize
+                    + to as usize
+            }
+        }
+    }
+
+    /// Serialization bandwidth of `link` after any fault derating.
+    fn link_bandwidth_of(&self, link: LinkId) -> u64 {
+        match &self.faults {
+            Some(f) => {
+                let factor = f.links[self.link_index(link)].bandwidth_factor;
+                if factor < 1.0 {
+                    ((self.cfg.link_bandwidth as f64 * factor) as u64).max(1)
+                } else {
+                    self.cfg.link_bandwidth
+                }
+            }
+            None => self.cfg.link_bandwidth,
+        }
+    }
+
+    /// Propagation delay of `link` including any fault-added latency.
+    fn wire_delay(&self, link: LinkId) -> SimDuration {
+        match &self.faults {
+            Some(f) => self.cfg.wire_latency + f.links[self.link_index(link)].extra_latency,
+            None => self.cfg.wire_latency,
+        }
+    }
+
+    /// Decides whether a packet entering `link` at `now` is lost to an
+    /// injected fault, counting the drop if so. Fault-free fabrics always
+    /// return `false` without touching any RNG.
+    fn link_drops(&mut self, link: LinkId, now: SimTime) -> bool {
+        let idx = self.link_index(link);
+        let Some(f) = &mut self.faults else {
+            return false;
+        };
+        let state = &mut f.links[idx];
+        if state.never_drops() {
+            return false;
+        }
+        let dropped = state.down_at(now) || (state.loss > 0.0 && f.rng.gen::<f64>() < state.loss);
+        if dropped {
+            state.drops += 1;
+        }
+        dropped
+    }
+
+    /// Accounts a fault-dropped packet: per-message progress, fabric
+    /// counters, and the [`Notice::PacketDropped`] /
+    /// [`Notice::MessageDropped`] upcalls.
+    fn drop_packet(&mut self, pkt: Packet, link: LinkId, out: &mut Vec<Notice>) {
+        self.stats.packets_dropped += 1;
+        out.push(Notice::PacketDropped { packet: pkt, link });
+        let finished = {
+            let prog = self
+                .inflight
+                .get_mut(&pkt.msg)
+                .expect("drop for unknown message");
+            prog.dropped += 1;
+            prog.deliver_remaining -= 1;
+            prog.deliver_remaining == 0
+        };
+        if finished {
+            let prog = self.inflight.remove(&pkt.msg).expect("present: checked above");
+            self.stats.messages_dropped += 1;
+            out.push(Notice::MessageDropped {
+                msg: pkt.msg,
+                src: prog.src,
+                dst: prog.dst,
+                bytes: prog.bytes,
+            });
+        }
+    }
+
+    /// Schedules [`NetEvent::LinkStateChange`] events for every declared
+    /// down window, so the composer receives [`Notice::LinkDown`] /
+    /// [`Notice::LinkUp`] at the window edges. Call once after creating
+    /// the event queue (`anp-simmpi`'s `World` does this automatically).
+    /// Without priming, drops still happen; only the notices are missed.
+    pub fn prime_fault_events<E: From<NetEvent>>(&self, q: &mut EventQueue<E>) {
+        let Some(f) = &self.faults else { return };
+        let nodes = self.cfg.nodes as usize;
+        let sc = self.routes.switch_count() as usize;
+        for (idx, state) in f.links.iter().enumerate() {
+            let link = link_from_index(nodes, sc, idx);
+            for w in &state.down {
+                q.schedule_at(
+                    w.from.max(q.now()),
+                    NetEvent::LinkStateChange { link, up: false }.into(),
+                );
+                q.schedule_at(
+                    w.until.max(q.now()),
+                    NetEvent::LinkStateChange { link, up: true }.into(),
+                );
+            }
+        }
+    }
+
+    /// Packets dropped on `link` so far (0 for fault-free fabrics).
+    pub fn drops_on(&self, link: LinkId) -> u64 {
+        match &self.faults {
+            Some(f) => f.links[self.link_index(link)].drops,
+            None => 0,
         }
     }
 
@@ -376,6 +593,7 @@ impl Fabric {
                 dst,
                 bytes,
                 deliver_remaining: n_pkts,
+                dropped: 0,
             },
         );
 
@@ -442,15 +660,27 @@ impl Fabric {
                         src: node,
                     });
                 }
+                let link = LinkId::NodeUp(node);
                 let leaf = self.routes.leaf_of(node);
-                q.schedule_after(
-                    self.cfg.wire_latency,
-                    NetEvent::SwitchArrive {
-                        sw: leaf,
-                        packet: pkt,
-                    }
-                    .into(),
-                );
+                if self.link_drops(link, q.now()) {
+                    // The packet dies on the wire still holding the leaf's
+                    // admission credit (acquired in `try_start_nic`, released
+                    // at the leaf's `EgressTxDone` — which it will never
+                    // reach). Hand the credit back, or every drop shrinks the
+                    // pool until all NICs on the leaf park forever.
+                    self.switches[leaf as usize].pools[0].release();
+                    self.wake_one(q, leaf, 0);
+                    self.drop_packet(pkt, link, out);
+                } else {
+                    q.schedule_after(
+                        self.wire_delay(link),
+                        NetEvent::SwitchArrive {
+                            sw: leaf,
+                            packet: pkt,
+                        }
+                        .into(),
+                    );
+                }
                 self.try_start_nic(q, node);
             }
             NetEvent::SwitchArrive { sw, packet } => {
@@ -479,23 +709,40 @@ impl Fabric {
                 let class = self.routes.class_at(sw, &pkt);
                 self.switches[sw as usize].pools[class].release();
                 self.wake_one(q, sw, class);
-                // Forward onto the wire.
-                match self.routes.next_hop(sw, port) {
-                    NextHop::Node(_) => {
-                        q.schedule_after(
-                            self.cfg.wire_latency,
-                            NetEvent::Deliver { packet: pkt }.into(),
-                        );
+                // Forward onto the wire. This switch's credit is released
+                // above, but a packet bound for another switch already holds
+                // that next switch's credit (acquired in `try_start_egress`):
+                // if the trunk wire eats the packet, the credit must come
+                // back with it or the downstream pool leaks dry.
+                let hop = self.routes.next_hop(sw, port);
+                let link = match hop {
+                    NextHop::Node(dst) => LinkId::NodeDown(dst),
+                    NextHop::Switch { sw: next, .. } => LinkId::Trunk { from: sw, to: next },
+                };
+                if self.link_drops(link, q.now()) {
+                    if let NextHop::Switch { sw: next, class } = hop {
+                        self.switches[next as usize].pools[class].release();
+                        self.wake_one(q, next, class);
                     }
-                    NextHop::Switch { sw: next, .. } => {
-                        q.schedule_after(
-                            self.cfg.wire_latency,
-                            NetEvent::SwitchArrive {
-                                sw: next,
-                                packet: pkt,
-                            }
-                            .into(),
-                        );
+                    self.drop_packet(pkt, link, out);
+                } else {
+                    match hop {
+                        NextHop::Node(_) => {
+                            q.schedule_after(
+                                self.wire_delay(link),
+                                NetEvent::Deliver { packet: pkt }.into(),
+                            );
+                        }
+                        NextHop::Switch { sw: next, .. } => {
+                            q.schedule_after(
+                                self.wire_delay(link),
+                                NetEvent::SwitchArrive {
+                                    sw: next,
+                                    packet: pkt,
+                                }
+                                .into(),
+                            );
+                        }
                     }
                 }
                 self.try_start_egress(q, sw, port);
@@ -514,15 +761,38 @@ impl Fabric {
                 };
                 out.push(Notice::PacketDelivered { packet });
                 if done {
-                    let prog = self.inflight.remove(&packet.msg).unwrap();
-                    self.stats.messages_delivered += 1;
-                    out.push(Notice::MessageDelivered {
-                        msg: packet.msg,
-                        src: prog.src,
-                        dst: prog.dst,
-                        bytes: prog.bytes,
-                    });
+                    let prog = self
+                        .inflight
+                        .remove(&packet.msg)
+                        .expect("present: checked above");
+                    if prog.dropped == 0 {
+                        self.stats.messages_delivered += 1;
+                        out.push(Notice::MessageDelivered {
+                            msg: packet.msg,
+                            src: prog.src,
+                            dst: prog.dst,
+                            bytes: prog.bytes,
+                        });
+                    } else {
+                        // Some packets were lost: the message can never be
+                        // reassembled, so it completes as a drop even though
+                        // the surviving packets arrived.
+                        self.stats.messages_dropped += 1;
+                        out.push(Notice::MessageDropped {
+                            msg: packet.msg,
+                            src: prog.src,
+                            dst: prog.dst,
+                            bytes: prog.bytes,
+                        });
+                    }
                 }
+            }
+            NetEvent::LinkStateChange { link, up } => {
+                out.push(if up {
+                    Notice::LinkUp { link }
+                } else {
+                    Notice::LinkDown { link }
+                });
             }
             NetEvent::LocalInjectDone { msg } => {
                 let src = self.inflight.get(&msg).map(|p| p.src).unwrap_or(NodeId(0));
@@ -555,7 +825,8 @@ impl Fabric {
         }
         let leaf = self.routes.leaf_of(node);
         if self.switches[leaf as usize].pools[0].try_acquire() {
-            let d = self.nics[node.index()].start_tx(self.cfg.link_bandwidth);
+            let bw = self.link_bandwidth_of(LinkId::NodeUp(node));
+            let d = self.nics[node.index()].start_tx(bw);
             q.schedule_after(d, NetEvent::NicTxDone { node }.into());
         } else {
             self.nics[node.index()].waiting_for_credit = true;
@@ -570,7 +841,8 @@ impl Fabric {
         if !self.switches[sw as usize].egress[port as usize].can_start() {
             return;
         }
-        if let NextHop::Switch { sw: next, class } = self.routes.next_hop(sw, port) {
+        let hop = self.routes.next_hop(sw, port);
+        if let NextHop::Switch { sw: next, class } = hop {
             if !self.switches[next as usize].pools[class].try_acquire() {
                 self.switches[sw as usize].egress[port as usize].waiting_for_credit = true;
                 self.switches[next as usize].waiters[class].push_back(Waiter::Egress { sw, port });
@@ -578,7 +850,12 @@ impl Fabric {
                 return;
             }
         }
-        let d = self.switches[sw as usize].egress[port as usize].start_tx(self.cfg.link_bandwidth);
+        let link = match hop {
+            NextHop::Node(dst) => LinkId::NodeDown(dst),
+            NextHop::Switch { sw: next, .. } => LinkId::Trunk { from: sw, to: next },
+        };
+        let bw = self.link_bandwidth_of(link);
+        let d = self.switches[sw as usize].egress[port as usize].start_tx(bw);
         q.schedule_after(d, NetEvent::EgressTxDone { sw, port }.into());
     }
 
@@ -965,5 +1242,213 @@ mod tests {
             drain(&mut fab, &mut q, SimTime::from_secs(100));
             prop_assert_eq!(fab.switch_stats().served, fab.stats().packets_created);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection.
+
+    use crate::fault::{FaultPlan, FaultWindow, LinkFault, LinkId, LinkSelector};
+
+    fn run_notices(cfg: SwitchConfig) -> Vec<Notice> {
+        let mut fab = Fabric::new(cfg);
+        let mut q: EventQueue<NetEvent> = EventQueue::new();
+        fab.prime_fault_events(&mut q);
+        for i in 0..12u64 {
+            let src = NodeId((i % 4) as u32);
+            let dst = NodeId(((i + 1) % 4) as u32);
+            fab.send_message(&mut q, i, src, dst, 700 + 512 * i);
+        }
+        drain(&mut fab, &mut q, SimTime::from_secs(10))
+    }
+
+    #[test]
+    fn zero_loss_fault_plan_matches_fault_free_run() {
+        // An *installed* fault layer whose faults are all no-ops must not
+        // perturb the schedule: the opt-in guarantee is byte-identical
+        // traces, not merely similar ones.
+        let baseline = run_notices(SwitchConfig::tiny_deterministic());
+        let cfg = SwitchConfig::tiny_deterministic()
+            .with_fault_plan(FaultPlan::none().with_link_fault(LinkFault::on(LinkSelector::All)));
+        assert_eq!(run_notices(cfg), baseline);
+    }
+
+    #[test]
+    fn lossy_fabric_is_deterministic_and_conserves_packets() {
+        let lossy = || {
+            SwitchConfig::tiny_deterministic()
+                .with_fault_plan(FaultPlan::uniform_loss(0.3).with_seed(7))
+        };
+        let a = run_notices(lossy());
+        let b = run_notices(lossy());
+        assert_eq!(a, b, "same seed + same plan must replay identically");
+        let drops = a
+            .iter()
+            .filter(|n| matches!(n, Notice::PacketDropped { .. }))
+            .count();
+        assert!(drops > 0, "30% loss over 12 messages must drop something");
+
+        // Conservation: every created packet is either delivered or
+        // dropped, and every message resolves one way or the other.
+        let mut fab = Fabric::new(lossy());
+        let mut q: EventQueue<NetEvent> = EventQueue::new();
+        for i in 0..12u64 {
+            let src = NodeId((i % 4) as u32);
+            let dst = NodeId(((i + 1) % 4) as u32);
+            fab.send_message(&mut q, i, src, dst, 700 + 512 * i);
+        }
+        drain(&mut fab, &mut q, SimTime::from_secs(10));
+        let s = fab.stats();
+        assert_eq!(s.packets_created, s.packets_delivered + s.packets_dropped);
+        assert_eq!(s.messages_sent, s.messages_delivered + s.messages_dropped);
+        assert!(fab.is_quiescent(), "no packet may be left in flight");
+        // Dropped packets die on the wire *after* acquiring the downstream
+        // switch's admission credit; each one must hand it back.
+        for sw in 0..fab.routes.switch_count() {
+            for class in 0..fab.switches[sw as usize].pools.len() {
+                assert_eq!(
+                    fab.credits_in_use(sw, class),
+                    0,
+                    "drops leaked credits at switch {sw} class {class}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn drops_do_not_exhaust_a_tight_credit_pool() {
+        // Regression: a packet dropped between the NIC and the switch (or
+        // on a trunk) still holds the downstream admission credit. With a
+        // single-credit pool, one leaked credit wedges the whole leaf: no
+        // NIC on it could ever transmit again.
+        let mut cfg = SwitchConfig::tiny_deterministic();
+        cfg.switch_capacity = 1;
+        let fault = LinkFault::on(LinkSelector::Link(LinkId::NodeUp(NodeId(0))))
+            .with_down(FaultWindow::new(SimTime::ZERO, SimTime::from_micros(10)));
+        let mut fab = Fabric::new(cfg.with_fault_plan(FaultPlan::none().with_link_fault(fault)));
+        let mut q: EventQueue<NetEvent> = EventQueue::new();
+        // Prime the window-edge events so the drain below advances the
+        // clock past the down window before the second send.
+        fab.prime_fault_events(&mut q);
+        // Eaten by the down window — four packets, four potential leaks.
+        fab.send_message(&mut q, 0, NodeId(0), NodeId(1), 4096);
+        drain(&mut fab, &mut q, SimTime::from_micros(15));
+        assert_eq!(fab.stats().packets_dropped, 4);
+        assert_eq!(fab.credits_in_use(0, 0), 0, "drop must return the credit");
+        // The window is over; the same node (and its leaf peers) must still
+        // be able to push traffic through the single credit.
+        let id = fab.send_message(&mut q, 1, NodeId(0), NodeId(1), 4096);
+        let notices = drain(&mut fab, &mut q, SimTime::from_secs(1));
+        assert_eq!(delivered(&notices), vec![id]);
+    }
+
+    #[test]
+    fn down_window_drops_every_packet_on_the_link() {
+        let fault = LinkFault::on(LinkSelector::Link(LinkId::NodeUp(NodeId(0))))
+            .with_down(FaultWindow::new(SimTime::ZERO, SimTime::from_secs(1)));
+        let cfg = SwitchConfig::tiny_deterministic()
+            .with_fault_plan(FaultPlan::none().with_link_fault(fault));
+        let mut fab = Fabric::new(cfg);
+        let mut q: EventQueue<NetEvent> = EventQueue::new();
+        let dead = fab.send_message(&mut q, 0, NodeId(0), NodeId(1), 4096);
+        let alive = fab.send_message(&mut q, 1, NodeId(2), NodeId(3), 4096);
+        let notices = drain(&mut fab, &mut q, SimTime::from_secs(2));
+        assert_eq!(delivered(&notices), vec![alive]);
+        assert!(notices
+            .iter()
+            .any(|n| matches!(n, Notice::MessageDropped { msg, .. } if *msg == dead)));
+        // 4096 B over a 1024 B MTU: four packets, all eaten by the link.
+        assert_eq!(fab.drops_on(LinkId::NodeUp(NodeId(0))), 4);
+        assert_eq!(fab.stats().packets_dropped, 4);
+        assert_eq!(fab.stats().messages_dropped, 1);
+    }
+
+    #[test]
+    fn link_recovers_after_down_window_closes() {
+        let fault = LinkFault::on(LinkSelector::Link(LinkId::NodeUp(NodeId(0)))).with_down(
+            FaultWindow::new(SimTime::ZERO, SimTime::from_micros(10)),
+        );
+        let cfg = SwitchConfig::tiny_deterministic()
+            .with_fault_plan(FaultPlan::none().with_link_fault(fault));
+        let mut fab = Fabric::new(cfg);
+        let mut q: EventQueue<NetEvent> = EventQueue::new();
+        fab.prime_fault_events(&mut q);
+        // Drain past the window, then send: the link must carry traffic.
+        let notices = drain(&mut fab, &mut q, SimTime::from_micros(20));
+        assert!(notices
+            .iter()
+            .any(|n| matches!(n, Notice::LinkDown { link } if *link == LinkId::NodeUp(NodeId(0)))));
+        assert!(notices
+            .iter()
+            .any(|n| matches!(n, Notice::LinkUp { link } if *link == LinkId::NodeUp(NodeId(0)))));
+        let id = fab.send_message(&mut q, 0, NodeId(0), NodeId(1), 512);
+        let notices = drain(&mut fab, &mut q, SimTime::from_secs(1));
+        assert_eq!(delivered(&notices), vec![id]);
+        assert_eq!(fab.stats().packets_dropped, 0);
+    }
+
+    #[test]
+    fn bandwidth_derating_stretches_serialization() {
+        // Halving the node→switch bandwidth doubles NIC serialization:
+        // nic 1024 + wire 100 + svc 200 + egress 512 + wire 100 = 1936 ns
+        // (vs 1424 ns nominal for 512 B).
+        let fault = LinkFault::on(LinkSelector::Link(LinkId::NodeUp(NodeId(0))))
+            .with_bandwidth_factor(0.5);
+        let cfg = SwitchConfig::tiny_deterministic()
+            .with_fault_plan(FaultPlan::none().with_link_fault(fault));
+        let mut fab = Fabric::new(cfg);
+        let mut q: EventQueue<NetEvent> = EventQueue::new();
+        let id = fab.send_message(&mut q, 0, NodeId(0), NodeId(1), 512);
+        let notices = drain(&mut fab, &mut q, SimTime::from_nanos(10_000));
+        assert_eq!(delivered(&notices), vec![id]);
+        assert_eq!(q.now(), SimTime::from_nanos(1936));
+    }
+
+    #[test]
+    fn extra_latency_adds_per_wire_crossing() {
+        // +50 ns on every link: the 512 B single-switch path crosses two
+        // wires (node→switch, switch→node) → 1424 + 100 = 1524 ns.
+        let fault = LinkFault::on(LinkSelector::All)
+            .with_extra_latency(SimDuration::from_nanos(50));
+        let cfg = SwitchConfig::tiny_deterministic()
+            .with_fault_plan(FaultPlan::none().with_link_fault(fault));
+        let mut fab = Fabric::new(cfg);
+        let mut q: EventQueue<NetEvent> = EventQueue::new();
+        let id = fab.send_message(&mut q, 0, NodeId(0), NodeId(1), 512);
+        let notices = drain(&mut fab, &mut q, SimTime::from_nanos(10_000));
+        assert_eq!(delivered(&notices), vec![id]);
+        assert_eq!(q.now(), SimTime::from_nanos(1524));
+    }
+
+    #[test]
+    fn trunk_faults_hit_only_cross_leaf_traffic() {
+        // Kill every trunk out of leaf 0 (to spines 2 and 3): intra-leaf
+        // traffic is untouched, cross-leaf traffic dies.
+        let plan = FaultPlan::none()
+            .with_link_fault(
+                LinkFault::on(LinkSelector::Link(LinkId::Trunk { from: 0, to: 2 }))
+                    .with_down(FaultWindow::new(SimTime::ZERO, SimTime::from_secs(5))),
+            )
+            .with_link_fault(
+                LinkFault::on(LinkSelector::Link(LinkId::Trunk { from: 0, to: 3 }))
+                    .with_down(FaultWindow::new(SimTime::ZERO, SimTime::from_secs(5))),
+            );
+        let cfg = tiny_fat_tree().with_fault_plan(plan);
+        let mut fab = Fabric::new(cfg);
+        let mut q: EventQueue<NetEvent> = EventQueue::new();
+        let intra = fab.send_message(&mut q, 0, NodeId(0), NodeId(1), 512);
+        let cross = fab.send_message(&mut q, 1, NodeId(0), NodeId(2), 512);
+        let notices = drain(&mut fab, &mut q, SimTime::from_secs(1));
+        assert_eq!(delivered(&notices), vec![intra]);
+        assert!(notices
+            .iter()
+            .any(|n| matches!(n, Notice::MessageDropped { msg, .. } if *msg == cross)));
+        assert!(fab.is_quiescent());
+    }
+
+    #[test]
+    fn invalid_fault_plan_is_rejected_at_construction() {
+        let cfg = SwitchConfig::tiny_deterministic()
+            .with_fault_plan(FaultPlan::uniform_loss(1.5));
+        assert!(Fabric::try_new(cfg).is_err());
     }
 }

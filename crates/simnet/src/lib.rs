@@ -38,6 +38,7 @@
 pub mod config;
 pub mod event;
 pub mod fabric;
+pub mod fault;
 pub mod nic;
 pub mod packet;
 pub mod service;
@@ -46,9 +47,10 @@ pub mod switch;
 pub mod time;
 pub mod util;
 
-pub use config::{SwitchConfig, Topology};
+pub use config::{ConfigError, SwitchConfig, Topology};
 pub use event::EventQueue;
 pub use fabric::{drain, Fabric, NetEvent, Notice};
+pub use fault::{FaultPlan, FaultWindow, LinkFault, LinkId, LinkSelector, ServerFault};
 pub use packet::{Message, MessageId, NodeId, Packet};
 pub use service::ServiceDistribution;
 pub use stats::{FabricStats, SwitchStats};

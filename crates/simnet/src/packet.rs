@@ -70,7 +70,7 @@ pub fn segment_sizes(bytes: u64, mtu: u64) -> Vec<u64> {
     let full = (bytes / mtu) as usize;
     let rem = bytes % mtu;
     let mut out = Vec::with_capacity(full + usize::from(rem > 0));
-    out.extend(std::iter::repeat(mtu).take(full));
+    out.extend(std::iter::repeat_n(mtu, full));
     if rem > 0 {
         out.push(rem);
     }

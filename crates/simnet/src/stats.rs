@@ -104,6 +104,12 @@ pub struct FabricStats {
     pub local_messages: u64,
     /// Times a NIC was stalled by switch back-pressure (no credit).
     pub backpressure_stalls: u64,
+    /// Packets lost to injected link faults (zero unless a
+    /// [`crate::fault::FaultPlan`] is active).
+    pub packets_dropped: u64,
+    /// Messages that lost at least one packet to an injected fault and can
+    /// therefore never be delivered.
+    pub messages_dropped: u64,
 }
 
 #[cfg(test)]

@@ -27,6 +27,7 @@ use std::collections::VecDeque;
 
 use rand::rngs::StdRng;
 
+use crate::fault::ServerFaultState;
 use crate::packet::Packet;
 use crate::service::ServiceDistribution;
 use crate::stats::SwitchStats;
@@ -93,6 +94,7 @@ pub struct CentralStage {
     busy: usize,
     servers: usize,
     service: ServiceDistribution,
+    fault: Option<ServerFaultState>,
     pub(crate) stats: SwitchStats,
 }
 
@@ -105,11 +107,18 @@ impl CentralStage {
             busy: 0,
             servers,
             service,
+            fault: None,
             stats: SwitchStats {
                 servers,
                 ..SwitchStats::default()
             },
         }
+    }
+
+    /// Installs an injected routing-server fault (slowdown / blackout
+    /// windows). Only the fabric's fault layer calls this.
+    pub(crate) fn set_fault(&mut self, fault: ServerFaultState) {
+        self.fault = Some(fault);
     }
 
     /// Handles a packet arriving at the routing stage (credit already
@@ -135,7 +144,12 @@ impl CentralStage {
         now: SimTime,
         rng: &mut StdRng,
     ) -> ServiceStart {
-        let service = self.service.sample(rng);
+        let mut service = self.service.sample(rng);
+        if let Some(f) = &self.fault {
+            // Faulted servers really are busy for the stretched duration,
+            // so utilization accounting uses the adjusted value.
+            service = f.adjust(now, service);
+        }
         self.stats.total_wait_ns += now.since(arrived).as_nanos() as u128;
         self.stats.busy_ns += service.as_nanos() as u128;
         self.busy += 1;

@@ -75,7 +75,7 @@ pub fn build_amg(
     let p = params.clone();
     let n = layout.ranks();
     assert!(
-        n % p.grid_w == 0 && n / p.grid_w >= 2 && p.grid_w >= 2,
+        n.is_multiple_of(p.grid_w) && n / p.grid_w >= 2 && p.grid_w >= 2,
         "AMG needs a {}×h grid with h ≥ 2 (got {n} ranks)",
         p.grid_w
     );
@@ -155,7 +155,7 @@ mod tests {
         };
         let members = build_amg(&params, &layout, RunMode::Iterations(2), 13);
         let job = world.add_job("amg", members);
-        assert!(world.run_until_job_done(job, SimTime::from_secs(10)));
+        assert!(world.run_until_job_done(job, SimTime::from_secs(10)).completed());
         // Two halos per level per cycle (down + up), 4 neighbours each,
         // plus the coarse-level allreduce's lowered point-to-points
         // (8 ranks → 3 recursive-doubling rounds → 24 sends per cycle).

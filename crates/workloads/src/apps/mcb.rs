@@ -120,7 +120,7 @@ mod tests {
         };
         let members = build_mcb(&params, &layout, RunMode::Iterations(6), 5);
         let job = world.add_job("mcb", members);
-        assert!(world.run_until_job_done(job, SimTime::from_secs(10)));
+        assert!(world.run_until_job_done(job, SimTime::from_secs(10)).completed());
     }
 
     #[test]

@@ -28,6 +28,9 @@ pub struct ProbeSample {
 /// Shared collector of probe samples.
 pub type SampleSink = Rc<RefCell<Vec<ProbeSample>>>;
 
+/// Job members as `World::add_job` expects them: program + node placement.
+pub type Members = Vec<(Box<dyn Program>, NodeId)>;
+
 /// Creates an empty sample sink.
 pub fn new_sink() -> SampleSink {
     Rc::new(RefCell::new(Vec::new()))
@@ -161,10 +164,7 @@ fn ponger(partner: u32, bytes: u64, tag: u32) -> Looping {
 ///
 /// # Panics
 /// Panics if fewer than two nodes are available.
-pub fn build_impactb(
-    cfg: &ImpactConfig,
-    nodes: u32,
-) -> (Vec<(Box<dyn Program>, NodeId)>, SampleSink) {
+pub fn build_impactb(cfg: &ImpactConfig, nodes: u32) -> (Members, SampleSink) {
     assert!(nodes >= 2, "ImpactB needs at least one node pair");
     let sink = new_sink();
     let layout = Layout::new(nodes - nodes % 2, cfg.pairs_per_node);
@@ -175,7 +175,7 @@ pub fn build_impactb(
         let node_idx = layout.node_index_of(local);
         let core = layout.core_of(local);
         let node = layout.node_of(local);
-        let program: Box<dyn Program> = if node_idx % 2 == 0 {
+        let program: Box<dyn Program> = if node_idx.is_multiple_of(2) {
             let partner = layout.rank_at(node_idx + 1, core);
             let start_delay = cfg.period * u64::from(pair_idx) / u64::from(total_pairs.max(1));
             pair_idx += 1;

@@ -4,6 +4,7 @@
 //! anp calibrate                 # idle-switch calibration
 //! anp probe <APP>               # impact experiment: APP's switch footprint
 //! anp sweep <APP>               # degradation ladder for APP (mini Fig. 7)
+//! anp losses <APP>              # degradation vs packet-loss rate for APP
 //! anp predict <APP> <APP>       # predict mutual slowdown of a pairing
 //! anp apps                      # list the built-in application proxies
 //! ```
@@ -13,9 +14,11 @@
 
 use anp_core::{
     all_models, calibrate, degradation_percent, idle_profile, impact_profile_of_app,
-    impact_profile_of_compression, runtime_under_compression, solo_runtime, ExperimentConfig,
-    LookupTable, MuPolicy, Study,
+    impact_profile_of_compression, loss_sweep, runtime_under_compression, solo_runtime,
+    ExperimentConfig, LookupTable, MuPolicy, Study,
 };
+use anp_simmpi::ReliabilityConfig;
+use anp_simnet::SimDuration;
 use anp_workloads::{AppKind, CompressionConfig};
 
 fn usage() -> ! {
@@ -26,10 +29,18 @@ fn usage() -> ! {
          \x20 apps                 list application proxies\n\
          \x20 probe <APP>          measure APP's switch utilization\n\
          \x20 sweep <APP>          degradation vs utilization ladder for APP\n\
+         \x20 losses <APP>         degradation vs packet-loss rate for APP\n\
          \x20 predict <A> <B>      predict A and B's mutual slowdown\n\
          APP is one of: FFTW, Lulesh, MCB, MILC, VPFFT, AMG (case-insensitive)"
     );
     std::process::exit(2);
+}
+
+/// Prints an error and exits with status 1 (experiment-level failures,
+/// as opposed to `usage()` for malformed invocations).
+fn fail<E: std::fmt::Display>(err: E) -> ! {
+    eprintln!("error: {err}");
+    std::process::exit(1);
 }
 
 fn parse_app(arg: Option<String>) -> AppKind {
@@ -56,12 +67,15 @@ fn main() {
         }
     }
     let cfg = ExperimentConfig::cab().with_seed(seed);
+    if let Err(e) = cfg.switch.validate() {
+        fail(e);
+    }
     let Some(cmd) = args.next() else { usage() };
 
     match cmd.as_str() {
         "calibrate" => {
-            let idle = idle_profile(&cfg).expect("idle profile");
-            let calib = calibrate(&cfg, MuPolicy::MinLatency).expect("calibration");
+            let idle = idle_profile(&cfg).unwrap_or_else(|e| fail(e));
+            let calib = calibrate(&cfg, MuPolicy::MinLatency).unwrap_or_else(|e| fail(e));
             println!(
                 "idle probe latency: mean {:.3}us, sd {:.3}us, min {:.3}us (n={})",
                 idle.mean(),
@@ -92,8 +106,8 @@ fn main() {
         }
         "probe" => {
             let app = parse_app(args.next());
-            let calib = calibrate(&cfg, MuPolicy::MinLatency).expect("calibration");
-            let p = impact_profile_of_app(&cfg, app).expect("impact profile");
+            let calib = calibrate(&cfg, MuPolicy::MinLatency).unwrap_or_else(|e| fail(e));
+            let p = impact_profile_of_app(&cfg, app).unwrap_or_else(|e| fail(e));
             println!(
                 "{}: probe mean {:.2}us (sd {:.2}us, n={})",
                 app.name(),
@@ -108,8 +122,8 @@ fn main() {
         }
         "sweep" => {
             let app = parse_app(args.next());
-            let calib = calibrate(&cfg, MuPolicy::MinLatency).expect("calibration");
-            let solo = solo_runtime(&cfg, app).expect("solo runtime");
+            let calib = calibrate(&cfg, MuPolicy::MinLatency).unwrap_or_else(|e| fail(e));
+            let solo = solo_runtime(&cfg, app).unwrap_or_else(|e| fail(e));
             println!("{} solo: {}", app.name(), solo);
             println!("{:<18} {:>7} {:>12}", "config", "util", "degradation");
             for comp in [
@@ -118,8 +132,8 @@ fn main() {
                 CompressionConfig::new(14, 250_000, 1),
                 CompressionConfig::new(17, 25_000, 10),
             ] {
-                let p = impact_profile_of_compression(&cfg, &comp).expect("impact");
-                let t = runtime_under_compression(&cfg, app, &comp).expect("runtime");
+                let p = impact_profile_of_compression(&cfg, &comp).unwrap_or_else(|e| fail(e));
+                let t = runtime_under_compression(&cfg, app, &comp).unwrap_or_else(|e| fail(e));
                 println!(
                     "{:<18} {:>6.1}% {:>+11.1}%",
                     comp.label(),
@@ -128,12 +142,42 @@ fn main() {
                 );
             }
         }
+        "losses" => {
+            let app = parse_app(args.next());
+            // Timeout well above congested delivery latency (spurious
+            // retransmits snowball), loss rates low enough that a 24KB /
+            // 24-packet message still survives most attempts: the ARQ is
+            // message-grained, so loss x packets-per-message must stay
+            // well below 1.
+            let rel = ReliabilityConfig {
+                retransmit_timeout: SimDuration::from_millis(50),
+                max_retries: 10,
+            };
+            let solo = solo_runtime(&cfg, app).unwrap_or_else(|e| fail(e));
+            println!("{} lossless: {}", app.name(), solo);
+            println!("{:<10} {:>12} {:>12}", "loss", "runtime", "degradation");
+            for (loss, res) in loss_sweep(&cfg, app, &[0.0, 1e-4, 5e-4, 1e-3], rel) {
+                match res {
+                    Ok(t) => println!(
+                        "{:<10} {:>12} {:>+11.1}%",
+                        format!("{:.2}%", loss * 100.0),
+                        format!("{t}"),
+                        degradation_percent(solo, t)
+                    ),
+                    Err(e) => println!(
+                        "{:<10} {:>12} ({e})",
+                        format!("{:.2}%", loss * 100.0),
+                        "-"
+                    ),
+                }
+            }
+        }
         "predict" => {
             let a = parse_app(args.next());
             let b = parse_app(args.next());
             let apps = if a == b { vec![a] } else { vec![a, b] };
             eprintln!("measuring look-up table (this takes a few minutes)...");
-            let calib = calibrate(&cfg, MuPolicy::MinLatency).expect("calibration");
+            let calib = calibrate(&cfg, MuPolicy::MinLatency).unwrap_or_else(|e| fail(e));
             let sweep: Vec<CompressionConfig> = CompressionConfig::paper_sweep()
                 .into_iter()
                 .enumerate()
@@ -143,9 +187,9 @@ fn main() {
             let table = LookupTable::measure(&cfg, calib, &apps, &sweep, |line| {
                 eprintln!("  {line}");
             })
-            .expect("table");
+            .unwrap_or_else(|e| fail(e));
             let study =
-                Study::measure_profiles(&cfg, table, &apps, |_| {}).expect("app profiles");
+                Study::measure_profiles(&cfg, table, &apps, |_| {}).unwrap_or_else(|e| fail(e));
             let models = all_models();
             for (victim, other) in [(a, b), (b, a)] {
                 let outcome = study.predict_pair(victim, other, &models);

@@ -1,0 +1,380 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crate registry, so the workspace vendors
+//! the slice of proptest it uses: the [`proptest!`] macro (with an
+//! optional `#![proptest_config(...)]` attribute), `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!`, primitive range strategies, tuple
+//! strategies, and [`collection::vec`].
+//!
+//! Semantics differ from upstream in one deliberate way: generation is
+//! fully deterministic (a fixed per-case seed derived from the case
+//! index), and failing cases are reported with their generated inputs but
+//! **not shrunk**. For a CI gate that is the right trade — reproducible
+//! runs, no flakes — at the cost of less-minimal counterexamples.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Test-runner plumbing used by the macros.
+pub mod test_runner {
+    /// Per-proptest-block configuration. Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream's default.
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed: generate a fresh case, don't count it.
+        Reject(String),
+        /// `prop_assert*!` failed: the property is violated.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+
+        /// Builds a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+}
+
+/// A source of generated values. Unlike upstream this is a plain sampler:
+/// no shrink tree.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u32, u64, usize);
+
+impl Strategy for Range<u8> {
+    type Value = u8;
+    fn generate(&self, rng: &mut StdRng) -> u8 {
+        rng.gen_range(u32::from(self.start)..u32::from(self.end)) as u8
+    }
+}
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+    fn generate(&self, rng: &mut StdRng) -> i64 {
+        let span = self.end.wrapping_sub(self.start) as u64;
+        assert!(span > 0, "cannot sample empty range");
+        self.start.wrapping_add(rng.gen_range(0..span) as i64)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!(
+    (A / 0),
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3)
+);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Range, RangeInclusive, StdRng, Strategy};
+    use rand::Rng;
+
+    /// A strategy producing `Vec`s of `element` with a length drawn from
+    /// `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    /// Acceptable length specifications for [`vec`].
+    pub trait SizeRange {
+        /// Lower bound and inclusive upper bound of the length.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl SizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start() <= self.end(), "empty size range");
+            (*self.start(), *self.end())
+        }
+    }
+
+    impl SizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    /// Generates vectors of values from `element`, sized by `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
+        let (min, max_inclusive) = size.bounds();
+        VecStrategy {
+            element,
+            min,
+            max_inclusive,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.min..=self.max_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Derives the RNG for one generated case: deterministic in the case
+/// index, decorrelated across cases.
+pub fn case_rng(attempt: u64) -> StdRng {
+    StdRng::seed_from_u64(0xA1B2_C3D4_E5F6_0718 ^ attempt.wrapping_mul(0x2545_F491_4F6C_DD1D))
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Defines property tests. Supports the subset of upstream syntax used in
+/// this workspace: an optional leading `#![proptest_config(expr)]`, then
+/// one or more `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut accepted: u32 = 0;
+            let mut attempt: u64 = 0;
+            let max_attempts = u64::from(config.cases).saturating_mul(64).max(1024);
+            while accepted < config.cases {
+                assert!(
+                    attempt < max_attempts,
+                    "proptest '{}': too many rejected cases ({} attempts)",
+                    stringify!($name),
+                    attempt
+                );
+                let mut __rng = $crate::case_rng(attempt);
+                attempt += 1;
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut __rng);)+
+                let __desc = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let mut __case = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    Ok(())
+                };
+                match __case() {
+                    Ok(()) => accepted += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest '{}' failed: {}\n  inputs: {}",
+                            stringify!($name),
+                            msg,
+                            __desc
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case
+/// (with its inputs reported) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l != *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                    r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Discards the current case (without counting it) when the assumption
+/// does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Generated values respect their strategy's bounds.
+        #[test]
+        fn bounds_hold(x in 3u32..9, y in -5.0f64..5.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-5.0..5.0).contains(&y));
+        }
+
+        /// Rejection resamples instead of failing.
+        #[test]
+        fn assume_rejects(x in 0u32..10) {
+            prop_assume!(x < 5);
+            prop_assert!(x < 5);
+        }
+
+        /// Vec strategies respect length bounds and element bounds.
+        #[test]
+        fn vec_strategy(xs in collection::vec((0u32..4, 1u64..100), 2..20)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 20);
+            for (a, b) in &xs {
+                prop_assert!(*a < 4);
+                prop_assert!((1..100).contains(b));
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let a: Vec<u64> = (0..8)
+            .map(|i| rand::Rng::gen::<u64>(&mut crate::case_rng(i)))
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map(|i| rand::Rng::gen::<u64>(&mut crate::case_rng(i)))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failing_property_panics() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[test]
+            fn inner(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}
