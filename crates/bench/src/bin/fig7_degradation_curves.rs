@@ -2,14 +2,20 @@
 //! function of the % switch utilization removed by CompressionB, with the
 //! paper's linear trend fit per application.
 //!
+//! The per-configuration impact runs and the app × config runtime grid
+//! are independent simulations; both fan out across the sweep engine
+//! (`--jobs N`, default all cores) with index-ordered collection, so the
+//! curves are byte-identical for any worker count. Sweep telemetry lands
+//! in `BENCH_anp.json`.
+//!
 //! ```text
-//! cargo run --release -p anp-bench --bin fig7_degradation_curves [--quick]
+//! cargo run --release -p anp-bench --bin fig7_degradation_curves [--quick] [--jobs N]
 //! ```
 
 use anp_bench::{banner, HarnessOpts};
 use anp_core::{
     calibrate, degradation_percent, impact_profile_of_compression, runtime_under_compression,
-    solo_runtime, MuPolicy,
+    solo_runtime, sweep_recorded, MuPolicy,
 };
 use anp_metrics::linear_fit;
 
@@ -23,23 +29,59 @@ fn main() {
     let cfg = opts.experiment_config();
     let calib = calibrate(&cfg, MuPolicy::MinLatency).expect("calibration");
 
-    // Measure each configuration's utilization once.
+    // Measure each configuration's utilization once — one independent
+    // impact run per configuration.
     let sweep = opts.compression_sweep();
-    let mut utils = Vec::with_capacity(sweep.len());
-    for comp in &sweep {
-        let p = impact_profile_of_compression(&cfg, comp).expect("impact of compression");
-        utils.push(calib.utilization(&p) * 100.0);
-    }
+    let impact_tasks: Vec<(String, _)> = sweep
+        .iter()
+        .map(|comp| {
+            let cfg = &cfg;
+            (format!("impact:{}", comp.label()), move || {
+                impact_profile_of_compression(cfg, comp).expect("impact of compression")
+            })
+        })
+        .collect();
+    let (profiles, impact_telemetry) = sweep_recorded("fig7-impacts", cfg.jobs, impact_tasks);
+    let utils: Vec<f64> = profiles
+        .iter()
+        .map(|p| calib.utilization(p) * 100.0)
+        .collect();
 
-    for app in opts.apps() {
-        let solo = solo_runtime(&cfg, app).expect("solo runtime");
+    // Solo baselines plus the full app × config runtime grid, app-major.
+    let apps = opts.apps();
+    let solo_tasks: Vec<(String, _)> = apps
+        .iter()
+        .map(|&app| {
+            let cfg = &cfg;
+            (format!("solo:{}", app.name()), move || {
+                solo_runtime(cfg, app).expect("solo runtime")
+            })
+        })
+        .collect();
+    let (solos, solo_telemetry) = sweep_recorded("fig7-solos", cfg.jobs, solo_tasks);
+    let grid_tasks: Vec<(String, _)> = apps
+        .iter()
+        .flat_map(|&app| {
+            let cfg = &cfg;
+            sweep.iter().map(move |comp| {
+                (
+                    format!("grid:{}:{}", app.name(), comp.label()),
+                    move || runtime_under_compression(cfg, app, comp).expect("compression runtime"),
+                )
+            })
+        })
+        .collect();
+    let (grid, grid_telemetry) = sweep_recorded("fig7-grid", cfg.jobs, grid_tasks);
+
+    let mut grid = grid.into_iter();
+    for (app, solo) in apps.iter().zip(&solos) {
         println!("{} (solo {}):", app.name(), solo);
         println!("  {:>6}  {:>8}  {:<16}", "util", "degr", "config");
         let mut xs = Vec::new();
         let mut ys = Vec::new();
         for (comp, util) in sweep.iter().zip(&utils) {
-            let t = runtime_under_compression(&cfg, app, comp).expect("compression runtime");
-            let d = degradation_percent(solo, t);
+            let t = grid.next().expect("grid cell");
+            let d = degradation_percent(*solo, t);
             xs.push(*util);
             ys.push(d);
             println!("  {:>5.1}%  {:>+7.1}%  {}", util, d, comp.label());
@@ -57,4 +99,8 @@ fn main() {
     println!("Paper shape check: FFTW and VPFFT degrade steepest (>100% at the");
     println!("top of the range), MILC is intermediate, Lulesh mild (~10-15%),");
     println!("MCB and AMG nearly flat (<5%).");
+    opts.emit_bench_json(
+        "fig7_degradation_curves",
+        &[&impact_telemetry, &solo_telemetry, &grid_telemetry],
+    );
 }

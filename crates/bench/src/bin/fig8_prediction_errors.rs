@@ -7,11 +7,15 @@
 //! the four predictors. Use `--cache <path>` to persist the measurements
 //! for `fig9_error_summary`.
 //!
+//! The look-up table, the app impact profiles, and the co-run ground
+//! truth grid all fan out across the sweep engine (`--jobs N`, default
+//! all cores); sweep telemetry lands in `BENCH_anp.json`.
+//!
 //! ```text
-//! cargo run --release -p anp-bench --bin fig8_prediction_errors [--quick] [--cache study.tsv]
+//! cargo run --release -p anp-bench --bin fig8_prediction_errors [--quick] [--cache study.tsv] [--jobs N]
 //! ```
 
-use anp_bench::{banner, full_outcomes, HarnessOpts};
+use anp_bench::{banner, full_outcomes_recorded, HarnessOpts};
 
 fn main() {
     let opts = HarnessOpts::from_args();
@@ -20,7 +24,7 @@ fn main() {
         "performance predictions for combined workloads",
         &opts,
     );
-    let outcomes = full_outcomes(&opts);
+    let (outcomes, telemetry) = full_outcomes_recorded(&opts);
 
     println!();
     println!(
@@ -47,4 +51,8 @@ fn main() {
     println!("Paper shape check: the LUT models do well on Lulesh/AMG rows but");
     println!("miss on FFT/VPFFT; the queue model keeps most pairings under 10%");
     println!("with its worst case at FFTW predicted against AMG (phase-blind).");
+    if !telemetry.is_empty() {
+        let refs: Vec<_> = telemetry.iter().collect();
+        opts.emit_bench_json("fig8_prediction_errors", &refs);
+    }
 }

@@ -7,14 +7,19 @@
 //! degradation — evidence that the reproduction's conclusions are not an
 //! artifact of one lucky seed.
 //!
+//! The per-seed studies are fully independent, so they fan out across the
+//! sweep engine (`--jobs N`, default all cores); the per-seed rows print
+//! in seed order regardless of scheduling. Sweep telemetry lands in
+//! `BENCH_anp.json`.
+//!
 //! ```text
-//! cargo run --release -p anp-bench --bin seed_sensitivity [--quick]
+//! cargo run --release -p anp-bench --bin seed_sensitivity [--quick] [--jobs N]
 //! ```
 
 use anp_bench::{banner, HarnessOpts};
 use anp_core::{
     calibrate, degradation_percent, idle_profile, impact_profile_of_compression,
-    runtime_under_compression, solo_runtime, MuPolicy,
+    runtime_under_compression, solo_runtime, sweep_recorded, MuPolicy,
 };
 use anp_metrics::OnlineStats;
 use anp_workloads::{AppKind, CompressionConfig};
@@ -29,6 +34,34 @@ fn main() {
     };
     let heavy = CompressionConfig::new(17, 25_000, 10);
 
+    // One task per seed: each re-derives its own config and runs the full
+    // metric set. Seeds are independent studies, ideal fan-out cells.
+    let tasks: Vec<(String, _)> = seeds
+        .iter()
+        .map(|&seed| {
+            let opts = &opts;
+            let heavy = &heavy;
+            (format!("seed:{seed}"), move || {
+                let cfg = opts.experiment_config().with_seed(seed);
+                let idle = idle_profile(&cfg).expect("idle");
+                let calib = calibrate(&cfg, MuPolicy::MinLatency).expect("calib");
+                let u = calib
+                    .utilization(&impact_profile_of_compression(&cfg, heavy).expect("impact"));
+                let fftw = degradation_percent(
+                    solo_runtime(&cfg, AppKind::Fftw).expect("solo"),
+                    runtime_under_compression(&cfg, AppKind::Fftw, heavy).expect("loaded"),
+                );
+                let mcb = degradation_percent(
+                    solo_runtime(&cfg, AppKind::Mcb).expect("solo"),
+                    runtime_under_compression(&cfg, AppKind::Mcb, heavy).expect("loaded"),
+                );
+                (idle.mean(), u, fftw, mcb)
+            })
+        })
+        .collect();
+    let jobs = opts.experiment_config().jobs;
+    let (rows, telemetry) = sweep_recorded("seed-sensitivity", jobs, tasks);
+
     let mut idle_mean = OnlineStats::new();
     let mut heavy_util = OnlineStats::new();
     let mut fftw_degr = OnlineStats::new();
@@ -37,28 +70,16 @@ fn main() {
         "{:>6} {:>10} {:>10} {:>12} {:>12}",
         "seed", "idle (us)", "util@heavy", "FFTW degr", "MCB degr"
     );
-    for seed in seeds {
-        let cfg = opts.experiment_config().with_seed(seed);
-        let idle = idle_profile(&cfg).expect("idle");
-        let calib = calibrate(&cfg, MuPolicy::MinLatency).expect("calib");
-        let u = calib.utilization(&impact_profile_of_compression(&cfg, &heavy).expect("impact"));
-        let fftw = degradation_percent(
-            solo_runtime(&cfg, AppKind::Fftw).expect("solo"),
-            runtime_under_compression(&cfg, AppKind::Fftw, &heavy).expect("loaded"),
-        );
-        let mcb = degradation_percent(
-            solo_runtime(&cfg, AppKind::Mcb).expect("solo"),
-            runtime_under_compression(&cfg, AppKind::Mcb, &heavy).expect("loaded"),
-        );
+    for (seed, (idle, u, fftw, mcb)) in seeds.iter().zip(rows) {
         println!(
             "{:>6} {:>10.3} {:>9.1}% {:>+11.1}% {:>+11.1}%",
             seed,
-            idle.mean(),
+            idle,
             u * 100.0,
             fftw,
             mcb
         );
-        idle_mean.push(idle.mean());
+        idle_mean.push(idle);
         heavy_util.push(u * 100.0);
         fftw_degr.push(fftw);
         mcb_degr.push(mcb);
@@ -80,4 +101,5 @@ fn main() {
     println!();
     println!("Low coefficients of variation mean the reproduction's headline");
     println!("numbers are properties of the model, not of a particular seed.");
+    opts.emit_bench_json("seed_sensitivity", &[&telemetry]);
 }

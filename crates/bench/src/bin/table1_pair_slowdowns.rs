@@ -2,12 +2,18 @@
 //! application when co-run with every application (including itself) on
 //! the same switch — 36 directed pairings for the 6 applications.
 //!
+//! The solo runtimes and the quadratic pairing grid are independent
+//! simulations, so they fan out across the sweep engine's workers
+//! (`--jobs N`, default all cores); collection is index-ordered, so the
+//! table is byte-identical for any worker count. Sweep telemetry lands in
+//! `BENCH_anp.json`.
+//!
 //! ```text
-//! cargo run --release -p anp-bench --bin table1_pair_slowdowns [--quick]
+//! cargo run --release -p anp-bench --bin table1_pair_slowdowns [--quick] [--jobs N]
 //! ```
 
 use anp_bench::{banner, HarnessOpts};
-use anp_core::{degradation_percent, runtime_under_corun, solo_runtime};
+use anp_core::{degradation_percent, runtime_under_corun, solo_runtime, sweep_recorded};
 
 fn main() {
     let opts = HarnessOpts::from_args();
@@ -19,15 +25,36 @@ fn main() {
     let cfg = opts.experiment_config();
     let apps = opts.apps();
 
-    let solos: Vec<_> = apps
+    // Solo baselines: one independent run per application.
+    let solo_tasks: Vec<(String, _)> = apps
         .iter()
         .map(|&a| {
-            let t = solo_runtime(&cfg, a).expect("solo runtime");
-            println!("solo {:<7} {}", a.name(), t);
-            t
+            let cfg = &cfg;
+            (format!("solo:{}", a.name()), move || {
+                solo_runtime(cfg, a).expect("solo runtime")
+            })
         })
         .collect();
+    let (solos, solo_telemetry) = sweep_recorded("table1-solos", cfg.jobs, solo_tasks);
+    for (a, t) in apps.iter().zip(&solos) {
+        println!("solo {:<7} {}", a.name(), t);
+    }
     println!();
+
+    // The quadratic grid, victim-major — the expensive part of Table I.
+    let grid_tasks: Vec<(String, _)> = apps
+        .iter()
+        .flat_map(|&victim| {
+            let cfg = &cfg;
+            apps.iter().map(move |&other| {
+                (
+                    format!("corun:{}+{}", victim.name(), other.name()),
+                    move || runtime_under_corun(cfg, victim, other).expect("co-run runtime"),
+                )
+            })
+        })
+        .collect();
+    let (grid, grid_telemetry) = sweep_recorded("table1-grid", cfg.jobs, grid_tasks);
 
     // Header row: co-runner names.
     print!("{:<8}", "victim\\w");
@@ -35,10 +62,11 @@ fn main() {
         print!(" {:>7}", other.name());
     }
     println!();
+    let mut grid = grid.into_iter();
     for (i, &victim) in apps.iter().enumerate() {
         print!("{:<8}", victim.name());
-        for &other in &apps {
-            let t = runtime_under_corun(&cfg, victim, other).expect("co-run runtime");
+        for _ in &apps {
+            let t = grid.next().expect("grid cell");
             let d = degradation_percent(solos[i], t);
             print!(" {:>7.0}", d);
         }
@@ -49,4 +77,15 @@ fn main() {
     println!("Paper shape check: the FFT row dominates (45% with itself in the");
     println!("paper), MILC+FFT is the next largest, and rows for Lulesh, MCB");
     println!("and AMG stay in the low single digits.");
+    println!();
+    println!(
+        "grid: {} runs on {} workers in {:.2}s (serial-equivalent {:.2}s, {:.2}x speedup, {:.0} events/s)",
+        grid_telemetry.runs.len(),
+        grid_telemetry.workers,
+        grid_telemetry.wall_secs,
+        grid_telemetry.serial_secs(),
+        grid_telemetry.speedup(),
+        grid_telemetry.events_per_sec(),
+    );
+    opts.emit_bench_json("table1_pair_slowdowns", &[&solo_telemetry, &grid_telemetry]);
 }

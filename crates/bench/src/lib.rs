@@ -38,7 +38,7 @@ use std::path::{Path, PathBuf};
 
 use anp_core::{
     calibrate, error_summaries, Calibration, ExperimentConfig, LatencyProfile, LookupTable,
-    MuPolicy, PairOutcome, Study,
+    MuPolicy, PairOutcome, Parallelism, Study, SweepTelemetry,
 };
 use anp_workloads::{AppKind, CompressionConfig};
 
@@ -51,15 +51,23 @@ pub struct HarnessOpts {
     pub seed: u64,
     /// Optional path for caching study measurements (fig8/fig9).
     pub cache: Option<PathBuf>,
+    /// Worker threads for the experiment sweeps (`None` = all cores).
+    pub jobs: Option<usize>,
+    /// Where sweep telemetry is written (default `BENCH_anp.json`;
+    /// `--no-bench-json` disables the emitter).
+    pub bench_json: Option<PathBuf>,
 }
 
 impl HarnessOpts {
-    /// Parses `--quick`, `--seed <n>`, `--cache <path>` from `std::env`.
+    /// Parses `--quick`, `--seed <n>`, `--cache <path>`, `--jobs <n>`,
+    /// `--bench-json <path>` / `--no-bench-json` from `std::env`.
     pub fn from_args() -> Self {
         let mut opts = HarnessOpts {
             quick: false,
             seed: 0xA11CE,
             cache: None,
+            jobs: None,
+            bench_json: Some(PathBuf::from("BENCH_anp.json")),
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -73,7 +81,19 @@ impl HarnessOpts {
                     let v = args.next().expect("--cache needs a path");
                     opts.cache = Some(PathBuf::from(v));
                 }
-                other => panic!("unknown argument: {other} (try --quick / --seed N / --cache P)"),
+                "--jobs" => {
+                    let v = args.next().expect("--jobs needs a value");
+                    opts.jobs = Some(v.parse().expect("--jobs needs an integer"));
+                }
+                "--bench-json" => {
+                    let v = args.next().expect("--bench-json needs a path");
+                    opts.bench_json = Some(PathBuf::from(v));
+                }
+                "--no-bench-json" => opts.bench_json = None,
+                other => panic!(
+                    "unknown argument: {other} (try --quick / --seed N / --cache P / \
+                     --jobs N / --bench-json P / --no-bench-json)"
+                ),
             }
         }
         opts
@@ -81,7 +101,21 @@ impl HarnessOpts {
 
     /// The experiment configuration this harness run uses.
     pub fn experiment_config(&self) -> ExperimentConfig {
-        ExperimentConfig::cab().with_seed(self.seed)
+        let mut cfg = ExperimentConfig::cab().with_seed(self.seed);
+        if let Some(n) = self.jobs {
+            cfg.jobs = Parallelism::fixed(n);
+        }
+        cfg
+    }
+
+    /// Serializes sweep telemetry to the configured `BENCH_anp.json`
+    /// (no-op under `--no-bench-json`).
+    pub fn emit_bench_json(&self, harness: &str, sweeps: &[&SweepTelemetry]) {
+        let Some(path) = &self.bench_json else { return };
+        match write_bench_json(path, harness, self.seed, sweeps) {
+            Ok(()) => println!("(sweep telemetry written to {})", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
     }
 
     /// The CompressionB sweep: the paper's 40 configurations, or an
@@ -130,6 +164,17 @@ pub fn measure_study(
     sweep: &[CompressionConfig],
     verbose: bool,
 ) -> Study {
+    measure_study_recorded(cfg, apps, sweep, verbose).0
+}
+
+/// [`measure_study`], additionally returning the telemetry of the
+/// look-up-table and app-profile sweeps.
+pub fn measure_study_recorded(
+    cfg: &ExperimentConfig,
+    apps: &[AppKind],
+    sweep: &[CompressionConfig],
+    verbose: bool,
+) -> (Study, Vec<SweepTelemetry>) {
     let progress = |line: &str| {
         if verbose {
             println!("  [measure] {line}");
@@ -137,20 +182,22 @@ pub fn measure_study(
     };
     let calibration: Calibration =
         calibrate(cfg, MuPolicy::MinLatency).expect("idle calibration failed");
-    let table = LookupTable::measure(cfg, calibration, apps, sweep, progress)
+    let (table, lut_telemetry) = LookupTable::measure_recorded(cfg, calibration, apps, sweep, progress)
         .expect("look-up table measurement failed");
-    Study::measure_profiles(cfg, table, apps, |line| {
+    let (study, profile_telemetry) = Study::measure_profiles_recorded(cfg, table, apps, |line| {
         if verbose {
             println!("  [measure] {line}");
         }
     })
-    .expect("app impact profiles failed")
+    .expect("app impact profiles failed");
+    (study, vec![lut_telemetry, profile_telemetry])
 }
 
 /// Runs (or loads from cache) the complete prediction study: isolated
 /// measurements, predictions for every ordered pair, and co-run ground
-/// truth. Returns outcomes in victim-major order.
-pub fn full_outcomes(opts: &HarnessOpts) -> Vec<PairOutcome> {
+/// truth. Returns outcomes in victim-major order, plus the telemetry of
+/// every sweep that actually ran (empty when served from cache).
+pub fn full_outcomes_recorded(opts: &HarnessOpts) -> (Vec<PairOutcome>, Vec<SweepTelemetry>) {
     if let Some(path) = &opts.cache {
         if let Some(outcomes) = load_outcomes(path) {
             println!(
@@ -158,31 +205,63 @@ pub fn full_outcomes(opts: &HarnessOpts) -> Vec<PairOutcome> {
                 outcomes.len(),
                 path.display()
             );
-            return outcomes;
+            return (outcomes, Vec::new());
         }
     }
     let cfg = opts.experiment_config();
     let apps = opts.apps();
     let sweep = opts.compression_sweep();
-    let study = measure_study(&cfg, &apps, &sweep, true);
+    let (study, mut telemetry) = measure_study_recorded(&cfg, &apps, &sweep, true);
     let models = anp_core::all_models();
     let mut outcomes = study.predict_all(&apps, &models);
-    for o in outcomes.iter_mut() {
-        study
-            .measure_pair(&cfg, o)
-            .expect("co-run measurement failed");
-        println!(
-            "  [corun] {} with {} -> measured {:+.1}%",
-            o.victim.name(),
-            o.other.name(),
-            o.measured.unwrap()
-        );
-    }
+    let pair_telemetry = study
+        .measure_pairs_recorded(&cfg, &mut outcomes, |line| println!("  [corun] {line}"))
+        .expect("co-run measurement failed");
+    telemetry.push(pair_telemetry);
     if let Some(path) = &opts.cache {
         save_outcomes(path, &outcomes);
         println!("(cached pairings to {})", path.display());
     }
-    outcomes
+    (outcomes, telemetry)
+}
+
+/// [`full_outcomes_recorded`] without the telemetry.
+pub fn full_outcomes(opts: &HarnessOpts) -> Vec<PairOutcome> {
+    full_outcomes_recorded(opts).0
+}
+
+/// Writes sweep telemetry records to `path` as a single JSON document —
+/// the `BENCH_anp.json` perf-trajectory artefact. Schema (one object):
+///
+/// ```text
+/// { "schema": "anp-bench-v1", "harness": "<binary>", "seed": N,
+///   "sweeps": [ <SweepTelemetry::to_json() objects> ] }
+/// ```
+///
+/// Each sweep object carries `workers`, end-to-end `wall_secs`, the
+/// serial-equivalent `serial_secs`, the realized `speedup`, total
+/// simulation `events`, aggregate `events_per_sec`, and a `per_run`
+/// array of `{label, wall_secs, events}` cells.
+pub fn write_bench_json(
+    path: &Path,
+    harness: &str,
+    seed: u64,
+    sweeps: &[&SweepTelemetry],
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"schema\": \"anp-bench-v1\",\n  \"harness\": \"{harness}\",\n  \"seed\": {seed},\n  \"sweeps\": [\n"
+    ));
+    for (i, t) in sweeps.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("    ");
+        out.push_str(&t.to_json());
+    }
+    out.push_str("\n  ]\n}\n");
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(out.as_bytes())
 }
 
 /// Serializes outcomes to a plain TSV file (no external dependencies).
@@ -323,11 +402,15 @@ mod tests {
             quick: true,
             seed: 1,
             cache: None,
+            jobs: None,
+            bench_json: None,
         };
         let full = HarnessOpts {
             quick: false,
             seed: 1,
             cache: None,
+            jobs: None,
+            bench_json: None,
         };
         assert_eq!(full.compression_sweep().len(), 40);
         assert_eq!(quick.compression_sweep().len(), 8);

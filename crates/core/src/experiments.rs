@@ -18,15 +18,16 @@ use anp_workloads::{
     build_compressionb, build_impactb, AppKind, CompressionConfig, ImpactConfig, RunMode,
 };
 
-use crate::queue::{Calibration, MuPolicy};
+use crate::queue::{Calibration, CalibrationError, MuPolicy};
 use crate::samples::LatencyProfile;
 use crate::series::TimedSeries;
+use crate::sweep::{self, Parallelism, SweepTelemetry};
 
 /// Job members: one program per rank with its node placement.
 pub type Members = Vec<(Box<dyn Program>, NodeId)>;
 
 /// Errors from experiment drivers.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ExperimentError {
     /// The measured job did not finish before the configured cap.
     HorizonExceeded {
@@ -40,6 +41,9 @@ pub enum ExperimentError {
     /// The measured job can never finish: the event queue drained with
     /// ranks still blocked (deadlock, or messages lost for good).
     Stalled(StallReport),
+    /// The idle profile could not parameterize the queue model (e.g. a
+    /// degraded fabric reported a non-positive idle latency).
+    Calibration(CalibrationError),
 }
 
 impl std::fmt::Display for ExperimentError {
@@ -50,7 +54,14 @@ impl std::fmt::Display for ExperimentError {
             }
             ExperimentError::NoSamples => write!(f, "no probe samples collected"),
             ExperimentError::Stalled(report) => write!(f, "stalled: {report}"),
+            ExperimentError::Calibration(err) => write!(f, "calibration failed: {err}"),
         }
+    }
+}
+
+impl From<CalibrationError> for ExperimentError {
+    fn from(err: CalibrationError) -> Self {
+        ExperimentError::Calibration(err)
     }
 }
 
@@ -71,6 +82,11 @@ pub struct ExperimentConfig {
     pub run_cap: SimDuration,
     /// Base seed; workload seeds derive from it.
     pub seed: u64,
+    /// Worker threads for embarrassingly-parallel sweeps (look-up table,
+    /// pairing grids, loss sweeps). Results are collected by index, so
+    /// any setting produces byte-identical output; `Fixed(1)` is the
+    /// exact old serial behavior.
+    pub jobs: Parallelism,
 }
 
 impl ExperimentConfig {
@@ -84,6 +100,7 @@ impl ExperimentConfig {
             warmup_frac: 0.1,
             run_cap: SimDuration::from_secs(120),
             seed: 0xA11CE,
+            jobs: Parallelism::Auto,
         }
     }
 
@@ -91,6 +108,13 @@ impl ExperimentConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self.switch = self.switch.with_seed(seed ^ 0x5117C4);
+        self
+    }
+
+    /// Replaces the sweep worker count (builder style); `1` forces the
+    /// old serial behavior.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Parallelism::fixed(jobs);
         self
     }
 
@@ -115,6 +139,7 @@ pub fn impact_series(
         world.add_job("workload", members);
     }
     world.run_until(SimTime::ZERO + cfg.measure_window);
+    sweep::note_events(world.events_processed());
     let samples = sink.borrow();
     if samples.is_empty() {
         return Err(ExperimentError::NoSamples);
@@ -142,7 +167,7 @@ pub fn calibrate(
     cfg: &ExperimentConfig,
     policy: MuPolicy,
 ) -> Result<Calibration, ExperimentError> {
-    Ok(Calibration::from_idle_profile(&idle_profile(cfg)?, policy))
+    Ok(Calibration::from_idle_profile(&idle_profile(cfg)?, policy)?)
 }
 
 /// Impact profile measured while `app` runs endlessly.
@@ -198,7 +223,9 @@ fn runtime_in_world(
         world.add_job("interferer", members);
     }
     let cap = SimTime::ZERO + cfg.run_cap;
-    match world.run_until_job_done(job, cap) {
+    let outcome = world.run_until_job_done(job, cap);
+    sweep::note_events(world.events_processed());
+    match outcome {
         RunOutcome::Completed { at } => Ok(at.since(SimTime::ZERO)),
         RunOutcome::DeadlineExpired(_) => Err(ExperimentError::HorizonExceeded {
             job: name.to_owned(),
@@ -278,11 +305,33 @@ pub fn loss_sweep(
     app: AppKind,
     losses: &[f64],
     reliability: ReliabilityConfig,
-) -> Vec<(f64, Result<SimDuration, ExperimentError>)> {
-    losses
+) -> LossCurve {
+    loss_sweep_recorded(cfg, app, losses, reliability).0
+}
+
+/// The result of a loss sweep: one `(loss rate, runtime-or-error)` point
+/// per requested rate, in request order.
+pub type LossCurve = Vec<(f64, Result<SimDuration, ExperimentError>)>;
+
+/// [`loss_sweep`], additionally returning the sweep's telemetry record.
+/// The loss points are independent simulations, so they fan out across
+/// [`ExperimentConfig::jobs`] workers; results come back in `losses`
+/// order regardless of scheduling.
+pub fn loss_sweep_recorded(
+    cfg: &ExperimentConfig,
+    app: AppKind,
+    losses: &[f64],
+    reliability: ReliabilityConfig,
+) -> (LossCurve, SweepTelemetry) {
+    let tasks: Vec<(String, _)> = losses
         .iter()
-        .map(|&loss| (loss, runtime_under_loss(cfg, app, loss, reliability)))
-        .collect()
+        .map(|&loss| {
+            let label = format!("loss:{}:{loss}", app.name());
+            (label, move || runtime_under_loss(cfg, app, loss, reliability))
+        })
+        .collect();
+    let (results, telemetry) = sweep::sweep_recorded("loss-sweep", cfg.jobs, tasks);
+    (losses.iter().copied().zip(results).collect(), telemetry)
 }
 
 /// The paper's degradation metric:
@@ -312,6 +361,7 @@ mod tests {
             warmup_frac: 0.1,
             run_cap: SimDuration::from_secs(5),
             seed: 7,
+            jobs: Parallelism::Auto,
         }
     }
 

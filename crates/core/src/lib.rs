@@ -18,7 +18,10 @@
 //!   and the queue model (§IV);
 //! * [`prediction`] — the pairing study: predict all N² co-run slowdowns
 //!   from N isolated measurements and score them against ground truth
-//!   (§V).
+//!   (§V);
+//! * [`sweep`] — the parallel sweep engine: fans independent experiment
+//!   cells across worker threads with index-ordered (byte-identical)
+//!   collection, and records per-run wall/event telemetry.
 //!
 //! ## The methodology in one paragraph
 //!
@@ -42,16 +45,18 @@ pub mod prediction;
 pub mod queue;
 pub mod samples;
 pub mod series;
+pub mod sweep;
 
 pub use experiments::{
     calibrate, degradation_percent, idle_profile, impact_profile, impact_profile_of_app,
-    impact_profile_of_compression, impact_series, impact_series_of_app, loss_sweep, runtime_of,
-    runtime_under_compression, runtime_under_corun, runtime_under_loss, solo_runtime,
-    ExperimentConfig, ExperimentError, Members,
+    impact_profile_of_compression, impact_series, impact_series_of_app, loss_sweep,
+    loss_sweep_recorded, runtime_of, runtime_under_compression, runtime_under_corun,
+    runtime_under_loss, solo_runtime, ExperimentConfig, ExperimentError, LossCurve, Members,
 };
 pub use lut::{CompressionEntry, LookupTable};
 pub use models::{all_models, AverageLt, AverageStDevLt, PdfLt, QueueModel, QueuePhaseModel, SlowdownModel};
 pub use prediction::{error_summaries, PairOutcome, Study};
-pub use queue::{Calibration, MuPolicy};
+pub use queue::{Calibration, CalibrationError, MuPolicy};
 pub use samples::LatencyProfile;
 pub use series::TimedSeries;
+pub use sweep::{sweep as run_sweep, sweep_recorded, Parallelism, RunRecord, SweepTelemetry};

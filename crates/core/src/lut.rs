@@ -24,6 +24,7 @@ use crate::experiments::{
 };
 use crate::queue::Calibration;
 use crate::samples::LatencyProfile;
+use crate::sweep::{sweep_recorded, SweepTelemetry};
 
 /// Everything measured for one CompressionB configuration.
 #[derive(Debug, Clone)]
@@ -72,6 +73,11 @@ impl LookupTable {
     /// runs plus `apps.len() × configs.len()` runtime runs; use
     /// [`LookupTable::from_parts`] to assemble pre-measured pieces.
     ///
+    /// Every run is an independent simulation, so the whole grid fans out
+    /// across [`ExperimentConfig::jobs`] worker threads; results are
+    /// collected by index, making the table byte-identical to a serial
+    /// measurement for any worker count.
+    ///
     /// `progress` is called with a human-readable line as each measurement
     /// lands (pass `|_| {}` to discard).
     pub fn measure(
@@ -79,17 +85,89 @@ impl LookupTable {
         calibration: Calibration,
         apps: &[AppKind],
         configs: &[CompressionConfig],
-        mut progress: impl FnMut(&str),
+        progress: impl FnMut(&str),
     ) -> Result<Self, ExperimentError> {
-        let mut solo = BTreeMap::new();
+        Self::measure_recorded(cfg, calibration, apps, configs, progress).map(|(t, _)| t)
+    }
+
+    /// [`LookupTable::measure`], additionally returning the sweep's
+    /// telemetry record (per-run wall time and event counts).
+    pub fn measure_recorded(
+        cfg: &ExperimentConfig,
+        calibration: Calibration,
+        apps: &[AppKind],
+        configs: &[CompressionConfig],
+        mut progress: impl FnMut(&str),
+    ) -> Result<(Self, SweepTelemetry), ExperimentError> {
+        /// One cell of the flattened measurement grid.
+        enum Cell {
+            Solo(Result<SimDuration, ExperimentError>),
+            Impact(Result<LatencyProfile, ExperimentError>),
+            Runtime(Result<SimDuration, ExperimentError>),
+        }
+
+        // Flatten all three independent run families into one task list:
+        // solo runtimes, per-config impact profiles, and the app × config
+        // runtime grid. Task order is the serial measurement order, and
+        // the sweep returns results in task order.
+        let mut tasks: Vec<(String, Box<dyn FnOnce() -> Cell + Send + '_>)> = Vec::new();
         for &app in apps {
-            let t = solo_runtime(cfg, app)?;
+            tasks.push((
+                format!("solo:{}", app.name()),
+                Box::new(move || Cell::Solo(solo_runtime(cfg, app))),
+            ));
+        }
+        for comp in configs {
+            tasks.push((
+                format!("impact:{}", comp.label()),
+                Box::new(move || Cell::Impact(impact_profile_of_compression(cfg, comp))),
+            ));
+        }
+        for comp in configs {
+            for &app in apps {
+                tasks.push((
+                    format!("grid:{}:{}", app.name(), comp.label()),
+                    Box::new(move || Cell::Runtime(runtime_under_compression(cfg, app, comp))),
+                ));
+            }
+        }
+        let (cells, telemetry) = sweep_recorded("lookup-table", cfg.jobs, tasks);
+        let mut cells = cells.into_iter();
+
+        // Reassemble in the exact order the serial loop produced, so
+        // progress lines and error precedence are unchanged.
+        let mut solo = BTreeMap::new();
+        let mut solo_results = Vec::with_capacity(apps.len());
+        for &app in apps {
+            match cells.next().expect("sweep returned too few cells") {
+                Cell::Solo(r) => solo_results.push((app, r)),
+                _ => unreachable!("cell order mismatch"),
+            }
+        }
+        let mut profiles = Vec::with_capacity(configs.len());
+        for _ in configs {
+            match cells.next().expect("sweep returned too few cells") {
+                Cell::Impact(r) => profiles.push(r),
+                _ => unreachable!("cell order mismatch"),
+            }
+        }
+        let mut grid = Vec::with_capacity(configs.len() * apps.len());
+        for _ in 0..configs.len() * apps.len() {
+            match cells.next().expect("sweep returned too few cells") {
+                Cell::Runtime(r) => grid.push(r),
+                _ => unreachable!("cell order mismatch"),
+            }
+        }
+
+        for (app, r) in solo_results {
+            let t = r?;
             progress(&format!("solo {} = {t}", app.name()));
             solo.insert(app, t);
         }
+        let mut grid = grid.into_iter();
         let mut entries = Vec::with_capacity(configs.len());
-        for comp in configs {
-            let profile = impact_profile_of_compression(cfg, comp)?;
+        for (comp, profile) in configs.iter().zip(profiles) {
+            let profile = profile?;
             let utilization = calibration.utilization(&profile);
             progress(&format!(
                 "impact {} -> mean {:.2}us util {:.1}%",
@@ -99,7 +177,7 @@ impl LookupTable {
             ));
             let mut slowdown = BTreeMap::new();
             for &app in apps {
-                let t = runtime_under_compression(cfg, app, comp)?;
+                let t = grid.next().expect("runtime grid exhausted early")?;
                 let d = degradation_percent(solo[&app], t);
                 progress(&format!(
                     "  {} under {} -> {:.1}%",
@@ -116,7 +194,7 @@ impl LookupTable {
                 slowdown,
             });
         }
-        Ok(LookupTable::from_parts(calibration, entries, solo))
+        Ok((LookupTable::from_parts(calibration, entries, solo), telemetry))
     }
 
     /// The (utilization, slowdown) curve of one application, sorted by

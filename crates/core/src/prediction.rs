@@ -18,6 +18,7 @@ use crate::experiments::{
 use crate::lut::LookupTable;
 use crate::models::SlowdownModel;
 use crate::samples::LatencyProfile;
+use crate::sweep::{sweep_recorded, SweepTelemetry};
 
 /// One directed pairing: the slowdown of `victim` when co-run with
 /// `other`.
@@ -62,16 +63,36 @@ impl Study {
     }
 
     /// Measures the application impact profiles for `apps` (the table must
-    /// already exist).
+    /// already exist). The per-app runs are independent simulations and
+    /// fan out across [`ExperimentConfig::jobs`] workers.
     pub fn measure_profiles(
         cfg: &ExperimentConfig,
         table: LookupTable,
         apps: &[AppKind],
-        mut progress: impl FnMut(&str),
+        progress: impl FnMut(&str),
     ) -> Result<Self, ExperimentError> {
+        Self::measure_profiles_recorded(cfg, table, apps, progress).map(|(s, _)| s)
+    }
+
+    /// [`Study::measure_profiles`], additionally returning the sweep's
+    /// telemetry record.
+    pub fn measure_profiles_recorded(
+        cfg: &ExperimentConfig,
+        table: LookupTable,
+        apps: &[AppKind],
+        mut progress: impl FnMut(&str),
+    ) -> Result<(Self, SweepTelemetry), ExperimentError> {
+        let tasks: Vec<(String, _)> = apps
+            .iter()
+            .map(|&app| {
+                let label = format!("profile:{}", app.name());
+                (label, move || impact_profile_of_app(cfg, app))
+            })
+            .collect();
+        let (results, telemetry) = sweep_recorded("app-profiles", cfg.jobs, tasks);
         let mut app_profiles = BTreeMap::new();
-        for &app in apps {
-            let p = impact_profile_of_app(cfg, app)?;
+        for (&app, r) in apps.iter().zip(results) {
+            let p = r?;
             progress(&format!(
                 "impact {} -> mean {:.2}us sd {:.2}us util {:.1}%",
                 app.name(),
@@ -81,7 +102,7 @@ impl Study {
             ));
             app_profiles.insert(app, p);
         }
-        Ok(Study::from_parts(table, app_profiles))
+        Ok((Study::from_parts(table, app_profiles), telemetry))
     }
 
     /// Predicts the slowdown of `victim` co-run with `other` under every
@@ -134,6 +155,39 @@ impl Study {
         let loaded = runtime_under_corun(cfg, outcome.victim, outcome.other)?;
         outcome.measured = Some(degradation_percent(solo, loaded));
         Ok(())
+    }
+
+    /// Measures the co-run ground truth for every pairing in `outcomes`
+    /// (the quadratic Table-I grid). Each pairing is an independent
+    /// simulation, so the grid fans out across [`ExperimentConfig::jobs`]
+    /// workers; `outcomes` is filled in place, in its own order. Returns
+    /// the sweep's telemetry record.
+    pub fn measure_pairs_recorded(
+        &self,
+        cfg: &ExperimentConfig,
+        outcomes: &mut [PairOutcome],
+        mut progress: impl FnMut(&str),
+    ) -> Result<SweepTelemetry, ExperimentError> {
+        let tasks: Vec<(String, _)> = outcomes
+            .iter()
+            .map(|o| {
+                let (victim, other) = (o.victim, o.other);
+                let label = format!("corun:{}+{}", victim.name(), other.name());
+                (label, move || runtime_under_corun(cfg, victim, other))
+            })
+            .collect();
+        let (results, telemetry) = sweep_recorded("pairing-grid", cfg.jobs, tasks);
+        for (o, r) in outcomes.iter_mut().zip(results) {
+            let solo = self.table.solo[&o.victim];
+            o.measured = Some(degradation_percent(solo, r?));
+            progress(&format!(
+                "{} with {} -> measured {:+.1}%",
+                o.victim.name(),
+                o.other.name(),
+                o.measured.unwrap()
+            ));
+        }
+        Ok(telemetry)
     }
 }
 

@@ -37,6 +37,38 @@ pub enum MuPolicy {
     MeanLatency,
 }
 
+/// Why an idle profile could not parameterize the queue model.
+///
+/// A healthy switch always shows a positive idle latency, but a degraded
+/// or faulted fabric (or an empty/degenerate probe window) can produce a
+/// profile whose extracted service time is zero or negative. That must
+/// abort the one sweep cell that hit it — not the whole process — so the
+/// constructor reports it as a typed error instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CalibrationError {
+    /// The idle latency the [`MuPolicy`] extracted was not positive.
+    NonPositiveIdleLatency {
+        /// The policy that was applied.
+        policy: MuPolicy,
+        /// The offending extracted latency (µs).
+        latency_us: f64,
+    },
+}
+
+impl std::fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CalibrationError::NonPositiveIdleLatency { policy, latency_us } => write!(
+                f,
+                "idle latency must be positive to calibrate the queue model: \
+                 {policy:?} extracted {latency_us} us"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CalibrationError {}
+
 /// Idle-switch calibration of the queue model.
 ///
 /// ```
@@ -44,7 +76,7 @@ pub enum MuPolicy {
 ///
 /// // Latencies (µs) probed on an idle switch.
 /// let idle = LatencyProfile::from_samples(&[1.0, 1.1, 1.2, 1.1, 3.0]);
-/// let calib = Calibration::from_idle_profile(&idle, MuPolicy::MinLatency);
+/// let calib = Calibration::from_idle_profile(&idle, MuPolicy::MinLatency).unwrap();
 /// // A loaded switch showing 4 µs mean probe latency reads as busy:
 /// let rho = calib.utilization_from_sojourn(4.0);
 /// assert!(rho > 0.5 && rho < 1.0);
@@ -64,19 +96,30 @@ pub struct Calibration {
 }
 
 impl Calibration {
-    /// Calibrates from an idle-switch latency profile.
-    pub fn from_idle_profile(profile: &LatencyProfile, policy: MuPolicy) -> Self {
+    /// Calibrates from an idle-switch latency profile. Fails with a typed
+    /// error (rather than panicking) when the extracted idle latency is
+    /// not positive, so one degraded fabric aborts one sweep cell, not
+    /// the whole process.
+    pub fn from_idle_profile(
+        profile: &LatencyProfile,
+        policy: MuPolicy,
+    ) -> Result<Self, CalibrationError> {
         let service_time = match policy {
             MuPolicy::MinLatency => profile.min(),
             MuPolicy::MeanLatency => profile.mean(),
         };
-        assert!(service_time > 0.0, "idle latency must be positive");
-        Calibration {
+        if service_time <= 0.0 || service_time.is_nan() {
+            return Err(CalibrationError::NonPositiveIdleLatency {
+                policy,
+                latency_us: service_time,
+            });
+        }
+        Ok(Calibration {
             mu: 1.0 / service_time,
             var_s: profile.variance(),
             idle_mean: profile.mean(),
             policy,
-        }
+        })
     }
 
     /// The Pollaczek–Khinchine mean sojourn time for arrival rate
@@ -196,13 +239,25 @@ mod tests {
     #[test]
     fn calibration_from_profile_uses_policy() {
         let p = crate::samples::LatencyProfile::from_samples(&[1.0, 1.2, 1.4, 3.0]);
-        let c_min = Calibration::from_idle_profile(&p, MuPolicy::MinLatency);
+        let c_min = Calibration::from_idle_profile(&p, MuPolicy::MinLatency).unwrap();
         assert!((c_min.mu - 1.0).abs() < 1e-12);
-        let c_mean = Calibration::from_idle_profile(&p, MuPolicy::MeanLatency);
+        let c_mean = Calibration::from_idle_profile(&p, MuPolicy::MeanLatency).unwrap();
         assert!((c_mean.mu - 1.0 / 1.65).abs() < 1e-9);
         assert!(c_min.var_s > 0.0);
         // Under the mean policy the idle profile itself reads as ρ = 0.
         assert_eq!(c_mean.utilization(&p), 0.0);
+    }
+
+    #[test]
+    fn non_positive_idle_latency_is_a_typed_error() {
+        // A faulted fabric can report zero-latency probes; calibration
+        // must fail cleanly instead of panicking the whole process.
+        let p = crate::samples::LatencyProfile::from_samples(&[0.0, 0.0, 0.0]);
+        let err = Calibration::from_idle_profile(&p, MuPolicy::MinLatency).unwrap_err();
+        let CalibrationError::NonPositiveIdleLatency { policy, latency_us } = err;
+        assert_eq!(policy, MuPolicy::MinLatency);
+        assert_eq!(latency_us, 0.0);
+        assert!(err.to_string().contains("must be positive"));
     }
 
     #[test]

@@ -1,0 +1,449 @@
+//! The parallel experiment sweep engine.
+//!
+//! Every expensive artefact of the paper is a grid of *independent,
+//! deterministic* simulations: one impact run per CompressionB
+//! configuration, an `apps × configs` grid of runtime runs (§IV-A), and a
+//! quadratic grid of co-run pairings (Table I). Each cell seeds its own
+//! [`anp_simmpi::World`] from the experiment config alone, so cells share
+//! no state and can execute on any thread in any order.
+//!
+//! [`sweep`] exploits that: it fans a slice of experiment closures out
+//! across `N` worker threads (std [`std::thread::scope`], no runtime
+//! dependencies) and collects results **by index**. Workers pull the next
+//! unclaimed index from an atomic counter; each result lands in its own
+//! slot, so the output vector is byte-identical to what a serial loop in
+//! index order would produce, regardless of scheduling. With
+//! [`Parallelism::Fixed`]`(1)` the tasks run in order on the calling
+//! thread — exactly the old serial behavior.
+//!
+//! [`sweep_recorded`] additionally captures a [`SweepTelemetry`] record:
+//! per-run wall time and simulation events processed (reported by the
+//! experiment drivers via [`note_events`]), plus whole-sweep wall time and
+//! worker count. Harnesses serialize these records to `BENCH_anp.json` so
+//! the performance trajectory of the engine is tracked run over run.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How many worker threads a sweep may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// One worker per available hardware thread
+    /// ([`std::thread::available_parallelism`]).
+    #[default]
+    Auto,
+    /// Exactly this many workers. `Fixed(1)` runs every task in order on
+    /// the calling thread — the exact pre-sweep-engine serial behavior.
+    Fixed(usize),
+}
+
+impl Parallelism {
+    /// A fixed worker count (clamped to at least 1).
+    pub fn fixed(n: usize) -> Self {
+        Parallelism::Fixed(n.max(1))
+    }
+
+    /// The number of workers this setting resolves to on this machine.
+    pub fn workers(self) -> usize {
+        match self {
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Parallelism::Fixed(n) => n.max(1),
+        }
+    }
+}
+
+thread_local! {
+    /// Simulation events processed by experiment drivers on this thread
+    /// since the last [`take_events`]. Thread-local so parallel workers
+    /// attribute events to their own runs.
+    static RUN_EVENTS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Credits `n` simulation events to the current thread's running tally.
+/// Called by the experiment drivers after each `World` run.
+pub fn note_events(n: u64) {
+    RUN_EVENTS.with(|c| c.set(c.get().saturating_add(n)));
+}
+
+/// Drains the current thread's event tally (used by the sweep runner to
+/// attribute events to the task that just finished).
+pub fn take_events() -> u64 {
+    RUN_EVENTS.with(|c| c.replace(0))
+}
+
+/// Telemetry of one run (one sweep cell): an independent simulation or a
+/// small serial batch of them.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Human-readable cell label, e.g. `solo:FFTW` or `grid:FFTW/P7-B2.5e6-M10`.
+    pub label: String,
+    /// Wall-clock seconds the cell took on its worker.
+    pub wall_secs: f64,
+    /// Simulation events processed by the cell (from
+    /// [`anp_simmpi::World::events_processed`] via [`note_events`]).
+    pub events: u64,
+}
+
+impl RunRecord {
+    /// Simulation events per wall-clock second — the engine's throughput
+    /// on this cell.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            return 0.0;
+        }
+        self.events as f64 / self.wall_secs
+    }
+}
+
+/// Telemetry of one whole sweep: the per-run records plus the fan-out
+/// shape and end-to-end wall time.
+#[derive(Debug, Clone)]
+pub struct SweepTelemetry {
+    /// Name of the sweep (e.g. `lookup-table`, `table1-grid`).
+    pub name: String,
+    /// Worker threads the sweep ran on.
+    pub workers: usize,
+    /// End-to-end wall-clock seconds for the whole sweep.
+    pub wall_secs: f64,
+    /// One record per task, in task (= serial) order.
+    pub runs: Vec<RunRecord>,
+}
+
+impl SweepTelemetry {
+    /// Total simulation events across all runs.
+    pub fn events_total(&self) -> u64 {
+        self.runs.iter().map(|r| r.events).sum()
+    }
+
+    /// Sum of per-run wall times — the serial-equivalent duration of the
+    /// sweep (what one worker would have needed).
+    pub fn serial_secs(&self) -> f64 {
+        self.runs.iter().map(|r| r.wall_secs).sum()
+    }
+
+    /// Aggregate throughput: total events over end-to-end wall time.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            return 0.0;
+        }
+        self.events_total() as f64 / self.wall_secs
+    }
+
+    /// Parallel speedup actually realized: serial-equivalent time over
+    /// end-to-end wall time. ~1.0 for a serial sweep.
+    pub fn speedup(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            return 1.0;
+        }
+        self.serial_secs() / self.wall_secs
+    }
+
+    /// Folds `other` into `self`: runs concatenate, wall times add (the
+    /// sweeps ran one after the other), worker count keeps the maximum.
+    pub fn absorb(&mut self, other: SweepTelemetry) {
+        self.workers = self.workers.max(other.workers);
+        self.wall_secs += other.wall_secs;
+        self.runs.extend(other.runs);
+    }
+
+    /// Serializes the record to a self-contained JSON object (the
+    /// element schema of `BENCH_anp.json`; no external dependencies).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.runs.len() * 96);
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"workers\":{},\"wall_secs\":{:.6},\"serial_secs\":{:.6},\
+             \"speedup\":{:.3},\"runs\":{},\"events\":{},\"events_per_sec\":{:.0},\
+             \"per_run\":[",
+            json_escape(&self.name),
+            self.workers,
+            self.wall_secs,
+            self.serial_secs(),
+            self.speedup(),
+            self.runs.len(),
+            self.events_total(),
+            self.events_per_sec(),
+        ));
+        for (i, r) in self.runs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"label\":\"{}\",\"wall_secs\":{:.6},\"events\":{}}}",
+                json_escape(&r.label),
+                r.wall_secs,
+                r.events
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (labels are plain ASCII identifiers, but
+/// stay safe against quotes and backslashes anyway).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Runs `tasks` across up to [`Parallelism::workers`] threads and returns
+/// the results **in task order** — byte-identical to running the closures
+/// serially, regardless of how the scheduler interleaves them.
+///
+/// Tasks must be independent: each closure owns (or shares immutably)
+/// everything it needs. A panicking task propagates out of the sweep.
+pub fn sweep<T, F>(par: Parallelism, tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let labeled: Vec<(String, F)> = tasks.into_iter().map(|f| (String::new(), f)).collect();
+    sweep_recorded("sweep", par, labeled).0
+}
+
+/// [`sweep`], additionally recording a [`SweepTelemetry`]: per-run wall
+/// time and simulation events, whole-sweep wall time, worker count.
+pub fn sweep_recorded<T, F>(
+    name: &str,
+    par: Parallelism,
+    tasks: Vec<(String, F)>,
+) -> (Vec<T>, SweepTelemetry)
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = tasks.len();
+    let workers = par.workers().min(n.max(1));
+    let sweep_start = Instant::now();
+
+    let run_task = |label: String, f: F| -> (T, RunRecord) {
+        let _ = take_events(); // drop any stale tally from a previous cell
+        let start = Instant::now();
+        let value = f();
+        let record = RunRecord {
+            label,
+            wall_secs: start.elapsed().as_secs_f64(),
+            events: take_events(),
+        };
+        (value, record)
+    };
+
+    if workers <= 1 || n <= 1 {
+        // Serial path: in order, on the calling thread — the exact
+        // pre-engine behavior.
+        let mut values = Vec::with_capacity(n);
+        let mut runs = Vec::with_capacity(n);
+        for (label, f) in tasks {
+            let (v, r) = run_task(label, f);
+            values.push(v);
+            runs.push(r);
+        }
+        let telemetry = SweepTelemetry {
+            name: name.to_owned(),
+            workers: 1,
+            wall_secs: sweep_start.elapsed().as_secs_f64(),
+            runs,
+        };
+        return (values, telemetry);
+    }
+
+    // Parallel path: workers claim indices from an atomic counter; every
+    // result is written to its own slot, so collection order is the task
+    // order no matter which worker ran what.
+    let next = AtomicUsize::new(0);
+    let task_slots: Vec<Mutex<Option<(String, F)>>> =
+        tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let result_slots: Vec<Mutex<Option<(T, RunRecord)>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let (label, f) = task_slots[i]
+                    .lock()
+                    .expect("sweep task slot poisoned")
+                    .take()
+                    .expect("sweep task claimed twice");
+                let out = run_task(label, f);
+                *result_slots[i].lock().expect("sweep result slot poisoned") = Some(out);
+            });
+        }
+    });
+
+    let mut values = Vec::with_capacity(n);
+    let mut runs = Vec::with_capacity(n);
+    for slot in result_slots {
+        let (v, r) = slot
+            .into_inner()
+            .expect("sweep result slot poisoned")
+            .expect("sweep task did not produce a result");
+        values.push(v);
+        runs.push(r);
+    }
+    let telemetry = SweepTelemetry {
+        name: name.to_owned(),
+        workers,
+        wall_secs: sweep_start.elapsed().as_secs_f64(),
+        runs,
+    };
+    (values, telemetry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        // Give later tasks *less* work so they finish first under any
+        // parallel schedule; the output must still be index-ordered.
+        let tasks: Vec<_> = (0..64u64)
+            .map(|i| {
+                move || {
+                    let spin = (64 - i) * 1_000;
+                    let mut acc = 0u64;
+                    for k in 0..spin {
+                        acc = acc.wrapping_add(k ^ i);
+                    }
+                    (i, acc.wrapping_mul(0)) // value depends only on i
+                }
+            })
+            .collect();
+        let out = sweep(Parallelism::fixed(8), tasks);
+        let ids: Vec<u64> = out.iter().map(|(i, _)| *i).collect();
+        assert_eq!(ids, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_serial_output() {
+        let mk = || {
+            (0..40u64)
+                .map(|i| move || i.wrapping_mul(0x9E37_79B9).rotate_left(i as u32 % 13))
+                .collect::<Vec<_>>()
+        };
+        let serial = sweep(Parallelism::fixed(1), mk());
+        let parallel = sweep(Parallelism::fixed(7), mk());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_single_task_sweeps() {
+        let none: Vec<fn() -> u32> = vec![];
+        assert!(sweep(Parallelism::Auto, none).is_empty());
+        assert_eq!(sweep(Parallelism::Auto, vec![|| 41 + 1]), vec![42]);
+    }
+
+    #[test]
+    fn telemetry_counts_runs_and_events() {
+        let tasks: Vec<(String, _)> = (0..5u64)
+            .map(|i| {
+                (format!("cell{i}"), move || {
+                    note_events(100 + i);
+                    i
+                })
+            })
+            .collect();
+        let (values, t) = sweep_recorded("unit", Parallelism::fixed(3), tasks);
+        assert_eq!(values, vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.runs.len(), 5);
+        assert_eq!(t.name, "unit");
+        assert_eq!(t.workers, 3);
+        assert_eq!(t.events_total(), 100 + 101 + 102 + 103 + 104);
+        assert_eq!(t.runs[2].label, "cell2");
+        assert_eq!(t.runs[2].events, 102);
+        assert!(t.serial_secs() >= 0.0);
+    }
+
+    #[test]
+    fn serial_telemetry_reports_one_worker() {
+        let (_, t) = sweep_recorded(
+            "serial",
+            Parallelism::fixed(1),
+            vec![("a".to_owned(), || ())],
+        );
+        assert_eq!(t.workers, 1);
+    }
+
+    #[test]
+    fn stale_events_do_not_leak_between_cells() {
+        note_events(999); // tally left by an earlier, unswept experiment
+        let tasks = vec![("only".to_owned(), || note_events(5))];
+        let (_, t) = sweep_recorded("leak", Parallelism::fixed(1), tasks);
+        assert_eq!(t.events_total(), 5);
+    }
+
+    #[test]
+    fn json_record_is_well_formed() {
+        let t = SweepTelemetry {
+            name: "t\"est".to_owned(),
+            workers: 4,
+            wall_secs: 1.5,
+            runs: vec![RunRecord {
+                label: "a".to_owned(),
+                wall_secs: 0.5,
+                events: 10,
+            }],
+        };
+        let j = t.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"name\":\"t\\\"est\""));
+        assert!(j.contains("\"workers\":4"));
+        assert!(j.contains("\"events\":10"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+        );
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn speedup_of_serial_sweep_is_about_one() {
+        let t = SweepTelemetry {
+            name: "s".into(),
+            workers: 1,
+            wall_secs: 2.0,
+            runs: vec![
+                RunRecord {
+                    label: String::new(),
+                    wall_secs: 1.0,
+                    events: 1,
+                },
+                RunRecord {
+                    label: String::new(),
+                    wall_secs: 1.0,
+                    events: 1,
+                },
+            ],
+        };
+        assert!((t.speedup() - 1.0).abs() < 1e-9);
+        assert!((t.events_per_sec() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallelism_resolves_to_positive_workers() {
+        assert!(Parallelism::Auto.workers() >= 1);
+        assert_eq!(Parallelism::fixed(0).workers(), 1);
+        assert_eq!(Parallelism::Fixed(0).workers(), 1);
+        assert_eq!(Parallelism::fixed(6).workers(), 6);
+        assert_eq!(Parallelism::default(), Parallelism::Auto);
+    }
+}

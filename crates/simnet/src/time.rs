@@ -27,18 +27,37 @@ impl SimTime {
     }
 
     /// Builds an instant from microseconds since start.
+    ///
+    /// # Panics
+    /// Panics if the instant overflows u64 nanoseconds (instead of
+    /// silently wrapping in release builds).
     pub const fn from_micros(us: u64) -> Self {
-        SimTime(us * 1_000)
+        match us.checked_mul(1_000) {
+            Some(ns) => SimTime(ns),
+            None => panic!("SimTime::from_micros overflows u64 nanoseconds"),
+        }
     }
 
     /// Builds an instant from milliseconds since start.
+    ///
+    /// # Panics
+    /// Panics if the instant overflows u64 nanoseconds.
     pub const fn from_millis(ms: u64) -> Self {
-        SimTime(ms * 1_000_000)
+        match ms.checked_mul(1_000_000) {
+            Some(ns) => SimTime(ns),
+            None => panic!("SimTime::from_millis overflows u64 nanoseconds"),
+        }
     }
 
     /// Builds an instant from whole seconds since start.
+    ///
+    /// # Panics
+    /// Panics if the instant overflows u64 nanoseconds.
     pub const fn from_secs(s: u64) -> Self {
-        SimTime(s * 1_000_000_000)
+        match s.checked_mul(1_000_000_000) {
+            Some(ns) => SimTime(ns),
+            None => panic!("SimTime::from_secs overflows u64 nanoseconds"),
+        }
     }
 
     /// Raw nanoseconds since simulation start.
@@ -86,18 +105,38 @@ impl SimDuration {
     }
 
     /// Builds a span from microseconds.
+    ///
+    /// # Panics
+    /// Panics if the span overflows u64 nanoseconds (instead of silently
+    /// wrapping in release builds, which the checked `Add`/`Mul`
+    /// operators never allowed either).
     pub const fn from_micros(us: u64) -> Self {
-        SimDuration(us * 1_000)
+        match us.checked_mul(1_000) {
+            Some(ns) => SimDuration(ns),
+            None => panic!("SimDuration::from_micros overflows u64 nanoseconds"),
+        }
     }
 
     /// Builds a span from milliseconds.
+    ///
+    /// # Panics
+    /// Panics if the span overflows u64 nanoseconds.
     pub const fn from_millis(ms: u64) -> Self {
-        SimDuration(ms * 1_000_000)
+        match ms.checked_mul(1_000_000) {
+            Some(ns) => SimDuration(ns),
+            None => panic!("SimDuration::from_millis overflows u64 nanoseconds"),
+        }
     }
 
     /// Builds a span from whole seconds.
+    ///
+    /// # Panics
+    /// Panics if the span overflows u64 nanoseconds.
     pub const fn from_secs(s: u64) -> Self {
-        SimDuration(s * 1_000_000_000)
+        match s.checked_mul(1_000_000_000) {
+            Some(ns) => SimDuration(ns),
+            None => panic!("SimDuration::from_secs overflows u64 nanoseconds"),
+        }
     }
 
     /// Builds a span from fractional seconds, rounding to the nearest
@@ -278,6 +317,57 @@ mod tests {
         assert_eq!(SimDuration::from_secs_f64(0.5).as_nanos(), 500_000_000);
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn constructors_accept_extreme_in_range_values() {
+        // The largest representable spans must still construct.
+        assert_eq!(
+            SimDuration::from_secs(u64::MAX / 1_000_000_000).as_nanos(),
+            (u64::MAX / 1_000_000_000) * 1_000_000_000
+        );
+        assert_eq!(
+            SimTime::from_micros(u64::MAX / 1_000).as_nanos(),
+            (u64::MAX / 1_000) * 1_000
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "from_secs overflows")]
+    fn duration_from_secs_overflow_panics() {
+        // Pre-fix this silently wrapped in release builds (u64::MAX
+        // seconds "fit" into a tiny wrapped nanosecond count).
+        let _ = SimDuration::from_secs(u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_millis overflows")]
+    fn duration_from_millis_overflow_panics() {
+        let _ = SimDuration::from_millis(u64::MAX / 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_micros overflows")]
+    fn duration_from_micros_overflow_panics() {
+        let _ = SimDuration::from_micros(u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_secs overflows")]
+    fn time_from_secs_overflow_panics() {
+        let _ = SimTime::from_secs(u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_millis overflows")]
+    fn time_from_millis_overflow_panics() {
+        let _ = SimTime::from_millis(u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_micros overflows")]
+    fn time_from_micros_overflow_panics() {
+        let _ = SimTime::from_micros(u64::MAX);
     }
 
     #[test]

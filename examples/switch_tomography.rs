@@ -66,7 +66,7 @@ fn main() {
 
     // Calibrate once on the idle fabric.
     let (idle, _, _) = probe_under_load(0, SimDuration::ZERO);
-    let calib = Calibration::from_idle_profile(&idle, MuPolicy::MinLatency);
+    let calib = Calibration::from_idle_profile(&idle, MuPolicy::MinLatency).unwrap();
     println!(
         "calibration: mu={:.3}/us Var(S)={:.3}us^2 (idle mean {:.2}us)\n",
         calib.mu,

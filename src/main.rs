@@ -14,8 +14,8 @@
 
 use anp_core::{
     all_models, calibrate, degradation_percent, idle_profile, impact_profile_of_app,
-    impact_profile_of_compression, loss_sweep, runtime_under_compression, solo_runtime,
-    ExperimentConfig, LookupTable, MuPolicy, Study,
+    impact_profile_of_compression, loss_sweep, run_sweep, runtime_under_compression,
+    solo_runtime, ExperimentConfig, LookupTable, MuPolicy, Study,
 };
 use anp_simmpi::ReliabilityConfig;
 use anp_simnet::SimDuration;
@@ -23,7 +23,7 @@ use anp_workloads::{AppKind, CompressionConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: anp [--seed N] <command>\n\
+        "usage: anp [--seed N] [--jobs N] <command>\n\
          commands:\n\
          \x20 calibrate            idle-switch calibration report\n\
          \x20 apps                 list application proxies\n\
@@ -31,7 +31,9 @@ fn usage() -> ! {
          \x20 sweep <APP>          degradation vs utilization ladder for APP\n\
          \x20 losses <APP>         degradation vs packet-loss rate for APP\n\
          \x20 predict <A> <B>      predict A and B's mutual slowdown\n\
-         APP is one of: FFTW, Lulesh, MCB, MILC, VPFFT, AMG (case-insensitive)"
+         APP is one of: FFTW, Lulesh, MCB, MILC, VPFFT, AMG (case-insensitive)\n\
+         --jobs N runs experiment sweeps on N worker threads (default: all\n\
+         cores; results are identical for any setting, 1 = serial)"
     );
     std::process::exit(2);
 }
@@ -57,16 +59,24 @@ fn parse_app(arg: Option<String>) -> AppKind {
 fn main() {
     let mut args = std::env::args().skip(1).peekable();
     let mut seed = 0xA11CEu64;
+    let mut jobs: Option<usize> = None;
     while let Some(a) = args.peek() {
         if a == "--seed" {
             args.next();
             let v = args.next().unwrap_or_else(|| usage());
             seed = v.parse().unwrap_or_else(|_| usage());
+        } else if a == "--jobs" {
+            args.next();
+            let v = args.next().unwrap_or_else(|| usage());
+            jobs = Some(v.parse().unwrap_or_else(|_| usage()));
         } else {
             break;
         }
     }
-    let cfg = ExperimentConfig::cab().with_seed(seed);
+    let mut cfg = ExperimentConfig::cab().with_seed(seed);
+    if let Some(n) = jobs {
+        cfg = cfg.with_jobs(n);
+    }
     if let Err(e) = cfg.switch.validate() {
         fail(e);
     }
@@ -126,14 +136,32 @@ fn main() {
             let solo = solo_runtime(&cfg, app).unwrap_or_else(|e| fail(e));
             println!("{} solo: {}", app.name(), solo);
             println!("{:<18} {:>7} {:>12}", "config", "util", "degradation");
-            for comp in [
+            let ladder = [
                 CompressionConfig::new(1, 25_000_000, 1),
                 CompressionConfig::new(7, 2_500_000, 10),
                 CompressionConfig::new(14, 250_000, 1),
                 CompressionConfig::new(17, 25_000, 10),
-            ] {
-                let p = impact_profile_of_compression(&cfg, &comp).unwrap_or_else(|e| fail(e));
-                let t = runtime_under_compression(&cfg, app, &comp).unwrap_or_else(|e| fail(e));
+            ];
+            // Each rung is two independent simulations (impact + runtime);
+            // fan all of them out and print in ladder order.
+            let rungs = run_sweep(
+                cfg.jobs,
+                ladder
+                    .iter()
+                    .map(|comp| {
+                        let cfg = &cfg;
+                        move || {
+                            (
+                                impact_profile_of_compression(cfg, comp),
+                                runtime_under_compression(cfg, app, comp),
+                            )
+                        }
+                    })
+                    .collect(),
+            );
+            for (comp, (p, t)) in ladder.iter().zip(rungs) {
+                let p = p.unwrap_or_else(|e| fail(e));
+                let t = t.unwrap_or_else(|e| fail(e));
                 println!(
                     "{:<18} {:>6.1}% {:>+11.1}%",
                     comp.label(),
@@ -156,6 +184,7 @@ fn main() {
             let solo = solo_runtime(&cfg, app).unwrap_or_else(|e| fail(e));
             println!("{} lossless: {}", app.name(), solo);
             println!("{:<10} {:>12} {:>12}", "loss", "runtime", "degradation");
+            let mut failures = 0u32;
             for (loss, res) in loss_sweep(&cfg, app, &[0.0, 1e-4, 5e-4, 1e-3], rel) {
                 match res {
                     Ok(t) => println!(
@@ -164,12 +193,22 @@ fn main() {
                         format!("{t}"),
                         degradation_percent(solo, t)
                     ),
-                    Err(e) => println!(
-                        "{:<10} {:>12} ({e})",
-                        format!("{:.2}%", loss * 100.0),
-                        "-"
-                    ),
+                    Err(e) => {
+                        // The table row stays on stdout; the error detail
+                        // goes to stderr, and the command exits nonzero.
+                        println!(
+                            "{:<10} {:>12} (failed)",
+                            format!("{:.2}%", loss * 100.0),
+                            "-"
+                        );
+                        eprintln!("error: loss {:.2}%: {e}", loss * 100.0);
+                        failures += 1;
+                    }
                 }
+            }
+            if failures > 0 {
+                eprintln!("error: {failures} loss point(s) did not complete");
+                std::process::exit(1);
             }
         }
         "predict" => {

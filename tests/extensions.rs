@@ -83,7 +83,7 @@ fn probes_calibrate_on_a_fat_tree_leaf() {
         "leaf-local probes must look like the single-switch idle ({})",
         profile.mean()
     );
-    let calib = Calibration::from_idle_profile(&profile, MuPolicy::MinLatency);
+    let calib = Calibration::from_idle_profile(&profile, MuPolicy::MinLatency).unwrap();
     assert!(calib.utilization(&profile) < 0.25);
     // Spines stayed idle: leaf-local probe traffic never climbs the tree.
     assert_eq!(w.fabric().central_stats(2).arrivals, 0);

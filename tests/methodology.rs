@@ -75,7 +75,7 @@ fn inferred_utilization_is_monotone_in_true_load() {
         (1 << 20, 20_000),
     ];
     let (idle, _) = probe_under_ring_load(0, SimDuration::ZERO, 3);
-    let calib = Calibration::from_idle_profile(&idle, MuPolicy::MinLatency);
+    let calib = Calibration::from_idle_profile(&idle, MuPolicy::MinLatency).unwrap();
     let mut last_inferred = -1.0;
     let mut last_true = -1.0;
     for (bytes, gap) in ladder {

@@ -116,6 +116,12 @@ impl BenchmarkGroup<'_> {
         self.throughput = Some(t);
     }
 
+    /// Sets the sample count. No-op; the stand-in always runs a fixed
+    /// number of iterations, but real criterion callers expect the method.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
     /// Runs one benchmark in this group.
     pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
     where
