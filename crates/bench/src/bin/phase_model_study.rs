@@ -5,7 +5,7 @@
 //! FFTW's slowdown next to AMG. "As AMG executions go through phases that
 //! do not significantly use the network, the switch capacity available to
 //! FFTW is close to 100 % during a significant portion of its co-run …
-//! the queue model has not considered [this] as it assumes a constant
+//! the queue model has not considered \[this\] as it assumes a constant
 //! utilization." This harness implements the fix that discussion implies:
 //! evaluate the utilization per time window of the probe series and
 //! average the victim's degradation curve over the *distribution* of

@@ -20,11 +20,12 @@
 //! | `relativity_check` | literally degraded switches vs CompressionB emulation |
 //! | `phase_model_study` | the §V-B phase-aware queue model |
 //! | `seed_sensitivity` | across-seed spread of headline metrics |
+//! | `backend_xval` | flow-model vs DES cross-validation (error + speedup) |
 //!
 //! Every binary accepts `--quick` (a scaled-down sweep for smoke runs),
-//! `--seed <n>`, and prints plain-text tables. `fig8`/`fig9` additionally
-//! accept `--cache <path>` to reuse the expensive measurement study across
-//! invocations.
+//! `--seed <n>`, `--backend {des,flow}`, and prints plain-text tables.
+//! `fig8`/`fig9` additionally accept `--cache <path>` to reuse the
+//! expensive measurement study across invocations.
 //!
 //! The `benches/` directory holds Criterion micro-benchmarks of the
 //! simulator and model kernels (event queue, switch path, matching,
@@ -37,10 +38,12 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use anp_core::{
-    calibrate, error_summaries, Calibration, ExperimentConfig, LatencyProfile, LookupTable,
-    MuPolicy, PairOutcome, Parallelism, Study, SweepTelemetry,
+    calibrate_with, error_summaries, Backend, Calibration, DesBackend, ExperimentConfig,
+    LatencyProfile, LookupTable, MuPolicy, PairOutcome, Parallelism, Study, SweepTelemetry,
 };
 use anp_workloads::{AppKind, CompressionConfig};
+
+pub mod xval;
 
 /// Command-line options shared by all harness binaries.
 #[derive(Debug, Clone)]
@@ -56,11 +59,15 @@ pub struct HarnessOpts {
     /// Where sweep telemetry is written (default `BENCH_anp.json`;
     /// `--no-bench-json` disables the emitter).
     pub bench_json: Option<PathBuf>,
+    /// Measurement backend name (`"des"` or `"flow"`); resolved by
+    /// [`HarnessOpts::backend`].
+    pub backend: String,
 }
 
 impl HarnessOpts {
     /// Parses `--quick`, `--seed <n>`, `--cache <path>`, `--jobs <n>`,
-    /// `--bench-json <path>` / `--no-bench-json` from `std::env`.
+    /// `--bench-json <path>` / `--no-bench-json`, `--backend <name>`
+    /// from `std::env`.
     pub fn from_args() -> Self {
         let mut opts = HarnessOpts {
             quick: false,
@@ -68,6 +75,7 @@ impl HarnessOpts {
             cache: None,
             jobs: None,
             bench_json: Some(PathBuf::from("BENCH_anp.json")),
+            backend: "des".to_owned(),
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -90,13 +98,36 @@ impl HarnessOpts {
                     opts.bench_json = Some(PathBuf::from(v));
                 }
                 "--no-bench-json" => opts.bench_json = None,
+                "--backend" => {
+                    let v = args.next().expect("--backend needs a value (des or flow)");
+                    opts.backend = v;
+                }
                 other => panic!(
                     "unknown argument: {other} (try --quick / --seed N / --cache P / \
-                     --jobs N / --bench-json P / --no-bench-json)"
+                     --jobs N / --bench-json P / --no-bench-json / --backend des|flow)"
                 ),
             }
         }
         opts
+    }
+
+    /// Resolves `--backend` to a measurement engine, validated against
+    /// the experiment configuration. Per the no-silent-fallback rule, an
+    /// unknown name or an unsupported option prints the typed error to
+    /// stderr and exits with code 1.
+    pub fn resolve_backend(&self) -> Box<dyn Backend> {
+        let backend = match anp_flowsim::backend_from_name(&self.backend) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = backend.validate(&self.experiment_config()) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        backend
     }
 
     /// The experiment configuration this harness run uses.
@@ -168,8 +199,23 @@ pub fn measure_study(
 }
 
 /// [`measure_study`], additionally returning the telemetry of the
-/// look-up-table and app-profile sweeps.
+/// look-up-table and app-profile sweeps. Runs on the reference DES
+/// backend.
 pub fn measure_study_recorded(
+    cfg: &ExperimentConfig,
+    apps: &[AppKind],
+    sweep: &[CompressionConfig],
+    verbose: bool,
+) -> (Study, Vec<SweepTelemetry>) {
+    measure_study_recorded_with(&DesBackend, cfg, apps, sweep, verbose)
+}
+
+/// [`measure_study_recorded`] on an explicit measurement backend: the
+/// calibration, the look-up table, and the app impact profiles all come
+/// from the same engine, so a flow-model study is internally consistent
+/// rather than mixing analytic profiles with DES calibration.
+pub fn measure_study_recorded_with(
+    backend: &dyn Backend,
     cfg: &ExperimentConfig,
     apps: &[AppKind],
     sweep: &[CompressionConfig],
@@ -181,15 +227,17 @@ pub fn measure_study_recorded(
         }
     };
     let calibration: Calibration =
-        calibrate(cfg, MuPolicy::MinLatency).expect("idle calibration failed");
-    let (table, lut_telemetry) = LookupTable::measure_recorded(cfg, calibration, apps, sweep, progress)
-        .expect("look-up table measurement failed");
-    let (study, profile_telemetry) = Study::measure_profiles_recorded(cfg, table, apps, |line| {
-        if verbose {
-            println!("  [measure] {line}");
-        }
-    })
-    .expect("app impact profiles failed");
+        calibrate_with(backend, cfg, MuPolicy::MinLatency).expect("idle calibration failed");
+    let (table, lut_telemetry) =
+        LookupTable::measure_recorded_with(backend, cfg, calibration, apps, sweep, progress)
+            .expect("look-up table measurement failed");
+    let (study, profile_telemetry) =
+        Study::measure_profiles_recorded_with(backend, cfg, table, apps, |line| {
+            if verbose {
+                println!("  [measure] {line}");
+            }
+        })
+        .expect("app impact profiles failed");
     (study, vec![lut_telemetry, profile_telemetry])
 }
 
@@ -209,13 +257,17 @@ pub fn full_outcomes_recorded(opts: &HarnessOpts) -> (Vec<PairOutcome>, Vec<Swee
         }
     }
     let cfg = opts.experiment_config();
+    let backend = opts.resolve_backend();
     let apps = opts.apps();
     let sweep = opts.compression_sweep();
-    let (study, mut telemetry) = measure_study_recorded(&cfg, &apps, &sweep, true);
+    let (study, mut telemetry) =
+        measure_study_recorded_with(backend.as_ref(), &cfg, &apps, &sweep, true);
     let models = anp_core::all_models();
     let mut outcomes = study.predict_all(&apps, &models);
     let pair_telemetry = study
-        .measure_pairs_recorded(&cfg, &mut outcomes, |line| println!("  [corun] {line}"))
+        .measure_pairs_recorded_with(backend.as_ref(), &cfg, &mut outcomes, |line| {
+            println!("  [corun] {line}")
+        })
         .expect("co-run measurement failed");
     telemetry.push(pair_telemetry);
     if let Some(path) = &opts.cache {
@@ -234,14 +286,16 @@ pub fn full_outcomes(opts: &HarnessOpts) -> Vec<PairOutcome> {
 /// the `BENCH_anp.json` perf-trajectory artefact. Schema (one object):
 ///
 /// ```text
-/// { "schema": "anp-bench-v1", "harness": "<binary>", "seed": N,
+/// { "schema": "anp-bench-v2", "harness": "<binary>", "seed": N,
 ///   "sweeps": [ <SweepTelemetry::to_json() objects> ] }
 /// ```
 ///
-/// Each sweep object carries `workers`, end-to-end `wall_secs`, the
-/// serial-equivalent `serial_secs`, the realized `speedup`, total
-/// simulation `events`, aggregate `events_per_sec`, and a `per_run`
-/// array of `{label, wall_secs, events}` cells.
+/// Each sweep object carries `backend` (`"des"`, `"flow"`, or `"mixed"`),
+/// `workers`, end-to-end `wall_secs`, the serial-equivalent
+/// `serial_secs`, the realized `speedup`, total simulation `events`,
+/// aggregate `events_per_sec`, and a `per_run` array of
+/// `{label, backend, wall_secs, events}` cells. v2 added the sweep- and
+/// run-level `backend` fields (see DESIGN.md, "Telemetry schema").
 pub fn write_bench_json(
     path: &Path,
     harness: &str,
@@ -250,7 +304,7 @@ pub fn write_bench_json(
 ) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str(&format!(
-        "{{\n  \"schema\": \"anp-bench-v1\",\n  \"harness\": \"{harness}\",\n  \"seed\": {seed},\n  \"sweeps\": [\n"
+        "{{\n  \"schema\": \"anp-bench-v2\",\n  \"harness\": \"{harness}\",\n  \"seed\": {seed},\n  \"sweeps\": [\n"
     ));
     for (i, t) in sweeps.iter().enumerate() {
         if i > 0 {
@@ -404,6 +458,7 @@ mod tests {
             cache: None,
             jobs: None,
             bench_json: None,
+            backend: "des".to_owned(),
         };
         let full = HarnessOpts {
             quick: false,
@@ -411,6 +466,7 @@ mod tests {
             cache: None,
             jobs: None,
             bench_json: None,
+            backend: "des".to_owned(),
         };
         assert_eq!(full.compression_sweep().len(), 40);
         assert_eq!(quick.compression_sweep().len(), 8);

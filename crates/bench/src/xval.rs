@@ -1,0 +1,276 @@
+//! Backend cross-validation: run the same measurement grid on the DES
+//! and flow backends and quantify where the analytic model stands.
+//!
+//! Three per-cell observables are compared:
+//!
+//! * mean probe latency of each impact profile (idle + one per
+//!   CompressionB configuration);
+//! * the P-K **utilization** each backend's own calibration reads off
+//!   those profiles;
+//! * the **runtime ratio** `loaded / solo` of each (app, configuration)
+//!   compression run. Ratios, not percentage slowdowns: near-zero
+//!   slowdowns make relative error on percentages meaningless, while the
+//!   ratio is the quantity predictions actually consume.
+//!
+//! Wall-clock per backend comes from the sweep telemetry, so the
+//! reported speedup is the same number `BENCH_anp.json` records.
+
+use anp_core::{
+    calibrate_with, Backend, ExperimentConfig, ExperimentError, LatencyProfile, MuPolicy,
+    WorkloadSpec,
+};
+use anp_core::sweep::{sweep_recorded_for, SweepTelemetry};
+use anp_simnet::SimDuration;
+use anp_workloads::{AppKind, CompressionConfig};
+
+/// Highest acceptable relative error on mean probe latency.
+pub const PROBE_TOLERANCE: f64 = 0.10;
+/// Highest acceptable relative error on `loaded / solo` runtime ratios.
+pub const SLOWDOWN_TOLERANCE: f64 = 0.15;
+/// Lowest acceptable DES/flow wall-clock speedup on the Cab-like grid.
+pub const MIN_SPEEDUP: f64 = 20.0;
+
+/// One compared observable.
+#[derive(Debug, Clone)]
+pub struct XvalCell {
+    /// What the cell measures (e.g. `probe:P7-B2500000-M10`).
+    pub label: String,
+    /// The DES (reference) value.
+    pub des: f64,
+    /// The flow-model value.
+    pub flow: f64,
+}
+
+impl XvalCell {
+    /// `|flow − des| / |des|`.
+    pub fn rel_err(&self) -> f64 {
+        (self.flow - self.des).abs() / self.des.abs().max(1e-12)
+    }
+}
+
+/// Everything one cross-validation run produced.
+#[derive(Debug, Clone)]
+pub struct XvalReport {
+    /// Mean probe latency cells (µs): idle plus one per configuration.
+    pub probe_means: Vec<XvalCell>,
+    /// P-K utilization cells (fraction of capability), same order.
+    pub utilizations: Vec<XvalCell>,
+    /// Runtime-ratio cells, one per (app, configuration).
+    pub slowdown_ratios: Vec<XvalCell>,
+    /// DES grid telemetry (wall time, per-cell records).
+    pub des_telemetry: SweepTelemetry,
+    /// Flow grid telemetry.
+    pub flow_telemetry: SweepTelemetry,
+}
+
+impl XvalReport {
+    /// DES wall time over flow wall time.
+    pub fn speedup(&self) -> f64 {
+        self.des_telemetry.wall_secs / self.flow_telemetry.wall_secs.max(1e-12)
+    }
+
+    /// Worst relative error across probe-mean cells.
+    pub fn max_probe_err(&self) -> f64 {
+        max_err(&self.probe_means)
+    }
+
+    /// Worst relative error across runtime-ratio cells.
+    pub fn max_slowdown_err(&self) -> f64 {
+        max_err(&self.slowdown_ratios)
+    }
+
+    /// True if every gated observable is inside its documented tolerance.
+    pub fn within_tolerance(&self) -> bool {
+        self.max_probe_err() <= PROBE_TOLERANCE
+            && self.max_slowdown_err() <= SLOWDOWN_TOLERANCE
+    }
+}
+
+fn max_err(cells: &[XvalCell]) -> f64 {
+    cells.iter().map(XvalCell::rel_err).fold(0.0, f64::max)
+}
+
+/// A measurement cell of the grid.
+enum Spec<'a> {
+    Idle,
+    Impact(&'a CompressionConfig),
+    Solo(AppKind),
+    Loaded(AppKind, &'a CompressionConfig),
+}
+
+/// A cell's result: a profile or a runtime.
+enum Cell {
+    Profile(LatencyProfile),
+    Runtime(SimDuration),
+}
+
+/// Runs the full grid on one backend, returning cells in spec order plus
+/// the sweep telemetry (whose `wall_secs` is the backend's cost).
+fn measure_grid(
+    backend: &dyn Backend,
+    cfg: &ExperimentConfig,
+    specs: &[Spec<'_>],
+) -> Result<(Vec<Cell>, SweepTelemetry), ExperimentError> {
+    type Task<'s> = Box<dyn FnOnce() -> Result<Cell, ExperimentError> + Send + 's>;
+    let tasks: Vec<(String, Task<'_>)> = specs
+        .iter()
+        .map(|spec| -> (String, Task<'_>) {
+            match *spec {
+                Spec::Idle => (
+                    "probe:idle".to_owned(),
+                    Box::new(move || {
+                        backend
+                            .measure_impact_profile(cfg, WorkloadSpec::Idle)
+                            .map(Cell::Profile)
+                    }),
+                ),
+                Spec::Impact(comp) => (
+                    format!("probe:{}", comp.label()),
+                    Box::new(move || {
+                        backend
+                            .measure_impact_profile(cfg, WorkloadSpec::Compression(comp))
+                            .map(Cell::Profile)
+                    }),
+                ),
+                Spec::Solo(app) => (
+                    format!("solo:{}", app.name()),
+                    Box::new(move || backend.measure_solo_runtime(cfg, app).map(Cell::Runtime)),
+                ),
+                Spec::Loaded(app, comp) => (
+                    format!("run:{}@{}", app.name(), comp.label()),
+                    Box::new(move || {
+                        backend
+                            .measure_compression_run(cfg, app, comp)
+                            .map(Cell::Runtime)
+                    }),
+                ),
+            }
+        })
+        .collect();
+    let (results, telemetry) =
+        sweep_recorded_for("backend-xval", backend.name(), cfg.jobs, tasks);
+    let cells = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok((cells, telemetry))
+}
+
+/// Cross-validates the flow backend against the DES on one grid.
+///
+/// The grid is `{idle} ∪ {impact(c)} ∪ {solo(a)} ∪ {loaded(a, c)}` for
+/// every `a` in `apps` and `c` in `comps`, run once per backend through
+/// the telemetry-recording sweep engine.
+pub fn run_xval(
+    cfg: &ExperimentConfig,
+    apps: &[AppKind],
+    comps: &[CompressionConfig],
+    des: &dyn Backend,
+    flow: &dyn Backend,
+) -> Result<XvalReport, ExperimentError> {
+    let mut specs: Vec<Spec<'_>> = vec![Spec::Idle];
+    specs.extend(comps.iter().map(Spec::Impact));
+    specs.extend(apps.iter().map(|&a| Spec::Solo(a)));
+    for &a in apps {
+        for c in comps {
+            specs.push(Spec::Loaded(a, c));
+        }
+    }
+
+    let (des_cells, des_telemetry) = measure_grid(des, cfg, &specs)?;
+    let (flow_cells, flow_telemetry) = measure_grid(flow, cfg, &specs)?;
+
+    let des_cal = calibrate_with(des, cfg, MuPolicy::MinLatency)?;
+    let flow_cal = calibrate_with(flow, cfg, MuPolicy::MinLatency)?;
+
+    let mut probe_means = Vec::new();
+    let mut utilizations = Vec::new();
+    let mut slowdown_ratios = Vec::new();
+    let mut des_solo: Vec<(AppKind, f64)> = Vec::new();
+    let mut flow_solo: Vec<(AppKind, f64)> = Vec::new();
+
+    for ((spec, d), f) in specs.iter().zip(&des_cells).zip(&flow_cells) {
+        match (spec, d, f) {
+            (Spec::Idle, Cell::Profile(dp), Cell::Profile(fp))
+            | (Spec::Impact(_), Cell::Profile(dp), Cell::Profile(fp)) => {
+                let label = match spec {
+                    Spec::Idle => "probe:idle".to_owned(),
+                    Spec::Impact(c) => format!("probe:{}", c.label()),
+                    _ => unreachable!(),
+                };
+                probe_means.push(XvalCell {
+                    label: label.clone(),
+                    des: dp.mean(),
+                    flow: fp.mean(),
+                });
+                utilizations.push(XvalCell {
+                    label: label.replace("probe:", "util:"),
+                    des: des_cal.utilization(dp),
+                    flow: flow_cal.utilization(fp),
+                });
+            }
+            (Spec::Solo(app), Cell::Runtime(dt), Cell::Runtime(ft)) => {
+                des_solo.push((*app, dt.as_secs_f64()));
+                flow_solo.push((*app, ft.as_secs_f64()));
+            }
+            (Spec::Loaded(app, comp), Cell::Runtime(dt), Cell::Runtime(ft)) => {
+                let ds = des_solo
+                    .iter()
+                    .find(|(a, _)| a == app)
+                    .expect("solo cells precede loaded cells")
+                    .1;
+                let fs = flow_solo
+                    .iter()
+                    .find(|(a, _)| a == app)
+                    .expect("solo cells precede loaded cells")
+                    .1;
+                slowdown_ratios.push(XvalCell {
+                    label: format!("ratio:{}@{}", app.name(), comp.label()),
+                    des: dt.as_secs_f64() / ds,
+                    flow: ft.as_secs_f64() / fs,
+                });
+            }
+            _ => unreachable!("cell kind always matches its spec"),
+        }
+    }
+
+    Ok(XvalReport {
+        probe_means,
+        utilizations,
+        slowdown_ratios,
+        des_telemetry,
+        flow_telemetry,
+    })
+}
+
+/// Renders the report as the plain-text table the `backend_xval` binary
+/// prints.
+pub fn render_report(r: &XvalReport) -> String {
+    let mut out = String::new();
+    let section = |out: &mut String, title: &str, cells: &[XvalCell], unit: &str| {
+        out.push_str(&format!(
+            "{:<34} {:>10} {:>10} {:>8}\n",
+            title, "des", "flow", "err%"
+        ));
+        for c in cells {
+            out.push_str(&format!(
+                "{:<34} {:>10.4} {:>10.4} {:>7.1}%\n",
+                c.label,
+                c.des,
+                c.flow,
+                c.rel_err() * 100.0
+            ));
+        }
+        out.push_str(&format!(
+            "  worst {title} error: {:.1}% {unit}\n\n",
+            max_err(cells) * 100.0
+        ));
+    };
+    section(&mut out, "probe mean (us)", &r.probe_means, "");
+    section(&mut out, "utilization", &r.utilizations, "(not gated)");
+    section(&mut out, "runtime ratio", &r.slowdown_ratios, "");
+    out.push_str(&format!(
+        "wall clock: des {:.3}s, flow {:.3}s -> {:.0}x speedup\n",
+        r.des_telemetry.wall_secs,
+        r.flow_telemetry.wall_secs,
+        r.speedup()
+    ));
+    out
+}

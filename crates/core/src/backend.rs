@@ -1,0 +1,314 @@
+//! The measurement backend abstraction: one trait, many engines.
+//!
+//! Every observable the methodology consumes — impact profiles, solo and
+//! loaded runtimes — can be produced by more than one engine. The packet
+//! level discrete-event simulator (`anp-simnet`/`anp-simmpi`) is the
+//! ground truth; an analytic flow-level model (`anp-flowsim`) trades
+//! per-packet fidelity for orders-of-magnitude speed. [`Backend`] is the
+//! object-safe seam between the two: experiment drivers, the look-up
+//! table, and the prediction study all accept `&dyn Backend` and neither
+//! know nor care which engine is underneath.
+//!
+//! [`DesBackend`] wraps today's DES path by delegating *verbatim* to the
+//! free functions in [`crate::experiments`]; routing an experiment through
+//! the trait therefore produces byte-identical results to calling those
+//! functions directly (pinned by the `backend_dispatch` integration
+//! test).
+//!
+//! Backends advertise **capability flags** ([`Backend::supports_faults`],
+//! [`Backend::supports_timed_series`]). Callers that need an unsupported
+//! capability must fail loudly with a typed [`BackendError`] — never fall
+//! back silently to another engine (the CLI turns these into a stderr
+//! line and exit code 1).
+
+use anp_simnet::SimDuration;
+use anp_workloads::{AppKind, CompressionConfig};
+
+use crate::experiments::{
+    idle_profile, impact_profile_of_app, impact_profile_of_compression, runtime_under_compression,
+    runtime_under_corun, solo_runtime, ExperimentConfig, ExperimentError,
+};
+use crate::queue::{Calibration, MuPolicy};
+use crate::samples::LatencyProfile;
+
+/// What runs next to the probes during an impact measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadSpec<'a> {
+    /// Nothing — the idle-switch calibration measurement.
+    Idle,
+    /// One application proxy running endlessly.
+    App(AppKind),
+    /// One CompressionB interference configuration running endlessly.
+    Compression(&'a CompressionConfig),
+}
+
+impl std::fmt::Display for WorkloadSpec<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadSpec::Idle => write!(f, "idle"),
+            WorkloadSpec::App(a) => write!(f, "app:{}", a.name()),
+            WorkloadSpec::Compression(c) => write!(f, "compression:{}", c.label()),
+        }
+    }
+}
+
+/// A backend was asked for something it cannot honor.
+///
+/// These are *configuration* errors, detected before any simulation runs:
+/// the fix is to change the requested backend or drop the offending
+/// option, so the message names both.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendError {
+    /// The experiment configuration carries an option outside the
+    /// backend's capabilities (e.g. a [`anp_simnet::FaultPlan`] handed to
+    /// the flow-level model, which has no notion of fault windows).
+    UnsupportedOption {
+        /// The backend that rejected the configuration.
+        backend: &'static str,
+        /// Human-readable description of the unsupported option.
+        option: String,
+    },
+    /// The requested backend name does not exist.
+    UnknownBackend(String),
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::UnsupportedOption { backend, option } => write!(
+                f,
+                "backend '{backend}' cannot honor {option} \
+                 (use --backend des for full-fidelity simulation)"
+            ),
+            BackendError::UnknownBackend(name) => {
+                write!(f, "unknown backend '{name}' (expected 'des' or 'flow')")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// An engine that produces the methodology's observables.
+///
+/// Object-safe by design: drivers hold `&dyn Backend` so a CLI flag can
+/// swap engines at run time. All methods take the same
+/// [`ExperimentConfig`] the DES path uses; a backend that cannot honor
+/// part of it must return [`ExperimentError::Backend`] rather than
+/// silently approximating.
+pub trait Backend: Send + Sync {
+    /// Short identifier recorded in sweep telemetry (`"des"`, `"flow"`).
+    fn name(&self) -> &'static str;
+
+    /// Whether the backend honors [`anp_simnet::FaultPlan`]s (lossy or
+    /// degraded fabrics) and the reliability/retransmission layer.
+    fn supports_faults(&self) -> bool;
+
+    /// Whether the backend produces genuinely time-resolved probe series
+    /// (as opposed to a steady-state distribution stretched over the
+    /// window). The phase-aware model needs this.
+    fn supports_timed_series(&self) -> bool;
+
+    /// Checks that `cfg` only uses options this backend supports.
+    fn validate(&self, cfg: &ExperimentConfig) -> Result<(), BackendError> {
+        if !self.supports_faults() && !cfg.switch.fault_plan.is_none() {
+            return Err(BackendError::UnsupportedOption {
+                backend: self.name(),
+                option: "an installed FaultPlan".to_owned(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Probe-latency profile while `workload` runs (the paper's impact
+    /// experiment; `WorkloadSpec::Idle` yields the calibration profile).
+    fn measure_impact_profile(
+        &self,
+        cfg: &ExperimentConfig,
+        workload: WorkloadSpec<'_>,
+    ) -> Result<LatencyProfile, ExperimentError>;
+
+    /// Completion time of `app` while `comp` loads the switch (the §III-B
+    /// compression experiment).
+    fn measure_compression_run(
+        &self,
+        cfg: &ExperimentConfig,
+        app: AppKind,
+        comp: &CompressionConfig,
+    ) -> Result<SimDuration, ExperimentError>;
+
+    /// Solo completion time of `app` at its default iteration count.
+    fn measure_solo_runtime(
+        &self,
+        cfg: &ExperimentConfig,
+        app: AppKind,
+    ) -> Result<SimDuration, ExperimentError>;
+
+    /// Completion time of `victim` next to an endless copy of `other`
+    /// (the §V pairing experiment).
+    fn measure_corun_runtime(
+        &self,
+        cfg: &ExperimentConfig,
+        victim: AppKind,
+        other: AppKind,
+    ) -> Result<SimDuration, ExperimentError>;
+}
+
+/// Calibrates the queue model from the backend's idle profile.
+pub fn calibrate_with(
+    backend: &dyn Backend,
+    cfg: &ExperimentConfig,
+    policy: MuPolicy,
+) -> Result<Calibration, ExperimentError> {
+    let idle = backend.measure_impact_profile(cfg, WorkloadSpec::Idle)?;
+    Ok(Calibration::from_idle_profile(&idle, policy)?)
+}
+
+/// The packet-level discrete-event backend: today's (and the reference)
+/// path. Every method delegates verbatim to the corresponding free
+/// function in [`crate::experiments`], so dispatching through the trait
+/// is byte-identical to the pre-trait code path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DesBackend;
+
+impl Backend for DesBackend {
+    fn name(&self) -> &'static str {
+        "des"
+    }
+
+    fn supports_faults(&self) -> bool {
+        true
+    }
+
+    fn supports_timed_series(&self) -> bool {
+        true
+    }
+
+    fn measure_impact_profile(
+        &self,
+        cfg: &ExperimentConfig,
+        workload: WorkloadSpec<'_>,
+    ) -> Result<LatencyProfile, ExperimentError> {
+        match workload {
+            WorkloadSpec::Idle => idle_profile(cfg),
+            WorkloadSpec::App(app) => impact_profile_of_app(cfg, app),
+            WorkloadSpec::Compression(comp) => impact_profile_of_compression(cfg, comp),
+        }
+    }
+
+    fn measure_compression_run(
+        &self,
+        cfg: &ExperimentConfig,
+        app: AppKind,
+        comp: &CompressionConfig,
+    ) -> Result<SimDuration, ExperimentError> {
+        runtime_under_compression(cfg, app, comp)
+    }
+
+    fn measure_solo_runtime(
+        &self,
+        cfg: &ExperimentConfig,
+        app: AppKind,
+    ) -> Result<SimDuration, ExperimentError> {
+        solo_runtime(cfg, app)
+    }
+
+    fn measure_corun_runtime(
+        &self,
+        cfg: &ExperimentConfig,
+        victim: AppKind,
+        other: AppKind,
+    ) -> Result<SimDuration, ExperimentError> {
+        runtime_under_corun(cfg, victim, other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anp_simnet::FaultPlan;
+
+    #[test]
+    fn des_backend_advertises_full_capabilities() {
+        let b = DesBackend;
+        assert_eq!(b.name(), "des");
+        assert!(b.supports_faults());
+        assert!(b.supports_timed_series());
+    }
+
+    #[test]
+    fn des_backend_validates_faulted_configs() {
+        let mut cfg = ExperimentConfig::cab();
+        cfg.switch = cfg.switch.with_fault_plan(FaultPlan::uniform_loss(0.01));
+        assert!(DesBackend.validate(&cfg).is_ok());
+    }
+
+    #[test]
+    fn capability_gate_rejects_faults_with_typed_error() {
+        /// A backend with no fault support, to exercise the default gate.
+        struct NoFaults;
+        impl Backend for NoFaults {
+            fn name(&self) -> &'static str {
+                "nofaults"
+            }
+            fn supports_faults(&self) -> bool {
+                false
+            }
+            fn supports_timed_series(&self) -> bool {
+                false
+            }
+            fn measure_impact_profile(
+                &self,
+                _: &ExperimentConfig,
+                _: WorkloadSpec<'_>,
+            ) -> Result<LatencyProfile, ExperimentError> {
+                unreachable!()
+            }
+            fn measure_compression_run(
+                &self,
+                _: &ExperimentConfig,
+                _: AppKind,
+                _: &CompressionConfig,
+            ) -> Result<SimDuration, ExperimentError> {
+                unreachable!()
+            }
+            fn measure_solo_runtime(
+                &self,
+                _: &ExperimentConfig,
+                _: AppKind,
+            ) -> Result<SimDuration, ExperimentError> {
+                unreachable!()
+            }
+            fn measure_corun_runtime(
+                &self,
+                _: &ExperimentConfig,
+                _: AppKind,
+                _: AppKind,
+            ) -> Result<SimDuration, ExperimentError> {
+                unreachable!()
+            }
+        }
+
+        let mut cfg = ExperimentConfig::cab();
+        assert!(NoFaults.validate(&cfg).is_ok());
+        cfg.switch = cfg.switch.with_fault_plan(FaultPlan::uniform_loss(0.01));
+        let err = NoFaults.validate(&cfg).unwrap_err();
+        let BackendError::UnsupportedOption { backend, option } = &err else {
+            panic!("expected UnsupportedOption, got {err:?}");
+        };
+        assert_eq!(*backend, "nofaults");
+        assert!(option.contains("FaultPlan"));
+        assert!(err.to_string().contains("--backend des"));
+    }
+
+    #[test]
+    fn workload_spec_displays_label() {
+        assert_eq!(WorkloadSpec::Idle.to_string(), "idle");
+        assert_eq!(WorkloadSpec::App(AppKind::Fftw).to_string(), "app:FFTW");
+        let c = CompressionConfig::new(7, 25_000, 10);
+        assert_eq!(
+            WorkloadSpec::Compression(&c).to_string(),
+            format!("compression:{}", c.label())
+        );
+    }
+}

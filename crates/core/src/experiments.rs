@@ -44,6 +44,10 @@ pub enum ExperimentError {
     /// The idle profile could not parameterize the queue model (e.g. a
     /// degraded fabric reported a non-positive idle latency).
     Calibration(CalibrationError),
+    /// The selected measurement backend cannot honor the experiment
+    /// configuration (capability mismatch — see
+    /// [`crate::backend::BackendError`]).
+    Backend(crate::backend::BackendError),
 }
 
 impl std::fmt::Display for ExperimentError {
@@ -55,6 +59,7 @@ impl std::fmt::Display for ExperimentError {
             ExperimentError::NoSamples => write!(f, "no probe samples collected"),
             ExperimentError::Stalled(report) => write!(f, "stalled: {report}"),
             ExperimentError::Calibration(err) => write!(f, "calibration failed: {err}"),
+            ExperimentError::Backend(err) => write!(f, "{err}"),
         }
     }
 }
@@ -62,6 +67,12 @@ impl std::fmt::Display for ExperimentError {
 impl From<CalibrationError> for ExperimentError {
     fn from(err: CalibrationError) -> Self {
         ExperimentError::Calibration(err)
+    }
+}
+
+impl From<crate::backend::BackendError> for ExperimentError {
+    fn from(err: crate::backend::BackendError) -> Self {
+        ExperimentError::Backend(err)
     }
 }
 
@@ -118,8 +129,12 @@ impl ExperimentConfig {
         self
     }
 
-    /// Deterministic per-workload seed.
-    fn workload_seed(&self, salt: u64) -> u64 {
+    /// Deterministic per-workload seed. Public so alternative measurement
+    /// backends (e.g. `anp-flowsim`) build workloads from exactly the seed
+    /// the DES path would use; salts follow the conventions of this
+    /// module (`app as u64 + 1` for measured apps, `+ 101` for co-run
+    /// interferers).
+    pub fn workload_seed(&self, salt: u64) -> u64 {
         self.seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(salt)

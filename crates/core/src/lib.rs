@@ -21,7 +21,10 @@
 //!   (§V);
 //! * [`sweep`] — the parallel sweep engine: fans independent experiment
 //!   cells across worker threads with index-ordered (byte-identical)
-//!   collection, and records per-run wall/event telemetry.
+//!   collection, and records per-run wall/event telemetry;
+//! * [`backend`] — the object-safe [`Backend`] seam between measurement
+//!   engines: [`DesBackend`] (the packet-level simulator, ground truth)
+//!   and the analytic flow-level model in the `anp-flowsim` crate.
 //!
 //! ## The methodology in one paragraph
 //!
@@ -38,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod experiments;
 pub mod lut;
 pub mod models;
@@ -47,6 +51,7 @@ pub mod samples;
 pub mod series;
 pub mod sweep;
 
+pub use backend::{calibrate_with, Backend, BackendError, DesBackend, WorkloadSpec};
 pub use experiments::{
     calibrate, degradation_percent, idle_profile, impact_profile, impact_profile_of_app,
     impact_profile_of_compression, impact_series, impact_series_of_app, loss_sweep,
@@ -59,4 +64,6 @@ pub use prediction::{error_summaries, PairOutcome, Study};
 pub use queue::{Calibration, CalibrationError, MuPolicy};
 pub use samples::LatencyProfile;
 pub use series::TimedSeries;
-pub use sweep::{sweep as run_sweep, sweep_recorded, Parallelism, RunRecord, SweepTelemetry};
+pub use sweep::{
+    sweep as run_sweep, sweep_recorded, sweep_recorded_for, Parallelism, RunRecord, SweepTelemetry,
+};

@@ -18,13 +18,11 @@ use std::collections::BTreeMap;
 use anp_simnet::SimDuration;
 use anp_workloads::{AppKind, CompressionConfig};
 
-use crate::experiments::{
-    degradation_percent, impact_profile_of_compression, runtime_under_compression, solo_runtime,
-    ExperimentConfig, ExperimentError,
-};
+use crate::backend::{Backend, DesBackend, WorkloadSpec};
+use crate::experiments::{degradation_percent, ExperimentConfig, ExperimentError};
 use crate::queue::Calibration;
 use crate::samples::LatencyProfile;
-use crate::sweep::{sweep_recorded, SweepTelemetry};
+use crate::sweep::{sweep_recorded_for, SweepTelemetry};
 
 /// Everything measured for one CompressionB configuration.
 #[derive(Debug, Clone)]
@@ -91,8 +89,23 @@ impl LookupTable {
     }
 
     /// [`LookupTable::measure`], additionally returning the sweep's
-    /// telemetry record (per-run wall time and event counts).
+    /// telemetry record (per-run wall time and event counts). Runs on the
+    /// reference DES backend.
     pub fn measure_recorded(
+        cfg: &ExperimentConfig,
+        calibration: Calibration,
+        apps: &[AppKind],
+        configs: &[CompressionConfig],
+        progress: impl FnMut(&str),
+    ) -> Result<(Self, SweepTelemetry), ExperimentError> {
+        Self::measure_recorded_with(&DesBackend, cfg, calibration, apps, configs, progress)
+    }
+
+    /// [`LookupTable::measure_recorded`] on an explicit measurement
+    /// backend. With [`DesBackend`] this is byte-identical to the classic
+    /// path; with the flow-level backend every cell is analytic.
+    pub fn measure_recorded_with(
+        backend: &dyn Backend,
         cfg: &ExperimentConfig,
         calibration: Calibration,
         apps: &[AppKind],
@@ -114,24 +127,31 @@ impl LookupTable {
         for &app in apps {
             tasks.push((
                 format!("solo:{}", app.name()),
-                Box::new(move || Cell::Solo(solo_runtime(cfg, app))),
+                Box::new(move || Cell::Solo(backend.measure_solo_runtime(cfg, app))),
             ));
         }
         for comp in configs {
             tasks.push((
                 format!("impact:{}", comp.label()),
-                Box::new(move || Cell::Impact(impact_profile_of_compression(cfg, comp))),
+                Box::new(move || {
+                    Cell::Impact(
+                        backend.measure_impact_profile(cfg, WorkloadSpec::Compression(comp)),
+                    )
+                }),
             ));
         }
         for comp in configs {
             for &app in apps {
                 tasks.push((
                     format!("grid:{}:{}", app.name(), comp.label()),
-                    Box::new(move || Cell::Runtime(runtime_under_compression(cfg, app, comp))),
+                    Box::new(move || {
+                        Cell::Runtime(backend.measure_compression_run(cfg, app, comp))
+                    }),
                 ));
             }
         }
-        let (cells, telemetry) = sweep_recorded("lookup-table", cfg.jobs, tasks);
+        let (cells, telemetry) =
+            sweep_recorded_for("lookup-table", backend.name(), cfg.jobs, tasks);
         let mut cells = cells.into_iter();
 
         // Reassemble in the exact order the serial loop produced, so

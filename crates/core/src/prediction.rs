@@ -11,14 +11,12 @@ use std::collections::BTreeMap;
 use anp_metrics::QuartileSummary;
 use anp_workloads::AppKind;
 
-use crate::experiments::{
-    degradation_percent, impact_profile_of_app, runtime_under_corun, ExperimentConfig,
-    ExperimentError,
-};
+use crate::backend::{Backend, DesBackend, WorkloadSpec};
+use crate::experiments::{degradation_percent, ExperimentConfig, ExperimentError};
 use crate::lut::LookupTable;
 use crate::models::SlowdownModel;
 use crate::samples::LatencyProfile;
-use crate::sweep::{sweep_recorded, SweepTelemetry};
+use crate::sweep::{sweep_recorded_for, SweepTelemetry};
 
 /// One directed pairing: the slowdown of `victim` when co-run with
 /// `other`.
@@ -75,8 +73,20 @@ impl Study {
     }
 
     /// [`Study::measure_profiles`], additionally returning the sweep's
-    /// telemetry record.
+    /// telemetry record. Runs on the reference DES backend.
     pub fn measure_profiles_recorded(
+        cfg: &ExperimentConfig,
+        table: LookupTable,
+        apps: &[AppKind],
+        progress: impl FnMut(&str),
+    ) -> Result<(Self, SweepTelemetry), ExperimentError> {
+        Self::measure_profiles_recorded_with(&DesBackend, cfg, table, apps, progress)
+    }
+
+    /// [`Study::measure_profiles_recorded`] on an explicit measurement
+    /// backend.
+    pub fn measure_profiles_recorded_with(
+        backend: &dyn Backend,
         cfg: &ExperimentConfig,
         table: LookupTable,
         apps: &[AppKind],
@@ -86,10 +96,12 @@ impl Study {
             .iter()
             .map(|&app| {
                 let label = format!("profile:{}", app.name());
-                (label, move || impact_profile_of_app(cfg, app))
+                (label, move || {
+                    backend.measure_impact_profile(cfg, WorkloadSpec::App(app))
+                })
             })
             .collect();
-        let (results, telemetry) = sweep_recorded("app-profiles", cfg.jobs, tasks);
+        let (results, telemetry) = sweep_recorded_for("app-profiles", backend.name(), cfg.jobs, tasks);
         let mut app_profiles = BTreeMap::new();
         for (&app, r) in apps.iter().zip(results) {
             let p = r?;
@@ -152,7 +164,7 @@ impl Study {
         outcome: &mut PairOutcome,
     ) -> Result<(), ExperimentError> {
         let solo = self.table.solo[&outcome.victim];
-        let loaded = runtime_under_corun(cfg, outcome.victim, outcome.other)?;
+        let loaded = DesBackend.measure_corun_runtime(cfg, outcome.victim, outcome.other)?;
         outcome.measured = Some(degradation_percent(solo, loaded));
         Ok(())
     }
@@ -166,6 +178,18 @@ impl Study {
         &self,
         cfg: &ExperimentConfig,
         outcomes: &mut [PairOutcome],
+        progress: impl FnMut(&str),
+    ) -> Result<SweepTelemetry, ExperimentError> {
+        self.measure_pairs_recorded_with(&DesBackend, cfg, outcomes, progress)
+    }
+
+    /// [`Study::measure_pairs_recorded`] on an explicit measurement
+    /// backend.
+    pub fn measure_pairs_recorded_with(
+        &self,
+        backend: &dyn Backend,
+        cfg: &ExperimentConfig,
+        outcomes: &mut [PairOutcome],
         mut progress: impl FnMut(&str),
     ) -> Result<SweepTelemetry, ExperimentError> {
         let tasks: Vec<(String, _)> = outcomes
@@ -173,10 +197,11 @@ impl Study {
             .map(|o| {
                 let (victim, other) = (o.victim, o.other);
                 let label = format!("corun:{}+{}", victim.name(), other.name());
-                (label, move || runtime_under_corun(cfg, victim, other))
+                (label, move || backend.measure_corun_runtime(cfg, victim, other))
             })
             .collect();
-        let (results, telemetry) = sweep_recorded("pairing-grid", cfg.jobs, tasks);
+        let (results, telemetry) =
+            sweep_recorded_for("pairing-grid", backend.name(), cfg.jobs, tasks);
         for (o, r) in outcomes.iter_mut().zip(results) {
             let solo = self.table.solo[&o.victim];
             o.measured = Some(degradation_percent(solo, r?));

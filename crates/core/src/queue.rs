@@ -53,6 +53,14 @@ pub enum CalibrationError {
         /// The offending extracted latency (µs).
         latency_us: f64,
     },
+    /// A utilization outside `[0, 1)` was handed to the forward P-K
+    /// direction. The M/G/1 queue has no stationary sojourn at `ρ ≥ 1`
+    /// (or below 0), so the formula must reject the input rather than
+    /// return NaN or a negative "latency".
+    UnstableUtilization {
+        /// The offending utilization.
+        rho: f64,
+    },
 }
 
 impl std::fmt::Display for CalibrationError {
@@ -62,6 +70,11 @@ impl std::fmt::Display for CalibrationError {
                 f,
                 "idle latency must be positive to calibrate the queue model: \
                  {policy:?} extracted {latency_us} us"
+            ),
+            CalibrationError::UnstableUtilization { rho } => write!(
+                f,
+                "utilization {rho} is outside [0, 1): the M/G/1 queue has no \
+                 stationary sojourn there"
             ),
         }
     }
@@ -154,6 +167,21 @@ impl Calibration {
     /// loaded-switch mean probe latency. In `[0, 1)`.
     pub fn utilization_from_sojourn(&self, w: f64) -> f64 {
         self.lambda_from_sojourn(w) / self.mu
+    }
+
+    /// The forward map of the utilization metric: the mean sojourn (µs) a
+    /// switch at utilization `rho` would show. Inverse of
+    /// [`Calibration::utilization_from_sojourn`] on `[0, 1)`.
+    ///
+    /// Rejects `ρ < 0` and `ρ ≥ 1` with a typed error instead of
+    /// returning NaN/∞: unstable queues have no stationary sojourn, and a
+    /// silent NaN would poison every profile built downstream (the
+    /// flow-level backend feeds this into synthetic probe samples).
+    pub fn sojourn_from_utilization(&self, rho: f64) -> Result<f64, CalibrationError> {
+        if !(0.0..1.0).contains(&rho) || rho.is_nan() {
+            return Err(CalibrationError::UnstableUtilization { rho });
+        }
+        Ok(self.pk_sojourn(rho * self.mu))
     }
 
     /// Utilization of the workload whose impact profile is `profile`.
@@ -254,7 +282,9 @@ mod tests {
         // must fail cleanly instead of panicking the whole process.
         let p = crate::samples::LatencyProfile::from_samples(&[0.0, 0.0, 0.0]);
         let err = Calibration::from_idle_profile(&p, MuPolicy::MinLatency).unwrap_err();
-        let CalibrationError::NonPositiveIdleLatency { policy, latency_us } = err;
+        let CalibrationError::NonPositiveIdleLatency { policy, latency_us } = err else {
+            panic!("expected NonPositiveIdleLatency, got {err:?}");
+        };
         assert_eq!(policy, MuPolicy::MinLatency);
         assert_eq!(latency_us, 0.0);
         assert!(err.to_string().contains("must be positive"));
@@ -264,6 +294,22 @@ mod tests {
     #[should_panic(expected = "lambda < mu")]
     fn pk_rejects_unstable_queue() {
         calib(1.0, 0.0).pk_sojourn(1.0);
+    }
+
+    #[test]
+    fn forward_direction_rejects_unstable_utilization() {
+        let c = calib(1.0, 0.5);
+        for rho in [1.0, 1.5, -0.1, f64::NAN, f64::INFINITY] {
+            let err = c.sojourn_from_utilization(rho).unwrap_err();
+            assert!(
+                matches!(err, CalibrationError::UnstableUtilization { .. }),
+                "rho={rho} must be rejected, got {err:?}"
+            );
+            assert!(err.to_string().contains("stationary"));
+        }
+        // The boundary just inside the stable region still works.
+        assert!(c.sojourn_from_utilization(0.0).unwrap() > 0.0);
+        assert!(c.sojourn_from_utilization(0.999).unwrap().is_finite());
     }
 
     proptest! {
@@ -291,6 +337,45 @@ mod tests {
             let w = c.pk_sojourn(lambda);
             let back = c.lambda_from_sojourn(w);
             prop_assert!((back - lambda).abs() < 1e-6 * mu);
+        }
+
+        /// Roundtrip ρ → W → ρ through the typed forward direction holds
+        /// across the whole valid utilization range.
+        #[test]
+        fn prop_utilization_roundtrip(
+            mu in 0.1f64..10.0,
+            var in 0.0f64..10.0,
+            rho in 0.0f64..0.99,
+        ) {
+            let c = calib(mu, var);
+            let w = c.sojourn_from_utilization(rho).expect("stable rho");
+            let back = c.utilization_from_sojourn(w);
+            prop_assert!(
+                (back - rho).abs() < 1e-6,
+                "rho {} -> W {} -> rho {}", rho, w, back
+            );
+        }
+
+        /// The forward direction never returns NaN or a negative sojourn:
+        /// inputs outside [0, 1) get a typed error instead.
+        #[test]
+        fn prop_forward_rejects_unstable_inputs(
+            mu in 0.1f64..10.0,
+            var in 0.0f64..10.0,
+            rho in -5.0f64..5.0,
+        ) {
+            let c = calib(mu, var);
+            match c.sojourn_from_utilization(rho) {
+                Ok(w) => {
+                    prop_assert!((0.0..1.0).contains(&rho));
+                    prop_assert!(w.is_finite() && w > 0.0);
+                }
+                Err(CalibrationError::UnstableUtilization { rho: r }) => {
+                    prop_assert!(!(0.0..1.0).contains(&rho));
+                    prop_assert!(r == rho);
+                }
+                Err(other) => prop_assert!(false, "unexpected error {:?}", other),
+            }
         }
     }
 }

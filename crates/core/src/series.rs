@@ -2,7 +2,7 @@
 //!
 //! The paper's §V-B explains the queue model's one significant miss (FFTW
 //! predicted against AMG): AMG "executions go through phases that do not
-//! significantly use the network, [so] the switch capacity available to
+//! significantly use the network, \[so\] the switch capacity available to
 //! FFTW is close to 100 % during a significant portion of its co-run …
 //! which is something that the queue model has not considered as it
 //! assumes a constant utilization of the network".

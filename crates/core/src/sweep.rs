@@ -81,10 +81,14 @@ pub fn take_events() -> u64 {
 pub struct RunRecord {
     /// Human-readable cell label, e.g. `solo:FFTW` or `grid:FFTW/P7-B2.5e6-M10`.
     pub label: String,
+    /// Measurement backend that produced the cell (`"des"` for the
+    /// packet-level simulator, `"flow"` for the analytic model).
+    pub backend: String,
     /// Wall-clock seconds the cell took on its worker.
     pub wall_secs: f64,
     /// Simulation events processed by the cell (from
     /// [`anp_simmpi::World::events_processed`] via [`note_events`]).
+    /// Zero for analytic backends, which process no events.
     pub events: u64,
 }
 
@@ -105,6 +109,9 @@ impl RunRecord {
 pub struct SweepTelemetry {
     /// Name of the sweep (e.g. `lookup-table`, `table1-grid`).
     pub name: String,
+    /// Backend the sweep's cells ran on (`"des"`, `"flow"`, or `"mixed"`
+    /// after absorbing a sweep from a different backend).
+    pub backend: String,
     /// Worker threads the sweep ran on.
     pub workers: usize,
     /// End-to-end wall-clock seconds for the whole sweep.
@@ -144,9 +151,14 @@ impl SweepTelemetry {
 
     /// Folds `other` into `self`: runs concatenate, wall times add (the
     /// sweeps ran one after the other), worker count keeps the maximum.
+    /// Absorbing a sweep from a different backend marks the aggregate as
+    /// `"mixed"` (the per-run records keep their own backend).
     pub fn absorb(&mut self, other: SweepTelemetry) {
         self.workers = self.workers.max(other.workers);
         self.wall_secs += other.wall_secs;
+        if self.backend != other.backend {
+            self.backend = "mixed".to_owned();
+        }
         self.runs.extend(other.runs);
     }
 
@@ -155,10 +167,12 @@ impl SweepTelemetry {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256 + self.runs.len() * 96);
         out.push_str(&format!(
-            "{{\"name\":\"{}\",\"workers\":{},\"wall_secs\":{:.6},\"serial_secs\":{:.6},\
+            "{{\"name\":\"{}\",\"backend\":\"{}\",\"workers\":{},\"wall_secs\":{:.6},\
+             \"serial_secs\":{:.6},\
              \"speedup\":{:.3},\"runs\":{},\"events\":{},\"events_per_sec\":{:.0},\
              \"per_run\":[",
             json_escape(&self.name),
+            json_escape(&self.backend),
             self.workers,
             self.wall_secs,
             self.serial_secs(),
@@ -172,8 +186,9 @@ impl SweepTelemetry {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"label\":\"{}\",\"wall_secs\":{:.6},\"events\":{}}}",
+                "{{\"label\":\"{}\",\"backend\":\"{}\",\"wall_secs\":{:.6},\"events\":{}}}",
                 json_escape(&r.label),
+                json_escape(&r.backend),
                 r.wall_secs,
                 r.events
             ));
@@ -216,9 +231,27 @@ where
 }
 
 /// [`sweep`], additionally recording a [`SweepTelemetry`]: per-run wall
-/// time and simulation events, whole-sweep wall time, worker count.
+/// time and simulation events, whole-sweep wall time, worker count. The
+/// telemetry is attributed to the `"des"` backend (the default engine);
+/// use [`sweep_recorded_for`] to attribute another.
 pub fn sweep_recorded<T, F>(
     name: &str,
+    par: Parallelism,
+    tasks: Vec<(String, F)>,
+) -> (Vec<T>, SweepTelemetry)
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    sweep_recorded_for(name, "des", par, tasks)
+}
+
+/// [`sweep_recorded`] with an explicit backend attribution: every
+/// [`RunRecord`] and the [`SweepTelemetry`] itself record which
+/// measurement engine produced the cells (`"des"`, `"flow"`, …).
+pub fn sweep_recorded_for<T, F>(
+    name: &str,
+    backend: &str,
     par: Parallelism,
     tasks: Vec<(String, F)>,
 ) -> (Vec<T>, SweepTelemetry)
@@ -236,6 +269,7 @@ where
         let value = f();
         let record = RunRecord {
             label,
+            backend: backend.to_owned(),
             wall_secs: start.elapsed().as_secs_f64(),
             events: take_events(),
         };
@@ -254,6 +288,7 @@ where
         }
         let telemetry = SweepTelemetry {
             name: name.to_owned(),
+            backend: backend.to_owned(),
             workers: 1,
             wall_secs: sweep_start.elapsed().as_secs_f64(),
             runs,
@@ -300,6 +335,7 @@ where
     }
     let telemetry = SweepTelemetry {
         name: name.to_owned(),
+        backend: backend.to_owned(),
         workers,
         wall_secs: sweep_start.elapsed().as_secs_f64(),
         runs,
@@ -394,10 +430,12 @@ mod tests {
     fn json_record_is_well_formed() {
         let t = SweepTelemetry {
             name: "t\"est".to_owned(),
+            backend: "flow".to_owned(),
             workers: 4,
             wall_secs: 1.5,
             runs: vec![RunRecord {
                 label: "a".to_owned(),
+                backend: "flow".to_owned(),
                 wall_secs: 0.5,
                 events: 10,
             }],
@@ -405,6 +443,7 @@ mod tests {
         let j = t.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"name\":\"t\\\"est\""));
+        assert!(j.contains("\"backend\":\"flow\""));
         assert!(j.contains("\"workers\":4"));
         assert!(j.contains("\"events\":10"));
         // Balanced braces/brackets (cheap well-formedness check).
@@ -417,25 +456,42 @@ mod tests {
 
     #[test]
     fn speedup_of_serial_sweep_is_about_one() {
+        let rec = |events| RunRecord {
+            label: String::new(),
+            backend: "des".to_owned(),
+            wall_secs: 1.0,
+            events,
+        };
         let t = SweepTelemetry {
             name: "s".into(),
+            backend: "des".to_owned(),
             workers: 1,
             wall_secs: 2.0,
-            runs: vec![
-                RunRecord {
-                    label: String::new(),
-                    wall_secs: 1.0,
-                    events: 1,
-                },
-                RunRecord {
-                    label: String::new(),
-                    wall_secs: 1.0,
-                    events: 1,
-                },
-            ],
+            runs: vec![rec(1), rec(1)],
         };
         assert!((t.speedup() - 1.0).abs() < 1e-9);
         assert!((t.events_per_sec() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backend_attribution_defaults_to_des_and_mixes_on_absorb() {
+        let (_, des) = sweep_recorded("d", Parallelism::fixed(1), vec![("a".to_owned(), || ())]);
+        assert_eq!(des.backend, "des");
+        assert_eq!(des.runs[0].backend, "des");
+        let (_, flow) = sweep_recorded_for(
+            "f",
+            "flow",
+            Parallelism::fixed(1),
+            vec![("b".to_owned(), || ())],
+        );
+        assert_eq!(flow.backend, "flow");
+        assert_eq!(flow.runs[0].backend, "flow");
+        let mut agg = des.clone();
+        agg.absorb(des.clone());
+        assert_eq!(agg.backend, "des", "same-backend absorb stays pure");
+        agg.absorb(flow);
+        assert_eq!(agg.backend, "mixed");
+        assert_eq!(agg.runs[2].backend, "flow", "per-run attribution survives");
     }
 
     #[test]

@@ -1,0 +1,412 @@
+//! Symbolic traffic extraction: walk a job's rank programs without a
+//! simulator and tabulate the aggregate demand they would place on the
+//! fabric.
+//!
+//! The walk drives each rank's [`anp_simmpi::Program`] to completion at frozen
+//! simulated time, lowering collectives through the *same*
+//! [`anp_simmpi::coll`] expansions the discrete-event world uses, so the
+//! extracted byte/packet/round counts are exactly the counts the DES
+//! would move — only the timing is left to the analytic model.
+
+use std::collections::{HashSet, VecDeque};
+
+use anp_simmpi::coll::{
+    expand_allgather, expand_allreduce, expand_alltoall, expand_barrier, expand_bcast,
+    expand_reduce,
+};
+use anp_simmpi::{Ctx, Op};
+use anp_simnet::{NodeId, SimDuration, SimTime, SwitchConfig, Topology};
+use anp_workloads::compressionb::CompressionConfig;
+use anp_workloads::Members;
+
+/// Cap on primitive operations walked per job: a runaway (or endless)
+/// program is a caller bug, not something to spin on forever.
+const OP_BUDGET: u64 = 200_000_000;
+
+/// The per-socket CompressionB process count the DES experiments pin
+/// (`experiments::impact_profile_of_compression` passes `per_node = 2`).
+pub const COMPRESSION_PER_NODE: u32 = 2;
+
+/// Aggregate network demand of one job, independent of time.
+///
+/// For a finite job the fields are run totals; for CompressionB (which
+/// loops forever) they are per-iteration totals. Either way the analytic
+/// model only ever divides them by the job's (solved) duration to obtain
+/// rates, so the distinction never leaks further.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficDescriptor {
+    /// Job label for diagnostics.
+    pub label: String,
+    /// Rank count.
+    pub ranks: u32,
+    /// Critical-path proxy for CPU time: the maximum per-rank total of
+    /// `Compute` and `Sleep` spans, in nanoseconds.
+    pub compute_ns: f64,
+    /// Latency-chained synchronization rounds: the maximum per-rank count
+    /// of `WaitAll`s that had at least one request outstanding. Each costs
+    /// at least one one-way network latency that cannot be pipelined away.
+    pub rounds: f64,
+    /// Inter-node messages sent by all ranks.
+    pub remote_msgs: f64,
+    /// Inter-node payload bytes sent by all ranks.
+    pub remote_bytes: f64,
+    /// MTU-segmented packets those messages become.
+    pub remote_packets: f64,
+    /// Of [`TrafficDescriptor::remote_packets`], how many cross a fat-tree
+    /// leaf boundary (zero on a single switch). Cross-leaf packets
+    /// traverse three switches instead of one.
+    pub cross_leaf_packets: f64,
+    /// Intra-node payload bytes (never touch the switch).
+    pub local_bytes: f64,
+    /// Largest per-node total of transmitted remote bytes.
+    pub max_node_tx_bytes: f64,
+    /// Largest per-node total of received remote bytes.
+    pub max_node_rx_bytes: f64,
+    /// Largest per-node count of *distinct* remote destination nodes.
+    /// Governs how many independent source flows interleave at a busy
+    /// egress port (more interleaved flows → deeper burst queues).
+    pub peers: f64,
+}
+
+impl TrafficDescriptor {
+    /// True if the job never touches the network.
+    pub fn is_network_idle(&self) -> bool {
+        self.remote_packets == 0.0
+    }
+
+    /// Mean bytes per remote packet (falls back to the probe-sized 1 KB
+    /// packet when the job sends nothing).
+    pub fn avg_packet_bytes(&self) -> f64 {
+        if self.remote_packets > 0.0 {
+            self.remote_bytes / self.remote_packets
+        } else {
+            1024.0
+        }
+    }
+
+    /// Mean switch traversals per remote packet: 1, plus 2 more for the
+    /// cross-leaf fraction.
+    pub fn avg_traversals(&self) -> f64 {
+        if self.remote_packets > 0.0 {
+            1.0 + 2.0 * self.cross_leaf_packets / self.remote_packets
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Which leaf switch a node hangs off (0 on a single switch).
+fn leaf_of(net: &SwitchConfig, node: NodeId) -> u32 {
+    match net.topology {
+        Topology::SingleSwitch => 0,
+        Topology::FatTree { leaves, .. } => node.0 / (net.nodes / leaves),
+    }
+}
+
+/// Walks every rank of `members` to completion and tabulates its traffic.
+///
+/// # Panics
+/// Panics if a rank issues more than an internal budget of operations —
+/// endless programs must not be walked directly (CompressionB has the
+/// closed-form [`describe_compression`] instead).
+pub fn describe_members(
+    label: &str,
+    mut members: Members,
+    net: &SwitchConfig,
+) -> TrafficDescriptor {
+    let n = members.len() as u32;
+    let nodes_of: Vec<NodeId> = members.iter().map(|(_, node)| *node).collect();
+    let mut tx = vec![0.0f64; net.nodes as usize];
+    let mut rx = vec![0.0f64; net.nodes as usize];
+    let mut dsts: Vec<HashSet<u32>> = vec![HashSet::new(); net.nodes as usize];
+    let mut d = TrafficDescriptor {
+        label: label.to_owned(),
+        ranks: n,
+        compute_ns: 0.0,
+        rounds: 0.0,
+        remote_msgs: 0.0,
+        remote_bytes: 0.0,
+        remote_packets: 0.0,
+        cross_leaf_packets: 0.0,
+        local_bytes: 0.0,
+        max_node_tx_bytes: 0.0,
+        max_node_rx_bytes: 0.0,
+        peers: 0.0,
+    };
+    let ctx = Ctx { now: SimTime::ZERO };
+    let mut budget = OP_BUDGET;
+    for (local, (prog, src_node)) in members.iter_mut().enumerate() {
+        let local_u = local as u32;
+        let src_node = *src_node;
+        let mut compute = 0.0f64;
+        let mut rounds = 0u64;
+        let mut pending = false;
+        let mut expanded: VecDeque<Op> = VecDeque::new();
+        loop {
+            let op = match expanded.pop_front() {
+                Some(op) => op,
+                None => prog.next_op(&ctx),
+            };
+            assert!(
+                budget > 0,
+                "traffic extraction for '{label}' exceeded {OP_BUDGET} ops \
+                 (is the program endless?)"
+            );
+            budget -= 1;
+            match op {
+                Op::Stop => break,
+                Op::Compute(t) | Op::Sleep(t) => compute += t.as_nanos() as f64,
+                Op::Irecv { .. } => pending = true,
+                Op::WaitAll => {
+                    if pending {
+                        rounds += 1;
+                        pending = false;
+                    }
+                }
+                Op::Isend { dst, bytes, .. } => {
+                    pending = true;
+                    let dst_node = nodes_of[dst as usize];
+                    if dst_node == src_node {
+                        d.local_bytes += bytes as f64;
+                    } else {
+                        let pkts = bytes.div_ceil(net.mtu).max(1) as f64;
+                        d.remote_msgs += 1.0;
+                        d.remote_bytes += bytes as f64;
+                        d.remote_packets += pkts;
+                        tx[src_node.0 as usize] += bytes as f64;
+                        rx[dst_node.0 as usize] += bytes as f64;
+                        dsts[src_node.0 as usize].insert(dst_node.0);
+                        if leaf_of(net, src_node) != leaf_of(net, dst_node) {
+                            d.cross_leaf_packets += pkts;
+                        }
+                    }
+                }
+                Op::Barrier => {
+                    expanded.extend(expand_barrier(local_u, n, Op::RESERVED_TAG_BASE));
+                }
+                Op::Allreduce { bytes } => {
+                    expanded.extend(expand_allreduce(local_u, n, bytes, Op::RESERVED_TAG_BASE));
+                }
+                Op::Alltoall { bytes_per_pair } => {
+                    expanded.extend(expand_alltoall(
+                        local_u,
+                        n,
+                        bytes_per_pair,
+                        Op::RESERVED_TAG_BASE,
+                    ));
+                }
+                Op::Bcast { root, bytes } => {
+                    expanded.extend(expand_bcast(local_u, root, n, bytes, Op::RESERVED_TAG_BASE));
+                }
+                Op::Reduce { root, bytes } => {
+                    expanded.extend(expand_reduce(local_u, root, n, bytes, Op::RESERVED_TAG_BASE));
+                }
+                Op::Allgather { bytes_per_rank } => {
+                    expanded.extend(expand_allgather(
+                        local_u,
+                        n,
+                        bytes_per_rank,
+                        Op::RESERVED_TAG_BASE,
+                    ));
+                }
+            }
+        }
+        d.compute_ns = d.compute_ns.max(compute);
+        d.rounds = d.rounds.max(rounds as f64);
+    }
+    d.max_node_tx_bytes = tx.iter().copied().fold(0.0, f64::max);
+    d.max_node_rx_bytes = rx.iter().copied().fold(0.0, f64::max);
+    d.peers = dsts.iter().map(HashSet::len).max().unwrap_or(0) as f64;
+    d
+}
+
+/// Closed-form per-iteration descriptor of the CompressionB interferer
+/// (Fig. 5): `COMPRESSION_PER_NODE` ranks per node, each sending
+/// `partners × messages` payloads of `msg_bytes` along the node ring
+/// (always inter-node), sleeping `partners × bubble_cycles` cycles, and
+/// closing the iteration with one `WaitAll`.
+pub fn describe_compression(comp: &CompressionConfig, net: &SwitchConfig) -> TrafficDescriptor {
+    let nodes = u64::from(net.nodes);
+    let per_node = u64::from(COMPRESSION_PER_NODE);
+    let ranks = nodes * per_node;
+    let p = u64::from(comp.partners);
+    let m = u64::from(comp.messages);
+    let pkts_per_msg = comp.msg_bytes.div_ceil(net.mtu).max(1);
+
+    // Ring distances 1..=P from every node; count the fat-tree
+    // leaf-crossing fraction exactly.
+    let mut remote_pairs = 0u64;
+    let mut cross_pairs = 0u64;
+    for i in 0..nodes {
+        for dist in 1..=p {
+            let dst = (i + nodes - dist % nodes) % nodes;
+            if dst == i {
+                continue;
+            }
+            remote_pairs += 1;
+            let (src_n, dst_n) = (NodeId(i as u32), NodeId(dst as u32));
+            if leaf_of(net, src_n) != leaf_of(net, dst_n) {
+                cross_pairs += 1;
+            }
+        }
+    }
+    let msgs = (remote_pairs * per_node * m) as f64;
+    let bubble = SimDuration::from_cycles(comp.bubble_cycles, net.cpu_hz).as_nanos() as f64;
+    TrafficDescriptor {
+        label: format!("compressionb-{}", comp.label()),
+        ranks: ranks as u32,
+        compute_ns: p as f64 * bubble,
+        rounds: 1.0,
+        remote_msgs: msgs,
+        remote_bytes: msgs * comp.msg_bytes as f64,
+        remote_packets: msgs * pkts_per_msg as f64,
+        cross_leaf_packets: (cross_pairs * per_node * m * pkts_per_msg) as f64,
+        local_bytes: 0.0,
+        max_node_tx_bytes: (per_node * p * m * comp.msg_bytes) as f64,
+        max_node_rx_bytes: (per_node * p * m * comp.msg_bytes) as f64,
+        peers: p.min(nodes - 1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anp_simmpi::{Program, Scripted};
+    use anp_simnet::SwitchConfig;
+
+    fn net() -> SwitchConfig {
+        SwitchConfig::tiny_deterministic()
+    }
+
+    fn member(ops: Vec<Op>, node: u32) -> (Box<dyn Program>, NodeId) {
+        (Box::new(Scripted::new(ops)), NodeId(node))
+    }
+
+    #[test]
+    fn point_to_point_tallies_bytes_packets_rounds() {
+        let cfg = net();
+        // Rank 0 on node 0 sends 5000 B to rank 1 on node 1 (MTU 1024 →
+        // 5 packets) and waits; rank 1 receives.
+        let members: Members = vec![
+            member(
+                vec![
+                    Op::Compute(SimDuration::from_nanos(700)),
+                    Op::Isend {
+                        dst: 1,
+                        bytes: 5000,
+                        tag: 1,
+                    },
+                    Op::WaitAll,
+                ],
+                0,
+            ),
+            member(
+                vec![
+                    Op::Irecv {
+                        src: anp_simmpi::Src::Rank(0),
+                        tag: 1,
+                    },
+                    Op::WaitAll,
+                ],
+                1,
+            ),
+        ];
+        let d = describe_members("t", members, &cfg);
+        assert_eq!(d.ranks, 2);
+        assert_eq!(d.remote_msgs, 1.0);
+        assert_eq!(d.remote_bytes, 5000.0);
+        assert_eq!(d.remote_packets, 5.0);
+        assert_eq!(d.rounds, 1.0, "both ranks sync once");
+        assert_eq!(d.compute_ns, 700.0);
+        assert_eq!(d.max_node_tx_bytes, 5000.0);
+        assert_eq!(d.max_node_rx_bytes, 5000.0);
+        assert_eq!(d.cross_leaf_packets, 0.0, "single switch");
+        assert_eq!(d.peers, 1.0, "node 0 targets one remote node");
+    }
+
+    #[test]
+    fn local_messages_bypass_the_network() {
+        let cfg = net();
+        let members: Members = vec![
+            member(
+                vec![
+                    Op::Isend {
+                        dst: 1,
+                        bytes: 2048,
+                        tag: 1,
+                    },
+                    Op::WaitAll,
+                ],
+                0,
+            ),
+            member(
+                vec![
+                    Op::Irecv {
+                        src: anp_simmpi::Src::Any,
+                        tag: 1,
+                    },
+                    Op::WaitAll,
+                ],
+                0,
+            ),
+        ];
+        let d = describe_members("t", members, &cfg);
+        assert!(d.is_network_idle());
+        assert_eq!(d.local_bytes, 2048.0);
+        assert_eq!(d.max_node_tx_bytes, 0.0);
+    }
+
+    #[test]
+    fn collectives_expand_to_des_identical_counts() {
+        let cfg = net();
+        // A 4-rank barrier on 4 nodes: recursive doubling = 2 rounds of
+        // 8-byte exchanges per rank → 8 remote messages total.
+        let members: Members = (0..4).map(|r| member(vec![Op::Barrier], r)).collect();
+        let d = describe_members("barrier", members, &cfg);
+        assert_eq!(d.remote_msgs, 8.0);
+        assert_eq!(d.remote_bytes, 64.0);
+        assert_eq!(d.rounds, 2.0, "log2(4) latency-chained rounds");
+    }
+
+    #[test]
+    fn empty_waitall_is_not_a_round() {
+        let cfg = net();
+        let members: Members = vec![member(vec![Op::WaitAll, Op::WaitAll], 0)];
+        let d = describe_members("idle", members, &cfg);
+        assert_eq!(d.rounds, 0.0);
+    }
+
+    #[test]
+    fn compression_descriptor_matches_figure_5_arithmetic() {
+        let cfg = net(); // 4 nodes, MTU 1024
+        let comp = CompressionConfig::new(2, 1_000_000, 3);
+        let d = describe_compression(&comp, &cfg);
+        // 8 ranks × (2 partners × 3 messages) × 40960 B, all remote.
+        assert_eq!(d.ranks, 8);
+        assert_eq!(d.remote_msgs, 48.0);
+        assert_eq!(d.remote_bytes, 48.0 * 40_960.0);
+        assert_eq!(d.remote_packets, 1920.0, "40960 B = 40 packets at MTU 1024");
+        assert_eq!(d.max_node_tx_bytes, 2.0 * 6.0 * 40_960.0);
+        assert_eq!(d.max_node_rx_bytes, d.max_node_tx_bytes);
+        assert_eq!(d.rounds, 1.0);
+        assert_eq!(d.peers, 2.0, "ring distances 1..=2 on 4 nodes");
+        // 2 partners × 1 M cycles at the tiny preset's clock.
+        let bubble = SimDuration::from_cycles(1_000_000, cfg.cpu_hz).as_nanos() as f64;
+        assert!((d.compute_ns - 2.0 * bubble).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_leaf_fraction_counts_fat_tree_hops() {
+        let mut cfg = net();
+        cfg.topology = Topology::FatTree {
+            leaves: 2,
+            spines: 1,
+        };
+        // 4 nodes on 2 leaves: nodes {0,1} and {2,3}. Ring distance 1
+        // crosses a leaf for 0→3 and 2→1 (2 of 4 pairs).
+        let comp = CompressionConfig::new(1, 1_000, 1);
+        let d = describe_compression(&comp, &cfg);
+        assert_eq!(d.cross_leaf_packets / d.remote_packets, 0.5);
+        assert!(d.avg_traversals() > 1.0);
+    }
+}

@@ -17,7 +17,7 @@
 //! Packet life cycle (remote traffic):
 //!
 //! ```text
-//! send_message → NIC per-flow queue → [credit gate] → NIC serialize → wire
+//! send_message → NIC per-flow queue → \[credit gate\] → NIC serialize → wire
 //!   → routing stage (parallel servers) → egress FIFO → [next-hop credit]
 //!   → egress serialize → wire → … → Deliver
 //! ```

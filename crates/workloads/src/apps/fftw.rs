@@ -1,7 +1,7 @@
 //! FFTW proxy: 2-D FFT dominated by transpose all-to-alls.
 //!
 //! Paper §II: "FFTW … contains expensive all-to-all communications …
-//! performs [little] computation between two communication phases", which
+//! performs \[little\] computation between two communication phases", which
 //! is why Fig. 7 shows it as the application most sensitive to reduced
 //! switch capability. Each iteration models one 2-D transform: a row
 //! transform, a transpose (alltoall), a column transform, and a second

@@ -1,7 +1,7 @@
 //! VPFFT proxy: all-to-alls separated by heavy, variable compute.
 //!
 //! Paper §II: "VPFFT performs expensive computation between two
-//! communication phases … [so it] has some flexibility to overlap
+//! communication phases … \[so it\] has some flexibility to overlap
 //! communication and computation while FFTW has much less." Fig. 7 shows
 //! VPFFT almost as network-sensitive as FFTW but with strong run-to-run
 //! oscillation (132–263 % at 87 % utilization); the oscillation is modelled

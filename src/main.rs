@@ -9,13 +9,13 @@
 //! anp apps                      # list the built-in application proxies
 //! ```
 //!
-//! Global flags: `--seed <n>`. All commands run on the simulated Cab
-//! switch; see the `anp-bench` binaries for the full paper harnesses.
+//! Global flags: `--seed <n>`, `--jobs <n>`, `--backend <des|flow>`. All
+//! commands run on the simulated Cab switch; see the `anp-bench` binaries
+//! for the full paper harnesses.
 
 use anp_core::{
-    all_models, calibrate, degradation_percent, idle_profile, impact_profile_of_app,
-    impact_profile_of_compression, loss_sweep, run_sweep, runtime_under_compression,
-    solo_runtime, ExperimentConfig, LookupTable, MuPolicy, Study,
+    all_models, calibrate_with, degradation_percent, loss_sweep, run_sweep, Backend, BackendError,
+    ExperimentConfig, LookupTable, MuPolicy, Study, WorkloadSpec,
 };
 use anp_simmpi::ReliabilityConfig;
 use anp_simnet::SimDuration;
@@ -23,7 +23,7 @@ use anp_workloads::{AppKind, CompressionConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: anp [--seed N] [--jobs N] <command>\n\
+        "usage: anp [--seed N] [--jobs N] [--backend des|flow] <command>\n\
          commands:\n\
          \x20 calibrate            idle-switch calibration report\n\
          \x20 apps                 list application proxies\n\
@@ -33,7 +33,10 @@ fn usage() -> ! {
          \x20 predict <A> <B>      predict A and B's mutual slowdown\n\
          APP is one of: FFTW, Lulesh, MCB, MILC, VPFFT, AMG (case-insensitive)\n\
          --jobs N runs experiment sweeps on N worker threads (default: all\n\
-         cores; results are identical for any setting, 1 = serial)"
+         cores; results are identical for any setting, 1 = serial)\n\
+         --backend selects the measurement engine: 'des' (packet-level\n\
+         simulation, the default and reference) or 'flow' (analytic\n\
+         flow-level model; see DESIGN.md for its error envelope)"
     );
     std::process::exit(2);
 }
@@ -60,6 +63,7 @@ fn main() {
     let mut args = std::env::args().skip(1).peekable();
     let mut seed = 0xA11CEu64;
     let mut jobs: Option<usize> = None;
+    let mut backend_name = "des".to_owned();
     while let Some(a) = args.peek() {
         if a == "--seed" {
             args.next();
@@ -69,6 +73,9 @@ fn main() {
             args.next();
             let v = args.next().unwrap_or_else(|| usage());
             jobs = Some(v.parse().unwrap_or_else(|_| usage()));
+        } else if a == "--backend" {
+            args.next();
+            backend_name = args.next().unwrap_or_else(|| usage());
         } else {
             break;
         }
@@ -80,12 +87,24 @@ fn main() {
     if let Err(e) = cfg.switch.validate() {
         fail(e);
     }
+    // Resolve the measurement engine and reject configurations it cannot
+    // honor up front: a typed error on stderr and exit 1, never a silent
+    // fallback to another backend.
+    let backend: Box<dyn Backend> =
+        anp_flowsim::backend_from_name(&backend_name).unwrap_or_else(|e| fail(e));
+    let backend = backend.as_ref();
+    if let Err(e) = backend.validate(&cfg) {
+        fail(e);
+    }
     let Some(cmd) = args.next() else { usage() };
 
     match cmd.as_str() {
         "calibrate" => {
-            let idle = idle_profile(&cfg).unwrap_or_else(|e| fail(e));
-            let calib = calibrate(&cfg, MuPolicy::MinLatency).unwrap_or_else(|e| fail(e));
+            let idle = backend
+                .measure_impact_profile(&cfg, WorkloadSpec::Idle)
+                .unwrap_or_else(|e| fail(e));
+            let calib =
+                calibrate_with(backend, &cfg, MuPolicy::MinLatency).unwrap_or_else(|e| fail(e));
             println!(
                 "idle probe latency: mean {:.3}us, sd {:.3}us, min {:.3}us (n={})",
                 idle.mean(),
@@ -116,8 +135,11 @@ fn main() {
         }
         "probe" => {
             let app = parse_app(args.next());
-            let calib = calibrate(&cfg, MuPolicy::MinLatency).unwrap_or_else(|e| fail(e));
-            let p = impact_profile_of_app(&cfg, app).unwrap_or_else(|e| fail(e));
+            let calib =
+                calibrate_with(backend, &cfg, MuPolicy::MinLatency).unwrap_or_else(|e| fail(e));
+            let p = backend
+                .measure_impact_profile(&cfg, WorkloadSpec::App(app))
+                .unwrap_or_else(|e| fail(e));
             println!(
                 "{}: probe mean {:.2}us (sd {:.2}us, n={})",
                 app.name(),
@@ -132,8 +154,9 @@ fn main() {
         }
         "sweep" => {
             let app = parse_app(args.next());
-            let calib = calibrate(&cfg, MuPolicy::MinLatency).unwrap_or_else(|e| fail(e));
-            let solo = solo_runtime(&cfg, app).unwrap_or_else(|e| fail(e));
+            let calib =
+                calibrate_with(backend, &cfg, MuPolicy::MinLatency).unwrap_or_else(|e| fail(e));
+            let solo = backend.measure_solo_runtime(&cfg, app).unwrap_or_else(|e| fail(e));
             println!("{} solo: {}", app.name(), solo);
             println!("{:<18} {:>7} {:>12}", "config", "util", "degradation");
             let ladder = [
@@ -152,8 +175,9 @@ fn main() {
                         let cfg = &cfg;
                         move || {
                             (
-                                impact_profile_of_compression(cfg, comp),
-                                runtime_under_compression(cfg, app, comp),
+                                backend
+                                    .measure_impact_profile(cfg, WorkloadSpec::Compression(comp)),
+                                backend.measure_compression_run(cfg, app, comp),
                             )
                         }
                     })
@@ -172,6 +196,15 @@ fn main() {
         }
         "losses" => {
             let app = parse_app(args.next());
+            // The loss sweep installs a FaultPlan per loss point, so it
+            // needs a fault-capable engine; reject others before any
+            // simulation runs rather than falling back silently.
+            if !backend.supports_faults() {
+                fail(BackendError::UnsupportedOption {
+                    backend: backend.name(),
+                    option: "packet-loss fault injection (the losses sweep)".to_owned(),
+                });
+            }
             // Timeout well above congested delivery latency (spurious
             // retransmits snowball), loss rates low enough that a 24KB /
             // 24-packet message still survives most attempts: the ARQ is
@@ -181,7 +214,7 @@ fn main() {
                 retransmit_timeout: SimDuration::from_millis(50),
                 max_retries: 10,
             };
-            let solo = solo_runtime(&cfg, app).unwrap_or_else(|e| fail(e));
+            let solo = backend.measure_solo_runtime(&cfg, app).unwrap_or_else(|e| fail(e));
             println!("{} lossless: {}", app.name(), solo);
             println!("{:<10} {:>12} {:>12}", "loss", "runtime", "degradation");
             let mut failures = 0u32;
@@ -216,19 +249,27 @@ fn main() {
             let b = parse_app(args.next());
             let apps = if a == b { vec![a] } else { vec![a, b] };
             eprintln!("measuring look-up table (this takes a few minutes)...");
-            let calib = calibrate(&cfg, MuPolicy::MinLatency).unwrap_or_else(|e| fail(e));
+            let calib =
+                calibrate_with(backend, &cfg, MuPolicy::MinLatency).unwrap_or_else(|e| fail(e));
             let sweep: Vec<CompressionConfig> = CompressionConfig::paper_sweep()
                 .into_iter()
                 .enumerate()
                 .filter(|(i, _)| i % 5 == (i / 5) % 5)
                 .map(|(_, c)| c)
                 .collect();
-            let table = LookupTable::measure(&cfg, calib, &apps, &sweep, |line| {
-                eprintln!("  {line}");
-            })
+            let (table, _) = LookupTable::measure_recorded_with(
+                backend,
+                &cfg,
+                calib,
+                &apps,
+                &sweep,
+                |line| {
+                    eprintln!("  {line}");
+                },
+            )
             .unwrap_or_else(|e| fail(e));
-            let study =
-                Study::measure_profiles(&cfg, table, &apps, |_| {}).unwrap_or_else(|e| fail(e));
+            let (study, _) = Study::measure_profiles_recorded_with(backend, &cfg, table, &apps, |_| {})
+                .unwrap_or_else(|e| fail(e));
             let models = all_models();
             for (victim, other) in [(a, b), (b, a)] {
                 let outcome = study.predict_pair(victim, other, &models);

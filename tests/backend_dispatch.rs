@@ -1,0 +1,89 @@
+//! Backend-dispatch equivalence: routing a measurement through the
+//! object-safe [`Backend`] trait must not change a single bit of it.
+//!
+//! [`DesBackend`] documents that it delegates *verbatim* to the free
+//! functions in `anp_core::experiments`; these tests pin that promise on
+//! a small deterministic fabric, for both a serial and a parallel worker
+//! pool (the trait seam must not perturb the sweep engine's
+//! by-index result collection either).
+
+use anp_core::{
+    idle_profile, impact_profile_of_compression, runtime_under_compression, solo_runtime,
+    Backend, DesBackend, ExperimentConfig, LatencyProfile, Parallelism, WorkloadSpec,
+};
+use anp_simnet::{SimDuration, SwitchConfig};
+use anp_workloads::{AppKind, CompressionConfig, ImpactConfig};
+
+/// A small experiment config on the deterministic tiny switch, sized so
+/// every cell finishes in well under a second.
+fn tiny_cfg(jobs: usize) -> ExperimentConfig {
+    let mut switch = SwitchConfig::tiny_deterministic();
+    switch.nodes = 18;
+    switch.route_servers = 18;
+    ExperimentConfig {
+        switch,
+        impact: ImpactConfig {
+            period: SimDuration::from_micros(100),
+            pairs_per_node: 1,
+            ..ImpactConfig::default()
+        },
+        measure_window: SimDuration::from_millis(5),
+        warmup_frac: 0.1,
+        run_cap: SimDuration::from_secs(60),
+        seed: 7,
+        jobs: Parallelism::fixed(jobs),
+    }
+}
+
+fn assert_profiles_identical(a: &LatencyProfile, b: &LatencyProfile, what: &str) {
+    assert_eq!(a.count(), b.count(), "{what}: sample counts differ");
+    assert_eq!(
+        a.mean().to_bits(),
+        b.mean().to_bits(),
+        "{what}: means differ"
+    );
+    assert_eq!(
+        a.std_dev().to_bits(),
+        b.std_dev().to_bits(),
+        "{what}: std devs differ"
+    );
+    assert_eq!(a.min().to_bits(), b.min().to_bits(), "{what}: mins differ");
+    assert_eq!(a.max().to_bits(), b.max().to_bits(), "{what}: maxes differ");
+}
+
+#[test]
+fn des_backend_is_bit_identical_to_the_free_functions() {
+    let comp = CompressionConfig::new(2, 1_000_000, 2);
+    for jobs in [1usize, 4] {
+        let cfg = tiny_cfg(jobs);
+        let backend = DesBackend;
+
+        let idle_direct = idle_profile(&cfg).unwrap();
+        let idle_traited = backend
+            .measure_impact_profile(&cfg, WorkloadSpec::Idle)
+            .unwrap();
+        assert_profiles_identical(&idle_direct, &idle_traited, &format!("idle, jobs={jobs}"));
+
+        let imp_direct = impact_profile_of_compression(&cfg, &comp).unwrap();
+        let imp_traited = backend
+            .measure_impact_profile(&cfg, WorkloadSpec::Compression(&comp))
+            .unwrap();
+        assert_profiles_identical(
+            &imp_direct,
+            &imp_traited,
+            &format!("impact, jobs={jobs}"),
+        );
+
+        let app = AppKind::Fftw;
+        assert_eq!(
+            solo_runtime(&cfg, app).unwrap(),
+            backend.measure_solo_runtime(&cfg, app).unwrap(),
+            "solo runtime, jobs={jobs}"
+        );
+        assert_eq!(
+            runtime_under_compression(&cfg, app, &comp).unwrap(),
+            backend.measure_compression_run(&cfg, app, &comp).unwrap(),
+            "compression runtime, jobs={jobs}"
+        );
+    }
+}
