@@ -5,17 +5,23 @@
 //! The per-configuration impact runs and the app × config runtime grid
 //! are independent simulations; both fan out across the sweep engine
 //! (`--jobs N`, default all cores) with index-ordered collection, so the
-//! curves are byte-identical for any worker count. Sweep telemetry lands
+//! curves are byte-identical for any worker count. Every cell runs under
+//! the supervision envelope: failing cells print `-` rows while every
+//! sibling completes, `--max-retries` / `--run-budget` / `--event-budget`
+//! bound each cell, and `--resume <journal>` makes the sweep crash-safe
+//! (exit code 0 complete, 3 partial, 1 nothing). Sweep telemetry lands
 //! in `BENCH_anp.json`.
 //!
 //! ```text
-//! cargo run --release -p anp-bench --bin fig7_degradation_curves [--quick] [--jobs N]
+//! cargo run --release -p anp-bench --bin fig7_degradation_curves \
+//!     [--quick] [--jobs N] [--max-retries N] [--resume run.jsonl]
 //! ```
 
-use anp_bench::{banner, HarnessOpts};
+use anp_bench::{banner, HarnessOpts, Supervision};
 use anp_core::{
-    calibrate, degradation_percent, impact_profile_of_compression, runtime_under_compression,
-    solo_runtime, sweep_recorded, MuPolicy,
+    calibrate, completed_count, config_fingerprint, degradation_percent,
+    impact_profile_of_compression, runtime_under_compression, solo_runtime, sweep_supervised,
+    JournalError, MuPolicy,
 };
 use anp_metrics::linear_fit;
 
@@ -28,6 +34,14 @@ fn main() {
     );
     let cfg = opts.experiment_config();
     let calib = calibrate(&cfg, MuPolicy::MinLatency).expect("calibration");
+    let supervisor = opts.supervisor();
+    let journal = opts.open_journal();
+    let fp = config_fingerprint(&cfg, "des");
+    let die = |e: JournalError| -> ! {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    };
+    let mut supervision = Supervision::default();
 
     // Measure each configuration's utilization once — one independent
     // impact run per configuration.
@@ -37,15 +51,31 @@ fn main() {
         .map(|comp| {
             let cfg = &cfg;
             (format!("impact:{}", comp.label()), move || {
-                impact_profile_of_compression(cfg, comp).expect("impact of compression")
+                impact_profile_of_compression(cfg, comp)
             })
         })
         .collect();
-    let (profiles, impact_telemetry) = sweep_recorded("fig7-impacts", cfg.jobs, impact_tasks);
-    let utils: Vec<f64> = profiles
+    let (profiles, impact_telemetry) = sweep_supervised(
+        "fig7-impacts",
+        cfg.jobs,
+        &supervisor,
+        journal.as_ref(),
+        fp,
+        impact_tasks,
+    )
+    .unwrap_or_else(|e| die(e));
+    let utils: Vec<Option<f64>> = profiles
         .iter()
-        .map(|p| calib.utilization(p) * 100.0)
+        .map(|r| r.as_ref().ok().map(|p| calib.utilization(p) * 100.0))
         .collect();
+    supervision.absorb(
+        profiles
+            .iter()
+            .filter_map(|r| r.as_ref().err().cloned())
+            .collect(),
+        completed_count(&profiles),
+        profiles.len(),
+    );
 
     // Solo baselines plus the full app × config runtime grid, app-major.
     let apps = opts.apps();
@@ -53,12 +83,23 @@ fn main() {
         .iter()
         .map(|&app| {
             let cfg = &cfg;
-            (format!("solo:{}", app.name()), move || {
-                solo_runtime(cfg, app).expect("solo runtime")
-            })
+            (format!("solo:{}", app.name()), move || solo_runtime(cfg, app))
         })
         .collect();
-    let (solos, solo_telemetry) = sweep_recorded("fig7-solos", cfg.jobs, solo_tasks);
+    let (solos, solo_telemetry) = sweep_supervised(
+        "fig7-solos",
+        cfg.jobs,
+        &supervisor,
+        journal.as_ref(),
+        fp,
+        solo_tasks,
+    )
+    .unwrap_or_else(|e| die(e));
+    supervision.absorb(
+        solos.iter().filter_map(|r| r.as_ref().err().cloned()).collect(),
+        completed_count(&solos),
+        solos.len(),
+    );
     let grid_tasks: Vec<(String, _)> = apps
         .iter()
         .flat_map(|&app| {
@@ -66,25 +107,46 @@ fn main() {
             sweep.iter().map(move |comp| {
                 (
                     format!("grid:{}:{}", app.name(), comp.label()),
-                    move || runtime_under_compression(cfg, app, comp).expect("compression runtime"),
+                    move || runtime_under_compression(cfg, app, comp),
                 )
             })
         })
         .collect();
-    let (grid, grid_telemetry) = sweep_recorded("fig7-grid", cfg.jobs, grid_tasks);
+    let (grid, grid_telemetry) = sweep_supervised(
+        "fig7-grid",
+        cfg.jobs,
+        &supervisor,
+        journal.as_ref(),
+        fp,
+        grid_tasks,
+    )
+    .unwrap_or_else(|e| die(e));
+    supervision.absorb(
+        grid.iter().filter_map(|r| r.as_ref().err().cloned()).collect(),
+        completed_count(&grid),
+        grid.len(),
+    );
 
-    let mut grid = grid.into_iter();
+    let mut cells = grid.iter();
     for (app, solo) in apps.iter().zip(&solos) {
-        println!("{} (solo {}):", app.name(), solo);
+        match solo {
+            Ok(t) => println!("{} (solo {}):", app.name(), t),
+            Err(e) => println!("{} (solo failed: {e}):", app.name()),
+        }
         println!("  {:>6}  {:>8}  {:<16}", "util", "degr", "config");
         let mut xs = Vec::new();
         let mut ys = Vec::new();
         for (comp, util) in sweep.iter().zip(&utils) {
-            let t = grid.next().expect("grid cell");
-            let d = degradation_percent(*solo, t);
-            xs.push(*util);
-            ys.push(d);
-            println!("  {:>5.1}%  {:>+7.1}%  {}", util, d, comp.label());
+            let cell = cells.next().expect("grid cell");
+            match (solo, util, cell) {
+                (Ok(solo), Some(util), Ok(t)) => {
+                    let d = degradation_percent(*solo, *t);
+                    xs.push(*util);
+                    ys.push(d);
+                    println!("  {:>5.1}%  {:>+7.1}%  {}", util, d, comp.label());
+                }
+                _ => println!("  {:>6}  {:>8}  {}", "-", "-", comp.label()),
+            }
         }
         match linear_fit(&xs, &ys) {
             Some(fit) => println!(
@@ -103,4 +165,6 @@ fn main() {
         "fig7_degradation_curves",
         &[&impact_telemetry, &solo_telemetry, &grid_telemetry],
     );
+    supervision.report(opts.resume.as_deref());
+    std::process::exit(supervision.exit_code());
 }

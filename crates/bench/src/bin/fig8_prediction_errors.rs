@@ -15,7 +15,7 @@
 //! cargo run --release -p anp-bench --bin fig8_prediction_errors [--quick] [--cache study.tsv] [--jobs N]
 //! ```
 
-use anp_bench::{banner, full_outcomes_recorded, HarnessOpts};
+use anp_bench::{banner, full_outcomes_supervised, HarnessOpts};
 
 fn main() {
     let opts = HarnessOpts::from_args();
@@ -24,7 +24,8 @@ fn main() {
         "performance predictions for combined workloads",
         &opts,
     );
-    let (outcomes, telemetry) = full_outcomes_recorded(&opts);
+    let campaign = full_outcomes_supervised(&opts);
+    let (outcomes, telemetry) = (campaign.outcomes, campaign.telemetry);
 
     println!();
     println!(
@@ -55,4 +56,6 @@ fn main() {
         let refs: Vec<_> = telemetry.iter().collect();
         opts.emit_bench_json("fig8_prediction_errors", &refs);
     }
+    campaign.supervision.report(opts.resume.as_deref());
+    std::process::exit(campaign.supervision.exit_code());
 }

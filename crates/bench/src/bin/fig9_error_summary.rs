@@ -9,17 +9,19 @@
 //! cargo run --release -p anp-bench --bin fig9_error_summary [--quick] [--cache study.tsv]
 //! ```
 
-use anp_bench::{banner, full_outcomes, print_error_summary, HarnessOpts};
+use anp_bench::{banner, full_outcomes_supervised, print_error_summary, HarnessOpts};
 
 fn main() {
     let opts = HarnessOpts::from_args();
     banner("Fig. 9", "summary of prediction errors per model", &opts);
-    let outcomes = full_outcomes(&opts);
+    let campaign = full_outcomes_supervised(&opts);
     println!();
-    print_error_summary(&outcomes);
+    print_error_summary(&campaign.outcomes);
     println!();
     println!("Paper shape check: AverageStDevLT improves on AverageLT; PDFLT");
     println!("matches AverageStDevLT (mean+sd already summarize the PDF); the");
     println!("queue model wins overall, with >75% of its predictions under 10%");
     println!("absolute error in the paper.");
+    campaign.supervision.report(opts.resume.as_deref());
+    std::process::exit(campaign.supervision.exit_code());
 }

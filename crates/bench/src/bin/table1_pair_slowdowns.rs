@@ -5,15 +5,23 @@
 //! The solo runtimes and the quadratic pairing grid are independent
 //! simulations, so they fan out across the sweep engine's workers
 //! (`--jobs N`, default all cores); collection is index-ordered, so the
-//! table is byte-identical for any worker count. Sweep telemetry lands in
-//! `BENCH_anp.json`.
+//! table is byte-identical for any worker count. Every cell runs under
+//! the supervision envelope: a panicking or failing cell prints `-` in
+//! its table slot while every sibling completes, `--max-retries` /
+//! `--run-budget` / `--event-budget` bound each cell, and `--resume
+//! <journal>` makes the grid crash-safe (exit code 0 complete, 3
+//! partial, 1 nothing). Sweep telemetry lands in `BENCH_anp.json`.
 //!
 //! ```text
-//! cargo run --release -p anp-bench --bin table1_pair_slowdowns [--quick] [--jobs N]
+//! cargo run --release -p anp-bench --bin table1_pair_slowdowns \
+//!     [--quick] [--jobs N] [--max-retries N] [--resume run.jsonl]
 //! ```
 
-use anp_bench::{banner, HarnessOpts};
-use anp_core::{degradation_percent, runtime_under_corun, solo_runtime, sweep_recorded};
+use anp_bench::{banner, HarnessOpts, Supervision};
+use anp_core::{
+    completed_count, config_fingerprint, degradation_percent, runtime_under_corun, solo_runtime,
+    sweep_supervised, JournalError,
+};
 
 fn main() {
     let opts = HarnessOpts::from_args();
@@ -24,20 +32,36 @@ fn main() {
     );
     let cfg = opts.experiment_config();
     let apps = opts.apps();
+    let supervisor = opts.supervisor();
+    let journal = opts.open_journal();
+    let fp = config_fingerprint(&cfg, "des");
+    let die = |e: JournalError| -> ! {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    };
 
     // Solo baselines: one independent run per application.
     let solo_tasks: Vec<(String, _)> = apps
         .iter()
         .map(|&a| {
             let cfg = &cfg;
-            (format!("solo:{}", a.name()), move || {
-                solo_runtime(cfg, a).expect("solo runtime")
-            })
+            (format!("solo:{}", a.name()), move || solo_runtime(cfg, a))
         })
         .collect();
-    let (solos, solo_telemetry) = sweep_recorded("table1-solos", cfg.jobs, solo_tasks);
-    for (a, t) in apps.iter().zip(&solos) {
-        println!("solo {:<7} {}", a.name(), t);
+    let (solos, solo_telemetry) = sweep_supervised(
+        "table1-solos",
+        cfg.jobs,
+        &supervisor,
+        journal.as_ref(),
+        fp,
+        solo_tasks,
+    )
+    .unwrap_or_else(|e| die(e));
+    for (a, r) in apps.iter().zip(&solos) {
+        match r {
+            Ok(t) => println!("solo {:<7} {}", a.name(), t),
+            Err(e) => println!("solo {:<7} (failed: {e})", a.name()),
+        }
     }
     println!();
 
@@ -49,26 +73,36 @@ fn main() {
             apps.iter().map(move |&other| {
                 (
                     format!("corun:{}+{}", victim.name(), other.name()),
-                    move || runtime_under_corun(cfg, victim, other).expect("co-run runtime"),
+                    move || runtime_under_corun(cfg, victim, other),
                 )
             })
         })
         .collect();
-    let (grid, grid_telemetry) = sweep_recorded("table1-grid", cfg.jobs, grid_tasks);
+    let (grid, grid_telemetry) = sweep_supervised(
+        "table1-grid",
+        cfg.jobs,
+        &supervisor,
+        journal.as_ref(),
+        fp,
+        grid_tasks,
+    )
+    .unwrap_or_else(|e| die(e));
 
-    // Header row: co-runner names.
+    // Header row: co-runner names. Holes (failed cells, or cells whose
+    // solo baseline is missing) render as `-`.
     print!("{:<8}", "victim\\w");
     for other in &apps {
         print!(" {:>7}", other.name());
     }
     println!();
-    let mut grid = grid.into_iter();
+    let mut cells = grid.iter();
     for (i, &victim) in apps.iter().enumerate() {
         print!("{:<8}", victim.name());
         for _ in &apps {
-            let t = grid.next().expect("grid cell");
-            let d = degradation_percent(solos[i], t);
-            print!(" {:>7.0}", d);
+            match (&solos[i], cells.next().expect("grid cell")) {
+                (Ok(solo), Ok(t)) => print!(" {:>7.0}", degradation_percent(*solo, *t)),
+                _ => print!(" {:>7}", "-"),
+            }
         }
         println!();
     }
@@ -88,4 +122,18 @@ fn main() {
         grid_telemetry.events_per_sec(),
     );
     opts.emit_bench_json("table1_pair_slowdowns", &[&solo_telemetry, &grid_telemetry]);
+
+    let mut supervision = Supervision::default();
+    supervision.absorb(
+        solos.iter().filter_map(|r| r.as_ref().err().cloned()).collect(),
+        completed_count(&solos),
+        solos.len(),
+    );
+    supervision.absorb(
+        grid.iter().filter_map(|r| r.as_ref().err().cloned()).collect(),
+        completed_count(&grid),
+        grid.len(),
+    );
+    supervision.report(opts.resume.as_deref());
+    std::process::exit(supervision.exit_code());
 }

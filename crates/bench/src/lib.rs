@@ -37,9 +37,12 @@ use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
+use std::time::Duration;
+
 use anp_core::{
-    calibrate_with, error_summaries, Backend, Calibration, DesBackend, ExperimentConfig,
-    LatencyProfile, LookupTable, MuPolicy, PairOutcome, Parallelism, Study, SweepTelemetry,
+    calibrate_with, error_summaries, partial_exit_code, Backend, Calibration, DesBackend,
+    ExperimentConfig, JournalError, LatencyProfile, LookupTable, MuPolicy, PairOutcome,
+    Parallelism, RetryPolicy, RunBudget, RunJournal, Study, Supervisor, SweepTelemetry, TaskError,
 };
 use anp_workloads::{AppKind, CompressionConfig};
 
@@ -62,12 +65,22 @@ pub struct HarnessOpts {
     /// Measurement backend name (`"des"` or `"flow"`); resolved by
     /// [`HarnessOpts::backend`].
     pub backend: String,
+    /// Re-attempts per failed/panicked sweep cell (`--max-retries`).
+    pub max_retries: u32,
+    /// Per-cell wall-clock budget in seconds (`--run-budget`).
+    pub run_budget_secs: Option<f64>,
+    /// Per-cell simulator-event budget (`--event-budget`).
+    pub event_budget: Option<u64>,
+    /// Run journal for crash-safe resume (`--resume <path>`): created
+    /// when absent, resumed when present.
+    pub resume: Option<PathBuf>,
 }
 
 impl HarnessOpts {
     /// Parses `--quick`, `--seed <n>`, `--cache <path>`, `--jobs <n>`,
-    /// `--bench-json <path>` / `--no-bench-json`, `--backend <name>`
-    /// from `std::env`.
+    /// `--bench-json <path>` / `--no-bench-json`, `--backend <name>`,
+    /// `--max-retries <n>`, `--run-budget <secs>`, `--event-budget <n>`,
+    /// and `--resume <path>` from `std::env`.
     pub fn from_args() -> Self {
         let mut opts = HarnessOpts {
             quick: false,
@@ -76,6 +89,10 @@ impl HarnessOpts {
             jobs: None,
             bench_json: Some(PathBuf::from("BENCH_anp.json")),
             backend: "des".to_owned(),
+            max_retries: 0,
+            run_budget_secs: None,
+            event_budget: None,
+            resume: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -102,13 +119,80 @@ impl HarnessOpts {
                     let v = args.next().expect("--backend needs a value (des or flow)");
                     opts.backend = v;
                 }
+                "--max-retries" => {
+                    let v = args.next().expect("--max-retries needs a value");
+                    opts.max_retries = v.parse().expect("--max-retries needs an integer");
+                }
+                "--run-budget" => {
+                    let v = args.next().expect("--run-budget needs seconds");
+                    let secs: f64 = v.parse().expect("--run-budget needs a number of seconds");
+                    assert!(secs > 0.0, "--run-budget must be positive");
+                    opts.run_budget_secs = Some(secs);
+                }
+                "--event-budget" => {
+                    let v = args.next().expect("--event-budget needs a value");
+                    opts.event_budget = Some(v.parse().expect("--event-budget needs an integer"));
+                }
+                "--resume" => {
+                    let v = args.next().expect("--resume needs a journal path");
+                    opts.resume = Some(PathBuf::from(v));
+                }
                 other => panic!(
                     "unknown argument: {other} (try --quick / --seed N / --cache P / \
-                     --jobs N / --bench-json P / --no-bench-json / --backend des|flow)"
+                     --jobs N / --bench-json P / --no-bench-json / --backend des|flow / \
+                     --max-retries N / --run-budget SECS / --event-budget N / --resume P)"
                 ),
             }
         }
         opts
+    }
+
+    /// The supervision envelope these options describe: per-cell budgets
+    /// and retry policy (the backoff doubles from 100 ms).
+    pub fn supervisor(&self) -> Supervisor {
+        Supervisor {
+            budget: RunBudget {
+                wall: self.run_budget_secs.map(Duration::from_secs_f64),
+                events: self.event_budget,
+            },
+            retry: RetryPolicy {
+                max_retries: self.max_retries,
+                backoff: if self.max_retries > 0 {
+                    Duration::from_millis(100)
+                } else {
+                    Duration::ZERO
+                },
+            },
+        }
+    }
+
+    /// Opens the `--resume` journal: resumed when the file exists,
+    /// created otherwise; `None` without the flag. A journal that cannot
+    /// be opened is a hard error (exit 1) — silently running without the
+    /// requested crash net would be worse.
+    pub fn open_journal(&self) -> Option<RunJournal> {
+        let path = self.resume.as_ref()?;
+        let journal = if path.exists() {
+            RunJournal::resume(path)
+        } else {
+            RunJournal::create(path)
+        };
+        match journal {
+            Ok(j) => {
+                if j.completed_cells() > 0 {
+                    println!(
+                        "(resuming: {} completed cells journaled in {})",
+                        j.completed_cells(),
+                        path.display()
+                    );
+                }
+                Some(j)
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 
     /// Resolves `--backend` to a measurement engine, validated against
@@ -143,7 +227,7 @@ impl HarnessOpts {
     /// (no-op under `--no-bench-json`).
     pub fn emit_bench_json(&self, harness: &str, sweeps: &[&SweepTelemetry]) {
         let Some(path) = &self.bench_json else { return };
-        match write_bench_json(path, harness, self.seed, sweeps) {
+        match write_bench_json(path, harness, self.seed, self.resume.as_deref(), sweeps) {
             Ok(()) => println!("(sweep telemetry written to {})", path.display()),
             Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
         }
@@ -241,6 +325,209 @@ pub fn measure_study_recorded_with(
     (study, vec![lut_telemetry, profile_telemetry])
 }
 
+/// Typed holes and cell counts accumulated across the sweeps of one
+/// supervised measurement campaign.
+#[derive(Debug, Default)]
+pub struct Supervision {
+    /// Why each missing cell is missing.
+    pub failures: Vec<TaskError>,
+    /// Cells that produced a value.
+    pub completed: usize,
+    /// Total cells attempted.
+    pub total: usize,
+}
+
+impl Supervision {
+    /// Folds one sweep's holes and counts into the campaign totals.
+    pub fn absorb(&mut self, failures: Vec<TaskError>, completed: usize, total: usize) {
+        self.failures.extend(failures);
+        self.completed += completed;
+        self.total += total;
+    }
+
+    /// True when every cell completed.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The campaign exit code: 0 complete, 3 partial, 1 nothing.
+    pub fn exit_code(&self) -> i32 {
+        partial_exit_code(self.completed, self.total)
+    }
+
+    /// Prints the holes (one stderr line per missing cell) and the
+    /// standard partial-result hint naming the resume journal.
+    pub fn report(&self, resume: Option<&Path>) {
+        for f in &self.failures {
+            eprintln!("MISSING {f}");
+        }
+        if !self.is_complete() {
+            eprintln!(
+                "{} of {} cells missing (exit code {}){}",
+                self.total - self.completed,
+                self.total,
+                self.exit_code(),
+                match resume {
+                    Some(p) => format!("; re-run with --resume {} to complete", p.display()),
+                    None => "; add --resume <journal> to make the campaign resumable".to_owned(),
+                }
+            );
+        }
+    }
+}
+
+/// [`measure_study_recorded_with`] under a supervision envelope: failing
+/// cells leave typed holes instead of aborting the harness, and with a
+/// journal every completed cell survives a crash. The study comes back
+/// `None` when no look-up-table entry completed (nothing to predict
+/// from); otherwise it is partial where cells failed and byte-identical
+/// to the plain path where they did not.
+pub fn measure_study_supervised_with(
+    backend: &dyn Backend,
+    cfg: &ExperimentConfig,
+    apps: &[AppKind],
+    sweep: &[CompressionConfig],
+    supervisor: &Supervisor,
+    journal: Option<&RunJournal>,
+    verbose: bool,
+) -> Result<(Option<Study>, Supervision, Vec<SweepTelemetry>), JournalError> {
+    let progress = |line: &str| {
+        if verbose {
+            println!("  [measure] {line}");
+        }
+    };
+    let calibration: Calibration =
+        calibrate_with(backend, cfg, MuPolicy::MinLatency).expect("idle calibration failed");
+    let mut supervision = Supervision::default();
+    let (lut, lut_telemetry) = LookupTable::measure_supervised_with(
+        backend, cfg, calibration, apps, sweep, supervisor, journal, progress,
+    )?;
+    let mut telemetry = vec![lut_telemetry];
+    let (table, failures, completed, total) =
+        (lut.table, lut.failures, lut.completed, lut.total);
+    supervision.absorb(failures, completed, total);
+    let Some(table) = table else {
+        return Ok((None, supervision, telemetry));
+    };
+    let (study, profile_failures, profile_telemetry) = Study::measure_profiles_supervised_with(
+        backend,
+        cfg,
+        table,
+        apps,
+        supervisor,
+        journal,
+        |line| {
+            if verbose {
+                println!("  [measure] {line}");
+            }
+        },
+    )?;
+    supervision.absorb(
+        profile_failures,
+        study.app_profiles.len(),
+        apps.len(),
+    );
+    telemetry.push(profile_telemetry);
+    Ok((Some(study), supervision, telemetry))
+}
+
+/// The result of a supervised end-to-end prediction campaign.
+#[derive(Debug)]
+pub struct SupervisedOutcomes {
+    /// Pairing outcomes in victim-major order; unmeasured pairings (from
+    /// failed cells or missing baselines) keep `measured: None`.
+    pub outcomes: Vec<PairOutcome>,
+    /// Holes and cell counts across every sweep that ran.
+    pub supervision: Supervision,
+    /// Telemetry of every sweep that ran (empty when served from cache).
+    pub telemetry: Vec<SweepTelemetry>,
+}
+
+/// [`full_outcomes_recorded`] under the options' supervision envelope
+/// (`--max-retries`, `--run-budget`, `--event-budget`, `--resume`):
+/// failures leave typed holes, siblings complete, and the caller maps
+/// [`Supervision::exit_code`] onto the 0/3/1 convention. The cache is
+/// honored only when it holds a *complete* campaign, and written only
+/// when this campaign completes — a partial cache would silently shadow
+/// the missing cells on the next run.
+pub fn full_outcomes_supervised(opts: &HarnessOpts) -> SupervisedOutcomes {
+    if let Some(path) = &opts.cache {
+        if let Some(outcomes) = load_outcomes(path) {
+            if outcomes.iter().all(|o| o.measured.is_some()) {
+                println!(
+                    "(loaded {} cached pairings from {})",
+                    outcomes.len(),
+                    path.display()
+                );
+                return SupervisedOutcomes {
+                    outcomes,
+                    supervision: Supervision::default(),
+                    telemetry: Vec::new(),
+                };
+            }
+            println!(
+                "(ignoring incomplete cache {} — re-measuring)",
+                path.display()
+            );
+        }
+    }
+    let cfg = opts.experiment_config();
+    let backend = opts.resolve_backend();
+    let apps = opts.apps();
+    let sweep = opts.compression_sweep();
+    let supervisor = opts.supervisor();
+    let journal = opts.open_journal();
+    let die = |e: JournalError| -> ! {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    };
+    let (study, mut supervision, mut telemetry) = measure_study_supervised_with(
+        backend.as_ref(),
+        &cfg,
+        &apps,
+        &sweep,
+        &supervisor,
+        journal.as_ref(),
+        true,
+    )
+    .unwrap_or_else(|e| die(e));
+    let Some(study) = study else {
+        return SupervisedOutcomes {
+            outcomes: Vec::new(),
+            supervision,
+            telemetry,
+        };
+    };
+    let models = anp_core::all_models();
+    let mut outcomes = study.predict_all(&apps, &models);
+    let total_pairs = outcomes.len();
+    let (pair_failures, pair_telemetry) = study
+        .measure_pairs_supervised_with(
+            backend.as_ref(),
+            &cfg,
+            &mut outcomes,
+            &supervisor,
+            journal.as_ref(),
+            |line| println!("  [corun] {line}"),
+        )
+        .unwrap_or_else(|e| die(e));
+    let pair_completed = total_pairs - pair_failures.len();
+    supervision.absorb(pair_failures, pair_completed, total_pairs);
+    telemetry.push(pair_telemetry);
+    if supervision.is_complete() {
+        if let Some(path) = &opts.cache {
+            if save_outcomes(path, &outcomes) {
+                println!("(cached pairings to {})", path.display());
+            }
+        }
+    }
+    SupervisedOutcomes {
+        outcomes,
+        supervision,
+        telemetry,
+    }
+}
+
 /// Runs (or loads from cache) the complete prediction study: isolated
 /// measurements, predictions for every ordered pair, and co-run ground
 /// truth. Returns outcomes in victim-major order, plus the telemetry of
@@ -271,8 +558,9 @@ pub fn full_outcomes_recorded(opts: &HarnessOpts) -> (Vec<PairOutcome>, Vec<Swee
         .expect("co-run measurement failed");
     telemetry.push(pair_telemetry);
     if let Some(path) = &opts.cache {
-        save_outcomes(path, &outcomes);
-        println!("(cached pairings to {})", path.display());
+        if save_outcomes(path, &outcomes) {
+            println!("(cached pairings to {})", path.display());
+        }
     }
     (outcomes, telemetry)
 }
@@ -282,11 +570,38 @@ pub fn full_outcomes(opts: &HarnessOpts) -> Vec<PairOutcome> {
     full_outcomes_recorded(opts).0
 }
 
+/// Writes `bytes` to `path` atomically: a unique temp file in the same
+/// directory is written, flushed to disk, and renamed over the target,
+/// so a crash (or kill) mid-write can never leave a torn artefact — the
+/// old file survives intact until the rename lands.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("artefact");
+    let tmp = dir.join(format!(".{name}.tmp-{}", std::process::id()));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
 /// Writes sweep telemetry records to `path` as a single JSON document —
 /// the `BENCH_anp.json` perf-trajectory artefact. Schema (one object):
 ///
 /// ```text
-/// { "schema": "anp-bench-v2", "harness": "<binary>", "seed": N,
+/// { "schema": "anp-bench-v3", "harness": "<binary>", "seed": N,
+///   "journal": "<path>" | null,
 ///   "sweeps": [ <SweepTelemetry::to_json() objects> ] }
 /// ```
 ///
@@ -294,17 +609,23 @@ pub fn full_outcomes(opts: &HarnessOpts) -> Vec<PairOutcome> {
 /// `workers`, end-to-end `wall_secs`, the serial-equivalent
 /// `serial_secs`, the realized `speedup`, total simulation `events`,
 /// aggregate `events_per_sec`, and a `per_run` array of
-/// `{label, backend, wall_secs, events}` cells. v2 added the sweep- and
-/// run-level `backend` fields (see DESIGN.md, "Telemetry schema").
+/// `{label, backend, wall_secs, events, outcome, retries}` cells. v2
+/// added the sweep- and run-level `backend` fields; v3 added the
+/// top-level `journal` path and the per-run `outcome`
+/// (`ok`/`resumed`/`failed`/`panicked`/`budget`) and `retries` fields
+/// (see DESIGN.md, "Telemetry schema"). The file is written atomically
+/// ([`write_atomic`]).
 pub fn write_bench_json(
     path: &Path,
     harness: &str,
     seed: u64,
+    journal: Option<&Path>,
     sweeps: &[&SweepTelemetry],
 ) -> std::io::Result<()> {
     let mut out = String::new();
+    let journal = journal.map_or("null".to_owned(), |p| format!("\"{}\"", p.display()));
     out.push_str(&format!(
-        "{{\n  \"schema\": \"anp-bench-v2\",\n  \"harness\": \"{harness}\",\n  \"seed\": {seed},\n  \"sweeps\": [\n"
+        "{{\n  \"schema\": \"anp-bench-v3\",\n  \"harness\": \"{harness}\",\n  \"seed\": {seed},\n  \"journal\": {journal},\n  \"sweeps\": [\n"
     ));
     for (i, t) in sweeps.iter().enumerate() {
         if i > 0 {
@@ -314,12 +635,14 @@ pub fn write_bench_json(
         out.push_str(&t.to_json());
     }
     out.push_str("\n  ]\n}\n");
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(out.as_bytes())
+    write_atomic(path, out.as_bytes())
 }
 
 /// Serializes outcomes to a plain TSV file (no external dependencies).
-pub fn save_outcomes(path: &Path, outcomes: &[PairOutcome]) {
+/// The write is atomic ([`write_atomic`]); a failure warns on stderr and
+/// returns `false` rather than aborting — the cache is an accelerator,
+/// not a dependency of the campaign.
+pub fn save_outcomes(path: &Path, outcomes: &[PairOutcome]) -> bool {
     let mut out = String::from("victim\tother\tmeasured\tmodel=prediction...\n");
     for o in outcomes {
         out.push_str(&format!(
@@ -333,8 +656,16 @@ pub fn save_outcomes(path: &Path, outcomes: &[PairOutcome]) {
         }
         out.push('\n');
     }
-    let mut f = std::fs::File::create(path).expect("cannot create cache file");
-    f.write_all(out.as_bytes()).expect("cannot write cache file");
+    match write_atomic(path, out.as_bytes()) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!(
+                "warning: cannot write cache {}: {e}; continuing without a cache",
+                path.display()
+            );
+            false
+        }
+    }
 }
 
 /// Loads outcomes from [`save_outcomes`]' format; `None` if absent or
@@ -459,6 +790,10 @@ mod tests {
             jobs: None,
             bench_json: None,
             backend: "des".to_owned(),
+            max_retries: 0,
+            run_budget_secs: None,
+            event_budget: None,
+            resume: None,
         };
         let full = HarnessOpts {
             quick: false,
@@ -467,6 +802,10 @@ mod tests {
             jobs: None,
             bench_json: None,
             backend: "des".to_owned(),
+            max_retries: 0,
+            run_budget_secs: None,
+            event_budget: None,
+            resume: None,
         };
         assert_eq!(full.compression_sweep().len(), 40);
         assert_eq!(quick.compression_sweep().len(), 8);
@@ -475,6 +814,101 @@ mod tests {
         assert!(partners.len() >= 3, "quick sweep must vary P");
         assert_eq!(full.apps().len(), 6);
         assert_eq!(quick.apps().len(), 3);
+    }
+
+    #[test]
+    fn atomic_write_replaces_without_leftovers() {
+        let dir = std::env::temp_dir().join("anp_bench_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artefact.json");
+        write_atomic(&path, b"one").unwrap();
+        write_atomic(&path, b"two").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "two");
+        let leftovers = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .contains(".tmp-")
+            })
+            .count();
+        assert_eq!(leftovers, 0, "temp files must not survive");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bench_json_carries_v3_fields() {
+        use anp_core::RunRecord;
+        let dir = std::env::temp_dir().join("anp_bench_v3_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let t = SweepTelemetry {
+            name: "s".to_owned(),
+            backend: "des".to_owned(),
+            workers: 2,
+            wall_secs: 1.0,
+            runs: vec![RunRecord {
+                label: "cell0".to_owned(),
+                backend: "des".to_owned(),
+                wall_secs: 0.5,
+                events: 10,
+                outcome: "resumed".to_owned(),
+                retries: 1,
+            }],
+        };
+        write_bench_json(&path, "h", 7, Some(Path::new("run.jsonl")), &[&t]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"schema\": \"anp-bench-v3\""));
+        assert!(text.contains("\"journal\": \"run.jsonl\""));
+        assert!(text.contains("\"outcome\":\"resumed\""));
+        assert!(text.contains("\"retries\":1"));
+        write_bench_json(&path, "h", 7, None, &[&t]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"journal\": null"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn supervisor_reflects_flags() {
+        let mut opts = HarnessOpts {
+            quick: false,
+            seed: 1,
+            cache: None,
+            jobs: None,
+            bench_json: None,
+            backend: "des".to_owned(),
+            max_retries: 2,
+            run_budget_secs: Some(1.5),
+            event_budget: Some(100),
+            resume: None,
+        };
+        let sup = opts.supervisor();
+        assert_eq!(sup.retry.max_retries, 2);
+        assert!(!sup.retry.backoff.is_zero());
+        assert_eq!(sup.budget.wall, Some(Duration::from_secs_f64(1.5)));
+        assert_eq!(sup.budget.events, Some(100));
+        opts.max_retries = 0;
+        opts.run_budget_secs = None;
+        opts.event_budget = None;
+        let sup = opts.supervisor();
+        assert!(sup.budget.is_unlimited());
+        assert_eq!(sup.retry.max_retries, 0);
+    }
+
+    #[test]
+    fn supervision_exit_codes_follow_convention() {
+        let mut s = Supervision::default();
+        assert!(s.is_complete());
+        assert_eq!(s.exit_code(), 0, "empty campaign is vacuously complete");
+        s.absorb(Vec::new(), 4, 4);
+        assert_eq!(s.exit_code(), 0);
+        s.absorb(Vec::new(), 1, 2); // one hole (failure list elided)
+        assert_eq!(s.exit_code(), 3);
+        let mut dead = Supervision::default();
+        dead.absorb(Vec::new(), 0, 3);
+        assert_eq!(dead.exit_code(), 1);
     }
 
     #[test]

@@ -35,9 +35,17 @@ pub enum ExperimentError {
         job: String,
         /// The cap that was hit.
         cap: SimTime,
+        /// Where the job stood when the horizon passed (which ranks were
+        /// blocked on what).
+        report: StallReport,
     },
     /// The probe job produced no samples inside the measurement window.
     NoSamples,
+    /// The supervised run budget (simulator events and/or wall clock —
+    /// see [`crate::supervise::RunBudget`]) was spent before the
+    /// experiment finished. Carries the simulation's stall diagnostics
+    /// at the moment the watchdog tripped.
+    Budget(StallReport),
     /// The measured job can never finish: the event queue drained with
     /// ranks still blocked (deadlock, or messages lost for good).
     Stalled(StallReport),
@@ -53,10 +61,13 @@ pub enum ExperimentError {
 impl std::fmt::Display for ExperimentError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ExperimentError::HorizonExceeded { job, cap } => {
+            ExperimentError::HorizonExceeded { job, cap, .. } => {
                 write!(f, "job '{job}' did not finish before {cap}")
             }
             ExperimentError::NoSamples => write!(f, "no probe samples collected"),
+            ExperimentError::Budget(report) => {
+                write!(f, "run budget exhausted: {report}")
+            }
             ExperimentError::Stalled(report) => write!(f, "stalled: {report}"),
             ExperimentError::Calibration(err) => write!(f, "calibration failed: {err}"),
             ExperimentError::Backend(err) => write!(f, "{err}"),
@@ -149,12 +160,22 @@ pub fn impact_series(
 ) -> Result<TimedSeries, ExperimentError> {
     let mut world = World::new(cfg.switch.clone());
     let (probe_members, sink) = build_impactb(&cfg.impact, cfg.switch.nodes);
-    world.add_job("impactb", probe_members);
+    let probe = world.add_job("impactb", probe_members);
     if let Some(members) = workload {
         world.add_job("workload", members);
     }
+    // Under a supervised sweep the cell's remaining budget caps this run;
+    // outside one the allowance is unlimited and this is a no-op.
+    let (max_events, wall_deadline) = crate::supervise::world_allowance();
+    world.set_run_budget(max_events, wall_deadline);
     world.run_until(SimTime::ZERO + cfg.measure_window);
     sweep::note_events(world.events_processed());
+    if world.budget_exhausted() {
+        // A truncated sample window is not a smaller measurement — it is
+        // a different one. Report the budget trip instead of quietly
+        // profiling whatever was collected.
+        return Err(ExperimentError::Budget(world.stall_report(probe)));
+    }
     let samples = sink.borrow();
     if samples.is_empty() {
         return Err(ExperimentError::NoSamples);
@@ -238,15 +259,19 @@ fn runtime_in_world(
         world.add_job("interferer", members);
     }
     let cap = SimTime::ZERO + cfg.run_cap;
+    let (max_events, wall_deadline) = crate::supervise::world_allowance();
+    world.set_run_budget(max_events, wall_deadline);
     let outcome = world.run_until_job_done(job, cap);
     sweep::note_events(world.events_processed());
     match outcome {
         RunOutcome::Completed { at } => Ok(at.since(SimTime::ZERO)),
-        RunOutcome::DeadlineExpired(_) => Err(ExperimentError::HorizonExceeded {
+        RunOutcome::DeadlineExpired(report) => Err(ExperimentError::HorizonExceeded {
             job: name.to_owned(),
             cap,
+            report,
         }),
         RunOutcome::Stalled(report) => Err(ExperimentError::Stalled(report)),
+        RunOutcome::BudgetExhausted(report) => Err(ExperimentError::Budget(report)),
     }
 }
 
@@ -347,6 +372,41 @@ pub fn loss_sweep_recorded(
         .collect();
     let (results, telemetry) = sweep::sweep_recorded("loss-sweep", cfg.jobs, tasks);
     (losses.iter().copied().zip(results).collect(), telemetry)
+}
+
+/// A supervised loss curve: one `(loss rate, value-or-typed-hole)`
+/// point per requested rate, in request order.
+pub type SupervisedLossCurve = Vec<(f64, crate::supervise::CellResult<SimDuration>)>;
+
+/// [`loss_sweep_recorded`] under the supervision envelope: panics are
+/// isolated into typed holes, each loss point respects the supervisor's
+/// run budget and retry policy, and with a journal the sweep is
+/// resumable (completed points decode instead of re-simulating).
+pub fn loss_sweep_supervised(
+    cfg: &ExperimentConfig,
+    app: AppKind,
+    losses: &[f64],
+    reliability: ReliabilityConfig,
+    supervisor: &crate::supervise::Supervisor,
+    journal: Option<&crate::journal::RunJournal>,
+) -> Result<(SupervisedLossCurve, SweepTelemetry), crate::journal::JournalError> {
+    let tasks: Vec<(String, _)> = losses
+        .iter()
+        .map(|&loss| {
+            let label = format!("loss:{}:{loss}", app.name());
+            (label, move || runtime_under_loss(cfg, app, loss, reliability))
+        })
+        .collect();
+    let fp = crate::journal::config_fingerprint(cfg, "des");
+    let (results, telemetry) = crate::supervise::sweep_supervised(
+        "loss-sweep",
+        cfg.jobs,
+        supervisor,
+        journal,
+        fp,
+        tasks,
+    )?;
+    Ok((losses.iter().copied().zip(results).collect(), telemetry))
 }
 
 /// The paper's degradation metric:
@@ -469,8 +529,128 @@ mod tests {
             NodeId(0),
         )];
         let err = runtime_of(&cfg, "slow", members, None).unwrap_err();
-        assert!(matches!(err, ExperimentError::HorizonExceeded { .. }));
+        let ExperimentError::HorizonExceeded { ref report, .. } = err else {
+            panic!("expected HorizonExceeded, got {err:?}");
+        };
+        assert_eq!(report.job_name, "slow");
+        assert_eq!(report.blocked.len(), 1, "the computing rank is reported");
         assert!(err.to_string().contains("slow"));
+    }
+
+    /// [`tiny_cfg`] widened to the application proxies' 18-node layout.
+    fn app_cfg() -> ExperimentConfig {
+        let mut switch = SwitchConfig::tiny_deterministic();
+        switch.nodes = 18;
+        switch.route_servers = 18;
+        ExperimentConfig {
+            switch,
+            run_cap: SimDuration::from_secs(60),
+            ..tiny_cfg()
+        }
+    }
+
+    /// Runs `f` inside a supervised single-cell sweep so the installed
+    /// [`crate::supervise::RunBudget`] reaches the drivers' worlds.
+    fn supervised_cell<T: Send + crate::journal::Journaled>(
+        budget: crate::supervise::RunBudget,
+        f: impl Fn() -> Result<T, ExperimentError> + Send + Sync,
+    ) -> crate::supervise::CellResult<T> {
+        let supervisor = crate::supervise::Supervisor {
+            budget,
+            ..crate::supervise::Supervisor::none()
+        };
+        let (mut results, _) = crate::supervise::sweep_supervised(
+            "budget-test",
+            Parallelism::fixed(1),
+            &supervisor,
+            None,
+            0,
+            vec![("cell".to_owned(), f)],
+        )
+        .unwrap();
+        results.pop().unwrap()
+    }
+
+    #[test]
+    fn event_budget_turns_runtime_into_budget_error() {
+        let cfg = app_cfg();
+        // Establish how many events a clean solo run needs, then grant
+        // half of them: the driver must report Budget (with the stall
+        // diagnostics), not HorizonExceeded or a bogus runtime.
+        let clean = supervised_cell(crate::supervise::RunBudget::unlimited(), || {
+            solo_runtime(&cfg, AppKind::Fftw)
+        });
+        assert!(clean.is_ok());
+        let budget = crate::supervise::RunBudget {
+            wall: None,
+            events: Some(500),
+        };
+        let err = supervised_cell(budget, || solo_runtime(&cfg, AppKind::Fftw)).unwrap_err();
+        let crate::supervise::TaskError::Budget { report, .. } = err else {
+            panic!("expected Budget, got {err}");
+        };
+        assert!(report.events >= 500, "the run charged its events");
+        assert!(!report.stall.blocked.is_empty(), "diagnostics name the unfinished ranks");
+    }
+
+    #[test]
+    fn event_budget_turns_impact_into_budget_error() {
+        let cfg = tiny_cfg();
+        let budget = crate::supervise::RunBudget {
+            wall: None,
+            events: Some(100),
+        };
+        let err = supervised_cell(budget, || idle_profile(&cfg)).unwrap_err();
+        assert!(
+            matches!(err, crate::supervise::TaskError::Budget { .. }),
+            "a truncated impact window must not masquerade as a profile: {err}"
+        );
+    }
+
+    #[test]
+    fn budget_spans_all_simulations_of_one_cell() {
+        // One cell running two back-to-back experiments shares a single
+        // event budget: granting enough for one run but not two must trip
+        // on the second.
+        let cfg = app_cfg();
+        let one_run = {
+            let _ = crate::sweep::take_events();
+            solo_runtime(&cfg, AppKind::Fftw).unwrap();
+            crate::sweep::take_events()
+        };
+        let budget = crate::supervise::RunBudget {
+            wall: None,
+            events: Some(one_run + one_run / 2),
+        };
+        let err = supervised_cell(budget, || {
+            let a = solo_runtime(&cfg, AppKind::Fftw)?;
+            let b = solo_runtime(&cfg, AppKind::Fftw)?;
+            Ok((a, b))
+        })
+        .unwrap_err();
+        assert!(matches!(err, crate::supervise::TaskError::Budget { .. }));
+    }
+
+    #[test]
+    fn supervised_loss_sweep_matches_plain_results() {
+        let cfg = app_cfg();
+        let rel = ReliabilityConfig::default();
+        let losses = [0.0];
+        let plain = loss_sweep(&cfg, AppKind::Fftw, &losses, rel);
+        let (supervised, t) = loss_sweep_supervised(
+            &cfg,
+            AppKind::Fftw,
+            &losses,
+            rel,
+            &crate::supervise::Supervisor::none(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(supervised.len(), plain.len());
+        let plain_t = plain[0].1.as_ref().unwrap();
+        let sup_t = supervised[0].1.as_ref().unwrap();
+        assert_eq!(sup_t, plain_t, "supervision must not change the physics");
+        assert_eq!(t.runs[0].outcome, "ok");
     }
 
     #[test]

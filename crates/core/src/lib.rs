@@ -22,6 +22,12 @@
 //! * [`sweep`] — the parallel sweep engine: fans independent experiment
 //!   cells across worker threads with index-ordered (byte-identical)
 //!   collection, and records per-run wall/event telemetry;
+//! * [`supervise`] — the supervision envelope around sweep cells: panic
+//!   isolation, per-cell event/wall budgets, deterministic retries, and
+//!   typed holes for the cells that still fail;
+//! * [`journal`] — crash-safe append-only run journals (JSONL, fsync'd
+//!   per cell) with bit-exact value encoding and fingerprint-verified
+//!   `--resume`;
 //! * [`backend`] — the object-safe [`Backend`] seam between measurement
 //!   engines: [`DesBackend`] (the packet-level simulator, ground truth)
 //!   and the analytic flow-level model in the `anp-flowsim` crate.
@@ -43,27 +49,35 @@
 
 pub mod backend;
 pub mod experiments;
+pub mod journal;
 pub mod lut;
 pub mod models;
 pub mod prediction;
 pub mod queue;
 pub mod samples;
 pub mod series;
+pub mod supervise;
 pub mod sweep;
 
 pub use backend::{calibrate_with, Backend, BackendError, DesBackend, WorkloadSpec};
 pub use experiments::{
     calibrate, degradation_percent, idle_profile, impact_profile, impact_profile_of_app,
     impact_profile_of_compression, impact_series, impact_series_of_app, loss_sweep,
-    loss_sweep_recorded, runtime_of, runtime_under_compression, runtime_under_corun,
-    runtime_under_loss, solo_runtime, ExperimentConfig, ExperimentError, LossCurve, Members,
+    loss_sweep_recorded, loss_sweep_supervised, runtime_of, runtime_under_compression,
+    runtime_under_corun, runtime_under_loss, solo_runtime, ExperimentConfig, ExperimentError,
+    LossCurve, Members, SupervisedLossCurve,
 };
-pub use lut::{CompressionEntry, LookupTable};
+pub use journal::{config_fingerprint, CellStatus, JournalEntry, JournalError, Journaled, RunJournal};
+pub use lut::{CompressionEntry, LookupTable, SupervisedTable};
 pub use models::{all_models, AverageLt, AverageStDevLt, PdfLt, QueueModel, QueuePhaseModel, SlowdownModel};
 pub use prediction::{error_summaries, PairOutcome, Study};
 pub use queue::{Calibration, CalibrationError, MuPolicy};
 pub use samples::LatencyProfile;
 pub use series::TimedSeries;
+pub use supervise::{
+    completed_count, partial_exit_code, sweep_supervised, sweep_supervised_for, BudgetReport,
+    CellResult, RetryPolicy, RunBudget, Supervisor, TaskError,
+};
 pub use sweep::{
     sweep as run_sweep, sweep_recorded, sweep_recorded_for, Parallelism, RunRecord, SweepTelemetry,
 };

@@ -20,8 +20,10 @@ use anp_workloads::{AppKind, CompressionConfig};
 
 use crate::backend::{Backend, DesBackend, WorkloadSpec};
 use crate::experiments::{degradation_percent, ExperimentConfig, ExperimentError};
+use crate::journal::{config_fingerprint, JournalError, Journaled, RunJournal};
 use crate::queue::Calibration;
 use crate::samples::LatencyProfile;
+use crate::supervise::{partial_exit_code, sweep_supervised_for, Supervisor, TaskError};
 use crate::sweep::{sweep_recorded_for, SweepTelemetry};
 
 /// Everything measured for one CompressionB configuration.
@@ -36,6 +38,73 @@ pub struct CompressionEntry {
     /// Measured % degradation of each application under this
     /// configuration.
     pub slowdown: BTreeMap<AppKind, f64>,
+}
+
+/// One value of the flattened measurement grid, tagged for journaling:
+/// the three cell families of a table measurement produce different
+/// types, so the journal codec carries a `kind` discriminant.
+enum LutCell {
+    /// A solo application runtime.
+    Solo(SimDuration),
+    /// A per-configuration impact profile.
+    Impact(LatencyProfile),
+    /// One (application, configuration) loaded runtime.
+    Runtime(SimDuration),
+}
+
+impl Journaled for LutCell {
+    fn encode_journal(&self) -> String {
+        let (kind, v) = match self {
+            LutCell::Solo(t) => ("solo", t.encode_journal()),
+            LutCell::Impact(p) => ("impact", p.encode_journal()),
+            LutCell::Runtime(t) => ("runtime", t.encode_journal()),
+        };
+        format!("{{\"kind\":\"{kind}\",\"v\":{v}}}")
+    }
+
+    fn decode_journal(s: &str) -> Option<Self> {
+        let body = s.trim().strip_prefix("{\"kind\":\"")?.strip_suffix('}')?;
+        let (kind, v) = body.split_once("\",\"v\":")?;
+        Some(match kind {
+            "solo" => LutCell::Solo(Journaled::decode_journal(v)?),
+            "impact" => LutCell::Impact(Journaled::decode_journal(v)?),
+            "runtime" => LutCell::Runtime(Journaled::decode_journal(v)?),
+            _ => return None,
+        })
+    }
+}
+
+/// The outcome of a supervised table measurement
+/// ([`LookupTable::measure_supervised_with`]): whatever completed, plus
+/// typed holes for every cell that did not.
+#[derive(Debug)]
+pub struct SupervisedTable {
+    /// The table assembled from the completed cells. `None` when no
+    /// configuration completed its impact profile (nothing to look up);
+    /// partial otherwise — entries may be missing, and an entry's
+    /// slowdown map covers only the apps whose runtime and solo baseline
+    /// both completed.
+    pub table: Option<LookupTable>,
+    /// Why each missing cell is missing, in serial reassembly order.
+    pub failures: Vec<TaskError>,
+    /// Cells that produced a value (journaled successes included).
+    pub completed: usize,
+    /// Total cells in the measurement grid.
+    pub total: usize,
+}
+
+impl SupervisedTable {
+    /// True when every cell completed — the table equals an unsupervised
+    /// measurement byte-for-byte.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The campaign exit code for this outcome: 0 complete, 3 partial,
+    /// 1 when nothing completed.
+    pub fn exit_code(&self) -> i32 {
+        partial_exit_code(self.completed, self.total)
+    }
 }
 
 /// The full look-up table plus the calibration it was measured under.
@@ -217,6 +286,184 @@ impl LookupTable {
         Ok((LookupTable::from_parts(calibration, entries, solo), telemetry))
     }
 
+    /// [`LookupTable::measure_recorded_with`] under a supervision
+    /// envelope: every cell runs with panic isolation, the supervisor's
+    /// per-cell budget and retry policy, and (with a journal) crash-safe
+    /// resume. Instead of aborting on the first failure, the measurement
+    /// keeps every sibling cell and returns a [`SupervisedTable`] whose
+    /// typed holes say exactly which cells are missing and why.
+    ///
+    /// A fully completed measurement is byte-identical to
+    /// [`LookupTable::measure_recorded_with`] — same table, same progress
+    /// lines — and so is a `--resume` completion of a partial journal.
+    /// Failed cells emit `… FAILED: <error>` progress lines; runtimes
+    /// whose solo baseline is missing cannot become slowdowns and are
+    /// reported as `(no solo baseline)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure_supervised_with(
+        backend: &dyn Backend,
+        cfg: &ExperimentConfig,
+        calibration: Calibration,
+        apps: &[AppKind],
+        configs: &[CompressionConfig],
+        supervisor: &Supervisor,
+        journal: Option<&RunJournal>,
+        mut progress: impl FnMut(&str),
+    ) -> Result<(SupervisedTable, SweepTelemetry), JournalError> {
+        type LutTask<'a> = Box<dyn Fn() -> Result<LutCell, ExperimentError> + Send + Sync + 'a>;
+
+        // The same flattening (and labels) as the plain path, but tasks
+        // are `Fn` so the supervisor can retry them.
+        let mut tasks: Vec<(String, LutTask<'_>)> = Vec::new();
+        for &app in apps {
+            tasks.push((
+                format!("solo:{}", app.name()),
+                Box::new(move || backend.measure_solo_runtime(cfg, app).map(LutCell::Solo)),
+            ));
+        }
+        for comp in configs {
+            tasks.push((
+                format!("impact:{}", comp.label()),
+                Box::new(move || {
+                    backend
+                        .measure_impact_profile(cfg, WorkloadSpec::Compression(comp))
+                        .map(LutCell::Impact)
+                }),
+            ));
+        }
+        for comp in configs {
+            for &app in apps {
+                tasks.push((
+                    format!("grid:{}:{}", app.name(), comp.label()),
+                    Box::new(move || {
+                        backend
+                            .measure_compression_run(cfg, app, comp)
+                            .map(LutCell::Runtime)
+                    }),
+                ));
+            }
+        }
+        let total = tasks.len();
+        let (results, telemetry) = sweep_supervised_for(
+            "lookup-table",
+            backend.name(),
+            cfg.jobs,
+            supervisor,
+            journal,
+            config_fingerprint(cfg, backend.name()),
+            tasks,
+        )?;
+        let mut results = results.into_iter();
+        let mut failures = Vec::new();
+
+        // Reassemble in serial order, exactly like the plain path, but
+        // route failures into typed holes instead of `?`-ing out.
+        let mut solo = BTreeMap::new();
+        for &app in apps {
+            match results.next().expect("sweep returned too few cells") {
+                Ok(LutCell::Solo(t)) => {
+                    progress(&format!("solo {} = {t}", app.name()));
+                    solo.insert(app, t);
+                }
+                Ok(_) => unreachable!("cell order mismatch"),
+                Err(e) => {
+                    progress(&format!("solo {} FAILED: {e}", app.name()));
+                    failures.push(e);
+                }
+            }
+        }
+        let mut profiles = Vec::with_capacity(configs.len());
+        for _ in configs {
+            match results.next().expect("sweep returned too few cells") {
+                Ok(LutCell::Impact(p)) => profiles.push(Ok(p)),
+                Ok(_) => unreachable!("cell order mismatch"),
+                Err(e) => profiles.push(Err(e)),
+            }
+        }
+        let mut grid = Vec::with_capacity(configs.len() * apps.len());
+        for _ in 0..configs.len() * apps.len() {
+            match results.next().expect("sweep returned too few cells") {
+                Ok(LutCell::Runtime(t)) => grid.push(Ok(t)),
+                Ok(_) => unreachable!("cell order mismatch"),
+                Err(e) => grid.push(Err(e)),
+            }
+        }
+
+        let mut grid = grid.into_iter();
+        let mut entries = Vec::with_capacity(configs.len());
+        for (comp, profile) in configs.iter().zip(profiles) {
+            let measured = match profile {
+                Ok(profile) => {
+                    let utilization = calibration.utilization(&profile);
+                    progress(&format!(
+                        "impact {} -> mean {:.2}us util {:.1}%",
+                        comp.label(),
+                        profile.mean(),
+                        utilization * 100.0
+                    ));
+                    Some((profile, utilization))
+                }
+                Err(e) => {
+                    progress(&format!("impact {} FAILED: {e}", comp.label()));
+                    failures.push(e);
+                    None
+                }
+            };
+            let mut slowdown = BTreeMap::new();
+            for &app in apps {
+                match grid.next().expect("runtime grid exhausted early") {
+                    Ok(t) => match solo.get(&app) {
+                        Some(&baseline) => {
+                            let d = degradation_percent(baseline, t);
+                            progress(&format!(
+                                "  {} under {} -> {:.1}%",
+                                app.name(),
+                                comp.label(),
+                                d
+                            ));
+                            slowdown.insert(app, d);
+                        }
+                        None => progress(&format!(
+                            "  {} under {} -> (no solo baseline)",
+                            app.name(),
+                            comp.label()
+                        )),
+                    },
+                    Err(e) => {
+                        progress(&format!(
+                            "  {} under {} FAILED: {e}",
+                            app.name(),
+                            comp.label()
+                        ));
+                        failures.push(e);
+                    }
+                }
+            }
+            // Without an impact profile the configuration has no entry:
+            // its (journaled) runtimes wait for a --resume completion.
+            if let Some((profile, utilization)) = measured {
+                entries.push(CompressionEntry {
+                    config: *comp,
+                    profile,
+                    utilization,
+                    slowdown,
+                });
+            }
+        }
+        let completed = total - failures.len();
+        let table = (!entries.is_empty())
+            .then(|| LookupTable::from_parts(calibration, entries, solo));
+        Ok((
+            SupervisedTable {
+                table,
+                failures,
+                completed,
+                total,
+            },
+            telemetry,
+        ))
+    }
+
     /// The (utilization, slowdown) curve of one application, sorted by
     /// utilization — the `p_A` mapping of §V-B.
     pub fn degradation_curve(&self, app: AppKind) -> Vec<(f64, f64)> {
@@ -270,6 +517,116 @@ pub(crate) mod test_support {
             var_s: 0.25,
             idle_mean: 1.1,
             policy: MuPolicy::MinLatency,
+        }
+    }
+
+    /// A deterministic in-memory backend for supervised-path tests. Every
+    /// observable is synthetic (no simulation), each call is counted, and
+    /// cells listed in `fail` / `panic` misbehave on demand. Cells are
+    /// addressed by the same labels the sweeps use: `solo:{app}`,
+    /// `impact:{config}`, `grid:{app}:{config}`, `profile:{app}`,
+    /// `corun:{victim}+{other}`.
+    pub struct FakeBackend {
+        /// Labels that return [`ExperimentError::NoSamples`].
+        pub fail: Vec<String>,
+        /// Labels that panic mid-measurement.
+        pub panic: Vec<String>,
+        /// Total measurement calls served (including failing ones).
+        pub calls: std::sync::atomic::AtomicUsize,
+    }
+
+    impl FakeBackend {
+        /// A backend where every cell succeeds.
+        pub fn clean() -> Self {
+            Self::faulty(Vec::new(), Vec::new())
+        }
+
+        /// A backend with injected failures and panics.
+        pub fn faulty(fail: Vec<String>, panic: Vec<String>) -> Self {
+            FakeBackend {
+                fail,
+                panic,
+                calls: std::sync::atomic::AtomicUsize::new(0),
+            }
+        }
+
+        /// Calls served so far.
+        pub fn call_count(&self) -> usize {
+            self.calls.load(std::sync::atomic::Ordering::SeqCst)
+        }
+
+        fn gate(&self, label: &str) -> Result<(), ExperimentError> {
+            self.calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            if self.panic.iter().any(|l| l == label) {
+                panic!("injected panic in {label}");
+            }
+            if self.fail.iter().any(|l| l == label) {
+                return Err(ExperimentError::NoSamples);
+            }
+            Ok(())
+        }
+    }
+
+    impl Backend for FakeBackend {
+        fn name(&self) -> &'static str {
+            "fake"
+        }
+
+        fn supports_faults(&self) -> bool {
+            true
+        }
+
+        fn supports_timed_series(&self) -> bool {
+            false
+        }
+
+        fn measure_impact_profile(
+            &self,
+            _cfg: &ExperimentConfig,
+            workload: WorkloadSpec<'_>,
+        ) -> Result<LatencyProfile, ExperimentError> {
+            let (label, mean) = match workload {
+                WorkloadSpec::Idle => ("impact:idle".to_owned(), 1.1),
+                WorkloadSpec::App(app) => (
+                    format!("profile:{}", app.name()),
+                    2.0 + (app.name().len() % 3) as f64 * 0.4,
+                ),
+                WorkloadSpec::Compression(comp) => (
+                    format!("impact:{}", comp.label()),
+                    1.5 + (comp.label().len() % 5) as f64 * 0.3,
+                ),
+            };
+            self.gate(&label)?;
+            Ok(synthetic_profile(mean, 0.5))
+        }
+
+        fn measure_compression_run(
+            &self,
+            _cfg: &ExperimentConfig,
+            app: AppKind,
+            comp: &CompressionConfig,
+        ) -> Result<SimDuration, ExperimentError> {
+            self.gate(&format!("grid:{}:{}", app.name(), comp.label()))?;
+            Ok(SimDuration::from_millis(150))
+        }
+
+        fn measure_solo_runtime(
+            &self,
+            _cfg: &ExperimentConfig,
+            app: AppKind,
+        ) -> Result<SimDuration, ExperimentError> {
+            self.gate(&format!("solo:{}", app.name()))?;
+            Ok(SimDuration::from_millis(100))
+        }
+
+        fn measure_corun_runtime(
+            &self,
+            _cfg: &ExperimentConfig,
+            victim: AppKind,
+            other: AppKind,
+        ) -> Result<SimDuration, ExperimentError> {
+            self.gate(&format!("corun:{}+{}", victim.name(), other.name()))?;
+            Ok(SimDuration::from_millis(130))
         }
     }
 
@@ -342,6 +699,192 @@ mod tests {
     #[should_panic(expected = "needs entries")]
     fn empty_table_panics() {
         LookupTable::from_parts(synthetic_calibration(), vec![], BTreeMap::new());
+    }
+
+    #[test]
+    fn lut_cell_journal_codec_round_trips() {
+        let cells = [
+            LutCell::Solo(SimDuration::from_nanos(123_456_789)),
+            LutCell::Impact(synthetic_profile(2.0, 0.5)),
+            LutCell::Runtime(SimDuration::from_millis(150)),
+        ];
+        for cell in &cells {
+            let enc = cell.encode_journal();
+            let back = LutCell::decode_journal(&enc).expect("decodes");
+            assert_eq!(back.encode_journal(), enc, "bit-exact round trip");
+            assert_eq!(
+                std::mem::discriminant(&back),
+                std::mem::discriminant(cell),
+                "kind tag survives"
+            );
+        }
+        assert!(LutCell::decode_journal("{\"kind\":\"other\",\"v\":1}").is_none());
+    }
+
+    #[test]
+    fn supervised_measurement_matches_plain_when_clean() {
+        let cfg = ExperimentConfig::cab();
+        let apps = [AppKind::Fftw, AppKind::Milc];
+        let configs = [
+            CompressionConfig::new(1, 25_000, 1),
+            CompressionConfig::new(2, 50_000, 1),
+        ];
+        let mut plain_lines = Vec::new();
+        let (plain, _) = LookupTable::measure_recorded_with(
+            &FakeBackend::clean(),
+            &cfg,
+            synthetic_calibration(),
+            &apps,
+            &configs,
+            |l| plain_lines.push(l.to_owned()),
+        )
+        .unwrap();
+        let mut sup_lines = Vec::new();
+        let (outcome, t) = LookupTable::measure_supervised_with(
+            &FakeBackend::clean(),
+            &cfg,
+            synthetic_calibration(),
+            &apps,
+            &configs,
+            &Supervisor::none(),
+            None,
+            |l| sup_lines.push(l.to_owned()),
+        )
+        .unwrap();
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.exit_code(), 0);
+        assert_eq!(sup_lines, plain_lines, "identical progress lines");
+        let table = outcome.table.unwrap();
+        assert_eq!(table.solo, plain.solo);
+        assert_eq!(table.entries.len(), plain.entries.len());
+        for (a, b) in table.entries.iter().zip(&plain.entries) {
+            assert_eq!(a.profile.encode_journal(), b.profile.encode_journal());
+            assert_eq!(a.utilization.to_bits(), b.utilization.to_bits());
+            assert_eq!(a.slowdown, b.slowdown);
+        }
+        assert_eq!(t.runs.len(), 2 + 2 + 4);
+        assert!(t.runs.iter().all(|r| r.outcome == "ok"));
+    }
+
+    #[test]
+    fn supervised_measurement_isolates_failures_into_typed_holes() {
+        let cfg = ExperimentConfig::cab();
+        let apps = [AppKind::Fftw, AppKind::Milc];
+        let c0 = CompressionConfig::new(1, 25_000, 1);
+        let c1 = CompressionConfig::new(2, 50_000, 1);
+        let backend = FakeBackend::faulty(
+            vec![format!("impact:{}", c0.label())],
+            vec![format!("grid:{}:{}", AppKind::Fftw.name(), c1.label())],
+        );
+        let (outcome, t) = LookupTable::measure_supervised_with(
+            &backend,
+            &cfg,
+            synthetic_calibration(),
+            &apps,
+            &[c0, c1],
+            &Supervisor::none(),
+            None,
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(outcome.total, 8);
+        assert_eq!(outcome.completed, 6);
+        assert_eq!(outcome.exit_code(), 3);
+        assert!(outcome
+            .failures
+            .iter()
+            .any(|e| matches!(e, TaskError::Failed { .. })));
+        assert!(outcome
+            .failures
+            .iter()
+            .any(|e| matches!(e, TaskError::Panicked { .. })));
+        let table = outcome.table.unwrap();
+        assert_eq!(table.entries.len(), 1, "the failed impact has no entry");
+        let entry = &table.entries[0];
+        assert_eq!(entry.config.label(), c1.label());
+        assert!(
+            !entry.slowdown.contains_key(&AppKind::Fftw),
+            "panicked grid cell leaves a hole"
+        );
+        assert!(entry.slowdown.contains_key(&AppKind::Milc));
+        assert_eq!(table.solo.len(), 2, "solos are untouched by the faults");
+        assert!(t.runs.iter().any(|r| r.outcome == "panicked"));
+        assert!(t.runs.iter().any(|r| r.outcome == "failed"));
+    }
+
+    #[test]
+    fn supervised_measurement_resumes_missing_cells_from_journal() {
+        let dir = std::env::temp_dir().join(format!("anp-lut-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lut.jsonl");
+        let cfg = ExperimentConfig::cab();
+        let apps = [AppKind::Fftw];
+        let configs = [CompressionConfig::new(1, 25_000, 1)];
+
+        // 1 solo + 1 impact + 1 grid cell; the grid cell fails first.
+        let faulty = FakeBackend::faulty(
+            vec![format!(
+                "grid:{}:{}",
+                AppKind::Fftw.name(),
+                configs[0].label()
+            )],
+            Vec::new(),
+        );
+        let journal = RunJournal::create(&path).unwrap();
+        let (first, _) = LookupTable::measure_supervised_with(
+            &faulty,
+            &cfg,
+            synthetic_calibration(),
+            &apps,
+            &configs,
+            &Supervisor::none(),
+            Some(&journal),
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(first.completed, 2);
+        assert_eq!(first.exit_code(), 3);
+        assert_eq!(faulty.call_count(), 3);
+        drop(journal);
+
+        let journal = RunJournal::resume(&path).unwrap();
+        let clean = FakeBackend::clean();
+        let mut resumed_lines = Vec::new();
+        let (second, t) = LookupTable::measure_supervised_with(
+            &clean,
+            &cfg,
+            synthetic_calibration(),
+            &apps,
+            &configs,
+            &Supervisor::none(),
+            Some(&journal),
+            |l| resumed_lines.push(l.to_owned()),
+        )
+        .unwrap();
+        assert!(second.is_complete());
+        assert_eq!(clean.call_count(), 1, "only the failed grid cell re-runs");
+        assert_eq!(t.runs.iter().filter(|r| r.outcome == "resumed").count(), 2);
+
+        // The resumed table is byte-identical to an unfaulted plain run.
+        let mut plain_lines = Vec::new();
+        let (plain, _) = LookupTable::measure_recorded_with(
+            &FakeBackend::clean(),
+            &cfg,
+            synthetic_calibration(),
+            &apps,
+            &configs,
+            |l| plain_lines.push(l.to_owned()),
+        )
+        .unwrap();
+        assert_eq!(resumed_lines, plain_lines);
+        let table = second.table.unwrap();
+        assert_eq!(table.solo, plain.solo);
+        assert_eq!(
+            table.entries[0].profile.encode_journal(),
+            plain.entries[0].profile.encode_journal()
+        );
+        assert_eq!(table.entries[0].slowdown, plain.entries[0].slowdown);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -13,9 +13,11 @@ use anp_workloads::AppKind;
 
 use crate::backend::{Backend, DesBackend, WorkloadSpec};
 use crate::experiments::{degradation_percent, ExperimentConfig, ExperimentError};
+use crate::journal::{config_fingerprint, JournalError, RunJournal};
 use crate::lut::LookupTable;
 use crate::models::SlowdownModel;
 use crate::samples::LatencyProfile;
+use crate::supervise::{sweep_supervised_for, Supervisor, TaskError};
 use crate::sweep::{sweep_recorded_for, SweepTelemetry};
 
 /// One directed pairing: the slowdown of `victim` when co-run with
@@ -117,6 +119,62 @@ impl Study {
         Ok((Study::from_parts(table, app_profiles), telemetry))
     }
 
+    /// [`Study::measure_profiles_recorded_with`] under a supervision
+    /// envelope: failing apps leave typed holes (their profiles are
+    /// simply absent from the study, so [`Study::predict_pair`] yields no
+    /// predictions for them) instead of aborting the whole measurement.
+    /// A clean run is byte-identical to the plain path; with a journal,
+    /// completed profiles resume instead of re-simulating.
+    pub fn measure_profiles_supervised_with(
+        backend: &dyn Backend,
+        cfg: &ExperimentConfig,
+        table: LookupTable,
+        apps: &[AppKind],
+        supervisor: &Supervisor,
+        journal: Option<&RunJournal>,
+        mut progress: impl FnMut(&str),
+    ) -> Result<(Self, Vec<TaskError>, SweepTelemetry), JournalError> {
+        let tasks: Vec<(String, _)> = apps
+            .iter()
+            .map(|&app| {
+                let label = format!("profile:{}", app.name());
+                (label, move || {
+                    backend.measure_impact_profile(cfg, WorkloadSpec::App(app))
+                })
+            })
+            .collect();
+        let (results, telemetry) = sweep_supervised_for(
+            "app-profiles",
+            backend.name(),
+            cfg.jobs,
+            supervisor,
+            journal,
+            config_fingerprint(cfg, backend.name()),
+            tasks,
+        )?;
+        let mut app_profiles = BTreeMap::new();
+        let mut failures = Vec::new();
+        for (&app, r) in apps.iter().zip(results) {
+            match r {
+                Ok(p) => {
+                    progress(&format!(
+                        "impact {} -> mean {:.2}us sd {:.2}us util {:.1}%",
+                        app.name(),
+                        p.mean(),
+                        p.std_dev(),
+                        table.calibration.utilization(&p) * 100.0
+                    ));
+                    app_profiles.insert(app, p);
+                }
+                Err(e) => {
+                    progress(&format!("impact {} FAILED: {e}", app.name()));
+                    failures.push(e);
+                }
+            }
+        }
+        Ok((Study::from_parts(table, app_profiles), failures, telemetry))
+    }
+
     /// Predicts the slowdown of `victim` co-run with `other` under every
     /// given model.
     pub fn predict_pair(
@@ -214,6 +272,71 @@ impl Study {
         }
         Ok(telemetry)
     }
+
+    /// [`Study::measure_pairs_recorded_with`] under a supervision
+    /// envelope. Pairings whose cell fails keep `measured: None` — the
+    /// natural typed hole of [`PairOutcome`] — and the reason comes back
+    /// in the failure list; every sibling pairing still completes. A
+    /// pairing whose victim has no solo baseline in the (possibly
+    /// partial) table also stays unmeasured. A clean run fills `outcomes`
+    /// byte-identically to the plain path.
+    pub fn measure_pairs_supervised_with(
+        &self,
+        backend: &dyn Backend,
+        cfg: &ExperimentConfig,
+        outcomes: &mut [PairOutcome],
+        supervisor: &Supervisor,
+        journal: Option<&RunJournal>,
+        mut progress: impl FnMut(&str),
+    ) -> Result<(Vec<TaskError>, SweepTelemetry), JournalError> {
+        let tasks: Vec<(String, _)> = outcomes
+            .iter()
+            .map(|o| {
+                let (victim, other) = (o.victim, o.other);
+                let label = format!("corun:{}+{}", victim.name(), other.name());
+                (label, move || backend.measure_corun_runtime(cfg, victim, other))
+            })
+            .collect();
+        let (results, telemetry) = sweep_supervised_for(
+            "pairing-grid",
+            backend.name(),
+            cfg.jobs,
+            supervisor,
+            journal,
+            config_fingerprint(cfg, backend.name()),
+            tasks,
+        )?;
+        let mut failures = Vec::new();
+        for (o, r) in outcomes.iter_mut().zip(results) {
+            match r {
+                Ok(t) => match self.table.solo.get(&o.victim) {
+                    Some(&solo) => {
+                        o.measured = Some(degradation_percent(solo, t));
+                        progress(&format!(
+                            "{} with {} -> measured {:+.1}%",
+                            o.victim.name(),
+                            o.other.name(),
+                            o.measured.unwrap()
+                        ));
+                    }
+                    None => progress(&format!(
+                        "{} with {} -> (no solo baseline)",
+                        o.victim.name(),
+                        o.other.name()
+                    )),
+                },
+                Err(e) => {
+                    progress(&format!(
+                        "{} with {} FAILED: {e}",
+                        o.victim.name(),
+                        o.other.name()
+                    ));
+                    failures.push(e);
+                }
+            }
+        }
+        Ok((failures, telemetry))
+    }
 }
 
 /// Per-model quartile summary of |measured − predicted| errors across a
@@ -235,7 +358,7 @@ pub fn error_summaries(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lut::test_support::{synthetic_profile, synthetic_table};
+    use crate::lut::test_support::{synthetic_profile, synthetic_table, FakeBackend};
     use crate::models::all_models;
 
     fn study() -> Study {
@@ -301,6 +424,109 @@ mod tests {
         o.measured = Some(o.predicted["Queue"] + 5.0);
         assert!((o.abs_error("Queue").unwrap() - 5.0).abs() < 1e-9);
         assert_eq!(o.abs_error("NoSuchModel"), None);
+    }
+
+    #[test]
+    fn supervised_profiles_leave_typed_holes() {
+        let cfg = ExperimentConfig::cab();
+        let apps = [AppKind::Fftw, AppKind::Mcb, AppKind::Milc];
+        let table = synthetic_table(
+            8,
+            &[
+                (AppKind::Fftw, 2.0),
+                (AppKind::Mcb, 0.05),
+                (AppKind::Milc, 0.8),
+            ],
+        );
+        let backend = FakeBackend::faulty(
+            vec![format!("profile:{}", AppKind::Mcb.name())],
+            Vec::new(),
+        );
+        let (study, failures, t) = Study::measure_profiles_supervised_with(
+            &backend,
+            &cfg,
+            table,
+            &apps,
+            &Supervisor::none(),
+            None,
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(failures.len(), 1);
+        assert!(matches!(failures[0], TaskError::Failed { .. }));
+        assert_eq!(study.app_profiles.len(), 2, "siblings complete");
+        assert!(!study.app_profiles.contains_key(&AppKind::Mcb));
+        // The hole propagates as "no prediction", not as a crash.
+        let o = study.predict_pair(AppKind::Fftw, AppKind::Mcb, &all_models());
+        assert!(o.predicted.is_empty());
+        assert_eq!(t.runs.iter().filter(|r| r.outcome == "ok").count(), 2);
+    }
+
+    #[test]
+    fn supervised_pairs_match_plain_when_clean_and_hole_on_panic() {
+        let cfg = ExperimentConfig::cab();
+        let s = study();
+        let apps = [AppKind::Fftw, AppKind::Milc];
+        let models = all_models();
+
+        let mut plain = s.predict_all(&apps, &models);
+        let mut plain_lines = Vec::new();
+        s.measure_pairs_recorded_with(&FakeBackend::clean(), &cfg, &mut plain, |l| {
+            plain_lines.push(l.to_owned())
+        })
+        .unwrap();
+
+        let mut supervised = s.predict_all(&apps, &models);
+        let mut sup_lines = Vec::new();
+        let (failures, _) = s
+            .measure_pairs_supervised_with(
+                &FakeBackend::clean(),
+                &cfg,
+                &mut supervised,
+                &Supervisor::none(),
+                None,
+                |l| sup_lines.push(l.to_owned()),
+            )
+            .unwrap();
+        assert!(failures.is_empty());
+        assert_eq!(sup_lines, plain_lines, "identical progress lines");
+        for (a, b) in supervised.iter().zip(&plain) {
+            assert_eq!(
+                a.measured.unwrap().to_bits(),
+                b.measured.unwrap().to_bits(),
+                "bit-identical measurements"
+            );
+        }
+
+        // Now panic one pairing: its hole stays `measured: None`, every
+        // sibling pairing still lands.
+        let mut faulted = s.predict_all(&apps, &models);
+        let backend = FakeBackend::faulty(
+            Vec::new(),
+            vec![format!(
+                "corun:{}+{}",
+                AppKind::Milc.name(),
+                AppKind::Fftw.name()
+            )],
+        );
+        let (failures, _) = s
+            .measure_pairs_supervised_with(
+                &backend,
+                &cfg,
+                &mut faulted,
+                &Supervisor::none(),
+                None,
+                |_| {},
+            )
+            .unwrap();
+        assert_eq!(failures.len(), 1);
+        assert!(matches!(failures[0], TaskError::Panicked { .. }));
+        assert_eq!(faulted.iter().filter(|o| o.measured.is_some()).count(), 3);
+        let hole = faulted
+            .iter()
+            .find(|o| o.victim == AppKind::Milc && o.other == AppKind::Fftw)
+            .unwrap();
+        assert!(hole.measured.is_none(), "the panicked pairing stays open");
     }
 
     #[test]

@@ -93,6 +93,60 @@ impl LatencyProfile {
     }
 }
 
+/// Bit-exact journal codec: the accumulator moments and histogram counts
+/// round-trip through [`f64::to_bits`] hex, so a profile decoded from a
+/// run journal produces byte-identical downstream tables (means, σ,
+/// PDFLT integrals) — the resume guarantee rests on this.
+impl crate::journal::Journaled for LatencyProfile {
+    fn encode_journal(&self) -> String {
+        use crate::journal::encode_f64_bits as bits;
+        let h = &self.histogram;
+        let counts: Vec<String> = (0..h.bins()).map(|i| h.count(i).to_string()).collect();
+        format!(
+            "{{\"n\":{},\"mean\":{},\"m2\":{},\"min\":{},\"max\":{},\
+             \"lo\":{},\"hi\":{},\"counts\":[{}],\"under\":{},\"over\":{}}}",
+            self.stats.count(),
+            bits(self.stats.mean()),
+            bits(self.stats.m2()),
+            bits(self.min()),
+            bits(self.max()),
+            bits(h.lo()),
+            bits(h.hi()),
+            counts.join(","),
+            h.underflow(),
+            h.overflow(),
+        )
+    }
+
+    fn decode_journal(s: &str) -> Option<Self> {
+        use crate::journal::{decode_f64_bits, raw_field};
+        let f = |key| decode_f64_bits(raw_field(s, key)?);
+        let n: u64 = raw_field(s, "n")?.parse().ok()?;
+        if n == 0 {
+            return None; // profiles are never empty
+        }
+        let stats = OnlineStats::from_parts(n, f("mean")?, f("m2")?, f("min")?, f("max")?);
+        let counts_start = s.find("\"counts\":[")? + "\"counts\":[".len();
+        let counts_end = counts_start + s[counts_start..].find(']')?;
+        let counts = s[counts_start..counts_end]
+            .split(',')
+            .filter(|p| !p.trim().is_empty())
+            .map(|p| p.trim().parse().ok())
+            .collect::<Option<Vec<u64>>>()?;
+        if counts.is_empty() {
+            return None;
+        }
+        let histogram = Histogram::from_parts(
+            f("lo")?,
+            f("hi")?,
+            counts,
+            raw_field(s, "under")?.parse().ok()?,
+            raw_field(s, "over")?.parse().ok()?,
+        );
+        Some(LatencyProfile { stats, histogram })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -64,9 +64,12 @@ thread_local! {
 }
 
 /// Credits `n` simulation events to the current thread's running tally.
-/// Called by the experiment drivers after each `World` run.
+/// Called by the experiment drivers after each `World` run. Also charges
+/// the supervised run budget of the current cell attempt, if one is
+/// installed (see [`crate::supervise`]).
 pub fn note_events(n: u64) {
     RUN_EVENTS.with(|c| c.set(c.get().saturating_add(n)));
+    crate::supervise::charge_events(n);
 }
 
 /// Drains the current thread's event tally (used by the sweep runner to
@@ -90,6 +93,13 @@ pub struct RunRecord {
     /// [`anp_simmpi::World::events_processed`] via [`note_events`]).
     /// Zero for analytic backends, which process no events.
     pub events: u64,
+    /// How the cell ended: `"ok"` (also for plain unsupervised sweeps),
+    /// `"resumed"` (decoded from a run journal), or a failure kind from
+    /// [`crate::journal::CellStatus`] (`"failed"`, `"panicked"`,
+    /// `"budget"`).
+    pub outcome: String,
+    /// Retries the supervisor spent on the cell (0 in plain sweeps).
+    pub retries: u32,
 }
 
 impl RunRecord {
@@ -186,11 +196,14 @@ impl SweepTelemetry {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"label\":\"{}\",\"backend\":\"{}\",\"wall_secs\":{:.6},\"events\":{}}}",
+                "{{\"label\":\"{}\",\"backend\":\"{}\",\"wall_secs\":{:.6},\"events\":{},\
+                 \"outcome\":\"{}\",\"retries\":{}}}",
                 json_escape(&r.label),
                 json_escape(&r.backend),
                 r.wall_secs,
-                r.events
+                r.events,
+                json_escape(&r.outcome),
+                r.retries
             ));
         }
         out.push_str("]}");
@@ -272,6 +285,8 @@ where
             backend: backend.to_owned(),
             wall_secs: start.elapsed().as_secs_f64(),
             events: take_events(),
+            outcome: "ok".to_owned(),
+            retries: 0,
         };
         (value, record)
     };
@@ -438,6 +453,8 @@ mod tests {
                 backend: "flow".to_owned(),
                 wall_secs: 0.5,
                 events: 10,
+                outcome: "ok".to_owned(),
+                retries: 1,
             }],
         };
         let j = t.to_json();
@@ -446,6 +463,8 @@ mod tests {
         assert!(j.contains("\"backend\":\"flow\""));
         assert!(j.contains("\"workers\":4"));
         assert!(j.contains("\"events\":10"));
+        assert!(j.contains("\"outcome\":\"ok\""));
+        assert!(j.contains("\"retries\":1"));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(
             j.matches('{').count(),
@@ -461,6 +480,8 @@ mod tests {
             backend: "des".to_owned(),
             wall_secs: 1.0,
             events,
+            outcome: "ok".to_owned(),
+            retries: 0,
         };
         let t = SweepTelemetry {
             name: "s".into(),

@@ -82,6 +82,38 @@ impl Histogram {
         h
     }
 
+    /// Rebuilds a histogram from its raw state (bounds, per-bin counts,
+    /// and the out-of-range tallies) — the counterpart of the accessors,
+    /// so a serialized histogram round-trips exactly (crash-safe sweep
+    /// journals depend on this). The total is recomputed; it always equals
+    /// binned + underflow + overflow by construction.
+    ///
+    /// # Panics
+    /// Panics on the same bad bounds as [`Histogram::new`].
+    pub fn from_parts(lo: f64, hi: f64, counts: Vec<u64>, underflow: u64, overflow: u64) -> Self {
+        assert!(!counts.is_empty(), "need at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && hi > lo, "bad bounds");
+        let total = counts.iter().sum::<u64>() + underflow + overflow;
+        Histogram {
+            lo,
+            hi,
+            counts,
+            overflow,
+            underflow,
+            total,
+        }
+    }
+
+    /// Lower bound of the binned range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper (exclusive) bound of the binned range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
     /// Number of regular bins.
     pub fn bins(&self) -> usize {
         self.counts.len()

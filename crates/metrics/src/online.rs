@@ -99,6 +99,30 @@ impl OnlineStats {
         (self.n > 0).then_some(self.max)
     }
 
+    /// Rebuilds an accumulator from its raw state — the exact counterpart
+    /// of [`OnlineStats::m2`] and the other accessors, so a serialized
+    /// accumulator round-trips bit-for-bit (crash-safe sweep journals
+    /// depend on this).
+    pub fn from_parts(n: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        if n == 0 {
+            return OnlineStats::new();
+        }
+        OnlineStats {
+            n,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
+    /// The raw second central moment `Σ(x−µ)²` — the internal Welford
+    /// state, exposed for bit-exact serialization (pair with
+    /// [`OnlineStats::from_parts`]).
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
     /// Merges another accumulator into this one (parallel Welford merge).
     pub fn merge(&mut self, other: &OnlineStats) {
         if other.n == 0 {

@@ -176,6 +176,11 @@ pub enum RunOutcome {
     /// The event queue drained with the job incomplete: no future event
     /// can unblock it. This is a deadlock or a permanent message loss.
     Stalled(StallReport),
+    /// The run budget installed via [`World::set_run_budget`] was spent
+    /// (too many simulation events, or the wall-clock deadline passed)
+    /// before the job finished. Unlike [`RunOutcome::DeadlineExpired`]
+    /// this says nothing about simulated time: the watchdog tripped.
+    BudgetExhausted(StallReport),
 }
 
 impl RunOutcome {
@@ -184,11 +189,13 @@ impl RunOutcome {
         matches!(self, RunOutcome::Completed { .. })
     }
 
-    /// The stall diagnostics, for the two incomplete outcomes.
+    /// The stall diagnostics, for the incomplete outcomes.
     pub fn stall_report(&self) -> Option<&StallReport> {
         match self {
             RunOutcome::Completed { .. } => None,
-            RunOutcome::DeadlineExpired(r) | RunOutcome::Stalled(r) => Some(r),
+            RunOutcome::DeadlineExpired(r)
+            | RunOutcome::Stalled(r)
+            | RunOutcome::BudgetExhausted(r) => Some(r),
         }
     }
 }
@@ -391,7 +398,19 @@ pub struct World {
     /// Sends abandoned after the retry budget, in failure order.
     failed_sends: Vec<FailedSend>,
     rel_stats: ReliabilityStats,
+    /// Hard cap on [`World::events_processed`]; `None` = unlimited.
+    max_events: Option<u64>,
+    /// Wall-clock deadline for the run loops, checked every
+    /// [`WALL_CHECK_MASK`]+1 events; `None` = unlimited.
+    wall_deadline: Option<std::time::Instant>,
+    /// Set once a run loop stopped because the budget was spent.
+    budget_exhausted: bool,
 }
+
+/// The run loops consult the wall clock only when
+/// `events_processed & WALL_CHECK_MASK == 0`, keeping the watchdog's
+/// steady-state cost to one branch per event.
+const WALL_CHECK_MASK: u64 = 0xFFFF;
 
 impl World {
     /// Creates a world over a fresh fabric.
@@ -431,7 +450,54 @@ impl World {
             recv_seq: IdHashMap::default(),
             failed_sends: Vec::new(),
             rel_stats: ReliabilityStats::default(),
+            max_events: None,
+            wall_deadline: None,
+            budget_exhausted: false,
         })
+    }
+
+    /// Installs a run budget: the run loops stop once
+    /// [`World::events_processed`] reaches `max_events` or the wall clock
+    /// passes `wall_deadline`, whichever comes first (`None` = unlimited).
+    /// A tripped budget makes [`World::run_until_job_done`] return
+    /// [`RunOutcome::BudgetExhausted`] and sets
+    /// [`World::budget_exhausted`] for the horizon-only
+    /// [`World::run_until`] path.
+    ///
+    /// The event cap is deterministic (the simulation stops after exactly
+    /// the same event under any schedule); the wall deadline is checked
+    /// every 65 536 events, so it is a watchdog, not a precise limit.
+    pub fn set_run_budget(
+        &mut self,
+        max_events: Option<u64>,
+        wall_deadline: Option<std::time::Instant>,
+    ) {
+        self.max_events = max_events;
+        self.wall_deadline = wall_deadline;
+    }
+
+    /// True once a run loop stopped because the installed budget
+    /// ([`World::set_run_budget`]) was spent.
+    pub fn budget_exhausted(&self) -> bool {
+        self.budget_exhausted
+    }
+
+    /// Whether the installed budget is spent; latches
+    /// [`World::budget_exhausted`] on first trip.
+    fn budget_tripped(&mut self) -> bool {
+        if self.budget_exhausted {
+            return true;
+        }
+        let events = self.q.events_processed();
+        let tripped = self.max_events.is_some_and(|cap| events >= cap)
+            || (events & WALL_CHECK_MASK == 0
+                && self
+                    .wall_deadline
+                    .is_some_and(|dl| std::time::Instant::now() >= dl));
+        if tripped {
+            self.budget_exhausted = true;
+        }
+        tripped
     }
 
     /// Enables the eager-protocol reliability layer (sequence numbers,
@@ -581,21 +647,24 @@ impl World {
             .sum()
     }
 
-    /// Runs until no events remain at or before `horizon`.
+    /// Runs until no events remain at or before `horizon`, or until the
+    /// installed run budget is spent (see [`World::set_run_budget`];
+    /// check [`World::budget_exhausted`] afterwards).
     pub fn run_until(&mut self, horizon: SimTime) {
         self.bootstrap();
-        while self.step(horizon) {}
+        while !self.budget_tripped() && self.step(horizon) {}
     }
 
-    /// Runs until `job` completes, the event queue drains, or `horizon`
-    /// passes — three distinct outcomes (completion, deadlock/stall,
-    /// deadline expiry) that callers must not conflate: an expired
-    /// deadline means "needed more simulated time", a stall means no
-    /// amount of time can help.
+    /// Runs until `job` completes, the event queue drains, `horizon`
+    /// passes, or the installed run budget is spent — distinct outcomes
+    /// (completion, deadlock/stall, deadline expiry, budget exhaustion)
+    /// that callers must not conflate: an expired deadline means "needed
+    /// more simulated time", a stall means no amount of time can help,
+    /// and a spent budget means the watchdog gave up on the run.
     pub fn run_until_job_done(&mut self, job: JobId, horizon: SimTime) -> RunOutcome {
         self.bootstrap();
         while !self.job_done(job) {
-            if !self.step(horizon) {
+            if self.budget_tripped() || !self.step(horizon) {
                 break;
             }
         }
@@ -605,7 +674,9 @@ impl World {
             };
         }
         let report = self.stall_report(job);
-        if self.q.peek_time().is_some() {
+        if self.budget_exhausted {
+            RunOutcome::BudgetExhausted(report)
+        } else if self.q.peek_time().is_some() {
             RunOutcome::DeadlineExpired(report)
         } else {
             RunOutcome::Stalled(report)
@@ -2056,6 +2127,70 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("rank 0"), "{text}");
         assert!(text.contains("tag 9"), "{text}");
+    }
+
+    #[test]
+    fn event_budget_trips_deterministically() {
+        // The same ping-pong with a tight event cap must stop at the same
+        // event count every time, and report BudgetExhausted — distinct
+        // from both deadline expiry and a stall.
+        let run = |cap: Option<u64>| {
+            let (mut w, job) = ping_pong_world(FaultPlan::none(), 50);
+            w.set_run_budget(cap, None);
+            let outcome = w.run_until_job_done(job, SimTime::from_secs(1));
+            (outcome, w.events_processed(), w.budget_exhausted())
+        };
+        let (clean, clean_events, clean_flag) = run(None);
+        assert!(clean.completed());
+        assert!(!clean_flag);
+        let cap = clean_events / 2;
+        let (a, ea, fa) = run(Some(cap));
+        let (b, eb, fb) = run(Some(cap));
+        assert!(fa && fb);
+        assert_eq!(ea, eb, "event budget must trip at a fixed event");
+        assert_eq!(ea, cap);
+        let RunOutcome::BudgetExhausted(report) = a else {
+            panic!("expected BudgetExhausted, got {a:?}");
+        };
+        assert_eq!(b.stall_report(), Some(&report), "reports must match");
+        assert!(!report.blocked.is_empty());
+    }
+
+    #[test]
+    fn zero_event_budget_trips_before_any_work() {
+        let (mut w, job) = ping_pong_world(FaultPlan::none(), 1);
+        w.set_run_budget(Some(0), None);
+        let outcome = w.run_until_job_done(job, SimTime::from_secs(1));
+        assert!(matches!(outcome, RunOutcome::BudgetExhausted(_)));
+        assert_eq!(w.events_processed(), 0);
+    }
+
+    #[test]
+    fn expired_wall_deadline_stops_run_until() {
+        let mut w = tiny_world();
+        w.add_job(
+            "busy",
+            vec![(
+                boxed(Scripted::new(vec![
+                    Op::Compute(SimDuration::from_secs(5)),
+                    Op::Stop,
+                ])),
+                NodeId(0),
+            )],
+        );
+        // A deadline already in the past trips on the very first check.
+        w.set_run_budget(None, Some(std::time::Instant::now()));
+        w.run_until(SimTime::from_secs(1));
+        assert!(w.budget_exhausted());
+        assert_eq!(w.events_processed(), 0);
+    }
+
+    #[test]
+    fn unlimited_budget_changes_nothing() {
+        let (mut w, job) = ping_pong_world(FaultPlan::none(), 3);
+        w.set_run_budget(None, None);
+        assert!(w.run_until_job_done(job, SimTime::from_secs(1)).completed());
+        assert!(!w.budget_exhausted());
     }
 
     fn ping_pong_world(plan: FaultPlan, rounds: usize) -> (World, JobId) {

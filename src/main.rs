@@ -9,21 +9,28 @@
 //! anp apps                      # list the built-in application proxies
 //! ```
 //!
-//! Global flags: `--seed <n>`, `--jobs <n>`, `--backend <des|flow>`. All
-//! commands run on the simulated Cab switch; see the `anp-bench` binaries
-//! for the full paper harnesses.
+//! Global flags: `--seed <n>`, `--jobs <n>`, `--backend <des|flow>`,
+//! plus the supervision envelope for the sweeping commands:
+//! `--max-retries <n>`, `--run-budget <secs>`, `--event-budget <n>`,
+//! `--resume <journal>`. All commands run on the simulated Cab switch;
+//! see the `anp-bench` binaries for the full paper harnesses.
 
 use anp_core::{
-    all_models, calibrate_with, degradation_percent, loss_sweep, run_sweep, Backend, BackendError,
-    ExperimentConfig, LookupTable, MuPolicy, Study, WorkloadSpec,
+    all_models, calibrate_with, completed_count, config_fingerprint, degradation_percent,
+    loss_sweep_supervised, partial_exit_code, sweep_supervised_for, Backend, BackendError,
+    ExperimentConfig, LookupTable, MuPolicy, RetryPolicy, RunBudget, RunJournal, Study, Supervisor,
+    WorkloadSpec,
 };
 use anp_simmpi::ReliabilityConfig;
 use anp_simnet::SimDuration;
 use anp_workloads::{AppKind, CompressionConfig};
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: anp [--seed N] [--jobs N] [--backend des|flow] <command>\n\
+        "usage: anp [--seed N] [--jobs N] [--backend des|flow]\n\
+         \x20          [--max-retries N] [--run-budget SECS] [--event-budget N]\n\
+         \x20          [--resume JOURNAL] <command>\n\
          commands:\n\
          \x20 calibrate            idle-switch calibration report\n\
          \x20 apps                 list application proxies\n\
@@ -36,7 +43,13 @@ fn usage() -> ! {
          cores; results are identical for any setting, 1 = serial)\n\
          --backend selects the measurement engine: 'des' (packet-level\n\
          simulation, the default and reference) or 'flow' (analytic\n\
-         flow-level model; see DESIGN.md for its error envelope)"
+         flow-level model; see DESIGN.md for its error envelope)\n\
+         --max-retries N retries failed or panicked sweep cells (budget\n\
+         trips are never retried); --run-budget / --event-budget cap each\n\
+         cell attempt; --resume JOURNAL makes 'sweep' and 'losses'\n\
+         crash-safe: completed cells are journaled and re-invocation\n\
+         re-runs only the missing ones. Sweeping commands exit 0 when\n\
+         every cell completed, 3 on a partial result, 1 when nothing did."
     );
     std::process::exit(2);
 }
@@ -59,11 +72,60 @@ fn parse_app(arg: Option<String>) -> AppKind {
     }
 }
 
+/// Chaos hook for the supervision integration tests: `ANP_FAULT_PANIC`
+/// and `ANP_FAULT_SPIN` name sweep-cell labels (comma-separated). A
+/// matching cell panics, or burns its whole event budget up front so the
+/// deterministic watchdog trips on its first simulation. Both are inert
+/// unless the variables are set, and both go through the same supervised
+/// code paths a real fault would.
+fn fault_hook(label: &str) {
+    let listed = |var: &str| {
+        std::env::var(var)
+            .map(|v| v.split(',').any(|l| l == label))
+            .unwrap_or(false)
+    };
+    if listed("ANP_FAULT_PANIC") {
+        panic!("injected fault: panic in {label}");
+    }
+    if listed("ANP_FAULT_SPIN") {
+        anp_core::supervise::charge_events(u64::MAX / 2);
+    }
+}
+
+/// Opens the `--resume` journal: resumed when the file exists, created
+/// otherwise. A journal that cannot be opened is a hard error — running
+/// without the requested crash net would be worse than stopping.
+fn open_journal(path: Option<&std::path::Path>) -> Option<RunJournal> {
+    let path = path?;
+    let journal = if path.exists() {
+        RunJournal::resume(path)
+    } else {
+        RunJournal::create(path)
+    };
+    match journal {
+        Ok(j) => {
+            if j.completed_cells() > 0 {
+                eprintln!(
+                    "(resuming: {} completed cells journaled in {})",
+                    j.completed_cells(),
+                    path.display()
+                );
+            }
+            Some(j)
+        }
+        Err(e) => fail(e),
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1).peekable();
     let mut seed = 0xA11CEu64;
     let mut jobs: Option<usize> = None;
     let mut backend_name = "des".to_owned();
+    let mut max_retries = 0u32;
+    let mut run_budget_secs: Option<f64> = None;
+    let mut event_budget: Option<u64> = None;
+    let mut resume: Option<std::path::PathBuf> = None;
     while let Some(a) = args.peek() {
         if a == "--seed" {
             args.next();
@@ -76,10 +138,45 @@ fn main() {
         } else if a == "--backend" {
             args.next();
             backend_name = args.next().unwrap_or_else(|| usage());
+        } else if a == "--max-retries" {
+            args.next();
+            let v = args.next().unwrap_or_else(|| usage());
+            max_retries = v.parse().unwrap_or_else(|_| usage());
+        } else if a == "--run-budget" {
+            args.next();
+            let v = args.next().unwrap_or_else(|| usage());
+            let secs: f64 = v.parse().unwrap_or_else(|_| usage());
+            if secs.is_nan() || secs <= 0.0 {
+                usage();
+            }
+            run_budget_secs = Some(secs);
+        } else if a == "--event-budget" {
+            args.next();
+            let v = args.next().unwrap_or_else(|| usage());
+            event_budget = Some(v.parse().unwrap_or_else(|_| usage()));
+        } else if a == "--resume" {
+            args.next();
+            resume = Some(std::path::PathBuf::from(
+                args.next().unwrap_or_else(|| usage()),
+            ));
         } else {
             break;
         }
     }
+    let supervisor = Supervisor {
+        budget: RunBudget {
+            wall: run_budget_secs.map(Duration::from_secs_f64),
+            events: event_budget,
+        },
+        retry: RetryPolicy {
+            max_retries,
+            backoff: if max_retries > 0 {
+                Duration::from_millis(100)
+            } else {
+                Duration::ZERO
+            },
+        },
+    };
     let mut cfg = ExperimentConfig::cab().with_seed(seed);
     if let Some(n) = jobs {
         cfg = cfg.with_jobs(n);
@@ -165,34 +262,60 @@ fn main() {
                 CompressionConfig::new(14, 250_000, 1),
                 CompressionConfig::new(17, 25_000, 10),
             ];
-            // Each rung is two independent simulations (impact + runtime);
-            // fan all of them out and print in ladder order.
-            let rungs = run_sweep(
-                cfg.jobs,
-                ladder
-                    .iter()
-                    .map(|comp| {
-                        let cfg = &cfg;
-                        move || {
-                            (
-                                backend
-                                    .measure_impact_profile(cfg, WorkloadSpec::Compression(comp)),
-                                backend.measure_compression_run(cfg, app, comp),
-                            )
-                        }
+            // Each rung (impact + runtime, one cell) runs inside the
+            // supervision envelope: a panicking or over-budget rung
+            // becomes a `-` row while its siblings complete, and with
+            // `--resume` completed rungs are journaled for crash-safe
+            // re-invocation. Collection is ladder-ordered, so the table
+            // is byte-identical for any `--jobs` setting.
+            let journal = open_journal(resume.as_deref());
+            let fp = config_fingerprint(&cfg, backend.name());
+            let tasks: Vec<(String, _)> = ladder
+                .iter()
+                .map(|comp| {
+                    let cfg = &cfg;
+                    let label = format!("rung:{}", comp.label());
+                    (label.clone(), move || {
+                        fault_hook(&label);
+                        let p = backend
+                            .measure_impact_profile(cfg, WorkloadSpec::Compression(comp))?;
+                        let t = backend.measure_compression_run(cfg, app, comp)?;
+                        Ok((p, t))
                     })
-                    .collect(),
-            );
-            for (comp, (p, t)) in ladder.iter().zip(rungs) {
-                let p = p.unwrap_or_else(|e| fail(e));
-                let t = t.unwrap_or_else(|e| fail(e));
-                println!(
-                    "{:<18} {:>6.1}% {:>+11.1}%",
-                    comp.label(),
-                    calib.utilization(&p) * 100.0,
-                    degradation_percent(solo, t)
-                );
+                })
+                .collect();
+            let (rungs, _telemetry) = sweep_supervised_for(
+                "sweep-ladder",
+                backend.name(),
+                cfg.jobs,
+                &supervisor,
+                journal.as_ref(),
+                fp,
+                tasks,
+            )
+            .unwrap_or_else(|e| fail(e));
+            for (comp, cell) in ladder.iter().zip(&rungs) {
+                match cell {
+                    Ok((p, t)) => println!(
+                        "{:<18} {:>6.1}% {:>+11.1}%",
+                        comp.label(),
+                        calib.utilization(p) * 100.0,
+                        degradation_percent(solo, *t)
+                    ),
+                    Err(e) => {
+                        println!("{:<18} {:>7} {:>12}", comp.label(), "-", "-");
+                        eprintln!("error: {e}");
+                    }
+                }
             }
+            let completed = completed_count(&rungs);
+            if completed < rungs.len() {
+                eprintln!("error: {} rung(s) did not complete", rungs.len() - completed);
+                if let Some(p) = &resume {
+                    eprintln!("(re-run with --resume {} to complete)", p.display());
+                }
+            }
+            std::process::exit(partial_exit_code(completed, rungs.len()));
         }
         "losses" => {
             let app = parse_app(args.next());
@@ -217,31 +340,51 @@ fn main() {
             let solo = backend.measure_solo_runtime(&cfg, app).unwrap_or_else(|e| fail(e));
             println!("{} lossless: {}", app.name(), solo);
             println!("{:<10} {:>12} {:>12}", "loss", "runtime", "degradation");
-            let mut failures = 0u32;
-            for (loss, res) in loss_sweep(&cfg, app, &[0.0, 1e-4, 5e-4, 1e-3], rel) {
+            // Each loss point runs under the supervision envelope; with
+            // `--resume` completed points are journaled, so a crashed or
+            // partial sweep re-runs only the missing rows.
+            let journal = open_journal(resume.as_deref());
+            let (points, _telemetry) = loss_sweep_supervised(
+                &cfg,
+                app,
+                &[0.0, 1e-4, 5e-4, 1e-3],
+                rel,
+                &supervisor,
+                journal.as_ref(),
+            )
+            .unwrap_or_else(|e| fail(e));
+            let total = points.len();
+            let mut completed = 0usize;
+            for (loss, res) in &points {
                 match res {
-                    Ok(t) => println!(
-                        "{:<10} {:>12} {:>+11.1}%",
-                        format!("{:.2}%", loss * 100.0),
-                        format!("{t}"),
-                        degradation_percent(solo, t)
-                    ),
+                    Ok(t) => {
+                        completed += 1;
+                        println!(
+                            "{:<10} {:>12} {:>+11.1}%",
+                            format!("{:.2}%", loss * 100.0),
+                            format!("{t}"),
+                            degradation_percent(solo, *t)
+                        );
+                    }
                     Err(e) => {
                         // The table row stays on stdout; the error detail
-                        // goes to stderr, and the command exits nonzero.
+                        // goes to stderr, and the command exits nonzero
+                        // (3: partial table, 1: nothing completed).
                         println!(
                             "{:<10} {:>12} (failed)",
                             format!("{:.2}%", loss * 100.0),
                             "-"
                         );
                         eprintln!("error: loss {:.2}%: {e}", loss * 100.0);
-                        failures += 1;
                     }
                 }
             }
-            if failures > 0 {
-                eprintln!("error: {failures} loss point(s) did not complete");
-                std::process::exit(1);
+            if completed < total {
+                eprintln!("error: {} loss point(s) did not complete", total - completed);
+                if let Some(p) = &resume {
+                    eprintln!("(re-run with --resume {} to complete)", p.display());
+                }
+                std::process::exit(partial_exit_code(completed, total));
             }
         }
         "predict" => {
