@@ -36,7 +36,7 @@ fn bench_metrics(c: &mut Criterion) {
 
     let small = synthetic_samples(10_000, 0.0);
     g.bench_function("quantile_10k", |b| {
-        b.iter(|| quantile(&small, 0.75));
+        b.iter(|| quantile(&small, 0.75).unwrap());
     });
 
     let xs: Vec<f64> = (0..1_000).map(f64::from).collect();

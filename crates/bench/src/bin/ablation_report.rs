@@ -9,17 +9,29 @@
 //!    responds to interference compared with a windowed variant
 //!    (approximated by a bulk non-blocking exchange program).
 //!
+//! The probe cells are independent simulations that fan out across the
+//! sweep engine (`--jobs N`) under the supervision envelope: failing
+//! cells print `-` rows while every sibling completes, `--max-retries` /
+//! `--run-budget` / `--event-budget` bound each cell, and `--resume
+//! <journal>` makes the report crash-safe (exit code 0 complete, 3
+//! partial, 1 nothing).
+//!
 //! ```text
-//! cargo run --release -p anp-bench --bin ablation_report [--quick]
+//! cargo run --release -p anp-bench --bin ablation_report \
+//!     [--quick] [--jobs N] [--max-retries N] [--resume run.jsonl]
 //! ```
 
-use anp_bench::{banner, HarnessOpts};
+use anp_bench::{banner, HarnessOpts, Supervision};
 use anp_core::{
-    calibrate, idle_profile, impact_profile, impact_profile_of_compression, MuPolicy,
+    calibrate, completed_count, config_fingerprint, idle_profile, impact_profile,
+    impact_profile_of_compression, sweep_supervised, ExperimentError, JournalError,
+    LatencyProfile, MuPolicy,
 };
 use anp_simmpi::{Looping, Op, Program, Src};
 use anp_simnet::NodeId;
 use anp_workloads::CompressionConfig;
+
+type Task<'a> = Box<dyn Fn() -> Result<LatencyProfile, ExperimentError> + Send + Sync + 'a>;
 
 fn main() {
     let opts = HarnessOpts::from_args();
@@ -30,6 +42,109 @@ fn main() {
         CompressionConfig::new(7, 2_500_000, 10),
         CompressionConfig::new(17, 25_000, 10),
     ];
+    let mut mg1 = cfg.clone();
+    mg1.switch.route_servers = 1;
+
+    let supervisor = opts.supervisor();
+    let journal = opts.open_journal();
+    let fp = config_fingerprint(&cfg, "des");
+    let die = |e: JournalError| -> ! {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    };
+
+    // All probe distributions the three sections read, as one supervised
+    // sweep: idle, the three loads on the default switch, the same loads
+    // on the literal M/G/1 switch, and the two exchange variants.
+    let mut tasks: Vec<(String, Task<'_>)> =
+        vec![("idle".to_owned(), Box::new(|| idle_profile(&cfg)))];
+    for comp in &loads {
+        let cfg = &cfg;
+        tasks.push((
+            format!("impact:{}", comp.label()),
+            Box::new(move || impact_profile_of_compression(cfg, comp)),
+        ));
+    }
+    for comp in &loads {
+        let mg1 = &mg1;
+        tasks.push((
+            format!("mg1:{}", comp.label()),
+            Box::new(move || impact_profile_of_compression(mg1, comp)),
+        ));
+    }
+    for &chained in &[true, false] {
+        let cfg = &cfg;
+        tasks.push((
+            format!("exchange:{}", if chained { "chained" } else { "bulk" }),
+            Box::new(move || {
+                // Two synthetic 18-rank exchange workloads moving identical
+                // volume: chained posts one message at a time; bulk posts
+                // all eight first.
+                let members: Vec<(Box<dyn Program>, NodeId)> = (0..18u32)
+                    .map(|n| {
+                        let peers: Vec<u32> =
+                            (1..=4).flat_map(|d| [(n + d) % 18, (n + 18 - d) % 18]).collect();
+                        let mut body = Vec::new();
+                        if chained {
+                            for &p in &peers {
+                                body.push(Op::Irecv {
+                                    src: Src::Rank(p),
+                                    tag: 1,
+                                });
+                                body.push(Op::Isend {
+                                    dst: p,
+                                    bytes: 4096,
+                                    tag: 1,
+                                });
+                                body.push(Op::WaitAll);
+                            }
+                        } else {
+                            for &p in &peers {
+                                body.push(Op::Irecv {
+                                    src: Src::Rank(p),
+                                    tag: 1,
+                                });
+                                body.push(Op::Isend {
+                                    dst: p,
+                                    bytes: 4096,
+                                    tag: 1,
+                                });
+                            }
+                            body.push(Op::WaitAll);
+                        }
+                        (
+                            Box::new(Looping::new(body)) as Box<dyn Program>,
+                            NodeId(n),
+                        )
+                    })
+                    .collect();
+                impact_profile(cfg, Some(members))
+            }),
+        ));
+    }
+    let (cells, telemetry) = sweep_supervised(
+        "ablation-profiles",
+        cfg.jobs,
+        &supervisor,
+        journal.as_ref(),
+        fp,
+        tasks,
+    )
+    .unwrap_or_else(|e| die(e));
+    let mut supervision = Supervision::default();
+    supervision.absorb(
+        cells
+            .iter()
+            .filter_map(|r| r.as_ref().err().cloned())
+            .collect(),
+        completed_count(&cells),
+        cells.len(),
+    );
+    let idle = cells[0].as_ref().ok();
+    let impacts = &cells[1..1 + loads.len()];
+    let mg1_impacts = &cells[1 + loads.len()..1 + 2 * loads.len()];
+    let chained = cells[cells.len() - 2].as_ref().ok();
+    let bulk = cells[cells.len() - 1].as_ref().ok();
 
     // ------------------------------------------------------------------
     println!("## 1. mu policy: MinLatency (paper) vs MeanLatency");
@@ -43,21 +158,18 @@ fn main() {
         "   {:<18} {:>10} {:>10}",
         "load", "util(min)", "util(mean)"
     );
-    let idle = idle_profile(&cfg).expect("idle");
-    println!(
-        "   {:<18} {:>9.1}% {:>9.1}%",
-        "idle",
-        c_min.utilization(&idle) * 100.0,
-        c_mean.utilization(&idle) * 100.0
-    );
-    for comp in &loads {
-        let p = impact_profile_of_compression(&cfg, comp).expect("impact");
-        println!(
+    let util_row = |label: &str, p: Option<&LatencyProfile>| match p {
+        Some(p) => println!(
             "   {:<18} {:>9.1}% {:>9.1}%",
-            comp.label(),
-            c_min.utilization(&p) * 100.0,
-            c_mean.utilization(&p) * 100.0
-        );
+            label,
+            c_min.utilization(p) * 100.0,
+            c_mean.utilization(p) * 100.0
+        ),
+        None => println!("   {:<18} {:>10} {:>10}", label, "-", "-"),
+    };
+    util_row("idle", idle);
+    for (comp, cell) in loads.iter().zip(impacts) {
+        util_row(&comp.label(), cell.as_ref().ok());
     }
     println!("   (the mean policy zeroes the idle reading but compresses the");
     println!("   top of the scale; the paper's min policy is kept as default)");
@@ -65,20 +177,19 @@ fn main() {
 
     // ------------------------------------------------------------------
     println!("## 2. routing parallelism: 18 servers (default) vs literal M/G/1");
-    let mut mg1 = cfg.clone();
-    mg1.switch.route_servers = 1;
-    let c18 = calibrate(&cfg, MuPolicy::MinLatency).expect("calib k=18");
+    let c18 = c_min;
     let c1 = calibrate(&mg1, MuPolicy::MinLatency).expect("calib k=1");
     println!("   {:<18} {:>10} {:>10}", "load", "util(k=18)", "util(k=1)");
-    for comp in &loads {
-        let p18 = impact_profile_of_compression(&cfg, comp).expect("impact k=18");
-        let p1 = impact_profile_of_compression(&mg1, comp).expect("impact k=1");
-        println!(
-            "   {:<18} {:>9.1}% {:>9.1}%",
-            comp.label(),
-            c18.utilization(&p18) * 100.0,
-            c1.utilization(&p1) * 100.0
-        );
+    for ((comp, cell18), cell1) in loads.iter().zip(impacts).zip(mg1_impacts) {
+        match (cell18.as_ref().ok(), cell1.as_ref().ok()) {
+            (Some(p18), Some(p1)) => println!(
+                "   {:<18} {:>9.1}% {:>9.1}%",
+                comp.label(),
+                c18.utilization(p18) * 100.0,
+                c1.utilization(p1) * 100.0
+            ),
+            _ => println!("   {:<18} {:>10} {:>10}", comp.label(), "-", "-"),
+        }
     }
     println!("   (a literal single server saturates under loads a real crossbar");
     println!("   absorbs — every moderate config reads near 100%)");
@@ -86,61 +197,25 @@ fn main() {
 
     // ------------------------------------------------------------------
     println!("## 3. exchange chaining: latency-chained vs bulk-posted neighbours");
-    // Two synthetic 18-rank exchange workloads moving identical volume:
-    // chained posts one message at a time; bulk posts all eight first.
-    let probe_under = |chained: bool| {
-        let members: Vec<(Box<dyn Program>, NodeId)> = (0..18u32)
-            .map(|n| {
-                let peers: Vec<u32> = (1..=4).flat_map(|d| [(n + d) % 18, (n + 18 - d) % 18]).collect();
-                let mut body = Vec::new();
-                if chained {
-                    for &p in &peers {
-                        body.push(Op::Irecv {
-                            src: Src::Rank(p),
-                            tag: 1,
-                        });
-                        body.push(Op::Isend {
-                            dst: p,
-                            bytes: 4096,
-                            tag: 1,
-                        });
-                        body.push(Op::WaitAll);
-                    }
-                } else {
-                    for &p in &peers {
-                        body.push(Op::Irecv {
-                            src: Src::Rank(p),
-                            tag: 1,
-                        });
-                        body.push(Op::Isend {
-                            dst: p,
-                            bytes: 4096,
-                            tag: 1,
-                        });
-                    }
-                    body.push(Op::WaitAll);
-                }
-                (
-                    Box::new(Looping::new(body)) as Box<dyn Program>,
-                    NodeId(n),
-                )
-            })
-            .collect();
-        impact_profile(&cfg, Some(members)).expect("exchange impact")
-    };
-    let chained = probe_under(true);
-    let bulk = probe_under(false);
-    println!(
-        "   chained exchange: probe mean {:.2}us -> util {:.1}%",
-        chained.mean(),
-        c18.utilization(&chained) * 100.0
-    );
-    println!(
-        "   bulk exchange:    probe mean {:.2}us -> util {:.1}%",
-        bulk.mean(),
-        c18.utilization(&bulk) * 100.0
-    );
+    match (chained, bulk) {
+        (Some(chained), Some(bulk)) => {
+            println!(
+                "   chained exchange: probe mean {:.2}us -> util {:.1}%",
+                chained.mean(),
+                c18.utilization(chained) * 100.0
+            );
+            println!(
+                "   bulk exchange:    probe mean {:.2}us -> util {:.1}%",
+                bulk.mean(),
+                c18.utilization(bulk) * 100.0
+            );
+        }
+        _ => println!("   -  (exchange cells failed)"),
+    }
     println!("   (bulk posting overlaps rounds and loads the switch harder per");
     println!("   unit time; chaining is what makes small-message codes latency-");
     println!("   sensitive, motivating ALLTOALL_WINDOW = 1)");
+    opts.emit_bench_json("ablation_report", &[&telemetry]);
+    supervision.report(opts.resume.as_deref());
+    std::process::exit(supervision.exit_code());
 }

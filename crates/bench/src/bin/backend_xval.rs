@@ -4,17 +4,28 @@
 //! utilization, and loaded/solo runtime ratios, plus the wall-clock
 //! speedup from the sweep telemetry.
 //!
+//! Both grids run through the supervised sweep engine: failing cells
+//! leave `-` holes (reported as MISSING lines) while every sibling
+//! completes and gets compared, `--max-retries` / `--run-budget` /
+//! `--event-budget` bound each cell, and `--resume <journal>` makes the
+//! grids crash-safe.
+//!
 //! ```text
-//! cargo run --release -p anp-bench --bin backend_xval [--quick]
+//! cargo run --release -p anp-bench --bin backend_xval \
+//!     [--quick] [--jobs N] [--max-retries N] [--resume run.jsonl]
 //! ```
 //!
 //! Exit code 1 if the flow model leaves its documented error envelope
 //! (probe means within [`PROBE_TOLERANCE`], runtime ratios within
 //! [`SLOWDOWN_TOLERANCE`]) or misses the [`MIN_SPEEDUP`] floor on the
-//! full grid. The same gates run as a `cargo test` on the quick grid.
+//! full grid; otherwise the supervision convention (0 complete, 3
+//! partial, 1 nothing). The same gates run as a `cargo test` on the
+//! quick grid.
 
-use anp_bench::xval::{run_xval, render_report, MIN_SPEEDUP, PROBE_TOLERANCE, SLOWDOWN_TOLERANCE};
-use anp_bench::{banner, HarnessOpts};
+use anp_bench::xval::{
+    render_report, run_xval_supervised, MIN_SPEEDUP, PROBE_TOLERANCE, SLOWDOWN_TOLERANCE,
+};
+use anp_bench::{banner, HarnessOpts, Supervision};
 use anp_core::DesBackend;
 use anp_flowsim::FlowBackend;
 use anp_workloads::{AppKind, CompressionConfig};
@@ -35,6 +46,8 @@ fn main() {
     let opts = HarnessOpts::from_args();
     banner("Backend x-val", "flow model vs DES ground truth", &opts);
     let cfg = opts.experiment_config();
+    let supervisor = opts.supervisor();
+    let journal = opts.open_journal();
 
     // The gated grid is always the ladder: the paper's full Fig. 6 sweep
     // adds only saturated interior cells whose DES values are dominated
@@ -48,13 +61,31 @@ fn main() {
     };
     let comps = quick_comps();
 
-    let report = run_xval(&cfg, &apps, &comps, &DesBackend, &FlowBackend)
-        .expect("cross-validation grid failed");
-    print!("{}", render_report(&report));
+    let xval = run_xval_supervised(
+        &cfg,
+        &apps,
+        &comps,
+        &DesBackend,
+        &FlowBackend,
+        &supervisor,
+        journal.as_ref(),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let report = &xval.report;
+    let mut supervision = Supervision::default();
+    supervision.absorb(xval.failures, xval.completed, xval.total);
+
+    print!("{}", render_report(report));
     opts.emit_bench_json(
         "backend_xval",
         &[&report.des_telemetry, &report.flow_telemetry],
     );
+    if !supervision.is_complete() {
+        println!("(gates apply to the cells both backends completed)");
+    }
 
     let mut failed = false;
     if report.max_probe_err() > PROBE_TOLERANCE {
@@ -82,6 +113,7 @@ fn main() {
         );
         failed = true;
     }
+    supervision.report(opts.resume.as_deref());
     if failed {
         std::process::exit(1);
     }
@@ -90,4 +122,5 @@ fn main() {
         PROBE_TOLERANCE * 100.0,
         SLOWDOWN_TOLERANCE * 100.0
     );
+    std::process::exit(supervision.exit_code());
 }

@@ -3,24 +3,32 @@
 //! workload's one-line footprint. Useful when re-tuning `SwitchConfig` or
 //! application parameters.
 //!
+//! The probe, runtime, and phase-tracing cells are independent
+//! simulations that fan out across the sweep engine (`--jobs N`) under
+//! the supervision envelope: failing cells print `-` entries while every
+//! sibling completes, `--max-retries` / `--run-budget` /
+//! `--event-budget` bound each cell, and `--resume <journal>` makes the
+//! report crash-safe (exit code 0 complete, 3 partial, 1 nothing).
+//!
 //! ```text
-//! cargo run --release -p anp-bench --bin calibration_report [--quick]
+//! cargo run --release -p anp-bench --bin calibration_report \
+//!     [--quick] [--jobs N] [--max-retries N] [--resume run.jsonl]
 //! ```
 
-use anp_bench::{banner, HarnessOpts};
+use anp_bench::{banner, HarnessOpts, Supervision};
 use anp_core::{
-    calibrate, degradation_percent, idle_profile, impact_profile_of_app,
-    impact_profile_of_compression, runtime_under_compression, solo_runtime, MuPolicy,
+    calibrate, completed_count, config_fingerprint, degradation_percent, idle_profile,
+    impact_profile_of_app, impact_profile_of_compression, runtime_under_compression, solo_runtime,
+    sweep_supervised, ExperimentConfig, ExperimentError, JournalError, LatencyProfile, MuPolicy,
 };
 use anp_simmpi::World;
-use anp_simnet::SimTime;
+use anp_simnet::{SimDuration, SimTime};
 use anp_workloads::{AppKind, CompressionConfig, RunMode};
 
 /// Measures the fraction of an app's solo runtime spent blocked on the
 /// network (via the world's phase accounting) — the ceiling on how much
 /// interference can hurt it.
-fn solo_wait_fraction(opts: &HarnessOpts, app: AppKind) -> f64 {
-    let cfg = opts.experiment_config();
+fn solo_wait_fraction(cfg: &ExperimentConfig, app: AppKind) -> f64 {
     let mut world = World::new(cfg.switch.clone());
     let job = world.add_job(app.name(), app.build(RunMode::Iterations(0), 17));
     world.enable_tracing();
@@ -32,58 +40,182 @@ fn solo_wait_fraction(opts: &HarnessOpts, app: AppKind) -> f64 {
     world.job_phase_totals(job).waiting_fraction()
 }
 
+type ProfileTask<'a> = Box<dyn Fn() -> Result<LatencyProfile, ExperimentError> + Send + Sync + 'a>;
+type RuntimeTask<'a> = Box<dyn Fn() -> Result<SimDuration, ExperimentError> + Send + Sync + 'a>;
+
+/// Folds one sweep's holes and counts into the campaign totals.
+fn absorb<T>(supervision: &mut Supervision, cells: &[anp_core::CellResult<T>]) {
+    supervision.absorb(
+        cells
+            .iter()
+            .filter_map(|r| r.as_ref().err().cloned())
+            .collect(),
+        completed_count(cells),
+        cells.len(),
+    );
+}
+
 fn main() {
     let opts = HarnessOpts::from_args();
     banner("Calibration", "substrate sanity report", &opts);
     let cfg = opts.experiment_config();
+    let supervisor = opts.supervisor();
+    let journal = opts.open_journal();
+    let fp = config_fingerprint(&cfg, "des");
+    let die = |e: JournalError| -> ! {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    };
+    let mut supervision = Supervision::default();
+    let apps = opts.apps();
+    let heavy = CompressionConfig::new(17, 25_000, 10);
 
-    let idle = idle_profile(&cfg).expect("idle profile");
+    // Probe distributions: the idle baseline, the heaviest CompressionB
+    // footprint, and one impact profile per app.
+    let mut profile_tasks: Vec<(String, ProfileTask<'_>)> =
+        vec![("idle".to_owned(), Box::new(|| idle_profile(&cfg)))];
+    {
+        let cfg = &cfg;
+        let heavy = &heavy;
+        profile_tasks.push((
+            "impact:heavy".to_owned(),
+            Box::new(move || impact_profile_of_compression(cfg, heavy)),
+        ));
+    }
+    for &app in &apps {
+        let cfg = &cfg;
+        profile_tasks.push((
+            format!("profile:{}", app.name()),
+            Box::new(move || impact_profile_of_app(cfg, app)),
+        ));
+    }
+    let (profiles, profile_telemetry) = sweep_supervised(
+        "calibration-profiles",
+        cfg.jobs,
+        &supervisor,
+        journal.as_ref(),
+        fp,
+        profile_tasks,
+    )
+    .unwrap_or_else(|e| die(e));
+    absorb(&mut supervision, &profiles);
+
+    // Runtimes: each app solo and under the heavy configuration.
+    let mut runtime_tasks: Vec<(String, RuntimeTask<'_>)> = Vec::new();
+    for &app in &apps {
+        let cfg = &cfg;
+        let heavy = &heavy;
+        runtime_tasks.push((
+            format!("solo:{}", app.name()),
+            Box::new(move || solo_runtime(cfg, app)),
+        ));
+        runtime_tasks.push((
+            format!("loaded:{}", app.name()),
+            Box::new(move || runtime_under_compression(cfg, app, heavy)),
+        ));
+    }
+    let (runtimes, runtime_telemetry) = sweep_supervised(
+        "calibration-runtimes",
+        cfg.jobs,
+        &supervisor,
+        journal.as_ref(),
+        fp,
+        runtime_tasks,
+    )
+    .unwrap_or_else(|e| die(e));
+    absorb(&mut supervision, &runtimes);
+
+    // Network-wait fractions from phase tracing (a panicking cell —
+    // e.g. a non-converging run — is isolated into a typed hole).
+    let wait_tasks: Vec<(String, _)> = apps
+        .iter()
+        .map(|&app| {
+            let cfg = &cfg;
+            (format!("wait:{}", app.name()), move || {
+                Ok(solo_wait_fraction(cfg, app))
+            })
+        })
+        .collect();
+    let (waits, wait_telemetry) = sweep_supervised(
+        "calibration-waits",
+        cfg.jobs,
+        &supervisor,
+        journal.as_ref(),
+        fp,
+        wait_tasks,
+    )
+    .unwrap_or_else(|e| die(e));
+    absorb(&mut supervision, &waits);
+
+    let idle = profiles[0].as_ref().ok();
+    let heavy_profile = profiles[1].as_ref().ok();
     let calib = calibrate(&cfg, MuPolicy::MinLatency).expect("calibration");
-    println!(
-        "idle switch: mean={:.3}us sd={:.3}us min={:.3}us max={:.3}us (n={})",
-        idle.mean(),
-        idle.std_dev(),
-        idle.min(),
-        idle.max(),
-        idle.count()
-    );
-    println!(
-        "queue calibration: mu={:.4}/us Var(S)={:.4}us^2 idle-reading={:.1}%",
-        calib.mu,
-        calib.var_s,
-        calib.utilization(&idle) * 100.0
-    );
+    match idle {
+        Some(idle) => {
+            println!(
+                "idle switch: mean={:.3}us sd={:.3}us min={:.3}us max={:.3}us (n={})",
+                idle.mean(),
+                idle.std_dev(),
+                idle.min(),
+                idle.max(),
+                idle.count()
+            );
+            println!(
+                "queue calibration: mu={:.4}/us Var(S)={:.4}us^2 idle-reading={:.1}%",
+                calib.mu,
+                calib.var_s,
+                calib.utilization(idle) * 100.0
+            );
+        }
+        None => println!("idle switch: -  (cell failed)"),
+    }
     println!();
 
-    let heavy = CompressionConfig::new(17, 25_000, 10);
-    let heavy_profile = impact_profile_of_compression(&cfg, &heavy).expect("heavy impact");
-    println!(
-        "heaviest CompressionB ({}): probe mean={:.2}us -> util={:.1}%",
-        heavy.label(),
-        heavy_profile.mean(),
-        calib.utilization(&heavy_profile) * 100.0
-    );
+    match heavy_profile {
+        Some(p) => println!(
+            "heaviest CompressionB ({}): probe mean={:.2}us -> util={:.1}%",
+            heavy.label(),
+            p.mean(),
+            calib.utilization(p) * 100.0
+        ),
+        None => println!("heaviest CompressionB ({}): -  (cell failed)", heavy.label()),
+    }
     println!();
 
     println!(
         "{:<8} {:>7} {:>11} {:>10} {:>14}",
         "app", "util", "solo", "net-wait", "degr@heavy"
     );
-    for app in opts.apps() {
-        let p = impact_profile_of_app(&cfg, app).expect("app impact");
-        let solo = solo_runtime(&cfg, app).expect("solo runtime");
-        let wait = solo_wait_fraction(&opts, app);
-        let loaded = runtime_under_compression(&cfg, app, &heavy).expect("loaded runtime");
+    for (i, &app) in apps.iter().enumerate() {
+        let p = profiles[2 + i].as_ref().ok();
+        let solo = runtimes[2 * i].as_ref().ok();
+        let loaded = runtimes[2 * i + 1].as_ref().ok();
+        let wait = waits[i].as_ref().ok();
+        let util = p.map_or("-".to_owned(), |p| {
+            format!("{:.1}%", calib.utilization(p) * 100.0)
+        });
+        let solo_txt = solo.map_or("-".to_owned(), |t| format!("{t}"));
+        let wait_txt = wait.map_or("-".to_owned(), |w| format!("{:.0}%", w * 100.0));
+        let degr = match (solo, loaded) {
+            (Some(s), Some(l)) => format!("{:+.1}%", degradation_percent(*s, *l)),
+            _ => "-".to_owned(),
+        };
         println!(
-            "{:<8} {:>6.1}% {:>11} {:>9.0}% {:>+13.1}%",
+            "{:<8} {:>7} {:>11} {:>10} {:>14}",
             app.name(),
-            calib.utilization(&p) * 100.0,
-            format!("{solo}"),
-            wait * 100.0,
-            degradation_percent(solo, loaded)
+            util,
+            solo_txt,
+            wait_txt,
+            degr
         );
     }
     println!();
     println!("net-wait is the solo run's network-blocked time fraction (phase");
     println!("tracing): the ceiling on how much switch contention can hurt.");
+    opts.emit_bench_json(
+        "calibration_report",
+        &[&profile_telemetry, &runtime_telemetry, &wait_telemetry],
+    );
+    supervision.report(opts.resume.as_deref());
+    std::process::exit(supervision.exit_code());
 }

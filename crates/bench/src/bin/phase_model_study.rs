@@ -15,17 +15,39 @@
 //! network-sensitive victims and compares three predictors: the plain
 //! queue model, the phase-aware model, and the measured truth.
 //!
+//! Every measurement (look-up table, probe series, solo and co-run
+//! runtimes) runs as a supervised sweep cell: failing cells print `-`
+//! rows while every sibling completes, `--max-retries` / `--run-budget`
+//! / `--event-budget` bound each cell, and `--resume <journal>` makes
+//! the study crash-safe (exit code 0 complete, 3 partial, 1 nothing).
+//!
 //! ```text
-//! cargo run --release -p anp-bench --bin phase_model_study [--quick]
+//! cargo run --release -p anp-bench --bin phase_model_study \
+//!     [--quick] [--jobs N] [--max-retries N] [--resume run.jsonl]
 //! ```
 
-use anp_bench::{banner, HarnessOpts};
+use anp_bench::{banner, HarnessOpts, Supervision};
 use anp_core::{
-    calibrate, degradation_percent, impact_series_of_app, runtime_under_corun, solo_runtime,
-    LookupTable, MuPolicy, QueueModel, QueuePhaseModel, SlowdownModel,
+    calibrate, completed_count, config_fingerprint, degradation_percent, impact_series_of_app,
+    runtime_under_corun, solo_runtime, sweep_supervised, CellResult, DesBackend, ExperimentError,
+    JournalError, LookupTable, MuPolicy, QueueModel, QueuePhaseModel, SlowdownModel,
 };
 use anp_simnet::SimDuration;
 use anp_workloads::AppKind;
+
+type RuntimeTask<'a> = Box<dyn Fn() -> Result<SimDuration, ExperimentError> + Send + Sync + 'a>;
+
+/// Folds one sweep's holes and counts into the campaign totals.
+fn absorb<T>(supervision: &mut Supervision, cells: &[CellResult<T>]) {
+    supervision.absorb(
+        cells
+            .iter()
+            .filter_map(|r| r.as_ref().err().cloned())
+            .collect(),
+        completed_count(cells),
+        cells.len(),
+    );
+}
 
 fn main() {
     let opts = HarnessOpts::from_args();
@@ -35,6 +57,14 @@ fn main() {
         &opts,
     );
     let cfg = opts.experiment_config();
+    let supervisor = opts.supervisor();
+    let journal = opts.open_journal();
+    let fp = config_fingerprint(&cfg, "des");
+    let die = |e: JournalError| -> ! {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    };
+    let mut supervision = Supervision::default();
 
     // Victims: the network-sensitive applications; co-runners: the phased
     // ones whose average footprint misrepresents their instantaneous one.
@@ -46,7 +76,8 @@ fn main() {
     let phased = [AppKind::Amg, AppKind::Mcb];
 
     // Look-up table over a reduced sweep (the degradation curves only
-    // need enough points to interpolate).
+    // need enough points to interpolate), measured under supervision:
+    // failed cells leave holes; the table interpolates the survivors.
     println!("[measuring look-up table]");
     let calib = calibrate(&cfg, MuPolicy::MinLatency).expect("calibration");
     let sweep = {
@@ -56,10 +87,69 @@ fn main() {
         };
         opts_sweep.compression_sweep()
     };
-    let table = LookupTable::measure(&cfg, calib, &victims, &sweep, |line| {
-        println!("  {line}");
-    })
-    .expect("table");
+    let (lut, lut_telemetry) = LookupTable::measure_supervised_with(
+        &DesBackend,
+        &cfg,
+        calib,
+        &victims,
+        &sweep,
+        &supervisor,
+        journal.as_ref(),
+        |line| println!("  {line}"),
+    )
+    .unwrap_or_else(|e| die(e));
+    supervision.absorb(lut.failures, lut.completed, lut.total);
+    let table = lut.table;
+
+    // One timed impact series per phased co-runner.
+    let series_tasks: Vec<(String, _)> = phased
+        .iter()
+        .map(|&other| {
+            let cfg = &cfg;
+            (format!("series:{}", other.name()), move || {
+                impact_series_of_app(cfg, other)
+            })
+        })
+        .collect();
+    let (series_cells, series_telemetry) = sweep_supervised(
+        "phase-series",
+        cfg.jobs,
+        &supervisor,
+        journal.as_ref(),
+        fp,
+        series_tasks,
+    )
+    .unwrap_or_else(|e| die(e));
+    absorb(&mut supervision, &series_cells);
+
+    // Solo baselines plus the victim × co-runner ground-truth grid.
+    let mut runtime_tasks: Vec<(String, RuntimeTask<'_>)> = Vec::new();
+    for &victim in &victims {
+        let cfg = &cfg;
+        runtime_tasks.push((
+            format!("solo:{}", victim.name()),
+            Box::new(move || solo_runtime(cfg, victim)),
+        ));
+    }
+    for &other in &phased {
+        for &victim in &victims {
+            let cfg = &cfg;
+            runtime_tasks.push((
+                format!("corun:{}:{}", victim.name(), other.name()),
+                Box::new(move || runtime_under_corun(cfg, victim, other)),
+            ));
+        }
+    }
+    let (runtimes, runtime_telemetry) = sweep_supervised(
+        "phase-runtimes",
+        cfg.jobs,
+        &supervisor,
+        journal.as_ref(),
+        fp,
+        runtime_tasks,
+    )
+    .unwrap_or_else(|e| die(e));
+    absorb(&mut supervision, &runtimes);
 
     let phase_model = QueuePhaseModel {
         window: SimDuration::from_millis(10),
@@ -67,65 +157,101 @@ fn main() {
     };
 
     println!();
+    if table.is_none() {
+        println!("(no look-up table cell completed: predictions unavailable)");
+    }
     println!(
         "{:<8} {:<8} {:>9} {:>9} {:>11} | {:>8} {:>10}",
         "victim", "with", "measured", "Queue", "QueuePhase", "err(Q)", "err(QP)"
     );
     let mut q_errors = Vec::new();
     let mut qp_errors = Vec::new();
-    for &other in &phased {
-        // One timed impact series per phased co-runner.
-        let series = impact_series_of_app(&cfg, other).expect("impact series");
-        let dist = series.utilization_distribution(
-            &table.calibration,
-            phase_model.window,
-            phase_model.min_samples,
-        );
-        let u_lo = dist.iter().map(|(u, _)| *u).fold(1.0, f64::min);
-        let u_hi = dist.iter().map(|(u, _)| *u).fold(0.0, f64::max);
-        println!(
-            "-- {} windows: {} usable, utilization spread {:.0}%..{:.0}% (mean-based reading {:.0}%)",
-            other.name(),
-            dist.len(),
-            u_lo * 100.0,
-            u_hi * 100.0,
-            table.calibration.utilization(&series.profile()) * 100.0
-        );
-        for &victim in &victims {
-            let solo = solo_runtime(&cfg, victim).expect("solo");
-            let loaded = runtime_under_corun(&cfg, victim, other).expect("corun");
-            let measured = degradation_percent(solo, loaded);
-            let q = QueueModel
-                .predict(&table, victim, &series.profile())
-                .expect("queue prediction");
-            let qp = phase_model
-                .predict_series(&table, victim, &series)
-                .expect("phase prediction");
-            q_errors.push((measured - q).abs());
-            qp_errors.push((measured - qp).abs());
-            println!(
-                "{:<8} {:<8} {:>+8.1}% {:>+8.1}% {:>+10.1}% | {:>8.1} {:>10.1}",
-                victim.name(),
-                other.name(),
-                measured,
-                q,
-                qp,
-                (measured - q).abs(),
-                (measured - qp).abs()
-            );
+    for (oi, &other) in phased.iter().enumerate() {
+        let series = series_cells[oi].as_ref().ok();
+        match (series, table.as_ref()) {
+            (Some(series), Some(table)) => {
+                let dist = series.utilization_distribution(
+                    &table.calibration,
+                    phase_model.window,
+                    phase_model.min_samples,
+                );
+                let u_lo = dist.iter().map(|(u, _)| *u).fold(1.0, f64::min);
+                let u_hi = dist.iter().map(|(u, _)| *u).fold(0.0, f64::max);
+                println!(
+                    "-- {} windows: {} usable, utilization spread {:.0}%..{:.0}% (mean-based reading {:.0}%)",
+                    other.name(),
+                    dist.len(),
+                    u_lo * 100.0,
+                    u_hi * 100.0,
+                    table.calibration.utilization(&series.profile()) * 100.0
+                );
+            }
+            _ => println!("-- {} windows: -  (series cell failed)", other.name()),
+        }
+        for (vi, &victim) in victims.iter().enumerate() {
+            let solo = runtimes[vi].as_ref().ok();
+            let corun = runtimes[victims.len() + oi * victims.len() + vi].as_ref().ok();
+            let measured = match (solo, corun) {
+                (Some(s), Some(l)) => Some(degradation_percent(*s, *l)),
+                _ => None,
+            };
+            let predictions = match (series, table.as_ref()) {
+                (Some(series), Some(table)) => {
+                    let q = QueueModel.predict(table, victim, &series.profile());
+                    let qp = phase_model.predict_series(table, victim, series);
+                    q.zip(qp)
+                }
+                _ => None,
+            };
+            match (measured, predictions) {
+                (Some(measured), Some((q, qp))) => {
+                    q_errors.push((measured - q).abs());
+                    qp_errors.push((measured - qp).abs());
+                    println!(
+                        "{:<8} {:<8} {:>+8.1}% {:>+8.1}% {:>+10.1}% | {:>8.1} {:>10.1}",
+                        victim.name(),
+                        other.name(),
+                        measured,
+                        q,
+                        qp,
+                        (measured - q).abs(),
+                        (measured - qp).abs()
+                    );
+                }
+                _ => println!(
+                    "{:<8} {:<8} {:>9} {:>9} {:>11} | {:>8} {:>10}",
+                    victim.name(),
+                    other.name(),
+                    measured.map_or("-".to_owned(), |m| format!("{m:+.1}%")),
+                    "-",
+                    "-",
+                    "-",
+                    "-"
+                ),
+            }
         }
     }
-    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     println!();
-    println!(
-        "mean |error|: Queue {:.1} pts, QueuePhase {:.1} pts over {} pairings",
-        mean(&q_errors),
-        mean(&qp_errors),
-        q_errors.len()
-    );
+    if q_errors.is_empty() {
+        println!("mean |error|: unavailable (no fully measured pairing)");
+    } else {
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        println!(
+            "mean |error|: Queue {:.1} pts, QueuePhase {:.1} pts over {} pairings",
+            mean(&q_errors),
+            mean(&qp_errors),
+            q_errors.len()
+        );
+    }
     println!();
     println!("Expected: for phased co-runners the time-blind queue model");
     println!("over-predicts (it charges the victim for the co-runner's burst");
     println!("utilization all the time); the phase-aware average is closer to");
     println!("the measured slowdown.");
+    opts.emit_bench_json(
+        "phase_model_study",
+        &[&lut_telemetry, &series_telemetry, &runtime_telemetry],
+    );
+    supervision.report(opts.resume.as_deref());
+    std::process::exit(supervision.exit_code());
 }

@@ -20,15 +20,24 @@
 //! use-case: predicting performance on future systems with poorer
 //! network-to-node ratios.
 //!
+//! Every measurement runs as a supervised sweep cell (`--jobs N` fans
+//! them out): failing cells print `-` entries while every sibling
+//! completes, `--max-retries` / `--run-budget` / `--event-budget` bound
+//! each cell, and `--resume <journal>` makes the check crash-safe (exit
+//! code 0 complete, 3 partial, 1 nothing).
+//!
 //! ```text
-//! cargo run --release -p anp-bench --bin relativity_check [--quick]
+//! cargo run --release -p anp-bench --bin relativity_check \
+//!     [--quick] [--jobs N] [--max-retries N] [--resume run.jsonl]
 //! ```
 
-use anp_bench::{banner, HarnessOpts};
+use anp_bench::{banner, HarnessOpts, Supervision};
 use anp_core::{
-    calibrate, degradation_percent, impact_profile_of_compression, runtime_under_compression,
-    solo_runtime, ExperimentConfig, MuPolicy,
+    calibrate, completed_count, config_fingerprint, degradation_percent,
+    impact_profile_of_compression, runtime_under_compression, solo_runtime, sweep_supervised,
+    CellResult, ExperimentConfig, ExperimentError, JournalError, MuPolicy,
 };
+use anp_simnet::SimDuration;
 use anp_workloads::{AppKind, CompressionConfig};
 
 /// A literally degraded Cab: ports and routing scaled by `num/den`.
@@ -40,6 +49,20 @@ fn degraded(cfg: &ExperimentConfig, num: u64, den: u64) -> ExperimentConfig {
     out
 }
 
+type RuntimeTask<'a> = Box<dyn Fn() -> Result<SimDuration, ExperimentError> + Send + Sync + 'a>;
+
+/// Folds one sweep's holes and counts into the campaign totals.
+fn absorb<T>(supervision: &mut Supervision, cells: &[CellResult<T>]) {
+    supervision.absorb(
+        cells
+            .iter()
+            .filter_map(|r| r.as_ref().err().cloned())
+            .collect(),
+        completed_count(cells),
+        cells.len(),
+    );
+}
+
 fn main() {
     let opts = HarnessOpts::from_args();
     banner(
@@ -49,28 +72,51 @@ fn main() {
     );
     let cfg = opts.experiment_config();
     let calib = calibrate(&cfg, MuPolicy::MinLatency).expect("calibration");
+    let supervisor = opts.supervisor();
+    let journal = opts.open_journal();
+    let fp = config_fingerprint(&cfg, "des");
+    let die = |e: JournalError| -> ! {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    };
+    let mut supervision = Supervision::default();
 
     // Utilization of each sweep configuration, measured once.
     let sweep = opts.compression_sweep();
-    let sweep_utils: Vec<f64> = sweep
+    let impact_tasks: Vec<(String, _)> = sweep
         .iter()
-        .map(|c| {
-            let p = impact_profile_of_compression(&cfg, c).expect("impact");
-            calib.utilization(&p)
+        .map(|comp| {
+            let cfg = &cfg;
+            (format!("impact:{}", comp.label()), move || {
+                impact_profile_of_compression(cfg, comp)
+            })
         })
         .collect();
-    let nearest_config = |target: f64| -> (&CompressionConfig, f64) {
+    let (profiles, impact_telemetry) = sweep_supervised(
+        "relativity-impacts",
+        cfg.jobs,
+        &supervisor,
+        journal.as_ref(),
+        fp,
+        impact_tasks,
+    )
+    .unwrap_or_else(|e| die(e));
+    absorb(&mut supervision, &profiles);
+    let sweep_utils: Vec<Option<f64>> = profiles
+        .iter()
+        .map(|r| r.as_ref().ok().map(|p| calib.utilization(p)))
+        .collect();
+    let nearest_config = |target: f64| -> Option<(&CompressionConfig, f64)> {
         sweep
             .iter()
             .zip(&sweep_utils)
+            .filter_map(|(c, u)| u.map(|u| (c, u)))
             .min_by(|a, b| {
                 (a.1 - target)
                     .abs()
                     .partial_cmp(&(b.1 - target).abs())
                     .unwrap()
             })
-            .map(|(c, u)| (c, *u))
-            .expect("sweep is non-empty")
     };
 
     let apps = if opts.quick {
@@ -80,32 +126,94 @@ fn main() {
     };
     let fractions: [(u64, u64); 3] = [(3, 4), (1, 2), (1, 4)];
 
-    for app in apps {
-        let solo = solo_runtime(&cfg, app).expect("solo");
-        println!("{} (solo on intact switch: {})", app.name(), solo);
-        println!(
-            "  {:>9} | {:>14} | {:>7} {:>16} {:>14}",
-            "capability", "degraded switch", "~util", "emulating config", "emulated run"
-        );
-        for (num, den) in fractions {
-            let weak = degraded(&cfg, num, den);
-            let t_weak = solo_runtime(&weak, app).expect("degraded runtime");
-            let d_weak = degradation_percent(solo, t_weak);
+    // The emulating configuration per fraction, from the measured sweep
+    // utilizations (None when no impact cell completed).
+    let choices: Vec<Option<(&CompressionConfig, f64)>> = fractions
+        .iter()
+        .map(|&(num, den)| {
             // The capability removed, expressed on the paper's utilization
             // scale: a switch at num/den capability behaves like the intact
             // one with (1 - num/den) consumed by someone else.
             let removed = 1.0 - num as f64 / den as f64;
-            let (comp, u) = nearest_config(removed + calib.utilization_from_sojourn(calib.idle_mean));
-            let t_emul = runtime_under_compression(&cfg, app, comp).expect("emulated runtime");
-            let d_emul = degradation_percent(solo, t_emul);
+            nearest_config(removed + calib.utilization_from_sojourn(calib.idle_mean))
+        })
+        .collect();
+
+    // Solo, degraded-switch, and emulated runtimes, app-major.
+    let mut runtime_tasks: Vec<(String, RuntimeTask<'_>)> = Vec::new();
+    for &app in &apps {
+        let cfg = &cfg;
+        runtime_tasks.push((
+            format!("solo:{}", app.name()),
+            Box::new(move || solo_runtime(cfg, app)),
+        ));
+        for &(num, den) in &fractions {
+            runtime_tasks.push((
+                format!("weak:{}:{num}-{den}", app.name()),
+                Box::new(move || solo_runtime(&degraded(cfg, num, den), app)),
+            ));
+        }
+        for (&(num, den), choice) in fractions.iter().zip(&choices) {
+            match choice {
+                Some((comp, _)) => {
+                    let comp = *comp;
+                    runtime_tasks.push((
+                        format!("emul:{}:{num}-{den}", app.name()),
+                        Box::new(move || runtime_under_compression(cfg, app, comp)),
+                    ));
+                }
+                None => runtime_tasks.push((
+                    format!("emul:{}:{num}-{den}", app.name()),
+                    Box::new(move || {
+                        panic!("no emulating configuration: every impact cell failed")
+                    }),
+                )),
+            }
+        }
+    }
+    let per_app = 1 + 2 * fractions.len();
+    let (runtimes, runtime_telemetry) = sweep_supervised(
+        "relativity-runtimes",
+        cfg.jobs,
+        &supervisor,
+        journal.as_ref(),
+        fp,
+        runtime_tasks,
+    )
+    .unwrap_or_else(|e| die(e));
+    absorb(&mut supervision, &runtimes);
+
+    for (ai, &app) in apps.iter().enumerate() {
+        let base = ai * per_app;
+        let solo = runtimes[base].as_ref().ok();
+        match solo {
+            Some(solo) => println!("{} (solo on intact switch: {})", app.name(), solo),
+            None => println!("{} (solo on intact switch: -)", app.name()),
+        }
+        println!(
+            "  {:>9} | {:>14} | {:>7} {:>16} {:>14}",
+            "capability", "degraded switch", "~util", "emulating config", "emulated run"
+        );
+        for (fi, &(num, den)) in fractions.iter().enumerate() {
+            let t_weak = runtimes[base + 1 + fi].as_ref().ok();
+            let t_emul = runtimes[base + 1 + fractions.len() + fi].as_ref().ok();
+            let d_weak = solo
+                .zip(t_weak)
+                .map_or("-".to_owned(), |(s, t)| {
+                    format!("{:+.1}%", degradation_percent(*s, *t))
+                });
+            let (comp_txt, u_txt) = match choices[fi] {
+                Some((comp, u)) => (comp.label(), format!("{:.1}%", u * 100.0)),
+                None => ("-".to_owned(), "-".to_owned()),
+            };
+            let d_emul = solo
+                .zip(t_emul)
+                .map_or("-".to_owned(), |(s, t)| {
+                    format!("{:+.1}%", degradation_percent(*s, *t))
+                });
             println!(
-                "  {:>6}/{:<2} | {:>+13.1}% | {:>6.1}% {:>16} {:>+13.1}%",
-                num,
-                den,
-                d_weak,
-                u * 100.0,
-                comp.label(),
-                d_emul
+                "  {:>6}/{:<2} | {:>14} | {:>7} {:>16} {:>14}",
+                num, den, d_weak, u_txt, comp_txt, d_emul
             );
         }
         println!();
@@ -115,4 +223,10 @@ fn main() {
     println!("the paper's software emulation at the matching utilization. The");
     println!("relativity principle predicts they agree in sign and order of");
     println!("magnitude for network-sensitive applications.");
+    opts.emit_bench_json(
+        "relativity_check",
+        &[&impact_telemetry, &runtime_telemetry],
+    );
+    supervision.report(opts.resume.as_deref());
+    std::process::exit(supervision.exit_code());
 }

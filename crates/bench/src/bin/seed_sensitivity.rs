@@ -8,18 +8,23 @@
 //! artifact of one lucky seed.
 //!
 //! The per-seed studies are fully independent, so they fan out across the
-//! sweep engine (`--jobs N`, default all cores); the per-seed rows print
-//! in seed order regardless of scheduling. Sweep telemetry lands in
+//! sweep engine (`--jobs N`, default all cores) under the supervision
+//! envelope: a failing seed prints a `-` row while the others complete,
+//! `--max-retries` / `--run-budget` / `--event-budget` bound each cell,
+//! and `--resume <journal>` makes the study crash-safe (exit code 0
+//! complete, 3 partial, 1 nothing). Sweep telemetry lands in
 //! `BENCH_anp.json`.
 //!
 //! ```text
-//! cargo run --release -p anp-bench --bin seed_sensitivity [--quick] [--jobs N]
+//! cargo run --release -p anp-bench --bin seed_sensitivity \
+//!     [--quick] [--jobs N] [--max-retries N] [--resume run.jsonl]
 //! ```
 
-use anp_bench::{banner, HarnessOpts};
+use anp_bench::{banner, HarnessOpts, Supervision};
 use anp_core::{
-    calibrate, degradation_percent, idle_profile, impact_profile_of_compression,
-    runtime_under_compression, solo_runtime, sweep_recorded, MuPolicy,
+    calibrate, completed_count, config_fingerprint, degradation_percent, idle_profile,
+    impact_profile_of_compression, runtime_under_compression, solo_runtime, sweep_supervised,
+    JournalError, MuPolicy,
 };
 use anp_metrics::OnlineStats;
 use anp_workloads::{AppKind, CompressionConfig};
@@ -33,9 +38,18 @@ fn main() {
         vec![1, 2, 3, 4, 5]
     };
     let heavy = CompressionConfig::new(17, 25_000, 10);
+    let supervisor = opts.supervisor();
+    let journal = opts.open_journal();
+    let fp = config_fingerprint(&opts.experiment_config(), "des");
+    let die = |e: JournalError| -> ! {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    };
 
     // One task per seed: each re-derives its own config and runs the full
     // metric set. Seeds are independent studies, ideal fan-out cells.
+    // The nested-pair return type is what the run journal can encode
+    // bit-exactly: ((idle mean, heavy utilization), (FFTW, MCB degr)).
     let tasks: Vec<(String, _)> = seeds
         .iter()
         .map(|&seed| {
@@ -43,24 +57,37 @@ fn main() {
             let heavy = &heavy;
             (format!("seed:{seed}"), move || {
                 let cfg = opts.experiment_config().with_seed(seed);
-                let idle = idle_profile(&cfg).expect("idle");
-                let calib = calibrate(&cfg, MuPolicy::MinLatency).expect("calib");
-                let u = calib
-                    .utilization(&impact_profile_of_compression(&cfg, heavy).expect("impact"));
+                let idle = idle_profile(&cfg)?;
+                let calib = calibrate(&cfg, MuPolicy::MinLatency)?;
+                let u = calib.utilization(&impact_profile_of_compression(&cfg, heavy)?);
                 let fftw = degradation_percent(
-                    solo_runtime(&cfg, AppKind::Fftw).expect("solo"),
-                    runtime_under_compression(&cfg, AppKind::Fftw, heavy).expect("loaded"),
+                    solo_runtime(&cfg, AppKind::Fftw)?,
+                    runtime_under_compression(&cfg, AppKind::Fftw, heavy)?,
                 );
                 let mcb = degradation_percent(
-                    solo_runtime(&cfg, AppKind::Mcb).expect("solo"),
-                    runtime_under_compression(&cfg, AppKind::Mcb, heavy).expect("loaded"),
+                    solo_runtime(&cfg, AppKind::Mcb)?,
+                    runtime_under_compression(&cfg, AppKind::Mcb, heavy)?,
                 );
-                (idle.mean(), u, fftw, mcb)
+                Ok(((idle.mean(), u), (fftw, mcb)))
             })
         })
         .collect();
     let jobs = opts.experiment_config().jobs;
-    let (rows, telemetry) = sweep_recorded("seed-sensitivity", jobs, tasks);
+    let (rows, telemetry) = sweep_supervised(
+        "seed-sensitivity",
+        jobs,
+        &supervisor,
+        journal.as_ref(),
+        fp,
+        tasks,
+    )
+    .unwrap_or_else(|e| die(e));
+    let mut supervision = Supervision::default();
+    supervision.absorb(
+        rows.iter().filter_map(|r| r.as_ref().err().cloned()).collect(),
+        completed_count(&rows),
+        rows.len(),
+    );
 
     let mut idle_mean = OnlineStats::new();
     let mut heavy_util = OnlineStats::new();
@@ -70,36 +97,50 @@ fn main() {
         "{:>6} {:>10} {:>10} {:>12} {:>12}",
         "seed", "idle (us)", "util@heavy", "FFTW degr", "MCB degr"
     );
-    for (seed, (idle, u, fftw, mcb)) in seeds.iter().zip(rows) {
-        println!(
-            "{:>6} {:>10.3} {:>9.1}% {:>+11.1}% {:>+11.1}%",
-            seed,
-            idle,
-            u * 100.0,
-            fftw,
-            mcb
-        );
-        idle_mean.push(idle);
-        heavy_util.push(u * 100.0);
-        fftw_degr.push(fftw);
-        mcb_degr.push(mcb);
+    for (seed, row) in seeds.iter().zip(&rows) {
+        match row {
+            Ok(((idle, u), (fftw, mcb))) => {
+                println!(
+                    "{:>6} {:>10.3} {:>9.1}% {:>+11.1}% {:>+11.1}%",
+                    seed,
+                    idle,
+                    u * 100.0,
+                    fftw,
+                    mcb
+                );
+                idle_mean.push(*idle);
+                heavy_util.push(u * 100.0);
+                fftw_degr.push(*fftw);
+                mcb_degr.push(*mcb);
+            }
+            Err(_) => println!(
+                "{:>6} {:>10} {:>10} {:>12} {:>12}",
+                seed, "-", "-", "-", "-"
+            ),
+        }
     }
     println!();
-    let line = |name: &str, s: &OnlineStats| {
-        println!(
-            "{:<12} mean {:>8.2}  sd {:>6.2}  (cv {:>4.1}%)",
-            name,
-            s.mean(),
-            s.std_dev(),
-            s.std_dev() / s.mean().abs().max(1e-9) * 100.0
-        );
-    };
-    line("idle (us)", &idle_mean);
-    line("util@heavy", &heavy_util);
-    line("FFTW degr", &fftw_degr);
-    line("MCB degr", &mcb_degr);
+    if idle_mean.count() == 0 {
+        println!("(no seed completed: spread unavailable)");
+    } else {
+        let line = |name: &str, s: &OnlineStats| {
+            println!(
+                "{:<12} mean {:>8.2}  sd {:>6.2}  (cv {:>4.1}%)",
+                name,
+                s.mean(),
+                s.std_dev(),
+                s.std_dev() / s.mean().abs().max(1e-9) * 100.0
+            );
+        };
+        line("idle (us)", &idle_mean);
+        line("util@heavy", &heavy_util);
+        line("FFTW degr", &fftw_degr);
+        line("MCB degr", &mcb_degr);
+    }
     println!();
     println!("Low coefficients of variation mean the reproduction's headline");
     println!("numbers are properties of the model, not of a particular seed.");
     opts.emit_bench_json("seed_sensitivity", &[&telemetry]);
+    supervision.report(opts.resume.as_deref());
+    std::process::exit(supervision.exit_code());
 }

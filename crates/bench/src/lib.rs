@@ -720,10 +720,18 @@ pub fn render_histogram(profile: &LatencyProfile) -> String {
     out
 }
 
-/// Prints the Fig. 9-style summary table from pairing outcomes.
+/// Prints the Fig. 9-style summary table from pairing outcomes. A
+/// degenerate error sample (e.g. NaN from a poisoned cell) is reported as
+/// a one-line hole instead of aborting the report.
 pub fn print_error_summary(outcomes: &[PairOutcome]) {
     let names = ["AverageLT", "AverageStDevLT", "PDFLT", "Queue"];
-    let summaries = error_summaries(outcomes, &names);
+    let summaries = match error_summaries(outcomes, &names) {
+        Ok(s) => s,
+        Err(e) => {
+            println!("error summary unavailable: {e}");
+            return;
+        }
+    };
     println!(
         "{:<15} {:>7} {:>7} {:>7} {:>7} {:>7}  {:>10}",
         "model", "min", "q1", "median", "q3", "max", "<10% err"

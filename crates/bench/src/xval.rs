@@ -16,8 +16,9 @@
 //! reported speedup is the same number `BENCH_anp.json` records.
 
 use anp_core::{
-    calibrate_with, Backend, ExperimentConfig, ExperimentError, LatencyProfile, MuPolicy,
-    WorkloadSpec,
+    calibrate_with, completed_count, config_fingerprint, sweep_supervised_for, Backend,
+    Calibration, CellResult, ExperimentConfig, ExperimentError, JournalError, Journaled,
+    LatencyProfile, MuPolicy, RunJournal, Supervisor, TaskError, WorkloadSpec,
 };
 use anp_core::sweep::{sweep_recorded_for, SweepTelemetry};
 use anp_simnet::SimDuration;
@@ -99,9 +100,33 @@ enum Spec<'a> {
 }
 
 /// A cell's result: a profile or a runtime.
+#[derive(Debug, Clone)]
 enum Cell {
     Profile(LatencyProfile),
     Runtime(SimDuration),
+}
+
+/// Tagged journal codec so supervised grids can resume: the wrapped
+/// profile/runtime codecs are bit-exact, so replayed cells reproduce the
+/// exact comparison values of an uninterrupted run.
+impl Journaled for Cell {
+    fn encode_journal(&self) -> String {
+        match self {
+            Cell::Profile(p) => format!("{{\"p\":{}}}", p.encode_journal()),
+            Cell::Runtime(t) => format!("{{\"t\":{}}}", t.encode_journal()),
+        }
+    }
+
+    fn decode_journal(s: &str) -> Option<Self> {
+        let s = s.trim();
+        if let Some(inner) = s.strip_prefix("{\"p\":").and_then(|r| r.strip_suffix('}')) {
+            return Some(Cell::Profile(LatencyProfile::decode_journal(inner)?));
+        }
+        if let Some(inner) = s.strip_prefix("{\"t\":").and_then(|r| r.strip_suffix('}')) {
+            return Some(Cell::Runtime(SimDuration::decode_journal(inner)?));
+        }
+        None
+    }
 }
 
 /// Runs the full grid on one backend, returning cells in spec order plus
@@ -153,18 +178,68 @@ fn measure_grid(
     Ok((cells, telemetry))
 }
 
-/// Cross-validates the flow backend against the DES on one grid.
-///
-/// The grid is `{idle} ∪ {impact(c)} ∪ {solo(a)} ∪ {loaded(a, c)}` for
-/// every `a` in `apps` and `c` in `comps`, run once per backend through
-/// the telemetry-recording sweep engine.
-pub fn run_xval(
+/// [`measure_grid`] under a supervision envelope: failing cells come back
+/// as typed holes instead of aborting the grid, and with a journal every
+/// completed cell survives a crash. One journaled sweep per backend
+/// (`xval-des` / `xval-flow`), fingerprinted per backend so the two grids
+/// never replay each other's cells.
+fn measure_grid_supervised(
+    backend: &dyn Backend,
     cfg: &ExperimentConfig,
-    apps: &[AppKind],
-    comps: &[CompressionConfig],
-    des: &dyn Backend,
-    flow: &dyn Backend,
-) -> Result<XvalReport, ExperimentError> {
+    specs: &[Spec<'_>],
+    sup: &Supervisor,
+    journal: Option<&RunJournal>,
+) -> Result<(Vec<CellResult<Cell>>, SweepTelemetry), JournalError> {
+    type Task<'s> = Box<dyn Fn() -> Result<Cell, ExperimentError> + Send + Sync + 's>;
+    let tasks: Vec<(String, Task<'_>)> = specs
+        .iter()
+        .map(|spec| -> (String, Task<'_>) {
+            match *spec {
+                Spec::Idle => (
+                    "probe:idle".to_owned(),
+                    Box::new(move || {
+                        backend
+                            .measure_impact_profile(cfg, WorkloadSpec::Idle)
+                            .map(Cell::Profile)
+                    }),
+                ),
+                Spec::Impact(comp) => (
+                    format!("probe:{}", comp.label()),
+                    Box::new(move || {
+                        backend
+                            .measure_impact_profile(cfg, WorkloadSpec::Compression(comp))
+                            .map(Cell::Profile)
+                    }),
+                ),
+                Spec::Solo(app) => (
+                    format!("solo:{}", app.name()),
+                    Box::new(move || backend.measure_solo_runtime(cfg, app).map(Cell::Runtime)),
+                ),
+                Spec::Loaded(app, comp) => (
+                    format!("run:{}@{}", app.name(), comp.label()),
+                    Box::new(move || {
+                        backend
+                            .measure_compression_run(cfg, app, comp)
+                            .map(Cell::Runtime)
+                    }),
+                ),
+            }
+        })
+        .collect();
+    sweep_supervised_for(
+        &format!("xval-{}", backend.name()),
+        backend.name(),
+        cfg.jobs,
+        sup,
+        journal,
+        config_fingerprint(cfg, backend.name()),
+        tasks,
+    )
+}
+
+/// The grid `{idle} ∪ {impact(c)} ∪ {solo(a)} ∪ {loaded(a, c)}` for every
+/// `a` in `apps` and `c` in `comps`.
+fn grid_specs<'a>(apps: &[AppKind], comps: &'a [CompressionConfig]) -> Vec<Spec<'a>> {
     let mut specs: Vec<Spec<'_>> = vec![Spec::Idle];
     specs.extend(comps.iter().map(Spec::Impact));
     specs.extend(apps.iter().map(|&a| Spec::Solo(a)));
@@ -173,20 +248,30 @@ pub fn run_xval(
             specs.push(Spec::Loaded(a, c));
         }
     }
+    specs
+}
 
-    let (des_cells, des_telemetry) = measure_grid(des, cfg, &specs)?;
-    let (flow_cells, flow_telemetry) = measure_grid(flow, cfg, &specs)?;
-
-    let des_cal = calibrate_with(des, cfg, MuPolicy::MinLatency)?;
-    let flow_cal = calibrate_with(flow, cfg, MuPolicy::MinLatency)?;
-
+/// Builds the three comparison sections from per-backend cells. A `None`
+/// on either side skips that comparison (the sibling cells still
+/// compare); a ratio cell additionally needs both solo baselines.
+fn assemble(
+    specs: &[Spec<'_>],
+    des_cells: &[Option<Cell>],
+    flow_cells: &[Option<Cell>],
+    des_cal: &Calibration,
+    flow_cal: &Calibration,
+) -> (Vec<XvalCell>, Vec<XvalCell>, Vec<XvalCell>) {
     let mut probe_means = Vec::new();
     let mut utilizations = Vec::new();
     let mut slowdown_ratios = Vec::new();
     let mut des_solo: Vec<(AppKind, f64)> = Vec::new();
     let mut flow_solo: Vec<(AppKind, f64)> = Vec::new();
 
-    for ((spec, d), f) in specs.iter().zip(&des_cells).zip(&flow_cells) {
+    for ((spec, d), f) in specs.iter().zip(des_cells).zip(flow_cells) {
+        let (d, f) = match (d, f) {
+            (Some(d), Some(f)) => (d, f),
+            _ => continue,
+        };
         match (spec, d, f) {
             (Spec::Idle, Cell::Profile(dp), Cell::Profile(fp))
             | (Spec::Impact(_), Cell::Profile(dp), Cell::Profile(fp)) => {
@@ -211,16 +296,12 @@ pub fn run_xval(
                 flow_solo.push((*app, ft.as_secs_f64()));
             }
             (Spec::Loaded(app, comp), Cell::Runtime(dt), Cell::Runtime(ft)) => {
-                let ds = des_solo
-                    .iter()
-                    .find(|(a, _)| a == app)
-                    .expect("solo cells precede loaded cells")
-                    .1;
-                let fs = flow_solo
-                    .iter()
-                    .find(|(a, _)| a == app)
-                    .expect("solo cells precede loaded cells")
-                    .1;
+                let ds = des_solo.iter().find(|(a, _)| a == app).map(|(_, s)| *s);
+                let fs = flow_solo.iter().find(|(a, _)| a == app).map(|(_, s)| *s);
+                let (ds, fs) = match (ds, fs) {
+                    (Some(ds), Some(fs)) => (ds, fs),
+                    _ => continue, // a solo baseline is a hole
+                };
                 slowdown_ratios.push(XvalCell {
                     label: format!("ratio:{}@{}", app.name(), comp.label()),
                     des: dt.as_secs_f64() / ds,
@@ -230,6 +311,33 @@ pub fn run_xval(
             _ => unreachable!("cell kind always matches its spec"),
         }
     }
+    (probe_means, utilizations, slowdown_ratios)
+}
+
+/// Cross-validates the flow backend against the DES on one grid.
+///
+/// The grid is `{idle} ∪ {impact(c)} ∪ {solo(a)} ∪ {loaded(a, c)}` for
+/// every `a` in `apps` and `c` in `comps`, run once per backend through
+/// the telemetry-recording sweep engine. Any failing cell aborts the
+/// whole grid; [`run_xval_supervised`] is the hole-tolerant variant.
+pub fn run_xval(
+    cfg: &ExperimentConfig,
+    apps: &[AppKind],
+    comps: &[CompressionConfig],
+    des: &dyn Backend,
+    flow: &dyn Backend,
+) -> Result<XvalReport, ExperimentError> {
+    let specs = grid_specs(apps, comps);
+    let (des_cells, des_telemetry) = measure_grid(des, cfg, &specs)?;
+    let (flow_cells, flow_telemetry) = measure_grid(flow, cfg, &specs)?;
+
+    let des_cal = calibrate_with(des, cfg, MuPolicy::MinLatency)?;
+    let flow_cal = calibrate_with(flow, cfg, MuPolicy::MinLatency)?;
+
+    let des_cells: Vec<Option<Cell>> = des_cells.into_iter().map(Some).collect();
+    let flow_cells: Vec<Option<Cell>> = flow_cells.into_iter().map(Some).collect();
+    let (probe_means, utilizations, slowdown_ratios) =
+        assemble(&specs, &des_cells, &flow_cells, &des_cal, &flow_cal);
 
     Ok(XvalReport {
         probe_means,
@@ -237,6 +345,102 @@ pub fn run_xval(
         slowdown_ratios,
         des_telemetry,
         flow_telemetry,
+    })
+}
+
+/// Why a supervised cross-validation could not produce a report at all
+/// (cell-level failures become holes, not errors).
+#[derive(Debug)]
+pub enum XvalError {
+    /// The `--resume` journal conflicts with this grid.
+    Journal(JournalError),
+    /// A calibration (needed to read utilizations) failed.
+    Experiment(ExperimentError),
+}
+
+impl std::fmt::Display for XvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XvalError::Journal(e) => write!(f, "{e}"),
+            XvalError::Experiment(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for XvalError {}
+
+impl From<JournalError> for XvalError {
+    fn from(e: JournalError) -> Self {
+        XvalError::Journal(e)
+    }
+}
+
+impl From<ExperimentError> for XvalError {
+    fn from(e: ExperimentError) -> Self {
+        XvalError::Experiment(e)
+    }
+}
+
+/// A supervised cross-validation: the report over every compared cell,
+/// plus the holes and cell counts of both grids.
+#[derive(Debug)]
+pub struct XvalSupervised {
+    /// Comparisons over the cells both backends completed.
+    pub report: XvalReport,
+    /// Why each missing cell is missing (both grids).
+    pub failures: Vec<TaskError>,
+    /// Cells that produced a value (both grids).
+    pub completed: usize,
+    /// Total cells attempted (both grids).
+    pub total: usize,
+}
+
+/// [`run_xval`] under a supervision envelope: each backend's grid runs
+/// through the supervised sweep engine (panic isolation, budgets,
+/// retries, journaled resume), failing cells leave typed holes, and the
+/// report compares every cell both backends completed.
+pub fn run_xval_supervised(
+    cfg: &ExperimentConfig,
+    apps: &[AppKind],
+    comps: &[CompressionConfig],
+    des: &dyn Backend,
+    flow: &dyn Backend,
+    sup: &Supervisor,
+    journal: Option<&RunJournal>,
+) -> Result<XvalSupervised, XvalError> {
+    let specs = grid_specs(apps, comps);
+    let (des_results, des_telemetry) = measure_grid_supervised(des, cfg, &specs, sup, journal)?;
+    let (flow_results, flow_telemetry) = measure_grid_supervised(flow, cfg, &specs, sup, journal)?;
+
+    let des_cal = calibrate_with(des, cfg, MuPolicy::MinLatency)?;
+    let flow_cal = calibrate_with(flow, cfg, MuPolicy::MinLatency)?;
+
+    let completed = completed_count(&des_results) + completed_count(&flow_results);
+    let total = des_results.len() + flow_results.len();
+    let mut failures: Vec<TaskError> = Vec::new();
+    let to_options = |results: Vec<CellResult<Cell>>, failures: &mut Vec<TaskError>| {
+        results
+            .into_iter()
+            .map(|r| r.map_err(|e| failures.push(e)).ok())
+            .collect::<Vec<Option<Cell>>>()
+    };
+    let des_cells = to_options(des_results, &mut failures);
+    let flow_cells = to_options(flow_results, &mut failures);
+
+    let (probe_means, utilizations, slowdown_ratios) =
+        assemble(&specs, &des_cells, &flow_cells, &des_cal, &flow_cal);
+
+    Ok(XvalSupervised {
+        report: XvalReport {
+            probe_means,
+            utilizations,
+            slowdown_ratios,
+            des_telemetry,
+            flow_telemetry,
+        },
+        failures,
+        completed,
+        total,
     })
 }
 

@@ -13,7 +13,7 @@
 //!   profile that parameterizes the queue model (§IV-B).
 
 use anp_simmpi::{JobId, Program, ReliabilityConfig, RunOutcome, StallReport, World};
-use anp_simnet::{FaultPlan, NodeId, SimDuration, SimTime, SwitchConfig};
+use anp_simnet::{AuditReport, FaultPlan, NodeId, SimDuration, SimTime, SwitchConfig};
 use anp_workloads::{
     build_compressionb, build_impactb, AppKind, CompressionConfig, ImpactConfig, RunMode,
 };
@@ -56,6 +56,11 @@ pub enum ExperimentError {
     /// configuration (capability mismatch — see
     /// [`crate::backend::BackendError`]).
     Backend(crate::backend::BackendError),
+    /// The simulator's invariant auditor ([`ExperimentConfig::audit`])
+    /// detected a broken conservation law during the run. The cell's
+    /// artefacts cannot be trusted; the report names each violated
+    /// invariant and carries the event trace tail leading up to it.
+    Invariant(AuditReport),
 }
 
 impl std::fmt::Display for ExperimentError {
@@ -71,6 +76,9 @@ impl std::fmt::Display for ExperimentError {
             ExperimentError::Stalled(report) => write!(f, "stalled: {report}"),
             ExperimentError::Calibration(err) => write!(f, "calibration failed: {err}"),
             ExperimentError::Backend(err) => write!(f, "{err}"),
+            ExperimentError::Invariant(report) => {
+                write!(f, "simulator invariant violated: {report}")
+            }
         }
     }
 }
@@ -109,6 +117,14 @@ pub struct ExperimentConfig {
     /// any setting produces byte-identical output; `Fixed(1)` is the
     /// exact old serial behavior.
     pub jobs: Parallelism,
+    /// Runs every simulation under the invariant auditor
+    /// ([`anp_simmpi::World::enable_audit`]); a tripped invariant surfaces
+    /// as [`ExperimentError::Invariant`]. Requires the `audit` cargo
+    /// feature — without it the flag is accepted but inert. The auditor
+    /// observes without perturbing the simulation, so this flag is
+    /// deliberately excluded from [`crate::journal::config_fingerprint`]:
+    /// audited and unaudited runs of one configuration share a journal.
+    pub audit: bool,
 }
 
 impl ExperimentConfig {
@@ -123,7 +139,15 @@ impl ExperimentConfig {
             run_cap: SimDuration::from_secs(120),
             seed: 0xA11CE,
             jobs: Parallelism::Auto,
+            audit: false,
         }
+    }
+
+    /// Turns the invariant auditor on or off (builder style). See
+    /// [`ExperimentConfig::audit`].
+    pub fn with_audit(mut self, audit: bool) -> Self {
+        self.audit = audit;
+        self
     }
 
     /// Replaces the base seed (builder style). The switch seed follows.
@@ -159,6 +183,9 @@ pub fn impact_series(
     workload: Option<Members>,
 ) -> Result<TimedSeries, ExperimentError> {
     let mut world = World::new(cfg.switch.clone());
+    if cfg.audit {
+        world.enable_audit();
+    }
     let (probe_members, sink) = build_impactb(&cfg.impact, cfg.switch.nodes);
     let probe = world.add_job("impactb", probe_members);
     if let Some(members) = workload {
@@ -170,6 +197,7 @@ pub fn impact_series(
     world.set_run_budget(max_events, wall_deadline);
     world.run_until(SimTime::ZERO + cfg.measure_window);
     sweep::note_events(world.events_processed());
+    check_audit(&mut world)?;
     if world.budget_exhausted() {
         // A truncated sample window is not a smaller measurement — it is
         // a different one. Report the budget trip instead of quietly
@@ -254,6 +282,9 @@ fn runtime_in_world(
     app_members: Members,
     interferer: Option<Members>,
 ) -> Result<SimDuration, ExperimentError> {
+    if cfg.audit {
+        world.enable_audit();
+    }
     let job: JobId = world.add_job(name, app_members);
     if let Some(members) = interferer {
         world.add_job("interferer", members);
@@ -263,6 +294,7 @@ fn runtime_in_world(
     world.set_run_budget(max_events, wall_deadline);
     let outcome = world.run_until_job_done(job, cap);
     sweep::note_events(world.events_processed());
+    check_audit(&mut world)?;
     match outcome {
         RunOutcome::Completed { at } => Ok(at.since(SimTime::ZERO)),
         RunOutcome::DeadlineExpired(report) => Err(ExperimentError::HorizonExceeded {
@@ -409,6 +441,19 @@ pub fn loss_sweep_supervised(
     Ok((losses.iter().copied().zip(results).collect(), telemetry))
 }
 
+/// Drains a finished world's audit findings, turning a non-clean report
+/// into [`ExperimentError::Invariant`]. No-op when auditing is off or
+/// compiled out (the report is then `None`). Checked *before* the run
+/// outcome: a broken conservation law invalidates even a "successful"
+/// run's artefacts, and under supervision it must surface as its own
+/// typed hole rather than hide behind a budget or stall error.
+fn check_audit(world: &mut World) -> Result<(), ExperimentError> {
+    match world.take_audit_report() {
+        Some(report) if !report.is_clean() => Err(ExperimentError::Invariant(report)),
+        _ => Ok(()),
+    }
+}
+
 /// The paper's degradation metric:
 /// `(T_interference − T_solo)/T_solo × 100` (percent).
 pub fn degradation_percent(solo: SimDuration, loaded: SimDuration) -> f64 {
@@ -437,6 +482,7 @@ mod tests {
             run_cap: SimDuration::from_secs(5),
             seed: 7,
             jobs: Parallelism::Auto,
+            audit: false,
         }
     }
 
@@ -762,6 +808,27 @@ mod tests {
         assert_eq!(degradation_percent(solo, solo), 0.0);
         // Speedups are negative degradation, as in the paper's error plots.
         assert_eq!(degradation_percent(solo, SimDuration::from_millis(90)), -10.0);
+    }
+
+    #[test]
+    fn audited_experiments_match_unaudited_results() {
+        // The auditor observes; it must not change a single sample. (With
+        // the `audit` feature compiled out the flag is inert and this
+        // reduces to a determinism check.)
+        let plain = tiny_cfg();
+        let audited = tiny_cfg().with_audit(true);
+        let a = impact_profile(&plain, Some(noisy_members(4))).unwrap();
+        let b = impact_profile(&audited, Some(noisy_members(4))).unwrap();
+        assert_eq!(a.mean(), b.mean());
+        assert_eq!(a.count(), b.count());
+        // The 4-node tiny switch cannot host the 18-rank app proxies;
+        // check the runtime driver on the app-sized config instead.
+        let cfg_a = app_cfg();
+        let cfg_b = app_cfg().with_audit(true);
+        assert_eq!(
+            solo_runtime(&cfg_a, AppKind::Fftw).unwrap(),
+            solo_runtime(&cfg_b, AppKind::Fftw).unwrap()
+        );
     }
 
     #[test]

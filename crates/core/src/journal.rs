@@ -74,6 +74,15 @@ impl Journaled for anp_simnet::SimDuration {
     }
 }
 
+impl Journaled for f64 {
+    fn encode_journal(&self) -> String {
+        encode_f64_bits(*self)
+    }
+    fn decode_journal(s: &str) -> Option<Self> {
+        decode_f64_bits(s)
+    }
+}
+
 impl<A: Journaled, B: Journaled> Journaled for (A, B) {
     fn encode_journal(&self) -> String {
         format!("[{},{}]", self.0.encode_journal(), self.1.encode_journal())
@@ -670,6 +679,15 @@ mod tests {
         let back = <(anp_simnet::SimDuration, String)>::decode_journal(&enc).unwrap();
         assert_eq!(back, pair);
         assert_eq!(u64::decode_journal(&77u64.encode_journal()), Some(77));
+        let x = 1.0 / 3.0;
+        assert_eq!(
+            f64::decode_journal(&x.encode_journal()).unwrap().to_bits(),
+            x.to_bits()
+        );
+        let quad = ((x, -0.0f64), (f64::MAX, 2.5f64));
+        let enc = quad.encode_journal();
+        let back = <((f64, f64), (f64, f64))>::decode_journal(&enc).unwrap();
+        assert_eq!(back, quad);
     }
 
     #[test]
@@ -768,5 +786,174 @@ mod tests {
     fn fnv1a_separates_parts() {
         assert_ne!(fnv1a(&["ab", "c"]), fnv1a(&["a", "bc"]));
         assert_ne!(fnv1a(&["a"]), fnv1a(&["a", ""]));
+    }
+
+    /// A fresh on-disk path per proptest case: the macro re-runs the body
+    /// many times in one process, so the pid alone is not unique enough.
+    fn case_path(tag: &str) -> PathBuf {
+        use std::sync::atomic::AtomicUsize;
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!("anp-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!(
+            "{tag}-{}.jsonl",
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any campaign of cells — mixed statuses, arbitrary f64 payloads
+        /// — survives the write → crash → resume cycle through the real
+        /// file format, with Ok values coming back bit-exactly.
+        #[test]
+        fn prop_journal_files_round_trip(
+            fingerprint in 1u64..u64::MAX,
+            cells in collection::vec((0u8..4, -1.0e300f64..1.0e300), 1..8),
+        ) {
+            let path = case_path("prop-roundtrip");
+            let j = RunJournal::create(&path).unwrap();
+            j.begin_sweep("grid", fingerprint, cells.len());
+            let mut written = Vec::new();
+            for (i, &(status, x)) in cells.iter().enumerate() {
+                let status = match status {
+                    0 => CellStatus::Ok,
+                    1 => CellStatus::Failed,
+                    2 => CellStatus::Panicked,
+                    _ => CellStatus::Budget,
+                };
+                let e = entry(
+                    "grid",
+                    i,
+                    status,
+                    (status == CellStatus::Ok)
+                        .then(|| x.encode_journal())
+                        .as_deref(),
+                );
+                j.record(&e);
+                written.push(e);
+            }
+            drop(j); // the "crash": only what hit the disk survives
+
+            let j = RunJournal::resume(&path).unwrap();
+            let oks = cells.iter().filter(|(s, _)| *s == 0).count();
+            prop_assert_eq!(j.completed_cells(), oks);
+            let labels: Vec<String> =
+                (0..cells.len()).map(|i| format!("cell{i}")).collect();
+            let prior = j.prior("grid", fingerprint, &labels).unwrap();
+            for (i, (got, want)) in prior.iter().zip(&written).enumerate() {
+                let got = got.as_ref().expect("every cell was journaled");
+                prop_assert_eq!(got, want);
+                if let (Some(enc), (_, x)) = (&got.value, cells[i]) {
+                    let back = f64::decode_journal(enc).unwrap();
+                    prop_assert_eq!(back.to_bits(), x.to_bits());
+                }
+            }
+            std::fs::remove_file(&path).ok();
+        }
+
+        /// Chopping the file at *any* byte inside the last line (a crash
+        /// mid-`write_all`) loses exactly that cell: every earlier line
+        /// still resumes, the torn cell re-runs, and nothing errors.
+        #[test]
+        fn prop_torn_tail_loses_only_the_last_cell(
+            values in collection::vec(-1.0e12f64..1.0e12, 2..7),
+            cut_seed in 0usize..10_000,
+        ) {
+            let path = case_path("prop-torn");
+            let j = RunJournal::create(&path).unwrap();
+            j.begin_sweep("s", 7, values.len());
+            for (i, x) in values.iter().enumerate() {
+                j.record(&entry("s", i, CellStatus::Ok, Some(&x.encode_journal())));
+            }
+            drop(j);
+
+            let text = std::fs::read_to_string(&path).unwrap();
+            let last_start = text[..text.len() - 1].rfind('\n').unwrap() + 1;
+            // Keep at least one byte of the last line, never its newline.
+            let tear_span = text.len() - 1 - last_start;
+            let cut = last_start + 1 + cut_seed % tear_span.max(1);
+            std::fs::write(&path, &text[..cut.min(text.len() - 1)]).unwrap();
+
+            let j = RunJournal::resume(&path).unwrap();
+            prop_assert_eq!(j.completed_cells(), values.len() - 1);
+            let labels: Vec<String> =
+                (0..values.len()).map(|i| format!("cell{i}")).collect();
+            let prior = j.prior("s", 7, &labels).unwrap();
+            for (i, (got, x)) in prior.iter().zip(&values).enumerate() {
+                if i + 1 == values.len() {
+                    prop_assert!(got.is_none(), "torn cell must re-run");
+                } else {
+                    let enc = got.as_ref().unwrap().value.as_ref().unwrap();
+                    prop_assert_eq!(
+                        f64::decode_journal(enc).unwrap().to_bits(),
+                        x.to_bits()
+                    );
+                }
+            }
+            std::fs::remove_file(&path).ok();
+        }
+
+        /// Resuming under any *different* fingerprint refuses with a
+        /// typed error; the matching fingerprint keeps working, and a
+        /// sweep the journal has never seen resumes from scratch.
+        #[test]
+        fn prop_fingerprint_mismatch_always_refuses(
+            recorded in 1u64..u64::MAX,
+            offered in 1u64..u64::MAX,
+            n in 1usize..5,
+        ) {
+            prop_assume!(recorded != offered);
+            let path = case_path("prop-fp");
+            let j = RunJournal::create(&path).unwrap();
+            j.begin_sweep("s", recorded, n);
+            j.record(&entry("s", 0, CellStatus::Ok, Some("1")));
+            drop(j);
+
+            let j = RunJournal::resume(&path).unwrap();
+            let labels: Vec<String> = (0..n).map(|i| format!("cell{i}")).collect();
+            prop_assert_eq!(
+                j.prior("s", offered, &labels),
+                Err(JournalError::FingerprintMismatch {
+                    sweep: "s".to_owned(),
+                    expected: offered,
+                    found: recorded,
+                })
+            );
+            prop_assert!(j.prior("s", recorded, &labels).is_ok());
+            prop_assert!(j
+                .prior("unseen", offered, &labels)
+                .unwrap()
+                .iter()
+                .all(Option::is_none));
+            std::fs::remove_file(&path).ok();
+        }
+
+        /// An empty journal — zero bytes, or a header with no cell lines
+        /// — resumes cleanly with nothing completed and all-`None` prior
+        /// cells, whatever the sweep shape.
+        #[test]
+        fn prop_empty_journal_resumes_from_scratch(
+            fingerprint in 1u64..u64::MAX,
+            n in 1usize..6,
+            header_only in 0u8..2,
+        ) {
+            let path = case_path("prop-empty");
+            let j = RunJournal::create(&path).unwrap();
+            if header_only == 1 {
+                j.begin_sweep("s", fingerprint, n);
+            }
+            drop(j);
+
+            let j = RunJournal::resume(&path).unwrap();
+            prop_assert_eq!(j.completed_cells(), 0);
+            let labels: Vec<String> = (0..n).map(|i| format!("cell{i}")).collect();
+            let prior = j.prior("s", fingerprint, &labels).unwrap();
+            prop_assert!(prior.iter().all(Option::is_none));
+            std::fs::remove_file(&path).ok();
+        }
     }
 }

@@ -1,0 +1,596 @@
+//! Differential oracle: one workload, four execution modes, zero excuses.
+//!
+//! The simulator makes three strong promises that ordinary unit tests
+//! exercise only piecemeal:
+//!
+//! 1. **Schedule independence** — a sweep's results are bit-identical for
+//!    any worker count (`--jobs 1` vs `--jobs 8`);
+//! 2. **Crash transparency** — a journaled run that is killed and resumed
+//!    produces bytes identical to an unfaulted run;
+//! 3. **Model agreement** — the analytic flow backend stays inside its
+//!    documented error envelope of the packet-level DES.
+//!
+//! The oracle runs the *same* measurement ladder (impact profile +
+//! degraded runtime per CompressionB rung, plus the solo runtime) through
+//! all four modes and diffs the artefacts: DES modes must agree to the
+//! bit ([`f64::to_bits`], not decimal printing), the flow backend must
+//! stay inside [`FLOW_PROBE_ENVELOPE`] / [`FLOW_RUNTIME_ENVELOPE`]. Every
+//! DES run executes with [`ExperimentConfig::audit`] set, so when the
+//! crate is built with the `audit` feature a conservation-law violation
+//! in any mode surfaces as a typed failure rather than a silent skew.
+//!
+//! The kill is simulated honestly: the `jobs = 1` reference run writes a
+//! real [`RunJournal`], the file is then truncated to its header plus the
+//! first half of its cell lines (exactly what a mid-campaign `kill -9`
+//! leaves behind, minus the torn final line the loader already tolerates),
+//! and the resume run re-runs only the missing cells.
+
+use std::fmt;
+use std::path::Path;
+
+use anp_simnet::SimDuration;
+use anp_workloads::{AppKind, CompressionConfig};
+
+use crate::backend::{Backend, WorkloadSpec};
+use crate::experiments::{
+    impact_profile_of_compression, runtime_under_compression, solo_runtime, ExperimentConfig,
+    ExperimentError,
+};
+use crate::journal::{config_fingerprint, JournalError, RunJournal};
+use crate::samples::LatencyProfile;
+use crate::supervise::{sweep_supervised_for, Supervisor};
+use crate::sweep::Parallelism;
+
+/// Highest acceptable relative error of the flow backend's mean probe
+/// latency vs the DES reference. Mirrors the `anp-bench` cross-validation
+/// gate (`PROBE_TOLERANCE`); the two must move together.
+pub const FLOW_PROBE_ENVELOPE: f64 = 0.10;
+
+/// Highest acceptable relative error of the flow backend's
+/// `degraded / solo` runtime ratio vs the DES reference. Mirrors the
+/// `anp-bench` cross-validation gate (`SLOWDOWN_TOLERANCE`).
+pub const FLOW_RUNTIME_ENVELOPE: f64 = 0.15;
+
+/// The artefacts one mode produced for one ladder rung.
+#[derive(Debug, Clone)]
+pub struct RungArtefact {
+    /// The rung's label (`rung:<compression label>`).
+    pub label: String,
+    /// Mean probe latency, µs.
+    pub mean: f64,
+    /// Probe latency standard deviation, µs.
+    pub std_dev: f64,
+    /// Fastest probe, µs.
+    pub min: f64,
+    /// Slowest probe, µs.
+    pub max: f64,
+    /// Probe count.
+    pub count: u64,
+    /// The application's runtime under this rung's interference.
+    pub runtime: SimDuration,
+}
+
+impl RungArtefact {
+    fn new(label: String, profile: &LatencyProfile, runtime: SimDuration) -> Self {
+        RungArtefact {
+            label,
+            mean: profile.mean(),
+            std_dev: profile.std_dev(),
+            min: profile.min(),
+            max: profile.max(),
+            count: profile.count(),
+            runtime,
+        }
+    }
+}
+
+/// Everything one execution mode measured.
+#[derive(Debug, Clone)]
+pub struct ModeArtefacts {
+    /// The mode's name (`des-jobs1`, `des-jobs8`, `des-resumed`, `flow`).
+    pub mode: &'static str,
+    /// The application's uncontended runtime.
+    pub solo: SimDuration,
+    /// Per-rung artefacts, ladder-ordered.
+    pub rungs: Vec<RungArtefact>,
+}
+
+/// One disagreement between two modes.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The reference mode (always `des-jobs1`).
+    pub baseline: &'static str,
+    /// The diverging mode.
+    pub mode: &'static str,
+    /// Which artefact diverged (e.g. `rung:c7-…: probe mean`).
+    pub artefact: String,
+    /// Human-readable detail, bit patterns included for exact diffs.
+    pub detail: String,
+}
+
+/// The oracle's verdict: per-mode artefacts plus every divergence found.
+#[derive(Debug, Clone)]
+pub struct OracleReport {
+    /// Artefacts per executed mode (3 without a flow backend, 4 with).
+    pub modes: Vec<ModeArtefacts>,
+    /// Every disagreement against the `des-jobs1` reference.
+    pub divergences: Vec<Divergence>,
+    /// Cells the resume run replayed from the truncated journal.
+    pub replayed_cells: usize,
+    /// Cells the resume run had to re-simulate.
+    pub recomputed_cells: usize,
+}
+
+impl OracleReport {
+    /// True when every mode agreed (bit-exact DES, flow in-envelope).
+    pub fn is_clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+impl fmt::Display for OracleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for m in &self.modes {
+            writeln!(f, "{}: solo {}", m.mode, m.solo)?;
+            for r in &m.rungs {
+                writeln!(
+                    f,
+                    "  {:<22} probe mean {:>8.3}us sd {:>7.3}us (n={:>4})  runtime {}",
+                    r.label, r.mean, r.std_dev, r.count, r.runtime
+                )?;
+            }
+        }
+        writeln!(
+            f,
+            "resume: {} cell(s) replayed from the truncated journal, {} re-simulated",
+            self.replayed_cells, self.recomputed_cells
+        )?;
+        if self.divergences.is_empty() {
+            write!(
+                f,
+                "oracle clean: {} modes agree (DES bit-exact; flow within \
+                 {:.0}%/{:.0}% envelope)",
+                self.modes.len(),
+                FLOW_PROBE_ENVELOPE * 100.0,
+                FLOW_RUNTIME_ENVELOPE * 100.0
+            )
+        } else {
+            writeln!(f, "oracle FAILED: {} divergence(s)", self.divergences.len())?;
+            for d in &self.divergences {
+                writeln!(
+                    f,
+                    "  {} vs {}: {}: {}",
+                    d.baseline, d.mode, d.artefact, d.detail
+                )?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Why the oracle could not produce a verdict (distinct from a verdict of
+/// "the modes diverge", which is a clean [`OracleReport`] with entries).
+#[derive(Debug)]
+pub enum OracleError {
+    /// A measurement cell failed in one of the modes. Invariant
+    /// violations from an audited run land here with the full report in
+    /// the rendering.
+    Cell {
+        /// The mode the cell belonged to.
+        mode: &'static str,
+        /// The cell's label.
+        label: String,
+        /// The failure rendering.
+        error: String,
+    },
+    /// A non-cell experiment step (solo runtime, flow measurement) failed.
+    Experiment(ExperimentError),
+    /// The kill-and-resume journal could not be created, mangled, or
+    /// reloaded.
+    Journal(JournalError),
+    /// Filesystem trouble while simulating the kill.
+    Io(String),
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::Cell { mode, label, error } => {
+                write!(f, "oracle mode {mode}, cell {label}: {error}")
+            }
+            OracleError::Experiment(e) => write!(f, "oracle measurement: {e}"),
+            OracleError::Journal(e) => write!(f, "oracle journal: {e}"),
+            OracleError::Io(e) => write!(f, "oracle journal file: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+impl From<ExperimentError> for OracleError {
+    fn from(e: ExperimentError) -> Self {
+        OracleError::Experiment(e)
+    }
+}
+
+impl From<JournalError> for OracleError {
+    fn from(e: JournalError) -> Self {
+        OracleError::Journal(e)
+    }
+}
+
+fn rung_label(comp: &CompressionConfig) -> String {
+    format!("rung:{}", comp.label())
+}
+
+/// Runs the ladder through the DES sweep engine at the given worker
+/// count, optionally journaled. Every cell runs with auditing requested.
+fn des_ladder(
+    cfg: &ExperimentConfig,
+    app: AppKind,
+    ladder: &[CompressionConfig],
+    par: Parallelism,
+    journal: Option<&RunJournal>,
+    mode: &'static str,
+) -> Result<Vec<(LatencyProfile, SimDuration)>, OracleError> {
+    let fp = config_fingerprint(cfg, "des");
+    let tasks: Vec<(String, _)> = ladder
+        .iter()
+        .map(|comp| {
+            (rung_label(comp), move || {
+                let p = impact_profile_of_compression(cfg, comp)?;
+                let t = runtime_under_compression(cfg, app, comp)?;
+                Ok((p, t))
+            })
+        })
+        .collect();
+    let (cells, _telemetry) =
+        sweep_supervised_for("oracle-ladder", "des", par, &Supervisor::none(), journal, fp, tasks)?;
+    cells
+        .into_iter()
+        .zip(ladder)
+        .map(|(cell, comp)| {
+            cell.map_err(|e| OracleError::Cell {
+                mode,
+                label: rung_label(comp),
+                error: e.to_string(),
+            })
+        })
+        .collect()
+}
+
+fn des_artefacts(
+    cfg: &ExperimentConfig,
+    app: AppKind,
+    ladder: &[CompressionConfig],
+    cells: Vec<(LatencyProfile, SimDuration)>,
+    mode: &'static str,
+) -> Result<ModeArtefacts, OracleError> {
+    let solo = solo_runtime(cfg, app)?;
+    let rungs = ladder
+        .iter()
+        .zip(&cells)
+        .map(|(comp, (p, t))| RungArtefact::new(rung_label(comp), p, *t))
+        .collect();
+    Ok(ModeArtefacts { mode, solo, rungs })
+}
+
+/// Truncates a freshly written journal to its header line plus the first
+/// half of its cell lines — the on-disk state a `kill -9` halfway through
+/// the campaign leaves behind. Returns `(kept, total)` cell lines.
+fn simulate_kill(path: &Path) -> Result<(usize, usize), OracleError> {
+    let io = |e: std::io::Error| OracleError::Io(format!("{}: {e}", path.display()));
+    let text = std::fs::read_to_string(path).map_err(io)?;
+    let lines: Vec<&str> = text.lines().collect();
+    let entries = lines.len().saturating_sub(1); // line 0 is the sweep header
+    let keep = entries / 2;
+    let mut out = String::new();
+    for line in &lines[..1 + keep] {
+        out.push_str(line);
+        out.push('\n');
+    }
+    std::fs::write(path, out).map_err(io)?;
+    Ok((keep, entries))
+}
+
+/// Bit-exact comparison of a DES mode against the reference. Any
+/// difference — a single mantissa bit of a probe mean, one nanosecond of
+/// a runtime — is a divergence.
+fn diff_exact(base: &ModeArtefacts, other: &ModeArtefacts, out: &mut Vec<Divergence>) {
+    let mut push = |artefact: String, detail: String| {
+        out.push(Divergence {
+            baseline: base.mode,
+            mode: other.mode,
+            artefact,
+            detail,
+        });
+    };
+    if base.solo != other.solo {
+        push(
+            "solo runtime".to_owned(),
+            format!("{} != {}", base.solo, other.solo),
+        );
+    }
+    for (b, o) in base.rungs.iter().zip(&other.rungs) {
+        let mut field = |name: &str, x: f64, y: f64| {
+            if x.to_bits() != y.to_bits() {
+                push(
+                    format!("{}: probe {name}", b.label),
+                    format!("{x:?} != {y:?} (bits {:016x} != {:016x})", x.to_bits(), y.to_bits()),
+                );
+            }
+        };
+        field("mean", b.mean, o.mean);
+        field("std dev", b.std_dev, o.std_dev);
+        field("min", b.min, o.min);
+        field("max", b.max, o.max);
+        if b.count != o.count {
+            push(
+                format!("{}: probe count", b.label),
+                format!("{} != {}", b.count, o.count),
+            );
+        }
+        if b.runtime != o.runtime {
+            push(
+                format!("{}: runtime", b.label),
+                format!("{} != {}", b.runtime, o.runtime),
+            );
+        }
+    }
+}
+
+/// Envelope comparison of the flow backend against the DES reference:
+/// probe means within [`FLOW_PROBE_ENVELOPE`], `degraded / solo` runtime
+/// ratios within [`FLOW_RUNTIME_ENVELOPE`].
+fn diff_envelope(base: &ModeArtefacts, flow: &ModeArtefacts, out: &mut Vec<Divergence>) {
+    for (b, o) in base.rungs.iter().zip(&flow.rungs) {
+        let probe_err = (o.mean - b.mean).abs() / b.mean;
+        if probe_err > FLOW_PROBE_ENVELOPE {
+            out.push(Divergence {
+                baseline: base.mode,
+                mode: flow.mode,
+                artefact: format!("{}: probe mean", b.label),
+                detail: format!(
+                    "{:.3}us vs {:.3}us ({:.1}% off, envelope {:.0}%)",
+                    o.mean,
+                    b.mean,
+                    probe_err * 100.0,
+                    FLOW_PROBE_ENVELOPE * 100.0
+                ),
+            });
+        }
+        let base_ratio = b.runtime.as_nanos() as f64 / base.solo.as_nanos() as f64;
+        let flow_ratio = o.runtime.as_nanos() as f64 / flow.solo.as_nanos() as f64;
+        let ratio_err = (flow_ratio - base_ratio).abs() / base_ratio;
+        if ratio_err > FLOW_RUNTIME_ENVELOPE {
+            out.push(Divergence {
+                baseline: base.mode,
+                mode: flow.mode,
+                artefact: format!("{}: runtime ratio", b.label),
+                detail: format!(
+                    "{flow_ratio:.4} vs {base_ratio:.4} ({:.1}% off, envelope {:.0}%)",
+                    ratio_err * 100.0,
+                    FLOW_RUNTIME_ENVELOPE * 100.0
+                ),
+            });
+        }
+    }
+}
+
+/// Runs the differential oracle.
+///
+/// `cfg` is the shared experiment configuration (its `jobs` field is
+/// ignored — the oracle pins worker counts per mode; its `audit` flag is
+/// forced on so invariant violations fail the run when the `audit`
+/// feature is compiled in). `journal_path` is where the kill-and-resume
+/// journal is written; the file is created, truncated, resumed, and
+/// removed on success. `flow` adds the fourth, envelope-checked mode —
+/// the caller passes the engine in because this crate must not depend on
+/// `anp-flowsim` (which depends on it). `log` receives progress lines.
+pub fn run_oracle(
+    cfg: &ExperimentConfig,
+    app: AppKind,
+    ladder: &[CompressionConfig],
+    flow: Option<&dyn Backend>,
+    journal_path: &Path,
+    log: &mut dyn FnMut(&str),
+) -> Result<OracleReport, OracleError> {
+    let cfg = cfg.clone().with_audit(true);
+
+    // Mode 1: the reference — serial, journaled (this run's journal is
+    // the one the kill is simulated against).
+    log(&format!(
+        "mode des-jobs1: {} rungs of {} on one worker (journaled)",
+        ladder.len(),
+        app.name()
+    ));
+    let journal = RunJournal::create(journal_path)?;
+    let reference_cells = des_ladder(
+        &cfg,
+        app,
+        ladder,
+        Parallelism::fixed(1),
+        Some(&journal),
+        "des-jobs1",
+    )?;
+    drop(journal);
+    let reference = des_artefacts(&cfg, app, ladder, reference_cells, "des-jobs1")?;
+
+    // Mode 2: the same ladder fanned across 8 workers.
+    log("mode des-jobs8: same ladder on 8 workers");
+    let parallel_cells =
+        des_ladder(&cfg, app, ladder, Parallelism::fixed(8), None, "des-jobs8")?;
+    let parallel = des_artefacts(&cfg, app, ladder, parallel_cells, "des-jobs8")?;
+
+    // Mode 3: kill the journal halfway and resume.
+    let (kept, total) = simulate_kill(journal_path)?;
+    log(&format!(
+        "mode des-resumed: journal truncated to {kept}/{total} cells, resuming"
+    ));
+    let journal = RunJournal::resume(journal_path)?;
+    let replayed = journal.completed_cells();
+    let resumed_cells = des_ladder(
+        &cfg,
+        app,
+        ladder,
+        Parallelism::fixed(8),
+        Some(&journal),
+        "des-resumed",
+    )?;
+    drop(journal);
+    let resumed = des_artefacts(&cfg, app, ladder, resumed_cells, "des-resumed")?;
+
+    // Mode 4: the analytic flow model, when an engine was supplied.
+    let flow_mode = match flow {
+        Some(backend) => {
+            log("mode flow: analytic model, envelope-checked");
+            let solo = backend.measure_solo_runtime(&cfg, app)?;
+            let rungs = ladder
+                .iter()
+                .map(|comp| {
+                    let p = backend
+                        .measure_impact_profile(&cfg, WorkloadSpec::Compression(comp))?;
+                    let t = backend.measure_compression_run(&cfg, app, comp)?;
+                    Ok(RungArtefact::new(rung_label(comp), &p, t))
+                })
+                .collect::<Result<Vec<_>, ExperimentError>>()?;
+            Some(ModeArtefacts {
+                mode: "flow",
+                solo,
+                rungs,
+            })
+        }
+        None => None,
+    };
+
+    let mut divergences = Vec::new();
+    diff_exact(&reference, &parallel, &mut divergences);
+    diff_exact(&reference, &resumed, &mut divergences);
+    if let Some(fm) = &flow_mode {
+        diff_envelope(&reference, fm, &mut divergences);
+    }
+
+    let mut modes = vec![reference, parallel, resumed];
+    modes.extend(flow_mode);
+    let report = OracleReport {
+        modes,
+        divergences,
+        replayed_cells: replayed,
+        recomputed_cells: total - kept,
+    };
+    if report.is_clean() {
+        let _ = std::fs::remove_file(journal_path);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anp_simnet::SwitchConfig;
+    use anp_workloads::ImpactConfig;
+
+    fn tiny_cfg() -> ExperimentConfig {
+        let mut switch = SwitchConfig::tiny_deterministic();
+        switch.nodes = 18;
+        switch.route_servers = 18;
+        let mut cfg = ExperimentConfig::cab();
+        cfg.switch = switch;
+        cfg.impact = ImpactConfig {
+            period: SimDuration::from_micros(100),
+            pairs_per_node: 1,
+            ..ImpactConfig::default()
+        };
+        cfg.measure_window = SimDuration::from_millis(5);
+        cfg
+    }
+
+    fn temp_journal(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("anp-oracle-{tag}-{}.journal", std::process::id()))
+    }
+
+    #[test]
+    fn oracle_is_clean_on_the_des_modes() {
+        let ladder = [
+            CompressionConfig::new(1, 25_000_000, 1),
+            CompressionConfig::new(17, 25_000, 10),
+        ];
+        let path = temp_journal("clean");
+        let mut lines = Vec::new();
+        let report = run_oracle(
+            &tiny_cfg(),
+            AppKind::Fftw,
+            &ladder,
+            None,
+            &path,
+            &mut |l| lines.push(l.to_owned()),
+        )
+        .unwrap();
+        assert!(report.is_clean(), "unexpected divergences:\n{report}");
+        assert_eq!(report.modes.len(), 3);
+        // The truncation must have forced real re-simulation: half the
+        // cells replayed, half recomputed.
+        assert_eq!(report.replayed_cells, 1);
+        assert_eq!(report.recomputed_cells, 1);
+        assert!(!path.exists(), "clean oracle must remove its journal");
+        assert!(lines.iter().any(|l| l.contains("des-resumed")));
+        assert!(format!("{report}").contains("oracle clean"));
+    }
+
+    #[test]
+    fn diff_exact_catches_a_single_bit() {
+        let rung = RungArtefact {
+            label: "rung:x".to_owned(),
+            mean: 1.0,
+            std_dev: 0.5,
+            min: 0.9,
+            max: 1.1,
+            count: 10,
+            runtime: SimDuration::from_micros(100),
+        };
+        let base = ModeArtefacts {
+            mode: "des-jobs1",
+            solo: SimDuration::from_micros(90),
+            rungs: vec![rung.clone()],
+        };
+        let mut other = ModeArtefacts {
+            mode: "des-jobs8",
+            ..base.clone()
+        };
+        other.rungs[0].mean = f64::from_bits(1.0f64.to_bits() + 1);
+        let mut out = Vec::new();
+        diff_exact(&base, &other, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].artefact.contains("probe mean"));
+        assert!(out[0].detail.contains("bits"));
+    }
+
+    #[test]
+    fn diff_envelope_flags_out_of_envelope_flow_results() {
+        let mk = |mode: &'static str, mean: f64, runtime_us: u64| ModeArtefacts {
+            mode,
+            solo: SimDuration::from_micros(100),
+            rungs: vec![RungArtefact {
+                label: "rung:x".to_owned(),
+                mean,
+                std_dev: 0.0,
+                min: mean,
+                max: mean,
+                count: 5,
+                runtime: SimDuration::from_micros(runtime_us),
+            }],
+        };
+        let base = mk("des-jobs1", 2.0, 120);
+        // 5% off on both observables: inside the envelope.
+        let good = mk("flow", 2.1, 126);
+        let mut out = Vec::new();
+        diff_envelope(&base, &good, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        // 25% off on the probe mean: outside.
+        let bad = mk("flow", 2.5, 200);
+        diff_envelope(&base, &bad, &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].artefact.contains("probe mean"));
+        assert!(out[1].artefact.contains("runtime ratio"));
+    }
+}

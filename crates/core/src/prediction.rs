@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 
-use anp_metrics::QuartileSummary;
+use anp_metrics::{MetricsError, QuartileSummary};
 use anp_workloads::AppKind;
 
 use crate::backend::{Backend, DesBackend, WorkloadSpec};
@@ -341,18 +341,23 @@ impl Study {
 
 /// Per-model quartile summary of |measured − predicted| errors across a
 /// set of pairings — the Fig. 9 box-plot data.
+///
+/// Models with no scored pairings are simply absent from the map; a
+/// degenerate error sample (NaN from a poisoned measurement) surfaces as a
+/// typed [`MetricsError`] so callers can report the hole instead of
+/// panicking mid-report.
 pub fn error_summaries(
     outcomes: &[PairOutcome],
     model_names: &[&'static str],
-) -> BTreeMap<&'static str, QuartileSummary> {
+) -> Result<BTreeMap<&'static str, QuartileSummary>, MetricsError> {
     let mut out = BTreeMap::new();
     for &name in model_names {
         let errors: Vec<f64> = outcomes.iter().filter_map(|o| o.abs_error(name)).collect();
         if !errors.is_empty() {
-            out.insert(name, QuartileSummary::of(&errors));
+            out.insert(name, QuartileSummary::of(&errors)?);
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -537,12 +542,26 @@ mod tests {
         for (i, o) in outcomes.iter_mut().enumerate() {
             o.measured = Some(o.predicted["Queue"] + i as f64);
         }
-        let sums = error_summaries(&outcomes, &["AverageLT", "Queue"]);
+        let sums = error_summaries(&outcomes, &["AverageLT", "Queue"]).unwrap();
         assert_eq!(sums.len(), 2);
         // Queue's error was constructed as 0..8 → median 4.
         let q = &sums["Queue"];
         assert!((q.median - 4.0).abs() < 1e-9);
         assert_eq!(q.min, 0.0);
         assert_eq!(q.max, 8.0);
+    }
+
+    #[test]
+    fn poisoned_measurement_yields_typed_metrics_error() {
+        let s = study();
+        let apps = [AppKind::Fftw, AppKind::Mcb];
+        let mut outcomes = s.predict_all(&apps, &all_models());
+        for o in outcomes.iter_mut() {
+            o.measured = Some(f64::NAN);
+        }
+        assert_eq!(
+            error_summaries(&outcomes, &["Queue"]),
+            Err(MetricsError::NanSample)
+        );
     }
 }

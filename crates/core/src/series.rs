@@ -124,6 +124,59 @@ impl TimedSeries {
     }
 }
 
+/// Bit-exact journal codec: timestamps round-trip as raw nanoseconds and
+/// latencies through [`f64::to_bits`] hex, so a series decoded from a run
+/// journal yields byte-identical windowed profiles and phase-model
+/// predictions on resume.
+impl crate::journal::Journaled for TimedSeries {
+    fn encode_journal(&self) -> String {
+        use crate::journal::encode_f64_bits;
+        let ats: Vec<String> = self
+            .samples
+            .iter()
+            .map(|s| s.at.as_nanos().to_string())
+            .collect();
+        let lats: Vec<String> = self
+            .samples
+            .iter()
+            .map(|s| encode_f64_bits(s.one_way_us))
+            .collect();
+        format!("{{\"at\":[{}],\"us\":[{}]}}", ats.join(","), lats.join(","))
+    }
+
+    fn decode_journal(s: &str) -> Option<Self> {
+        use crate::journal::decode_f64_bits;
+        let slice = |key: &str| -> Option<&str> {
+            let open = format!("\"{key}\":[");
+            let start = s.find(&open)? + open.len();
+            let end = start + s[start..].find(']')?;
+            Some(&s[start..end])
+        };
+        let ats = slice("at")?
+            .split(',')
+            .filter(|p| !p.trim().is_empty())
+            .map(|p| p.trim().parse().ok())
+            .collect::<Option<Vec<u64>>>()?;
+        let lats = slice("us")?
+            .split(',')
+            .filter(|p| !p.trim().is_empty())
+            .map(decode_f64_bits)
+            .collect::<Option<Vec<f64>>>()?;
+        if ats.is_empty() || ats.len() != lats.len() {
+            return None;
+        }
+        Some(TimedSeries::new(
+            ats.into_iter()
+                .zip(lats)
+                .map(|(ns, one_way_us)| ProbeSample {
+                    at: SimTime::from_nanos(ns),
+                    one_way_us,
+                })
+                .collect(),
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,5 +279,22 @@ mod tests {
     #[should_panic(expected = "needs samples")]
     fn empty_series_panics() {
         TimedSeries::new(vec![]);
+    }
+
+    #[test]
+    fn journal_codec_round_trips_bit_exactly() {
+        use crate::journal::Journaled;
+        let s = TimedSeries::new(vec![
+            sample(10, 1.0 / 3.0),
+            sample(20, 2.448),
+            sample(30, f64::MIN_POSITIVE),
+        ]);
+        let back = TimedSeries::decode_journal(&s.encode_journal()).unwrap();
+        assert_eq!(back.len(), s.len());
+        for (a, b) in back.samples().iter().zip(s.samples()) {
+            assert_eq!(a.at, b.at);
+            assert_eq!(a.one_way_us.to_bits(), b.one_way_us.to_bits());
+        }
+        assert!(TimedSeries::decode_journal("{\"at\":[],\"us\":[]}").is_none());
     }
 }

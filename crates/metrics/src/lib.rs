@@ -23,4 +23,4 @@ pub use histogram::Histogram;
 pub use interval::Interval;
 pub use linfit::{linear_fit, LinearFit};
 pub use online::OnlineStats;
-pub use quartiles::{quantile, quantile_sorted, QuartileSummary};
+pub use quartiles::{quantile, quantile_sorted, MetricsError, QuartileSummary};

@@ -15,10 +15,15 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
+#[cfg(feature = "audit")]
+use anp_simnet::audit::{AuditLog, InvariantKind};
+#[cfg(feature = "audit")]
+use std::collections::HashMap;
+
 use anp_simnet::util::IdHashMap;
 use anp_simnet::{
-    ConfigError, EventQueue, Fabric, MessageId, NetEvent, NodeId, Notice, SimDuration, SimTime,
-    SwitchConfig,
+    AuditReport, ConfigError, EventQueue, Fabric, MessageId, NetEvent, NodeId, Notice, SimDuration,
+    SimTime, SwitchConfig,
 };
 
 use crate::coll::{
@@ -82,6 +87,15 @@ struct RankState {
     stopped_at: Option<SimTime>,
     coll_seq: u32,
     ops_executed: u64,
+    /// Next eager sequence number per destination global rank, resized on
+    /// first send to a peer. Kept on the rank rather than in a world-level
+    /// map so the per-message counter bump stays cache-local.
+    seq_send: Vec<u64>,
+    /// Eager delivery cursor per source global rank. The low bits are the
+    /// next sequence number to hand to matching; the top bit
+    /// ([`SEQ_BUFFERED`]) marks a pair with out-of-order arrivals parked
+    /// in [`World::recv_buffers`].
+    seq_recv: Vec<u64>,
 }
 
 struct JobInfo {
@@ -121,8 +135,11 @@ struct WireMeta {
     tag: u32,
     bytes: u64,
     kind: WireKind,
-    /// Reliability-layer sequence number (eager sends with reliability
-    /// enabled only; `None` bypasses resequencing).
+    /// Per-(source, destination) sequence number. Every eager payload
+    /// carries one — the fabric's k-server routing stage can reorder
+    /// whole messages, so the receiver always resequences; rendezvous
+    /// control traffic (`None`) needs no ordering. With reliability
+    /// enabled the same number additionally keys retransmit tracking.
     seq: Option<u64>,
 }
 
@@ -133,12 +150,15 @@ const RENDEZVOUS_CTRL_BYTES: u64 = 64;
 ///
 /// Strictly opt-in (see [`World::set_reliability`]): without it the
 /// message layer assumes a lossless fabric, which is exact for the default
-/// [`anp_simnet::FaultPlan::none`] configuration. With it, every eager
-/// send carries a per-(source, destination) sequence number, the receiver
-/// delivers in sequence order, and the sender re-sends on timeout with
-/// exponential backoff until the message lands or the retry budget is
-/// spent — after which the send is reported failed (see
-/// [`StallReport::failed_sends`]) rather than retried forever.
+/// [`anp_simnet::FaultPlan::none`] configuration. Every eager send always
+/// carries a per-(source, destination) sequence number and the receiver
+/// delivers in sequence order (the switch's parallel routing stage can
+/// reorder whole messages, so resequencing is an ordering-correctness
+/// matter, not a reliability one); the reliability layer adds the
+/// recovery half: the sender re-sends on timeout with exponential backoff
+/// until the message lands or the retry budget is spent — after which the
+/// send is reported failed (see [`StallReport::failed_sends`]) rather
+/// than retried forever.
 ///
 /// Rendezvous traffic (RTS/CTS handshakes and their payloads) is *not*
 /// covered: a lost control message stalls the handshake and surfaces in
@@ -348,16 +368,12 @@ struct PendingSend {
     current_msg: MessageId,
 }
 
-/// Receiver-side resequencing state for one (src, dst) global-rank pair.
-#[derive(Debug, Default)]
-struct PairRecv {
-    /// Next sequence number to hand to matching.
-    next: u64,
-    /// Out-of-order arrivals, `None` marking a sequence number voided by a
-    /// failed send (its slot is consumed so later messages can drain; the
-    /// matching receive simply never completes).
-    buffer: BTreeMap<u64, Option<Envelope>>,
-}
+/// Top bit of a [`RankState::seq_recv`] cursor: set while the pair has
+/// out-of-order arrivals parked in [`World::recv_buffers`]. Loss-free runs
+/// never set it, so per-message delivery stays a flat vector read.
+const SEQ_BUFFERED: u64 = 1 << 63;
+/// Mask extracting the delivery cursor from a [`RankState::seq_recv`] slot.
+const SEQ_CURSOR: u64 = SEQ_BUFFERED - 1;
 
 /// The composed simulation: fabric + jobs + event loop.
 pub struct World {
@@ -391,10 +407,12 @@ pub struct World {
     pending_sends: IdHashMap<u64, PendingSend>,
     /// Wire message id → pending-send token (one entry per live attempt).
     msg_token: IdHashMap<MessageId, u64>,
-    /// Next sequence number per (src_global << 32 | dst_global) pair.
-    send_seq: IdHashMap<u64, u64>,
-    /// Receiver resequencing state per (src_global << 32 | dst_global).
-    recv_seq: IdHashMap<u64, PairRecv>,
+    /// Out-of-order eager arrivals per (src_global << 32 | dst_global)
+    /// pair, `None` marking a sequence number voided by a failed send (its
+    /// slot is consumed so later messages can drain; the matching receive
+    /// simply never completes). Only pairs whose [`RankState::seq_recv`]
+    /// cursor carries [`SEQ_BUFFERED`] have an entry.
+    recv_buffers: IdHashMap<u64, BTreeMap<u64, Option<Envelope>>>,
     /// Sends abandoned after the retry budget, in failure order.
     failed_sends: Vec<FailedSend>,
     rel_stats: ReliabilityStats,
@@ -405,6 +423,49 @@ pub struct World {
     wall_deadline: Option<std::time::Instant>,
     /// Set once a run loop stopped because the budget was spent.
     budget_exhausted: bool,
+    /// World-level invariant auditor (FIFO ordering, sequence windows,
+    /// monotonic time). `None` until [`World::enable_audit`]; the field only
+    /// exists when the `audit` feature is compiled in.
+    #[cfg(feature = "audit")]
+    audit: Option<Box<WorldAudit>>,
+}
+
+/// Shadow state for the world-level invariants. The eager FIFO check works
+/// by *issue indices*: every eager payload send on a (source rank,
+/// destination rank, tag) channel gets the next index, and the resequencer
+/// must hand strictly increasing indices to matching — exactly MPI's
+/// non-overtaking rule, robust to messages that legitimately never arrive
+/// (their slots are voided, consuming the stamp without advancing the
+/// watermark).
+#[cfg(feature = "audit")]
+struct WorldAudit {
+    log: AuditLog,
+    /// Clock of the previously popped event, for the monotonicity check.
+    prev_now: SimTime,
+    /// Next issue index per (pair key, tag) channel.
+    issue_next: HashMap<(u64, u32), u64>,
+    /// (pair key, sequence number) → (channel, issue index), stamped at
+    /// send time and consumed when the resequencer hands the slot to
+    /// matching — stable across retransmissions, which reuse the seq.
+    seq_issue: HashMap<(u64, u64), ((u64, u32), u64)>,
+    /// One past the last delivered issue index per channel.
+    delivered: HashMap<(u64, u32), u64>,
+    /// Lowest legal value of each pair's resequencing cursor.
+    seq_floor: HashMap<u64, u64>,
+}
+
+#[cfg(feature = "audit")]
+impl WorldAudit {
+    fn new() -> Self {
+        WorldAudit {
+            log: AuditLog::new(),
+            prev_now: SimTime::ZERO,
+            issue_next: HashMap::new(),
+            seq_issue: HashMap::new(),
+            delivered: HashMap::new(),
+            seq_floor: HashMap::new(),
+        }
+    }
 }
 
 /// The run loops consult the wall clock only when
@@ -446,14 +507,53 @@ impl World {
             next_token: 0,
             pending_sends: IdHashMap::default(),
             msg_token: IdHashMap::default(),
-            send_seq: IdHashMap::default(),
-            recv_seq: IdHashMap::default(),
+            recv_buffers: IdHashMap::default(),
             failed_sends: Vec::new(),
             rel_stats: ReliabilityStats::default(),
             max_events: None,
             wall_deadline: None,
             budget_exhausted: false,
+            #[cfg(feature = "audit")]
+            audit: None,
         })
+    }
+
+    /// Turns on the invariant auditor for this world and its fabric. No-op
+    /// unless compiled with the `audit` feature (see
+    /// [`anp_simnet::audit::audit_compiled`]), so callers never need feature
+    /// gates of their own. Call before running; enabling mid-run misses
+    /// events sent earlier.
+    pub fn enable_audit(&mut self) {
+        self.fabric.enable_audit();
+        #[cfg(feature = "audit")]
+        if self.audit.is_none() {
+            self.audit = Some(Box::new(WorldAudit::new()));
+        }
+    }
+
+    /// `true` when the auditor is compiled in and enabled.
+    pub fn audit_enabled(&self) -> bool {
+        self.fabric.audit_enabled()
+    }
+
+    /// Drains the auditor's findings — the world-level checks (FIFO,
+    /// sequence windows, monotonic time) merged with the fabric's
+    /// conservation sweep. Returns `None` when auditing is off or compiled
+    /// out. A non-clean report means the *simulator* broke its own physics:
+    /// the run's artefacts cannot be trusted.
+    pub fn take_audit_report(&mut self) -> Option<AuditReport> {
+        #[cfg(feature = "audit")]
+        {
+            let mut report = self.audit.as_deref_mut()?.log.take_report();
+            if let Some(fabric_report) = self.fabric.take_audit_report() {
+                report.merge(fabric_report);
+            }
+            Some(report)
+        }
+        #[cfg(not(feature = "audit"))]
+        {
+            None
+        }
     }
 
     /// Installs a run budget: the run loops stop once
@@ -581,6 +681,8 @@ impl World {
                 stopped_at: None,
                 coll_seq: 0,
                 ops_executed: 0,
+                seq_send: Vec::new(),
+                seq_recv: Vec::new(),
             });
             self.in_ready.push(false);
         }
@@ -745,6 +847,18 @@ impl World {
             return false;
         }
         let (_, ev) = self.q.pop().expect("peeked event vanished");
+        #[cfg(feature = "audit")]
+        if let Some(a) = self.audit.as_deref_mut() {
+            if t < a.prev_now {
+                let detail = format!(
+                    "event clock moved backwards: {} after {}",
+                    t, a.prev_now
+                );
+                a.log.violate(InvariantKind::TimeMonotonicity, t, detail);
+            }
+            a.prev_now = t;
+            a.log.note_event(format!("t={t} {ev:?}"));
+        }
         match ev {
             WorldEvent::Net(ne) => {
                 let mut notices = std::mem::take(&mut self.notice_scratch);
@@ -789,18 +903,20 @@ impl World {
                             bytes: meta.bytes,
                             rendezvous: None,
                         };
-                        if let Some(seq) = meta.seq {
-                            // Tracked send: acknowledge (drop the pending
-                            // record and its timer guard) and resequence.
+                        let seq = meta
+                            .seq
+                            .expect("eager message without a sequence number");
+                        // Under reliability the arrival acknowledges the
+                        // send: drop the pending record and its timer
+                        // guard. Either way the envelope resequences.
+                        if self.reliability.is_some() {
                             if let Some(token) = self.msg_token.remove(&msg) {
                                 self.pending_sends.remove(&token);
                             }
-                            let src_global =
-                                self.jobs[meta.job.0 as usize].ranks[meta.src_local as usize];
-                            self.accept_sequenced(src_global, dst_global, seq, env);
-                        } else {
-                            self.deliver_envelope(dst_global, env);
                         }
+                        let src_global =
+                            self.jobs[meta.job.0 as usize].ranks[meta.src_local as usize];
+                        self.accept_sequenced(src_global, dst_global, seq, env);
                     }
                     WireKind::Rts { payload } => {
                         // The announcement enters matching; when matched
@@ -866,8 +982,21 @@ impl World {
                 // semantics); recovery, if any, is timer-driven — the
                 // reliability layer deliberately ignores this omniscient
                 // signal, exactly like a real sender would have to.
-                self.meta.remove(&msg);
+                let meta = self.meta.remove(&msg);
                 self.msg_token.remove(&msg);
+                // Without a reliability layer nothing will retransmit the
+                // loss; void its sequence slot so the pair's later traffic
+                // still delivers (in order) instead of waiting forever.
+                if self.reliability.is_none() {
+                    if let Some(meta) = meta {
+                        if let (WireKind::Eager, Some(seq)) = (meta.kind, meta.seq) {
+                            let ranks = &self.jobs[meta.job.0 as usize].ranks;
+                            let src_global = ranks[meta.src_local as usize];
+                            let dst_global = ranks[meta.dst_local as usize];
+                            self.void_sequenced(src_global, dst_global, seq);
+                        }
+                    }
+                }
             }
             Notice::PacketDelivered { .. }
             | Notice::PacketDropped { .. }
@@ -890,38 +1019,158 @@ impl World {
     /// Accepts a sequenced arrival: suppresses duplicates, buffers
     /// out-of-order messages, and drains everything now in order.
     fn accept_sequenced(&mut self, src_global: u32, dst_global: u32, seq: u64, env: Envelope) {
+        let cursors = &mut self.ranks[dst_global as usize].seq_recv;
+        if cursors.len() <= src_global as usize {
+            cursors.resize(src_global as usize + 1, 0);
+        }
+        let stored = cursors[src_global as usize];
+        if stored & SEQ_BUFFERED == 0 {
+            // Nothing parked behind this pair — every message of a
+            // loss-free run. A flat cursor bump and a direct delivery.
+            if seq < stored {
+                self.rel_stats.duplicates += 1;
+                return;
+            }
+            if seq == stored {
+                cursors[src_global as usize] = stored + 1;
+                #[cfg(feature = "audit")]
+                {
+                    let key = pair_key(src_global, dst_global);
+                    self.audit_fifo_delivery(key, seq, true);
+                    self.audit_seq_window(src_global, dst_global);
+                }
+                self.deliver_envelope(dst_global, env);
+                return;
+            }
+            // Gap: park the arrival and flag the cursor so later messages
+            // take the buffered path until the pair drains dry.
+            cursors[src_global as usize] = stored | SEQ_BUFFERED;
+        }
+        let cur = self.ranks[dst_global as usize].seq_recv[src_global as usize] & SEQ_CURSOR;
         let key = pair_key(src_global, dst_global);
-        let pair = self.recv_seq.entry(key).or_default();
-        if seq < pair.next || pair.buffer.contains_key(&seq) {
+        let buffer = self.recv_buffers.entry(key).or_default();
+        if seq < cur || buffer.contains_key(&seq) {
             self.rel_stats.duplicates += 1;
             return;
         }
-        pair.buffer.insert(seq, Some(env));
-        self.drain_sequenced(key, dst_global);
+        buffer.insert(seq, Some(env));
+        self.drain_sequenced(src_global, dst_global);
+        #[cfg(feature = "audit")]
+        self.audit_seq_window(src_global, dst_global);
     }
 
     /// Marks `seq` as permanently lost so later messages on the pair can
     /// still be delivered in order. The receive that would have matched it
     /// stays pending forever — visible in the [`StallReport`].
     fn void_sequenced(&mut self, src_global: u32, dst_global: u32, seq: u64) {
-        let key = pair_key(src_global, dst_global);
-        let pair = self.recv_seq.entry(key).or_default();
-        if seq < pair.next {
+        let cursors = &mut self.ranks[dst_global as usize].seq_recv;
+        if cursors.len() <= src_global as usize {
+            cursors.resize(src_global as usize + 1, 0);
+        }
+        let stored = cursors[src_global as usize];
+        if seq < stored & SEQ_CURSOR {
             return; // A duplicate of the "failed" message made it after all.
         }
-        pair.buffer.insert(seq, None);
-        self.drain_sequenced(key, dst_global);
+        cursors[src_global as usize] = stored | SEQ_BUFFERED;
+        let key = pair_key(src_global, dst_global);
+        self.recv_buffers.entry(key).or_default().insert(seq, None);
+        self.drain_sequenced(src_global, dst_global);
+        #[cfg(feature = "audit")]
+        self.audit_seq_window(src_global, dst_global);
     }
 
-    /// Delivers the in-order prefix of a pair's resequencing buffer.
-    fn drain_sequenced(&mut self, key: u64, dst_global: u32) {
+    /// Checks a pair's resequencing window after it absorbed an arrival:
+    /// the delivery cursor must never regress, and nothing below the cursor
+    /// may remain buffered (it would be delivered out of order or never).
+    #[cfg(feature = "audit")]
+    fn audit_seq_window(&mut self, src_global: u32, dst_global: u32) {
+        let Some(a) = self.audit.as_deref_mut() else {
+            return;
+        };
+        let key = pair_key(src_global, dst_global);
+        let next = self.ranks[dst_global as usize]
+            .seq_recv
+            .get(src_global as usize)
+            .copied()
+            .unwrap_or(0)
+            & SEQ_CURSOR;
+        let now = self.q.now();
+        let floor = a.seq_floor.entry(key).or_insert(0);
+        if next < *floor {
+            let detail = format!(
+                "pair ({src_global}, {dst_global}): delivery cursor moved backwards from {} to {next}",
+                *floor
+            );
+            a.log.violate(InvariantKind::SeqWindow, now, detail);
+        }
+        *floor = next;
+        if let Some((&first, _)) = self.recv_buffers.get(&key).and_then(|b| b.iter().next()) {
+            if first < next {
+                let detail = format!(
+                    "pair ({src_global}, {dst_global}): buffered seq {first} below delivery cursor {next}"
+                );
+                a.log.violate(InvariantKind::SeqWindow, now, detail);
+            }
+        }
+    }
+
+    /// Checks the eager non-overtaking rule end to end: on each (source,
+    /// destination, tag) channel, send-time issue indices must reach the
+    /// matching engine strictly in increasing order. Called as the
+    /// resequencer drains a slot; an independent check of the pipeline
+    /// (fabric reordering + resequencing buffer) using only send-time
+    /// stamps. Voided slots consume their stamp without advancing the
+    /// watermark — a lost send is allowed to never arrive, not to arrive
+    /// late.
+    #[cfg(feature = "audit")]
+    fn audit_fifo_delivery(&mut self, key: u64, seq: u64, delivered: bool) {
+        let Some(a) = self.audit.as_deref_mut() else {
+            return;
+        };
+        let Some((chan, issue)) = a.seq_issue.remove(&(key, seq)) else {
+            return;
+        };
+        if !delivered {
+            return;
+        }
+        let last = a.delivered.entry(chan).or_insert(0);
+        if issue < *last {
+            let ((_, tag), prev) = (chan, *last - 1);
+            let (src, dst) = (key >> 32, key & u64::from(u32::MAX));
+            let detail = format!(
+                "channel (src {src}, dst {dst}, tag {tag}): send #{issue} \
+                 delivered after send #{prev} (FIFO overtaking)"
+            );
+            a.log
+                .violate(InvariantKind::FifoOrdering, self.q.now(), detail);
+        } else {
+            *last = issue + 1;
+        }
+    }
+
+    /// Delivers the in-order prefix of a pair's side buffer, then clears
+    /// the cursor's [`SEQ_BUFFERED`] flag (and drops the buffer) once the
+    /// pair drains dry so later arrivals take the flat fast path again.
+    fn drain_sequenced(&mut self, src_global: u32, dst_global: u32) {
+        let key = pair_key(src_global, dst_global);
         loop {
-            let pair = self.recv_seq.get_mut(&key).expect("pair state vanished");
-            let next = pair.next;
-            let Some(slot) = pair.buffer.remove(&next) else {
+            let next =
+                self.ranks[dst_global as usize].seq_recv[src_global as usize] & SEQ_CURSOR;
+            let buffer = self
+                .recv_buffers
+                .get_mut(&key)
+                .expect("pair buffer vanished");
+            let Some(slot) = buffer.remove(&next) else {
+                if buffer.is_empty() {
+                    self.recv_buffers.remove(&key);
+                    self.ranks[dst_global as usize].seq_recv[src_global as usize] = next;
+                }
                 return;
             };
-            pair.next += 1;
+            self.ranks[dst_global as usize].seq_recv[src_global as usize] =
+                (next + 1) | SEQ_BUFFERED;
+            #[cfg(feature = "audit")]
+            self.audit_fifo_delivery(key, next, slot.is_some());
             if let Some(env) = slot {
                 self.deliver_envelope(dst_global, env);
             }
@@ -1132,10 +1381,22 @@ impl World {
         let msg = self
             .fabric
             .send_message(&mut self.q, u64::from(rank), src_node, dst_node, bytes);
-        let seq = self.reliability.map(|rel| {
-            let counter = self.send_seq.entry(pair_key(rank, dst_global)).or_insert(0);
-            let seq = *counter;
-            *counter += 1;
+        // Every eager payload is sequenced per (src, dst) pair, with or
+        // without a reliability layer: the switch's k-server routing stage
+        // legitimately reorders packet completions, so a later, shorter
+        // message can finish before an earlier one — the receiver must
+        // resequence or MPI's non-overtaking rule breaks (the invariant
+        // auditor caught exactly that on the saturated ladder rungs).
+        let seq = {
+            let counters = &mut self.ranks[rank as usize].seq_send;
+            if counters.len() <= dst_global as usize {
+                counters.resize(dst_global as usize + 1, 0);
+            }
+            let seq = counters[dst_global as usize];
+            counters[dst_global as usize] += 1;
+            seq
+        };
+        if let Some(rel) = self.reliability {
             let token = self.next_token;
             self.next_token += 1;
             let meta = WireMeta {
@@ -1162,8 +1423,7 @@ impl World {
             self.msg_token.insert(msg, token);
             self.q
                 .schedule_after(rel.retransmit_timeout, WorldEvent::RetransmitTimer { token });
-            seq
-        });
+        }
         self.meta.insert(
             msg,
             WireMeta {
@@ -1173,10 +1433,26 @@ impl World {
                 tag,
                 bytes,
                 kind: WireKind::Eager,
-                seq,
+                seq: Some(seq),
             },
         );
         self.send_owner.insert(msg, rank);
+        #[cfg(feature = "audit")]
+        {
+            // Stamp the send with the channel's next issue index so
+            // delivery can verify non-overtaking independently of the
+            // resequencing buffer that enforces it.
+            if let Some(a) = self.audit.as_deref_mut() {
+                let chan = (pair_key(rank, dst_global), tag);
+                let issue = {
+                    let c = a.issue_next.entry(chan).or_insert(0);
+                    let v = *c;
+                    *c += 1;
+                    v
+                };
+                a.seq_issue.insert((pair_key(rank, dst_global), seq), (chan, issue));
+            }
+        }
         self.ranks[rank as usize].outstanding += 1;
     }
 
@@ -2375,6 +2651,120 @@ mod tests {
         let job = w.add_job("coll-lossy", members);
         assert!(w.run_until_job_done(job, SimTime::from_secs(10)).completed());
         assert!(w.reliability_stats().retransmits > 0);
+    }
+
+    #[test]
+    fn audit_is_off_by_default_and_reports_none() {
+        let (mut w, job) = ping_pong_world(FaultPlan::none(), 2);
+        assert!(!w.audit_enabled());
+        assert!(w.run_until_job_done(job, SimTime::from_secs(1)).completed());
+        assert_eq!(w.take_audit_report(), None);
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn audited_ping_pong_is_clean_and_traces_events() {
+        let (mut w, job) = ping_pong_world(FaultPlan::none(), 5);
+        w.enable_audit();
+        assert!(w.audit_enabled());
+        assert!(w.run_until_job_done(job, SimTime::from_secs(1)).completed());
+        let report = w.take_audit_report().expect("audit enabled");
+        assert!(report.is_clean(), "unexpected violations: {report}");
+        assert!(report.events_audited > 0);
+        assert!(
+            !report.trace_tail.is_empty(),
+            "the flight recorder must capture the event stream"
+        );
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn audited_run_does_not_change_timing() {
+        // The auditor observes; it must never perturb the simulation.
+        let (mut plain, job_p) = ping_pong_world(FaultPlan::none(), 5);
+        let (mut audited, job_a) = ping_pong_world(FaultPlan::none(), 5);
+        audited.enable_audit();
+        assert!(plain.run_until_job_done(job_p, SimTime::from_secs(1)).completed());
+        assert!(audited.run_until_job_done(job_a, SimTime::from_secs(1)).completed());
+        assert_eq!(plain.job_finish_time(job_p), audited.job_finish_time(job_a));
+        assert_eq!(plain.events_processed(), audited.events_processed());
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn audited_lossy_retransmission_run_is_clean() {
+        // Loss + retransmission exercises every invariant the auditor
+        // guards: credits returned on drop paths, voided sequence numbers,
+        // duplicate suppression, and the resequencing window.
+        let (mut w, job) = ping_pong_world(FaultPlan::uniform_loss(0.2).with_seed(11), 50);
+        w.set_reliability(ReliabilityConfig {
+            retransmit_timeout: SimDuration::from_micros(10),
+            max_retries: 10,
+        });
+        w.enable_audit();
+        assert!(w.run_until_job_done(job, SimTime::from_secs(10)).completed());
+        assert!(w.reliability_stats().retransmits > 0);
+        let report = w.take_audit_report().expect("audit enabled");
+        assert!(report.is_clean(), "unexpected violations: {report}");
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn audited_failed_send_with_voided_seq_is_clean() {
+        // A send abandoned after its retry budget voids its sequence
+        // number; the window invariant must treat that as legal.
+        let fault = LinkFault::on(LinkSelector::Link(LinkId::NodeUp(NodeId(0)))).with_down(
+            FaultWindow::new(SimTime::ZERO, SimTime::from_micros(50)),
+        );
+        let mut w = World::new(
+            SwitchConfig::tiny_deterministic()
+                .with_fault_plan(FaultPlan::none().with_link_fault(fault)),
+        );
+        w.set_reliability(ReliabilityConfig {
+            retransmit_timeout: SimDuration::from_micros(10),
+            max_retries: 1,
+        });
+        w.enable_audit();
+        let job = w.add_job(
+            "partial",
+            vec![
+                (
+                    boxed(Scripted::new(vec![
+                        Op::Isend {
+                            dst: 1,
+                            bytes: 512,
+                            tag: 0,
+                        },
+                        Op::WaitAll,
+                        Op::Compute(SimDuration::from_micros(60)),
+                        Op::Isend {
+                            dst: 1,
+                            bytes: 512,
+                            tag: 1,
+                        },
+                        Op::WaitAll,
+                        Op::Stop,
+                    ])),
+                    NodeId(0),
+                ),
+                (
+                    boxed(Scripted::new(vec![
+                        Op::Irecv {
+                            src: Src::Rank(0),
+                            tag: 1,
+                        },
+                        Op::WaitAll,
+                        Op::Stop,
+                    ])),
+                    NodeId(1),
+                ),
+            ],
+        );
+        let outcome = w.run_until_job_done(job, SimTime::from_secs(1));
+        assert!(outcome.completed(), "B must deliver past A's voided seq: {outcome:?}");
+        assert_eq!(w.reliability_stats().failures, 1);
+        let report = w.take_audit_report().expect("audit enabled");
+        assert!(report.is_clean(), "unexpected violations: {report}");
     }
 
     proptest! {

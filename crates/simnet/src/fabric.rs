@@ -39,6 +39,9 @@ use rand::SeedableRng;
 
 use rand::Rng;
 
+#[cfg(feature = "audit")]
+use crate::audit::{AuditLog, InvariantKind};
+use crate::audit::AuditReport;
 use crate::config::{ConfigError, SwitchConfig, Topology};
 use crate::event::EventQueue;
 use crate::fault::{LinkId, LinkState, ServerFaultState};
@@ -313,6 +316,56 @@ pub struct Fabric {
     inflight: IdHashMap<MessageId, MsgProgress>,
     stats: FabricStats,
     faults: Option<FaultLayer>,
+    /// Invariant auditor state. `None` until [`Fabric::enable_audit`]; the
+    /// field itself only exists when the `audit` feature is compiled in, so
+    /// unaudited builds carry no state and no branches.
+    #[cfg(feature = "audit")]
+    audit: Option<Box<FabricAudit>>,
+}
+
+/// Shadow accounting for the fabric-level conservation invariants: per-port
+/// egress byte ledgers plus the shared violation recorder. Boxed off the
+/// `Fabric` hot path; allocated only when auditing is enabled at runtime.
+#[cfg(feature = "audit")]
+struct FabricAudit {
+    log: AuditLog,
+    /// Per (switch, port): `(bytes accepted into the FIFO, bytes transmitted
+    /// out)`. Conservation demands `out ≤ in` always and `out == in` at
+    /// quiescence.
+    egress_bytes: Vec<Vec<(u64, u64)>>,
+    /// Clock of the most recent audited event, for timestamps on checks that
+    /// run outside the event loop (e.g. the final quiescence sweep).
+    last_now: SimTime,
+}
+
+#[cfg(feature = "audit")]
+impl FabricAudit {
+    fn new(routes: &Routes) -> Self {
+        FabricAudit {
+            log: AuditLog::new(),
+            egress_bytes: (0..routes.switch_count())
+                .map(|sw| vec![(0u64, 0u64); routes.port_count(sw) as usize])
+                .collect(),
+            last_now: SimTime::ZERO,
+        }
+    }
+
+    fn egress_accept(&mut self, sw: u32, port: u32, bytes: u64) {
+        self.egress_bytes[sw as usize][port as usize].0 += bytes;
+    }
+
+    fn egress_transmit(&mut self, sw: u32, port: u32, bytes: u64, now: SimTime) {
+        let (accepted, transmitted) = &mut self.egress_bytes[sw as usize][port as usize];
+        *transmitted += bytes;
+        if *transmitted > *accepted {
+            let detail = format!(
+                "egress (switch {sw}, port {port}) transmitted {transmitted} bytes \
+                 but only accepted {accepted}"
+            );
+            self.log
+                .violate(InvariantKind::EgressByteConservation, now, detail);
+        }
+    }
 }
 
 /// Maps a dense link index back to its [`LinkId`] (inverse of
@@ -403,7 +456,85 @@ impl Fabric {
             stats: FabricStats::default(),
             faults,
             cfg,
+            #[cfg(feature = "audit")]
+            audit: None,
         })
+    }
+
+    /// Turns on the invariant auditor for this fabric. No-op unless the
+    /// crate was compiled with the `audit` feature (check with
+    /// [`audit_compiled`](crate::audit::audit_compiled)), so callers never
+    /// need feature gates of their own.
+    pub fn enable_audit(&mut self) {
+        #[cfg(feature = "audit")]
+        if self.audit.is_none() {
+            self.audit = Some(Box::new(FabricAudit::new(&self.routes)));
+        }
+    }
+
+    /// `true` when the auditor is compiled in and enabled.
+    pub fn audit_enabled(&self) -> bool {
+        #[cfg(feature = "audit")]
+        {
+            self.audit.is_some()
+        }
+        #[cfg(not(feature = "audit"))]
+        {
+            false
+        }
+    }
+
+    /// Runs the end-of-run conservation sweep and drains the auditor's
+    /// findings. Returns `None` when auditing is off or compiled out.
+    pub fn take_audit_report(&mut self) -> Option<AuditReport> {
+        #[cfg(feature = "audit")]
+        {
+            self.audit.as_ref()?;
+            self.audit_quiescence_check();
+            Some(self.audit.as_deref_mut().expect("checked above").log.take_report())
+        }
+        #[cfg(not(feature = "audit"))]
+        {
+            None
+        }
+    }
+
+    /// At any quiescent point every admission credit must be back in its
+    /// pool and every egress port's byte ledger must balance — a packet
+    /// cannot be "gone" while still holding a credit or occupying a FIFO.
+    #[cfg(feature = "audit")]
+    fn audit_quiescence_check(&mut self) {
+        if self.audit.is_none() || !self.is_quiescent() {
+            return;
+        }
+        let audit = self.audit.as_deref_mut().expect("checked above");
+        let now = audit.last_now;
+        for (sw, unit) in self.switches.iter().enumerate() {
+            for (class, pool) in unit.pools.iter().enumerate() {
+                if pool.in_use() != 0 {
+                    let detail = format!(
+                        "{} credit(s) still held at quiescence (switch {sw}, class {class})",
+                        pool.in_use()
+                    );
+                    audit
+                        .log
+                        .violate(InvariantKind::CreditConservation, now, detail);
+                }
+            }
+        }
+        for (sw, ports) in audit.egress_bytes.iter().enumerate() {
+            for (port, (accepted, transmitted)) in ports.iter().enumerate() {
+                if accepted != transmitted {
+                    let detail = format!(
+                        "egress (switch {sw}, port {port}) accepted {accepted} bytes \
+                         but transmitted {transmitted} at quiescence"
+                    );
+                    audit
+                        .log
+                        .violate(InvariantKind::EgressByteConservation, now, detail);
+                }
+            }
+        }
     }
 
     /// Dense index of `link` into the fault-state table.
@@ -651,6 +782,11 @@ impl Fabric {
         ev: NetEvent,
         out: &mut Vec<Notice>,
     ) {
+        #[cfg(feature = "audit")]
+        if let Some(a) = self.audit.as_deref_mut() {
+            a.last_now = q.now();
+            a.log.count_event();
+        }
         match ev {
             NetEvent::NicTxDone { node } => {
                 let pkt = self.nics[node.index()].tx_done();
@@ -668,8 +804,7 @@ impl Fabric {
                     // at the leaf's `EgressTxDone` — which it will never
                     // reach). Hand the credit back, or every drop shrinks the
                     // pool until all NICs on the leaf park forever.
-                    self.switches[leaf as usize].pools[0].release();
-                    self.wake_one(q, leaf, 0);
+                    self.release_credit(q, leaf, 0);
                     self.drop_packet(pkt, link, out);
                 } else {
                     q.schedule_after(
@@ -699,16 +834,23 @@ impl Fabric {
                     Self::schedule_service(q, sw, start);
                 }
                 let port = self.routes.route_port(sw, packet.dst);
+                #[cfg(feature = "audit")]
+                if let Some(a) = self.audit.as_deref_mut() {
+                    a.egress_accept(sw, port, packet.bytes);
+                }
                 self.switches[sw as usize].egress[port as usize].accept(packet);
                 self.try_start_egress(q, sw, port);
             }
             NetEvent::EgressTxDone { sw, port } => {
                 let pkt = self.switches[sw as usize].egress[port as usize].tx_done();
+                #[cfg(feature = "audit")]
+                if let Some(a) = self.audit.as_deref_mut() {
+                    a.egress_transmit(sw, port, pkt.bytes, q.now());
+                }
                 // The packet has left this switch: release its admission
                 // credit and wake exactly one waiter of that class.
                 let class = self.routes.class_at(sw, &pkt);
-                self.switches[sw as usize].pools[class].release();
-                self.wake_one(q, sw, class);
+                self.release_credit(q, sw, class);
                 // Forward onto the wire. This switch's credit is released
                 // above, but a packet bound for another switch already holds
                 // that next switch's credit (acquired in `try_start_egress`):
@@ -721,8 +863,7 @@ impl Fabric {
                 };
                 if self.link_drops(link, q.now()) {
                     if let NextHop::Switch { sw: next, class } = hop {
-                        self.switches[next as usize].pools[class].release();
-                        self.wake_one(q, next, class);
+                        self.release_credit(q, next, class);
                     }
                     self.drop_packet(pkt, link, out);
                 } else {
@@ -857,6 +998,27 @@ impl Fabric {
         let bw = self.link_bandwidth_of(link);
         let d = self.switches[sw as usize].egress[port as usize].start_tx(bw);
         q.schedule_after(d, NetEvent::EgressTxDone { sw, port }.into());
+    }
+
+    /// Releases one (switch, class) admission credit and wakes a parked
+    /// waiter. Under the auditor, a release that would underflow the pool —
+    /// a credit handed back twice, or never acquired — is reported as a
+    /// [`InvariantKind::CreditConservation`] violation and skipped, instead
+    /// of corrupting the pool (or aborting on the pool's debug assertion).
+    fn release_credit<E: From<NetEvent>>(&mut self, q: &mut EventQueue<E>, sw: u32, class: usize) {
+        #[cfg(feature = "audit")]
+        if let Some(a) = self.audit.as_deref_mut() {
+            if self.switches[sw as usize].pools[class].in_use() == 0 {
+                let detail = format!(
+                    "credit release without matching acquire (switch {sw}, class {class})"
+                );
+                a.log
+                    .violate(InvariantKind::CreditConservation, q.now(), detail);
+                return;
+            }
+        }
+        self.switches[sw as usize].pools[class].release();
+        self.wake_one(q, sw, class);
     }
 
     /// Grants a freed (switch, class) credit to the first parked waiter.
@@ -1062,6 +1224,77 @@ mod tests {
         drain(&mut fab, &mut q, SimTime::from_secs(10));
         assert!(fab.is_quiescent());
         assert_eq!(fab.credits_in_use(0, 0), 0);
+    }
+
+    #[test]
+    fn audit_is_off_by_default_and_reports_none() {
+        let (mut fab, mut q) = setup();
+        assert!(!fab.audit_enabled());
+        fab.send_message(&mut q, 0, NodeId(0), NodeId(1), 512);
+        drain(&mut fab, &mut q, SimTime::from_secs(1));
+        assert_eq!(fab.take_audit_report(), None);
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn audited_clean_run_reports_no_violations() {
+        let (mut fab, mut q) = setup();
+        fab.enable_audit();
+        assert!(fab.audit_enabled());
+        for i in 0..30u64 {
+            fab.send_message(
+                &mut q,
+                i,
+                NodeId((i % 4) as u32),
+                NodeId(((i + 1) % 4) as u32),
+                2048,
+            );
+        }
+        drain(&mut fab, &mut q, SimTime::from_secs(10));
+        assert!(fab.is_quiescent());
+        let report = fab.take_audit_report().expect("audit enabled");
+        assert!(report.is_clean(), "unexpected violations: {report}");
+        assert!(report.events_audited > 0);
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn audited_lossy_run_stays_clean() {
+        // Drops exercise the credit-return paths the auditor guards; a
+        // correct fabric must stay violation-free even when packets die.
+        let mut cfg = SwitchConfig::tiny_deterministic();
+        cfg.switch_capacity = 1;
+        let fault = LinkFault::on(LinkSelector::Link(LinkId::NodeUp(NodeId(0))))
+            .with_down(FaultWindow::new(SimTime::ZERO, SimTime::from_micros(10)));
+        let mut fab = Fabric::new(cfg.with_fault_plan(FaultPlan::none().with_link_fault(fault)));
+        let mut q: EventQueue<NetEvent> = EventQueue::new();
+        fab.enable_audit();
+        fab.prime_fault_events(&mut q);
+        fab.send_message(&mut q, 0, NodeId(0), NodeId(1), 4096);
+        drain(&mut fab, &mut q, SimTime::from_micros(15));
+        fab.send_message(&mut q, 1, NodeId(0), NodeId(1), 4096);
+        drain(&mut fab, &mut q, SimTime::from_secs(1));
+        assert!(fab.stats().packets_dropped >= 4);
+        let report = fab.take_audit_report().expect("audit enabled");
+        assert!(report.is_clean(), "unexpected violations: {report}");
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn double_release_is_reported_not_panicked() {
+        let (mut fab, mut q) = setup();
+        fab.enable_audit();
+        // No credit is in use: a release here is the class of accounting bug
+        // the auditor exists to catch. It must come back as a typed
+        // violation, not a debug-assert abort.
+        fab.release_credit(&mut q, 0, 0);
+        let report = fab.take_audit_report().expect("audit enabled");
+        assert_eq!(report.violation_count(), 1);
+        assert_eq!(
+            report.violations[0].kind,
+            InvariantKind::CreditConservation
+        );
+        assert!(report.violations[0].detail.contains("without matching acquire"));
     }
 
     #[test]

@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod config;
 pub mod event;
 pub mod fabric;
@@ -47,6 +48,7 @@ pub mod switch;
 pub mod time;
 pub mod util;
 
+pub use audit::{audit_compiled, AuditReport, AuditViolation, InvariantKind};
 pub use config::{ConfigError, SwitchConfig, Topology};
 pub use event::EventQueue;
 pub use fabric::{drain, Fabric, NetEvent, Notice};

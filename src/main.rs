@@ -7,6 +7,7 @@
 //! anp losses <APP>              # degradation vs packet-loss rate for APP
 //! anp predict <APP> <APP>       # predict mutual slowdown of a pairing
 //! anp apps                      # list the built-in application proxies
+//! anp audit [--quick]           # invariant audit + differential oracle
 //! ```
 //!
 //! Global flags: `--seed <n>`, `--jobs <n>`, `--backend <des|flow>`,
@@ -16,10 +17,10 @@
 //! see the `anp-bench` binaries for the full paper harnesses.
 
 use anp_core::{
-    all_models, calibrate_with, completed_count, config_fingerprint, degradation_percent,
-    loss_sweep_supervised, partial_exit_code, sweep_supervised_for, Backend, BackendError,
-    ExperimentConfig, LookupTable, MuPolicy, RetryPolicy, RunBudget, RunJournal, Study, Supervisor,
-    WorkloadSpec,
+    all_models, audit_compiled, calibrate_with, completed_count, config_fingerprint,
+    degradation_percent, loss_sweep_supervised, partial_exit_code, run_oracle,
+    sweep_supervised_for, Backend, BackendError, ExperimentConfig, LookupTable, MuPolicy,
+    RetryPolicy, RunBudget, RunJournal, Study, Supervisor, WorkloadSpec,
 };
 use anp_simmpi::ReliabilityConfig;
 use anp_simnet::SimDuration;
@@ -38,6 +39,11 @@ fn usage() -> ! {
          \x20 sweep <APP>          degradation vs utilization ladder for APP\n\
          \x20 losses <APP>         degradation vs packet-loss rate for APP\n\
          \x20 predict <A> <B>      predict A and B's mutual slowdown\n\
+         \x20 audit [--quick]      invariant audit + differential oracle:\n\
+         \x20                      the same ladder through DES --jobs 1,\n\
+         \x20                      --jobs 8, a kill-and-resume run, and the\n\
+         \x20                      flow model; exits 1 on any divergence\n\
+         \x20                      (--quick: small deterministic fabric)\n\
          APP is one of: FFTW, Lulesh, MCB, MILC, VPFFT, AMG (case-insensitive)\n\
          --jobs N runs experiment sweeps on N worker threads (default: all\n\
          cores; results are identical for any setting, 1 = serial)\n\
@@ -385,6 +391,76 @@ fn main() {
                     eprintln!("(re-run with --resume {} to complete)", p.display());
                 }
                 std::process::exit(partial_exit_code(completed, total));
+            }
+        }
+        "audit" => {
+            let quick = match args.next() {
+                None => false,
+                Some(a) if a == "--quick" => true,
+                Some(_) => usage(),
+            };
+            if !audit_compiled() {
+                eprintln!(
+                    "warning: invariant auditing is compiled out — rebuild with \
+                     `--features audit` to check conservation laws; running the \
+                     differential oracle without them"
+                );
+            }
+            // The ladder runs on the Cab-like preset: the flow model's
+            // 10%/15% envelope is documented and gate-tested there
+            // (`backend_xval`), so that is where the oracle may hold it
+            // to the envelope. Quick mode trims the app axis to FFTW;
+            // the full run adds the compute-bound extreme.
+            //
+            // The oracle always measures against the DES reference; the
+            // flow engine is the fourth, envelope-checked mode and is
+            // skipped (with a warning) if it cannot honor the config.
+            let flow: Option<Box<dyn Backend>> = match anp_flowsim::backend_from_name("flow") {
+                Ok(b) => match b.validate(&cfg) {
+                    Ok(()) => Some(b),
+                    Err(e) => {
+                        eprintln!("warning: flow mode skipped: {e}");
+                        None
+                    }
+                },
+                Err(e) => {
+                    eprintln!("warning: flow mode skipped: {e}");
+                    None
+                }
+            };
+            let ladder = [
+                CompressionConfig::new(1, 25_000_000, 1),
+                CompressionConfig::new(7, 2_500_000, 10),
+                CompressionConfig::new(14, 250_000, 1),
+                CompressionConfig::new(17, 25_000, 10),
+            ];
+            let apps = if quick {
+                vec![AppKind::Fftw]
+            } else {
+                vec![AppKind::Fftw, AppKind::Milc]
+            };
+            let mut clean = true;
+            for app in apps {
+                eprintln!("auditing {} on the gated ladder", app.name());
+                let journal_path = std::env::temp_dir().join(format!(
+                    "anp-audit-{}-{}.journal",
+                    app.name(),
+                    std::process::id()
+                ));
+                let report = run_oracle(
+                    &cfg,
+                    app,
+                    &ladder,
+                    flow.as_deref(),
+                    &journal_path,
+                    &mut |line| eprintln!("  {line}"),
+                )
+                .unwrap_or_else(|e| fail(e));
+                println!("{report}");
+                clean &= report.is_clean();
+            }
+            if !clean {
+                std::process::exit(1);
             }
         }
         "predict" => {

@@ -32,6 +32,7 @@ fn tiny_cfg(jobs: usize) -> ExperimentConfig {
         run_cap: SimDuration::from_secs(60),
         seed: 7,
         jobs: Parallelism::fixed(jobs),
+        audit: false,
     }
 }
 
