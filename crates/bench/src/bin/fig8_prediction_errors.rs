@@ -16,6 +16,7 @@
 //! ```
 
 use anp_bench::{banner, full_outcomes_supervised, HarnessOpts};
+use anp_core::ModelKind;
 
 fn main() {
     let opts = HarnessOpts::from_args();
@@ -32,14 +33,13 @@ fn main() {
         "{:<8} {:<8} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "victim", "with", "measured", "AvgLT", "AvgSdLT", "PDFLT", "Queue"
     );
-    let models = ["AverageLT", "AverageStDevLT", "PDFLT", "Queue"];
     for o in &outcomes {
         print!("{:<8} {:<8}", o.victim.name(), o.other.name());
         match o.measured {
             Some(m) => print!(" {:>8.1}%", m),
             None => print!(" {:>9}", "-"),
         }
-        for m in models {
+        for m in ModelKind::ALL {
             match o.abs_error(m) {
                 Some(e) => print!(" {:>8.1} ", e),
                 None => print!(" {:>9}", "-"),

@@ -41,9 +41,10 @@ use std::time::Duration;
 
 use anp_core::{
     calibrate_with, error_summaries, partial_exit_code, Backend, Calibration, DesBackend,
-    ExperimentConfig, JournalError, LatencyProfile, LookupTable, MuPolicy, PairOutcome,
+    ExperimentConfig, JournalError, LatencyProfile, LookupTable, ModelKind, MuPolicy, PairOutcome,
     Parallelism, RetryPolicy, RunBudget, RunJournal, Study, Supervisor, SweepTelemetry, TaskError,
 };
+use anp_sched::SchedRecord;
 use anp_workloads::{AppKind, CompressionConfig};
 
 pub mod xval;
@@ -226,8 +227,20 @@ impl HarnessOpts {
     /// Serializes sweep telemetry to the configured `BENCH_anp.json`
     /// (no-op under `--no-bench-json`).
     pub fn emit_bench_json(&self, harness: &str, sweeps: &[&SweepTelemetry]) {
+        self.emit_bench_json_sched(harness, sweeps, &[]);
+    }
+
+    /// [`HarnessOpts::emit_bench_json`] with per-policy scheduling
+    /// records for the v4 `sched` array (the `sched_study` harness and
+    /// the `anp sched` subcommand).
+    pub fn emit_bench_json_sched(
+        &self,
+        harness: &str,
+        sweeps: &[&SweepTelemetry],
+        sched: &[SchedRecord],
+    ) {
         let Some(path) = &self.bench_json else { return };
-        match write_bench_json(path, harness, self.seed, self.resume.as_deref(), sweeps) {
+        match write_bench_json_v4(path, harness, self.seed, self.resume.as_deref(), sweeps, sched) {
             Ok(()) => println!("(sweep telemetry written to {})", path.display()),
             Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
         }
@@ -600,9 +613,10 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
 /// the `BENCH_anp.json` perf-trajectory artefact. Schema (one object):
 ///
 /// ```text
-/// { "schema": "anp-bench-v3", "harness": "<binary>", "seed": N,
+/// { "schema": "anp-bench-v4", "harness": "<binary>", "seed": N,
 ///   "journal": "<path>" | null,
-///   "sweeps": [ <SweepTelemetry::to_json() objects> ] }
+///   "sweeps": [ <SweepTelemetry::to_json() objects> ],
+///   "sched": [ <SchedRecord::to_json() objects> ] }
 /// ```
 ///
 /// Each sweep object carries `backend` (`"des"`, `"flow"`, or `"mixed"`),
@@ -612,9 +626,12 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
 /// `{label, backend, wall_secs, events, outcome, retries}` cells. v2
 /// added the sweep- and run-level `backend` fields; v3 added the
 /// top-level `journal` path and the per-run `outcome`
-/// (`ok`/`resumed`/`failed`/`panicked`/`budget`) and `retries` fields
-/// (see DESIGN.md, "Telemetry schema"). The file is written atomically
-/// ([`write_atomic`]).
+/// (`ok`/`resumed`/`failed`/`panicked`/`budget`) and `retries` fields;
+/// v4 added the top-level `sched` array of per-policy scheduling records
+/// (`{policy, model, backend, mean_slowdown_pct, makespan_us,
+/// regret_pct, slo_violations, decisions, decision_wall_secs}`), empty
+/// for harnesses that do not schedule (see DESIGN.md, "Telemetry
+/// schema"). The file is written atomically ([`write_atomic`]).
 pub fn write_bench_json(
     path: &Path,
     harness: &str,
@@ -622,10 +639,23 @@ pub fn write_bench_json(
     journal: Option<&Path>,
     sweeps: &[&SweepTelemetry],
 ) -> std::io::Result<()> {
+    write_bench_json_v4(path, harness, seed, journal, sweeps, &[])
+}
+
+/// [`write_bench_json`] with the v4 `sched` array populated: one record
+/// per placement policy of a scheduling study.
+pub fn write_bench_json_v4(
+    path: &Path,
+    harness: &str,
+    seed: u64,
+    journal: Option<&Path>,
+    sweeps: &[&SweepTelemetry],
+    sched: &[SchedRecord],
+) -> std::io::Result<()> {
     let mut out = String::new();
     let journal = journal.map_or("null".to_owned(), |p| format!("\"{}\"", p.display()));
     out.push_str(&format!(
-        "{{\n  \"schema\": \"anp-bench-v3\",\n  \"harness\": \"{harness}\",\n  \"seed\": {seed},\n  \"journal\": {journal},\n  \"sweeps\": [\n"
+        "{{\n  \"schema\": \"anp-bench-v4\",\n  \"harness\": \"{harness}\",\n  \"seed\": {seed},\n  \"journal\": {journal},\n  \"sweeps\": [\n"
     ));
     for (i, t) in sweeps.iter().enumerate() {
         if i > 0 {
@@ -633,6 +663,14 @@ pub fn write_bench_json(
         }
         out.push_str("    ");
         out.push_str(&t.to_json());
+    }
+    out.push_str("\n  ],\n  \"sched\": [\n");
+    for (i, r) in sched.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("    ");
+        out.push_str(&r.to_json());
     }
     out.push_str("\n  ]\n}\n");
     write_atomic(path, out.as_bytes())
@@ -684,14 +722,8 @@ pub fn load_outcomes(path: &Path) -> Option<Vec<PairOutcome>> {
         let mut predicted = BTreeMap::new();
         for kv in cols {
             let (name, v) = kv.split_once('=')?;
-            let name: &'static str = match name {
-                "AverageLT" => "AverageLT",
-                "AverageStDevLT" => "AverageStDevLT",
-                "PDFLT" => "PDFLT",
-                "Queue" => "Queue",
-                _ => return None,
-            };
-            predicted.insert(name, v.parse().ok()?);
+            let kind: ModelKind = name.parse().ok()?;
+            predicted.insert(kind, v.parse().ok()?);
         }
         out.push(PairOutcome {
             victim,
@@ -724,8 +756,7 @@ pub fn render_histogram(profile: &LatencyProfile) -> String {
 /// degenerate error sample (e.g. NaN from a poisoned cell) is reported as
 /// a one-line hole instead of aborting the report.
 pub fn print_error_summary(outcomes: &[PairOutcome]) {
-    let names = ["AverageLT", "AverageStDevLT", "PDFLT", "Queue"];
-    let summaries = match error_summaries(outcomes, &names) {
+    let summaries = match error_summaries(outcomes, &ModelKind::ALL) {
         Ok(s) => s,
         Err(e) => {
             println!("error summary unavailable: {e}");
@@ -736,14 +767,20 @@ pub fn print_error_summary(outcomes: &[PairOutcome]) {
         "{:<15} {:>7} {:>7} {:>7} {:>7} {:>7}  {:>10}",
         "model", "min", "q1", "median", "q3", "max", "<10% err"
     );
-    for name in names {
-        if let Some(s) = summaries.get(name) {
-            let errors: Vec<f64> = outcomes.iter().filter_map(|o| o.abs_error(name)).collect();
+    for kind in ModelKind::ALL {
+        if let Some(s) = summaries.get(&kind) {
+            let errors: Vec<f64> = outcomes.iter().filter_map(|o| o.abs_error(kind)).collect();
             let under10 =
                 errors.iter().filter(|e| **e < 10.0).count() as f64 / errors.len() as f64 * 100.0;
             println!(
                 "{:<15} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1}  {:>9.0}%",
-                name, s.min, s.q1, s.median, s.q3, s.max, under10
+                kind.name(),
+                s.min,
+                s.q1,
+                s.median,
+                s.q3,
+                s.max,
+                under10
             );
         }
     }
@@ -763,7 +800,7 @@ mod tests {
                 victim: AppKind::Fftw,
                 other: AppKind::Mcb,
                 measured: Some(12.5),
-                predicted: [("Queue", 11.0), ("AverageLT", 30.0)]
+                predicted: [(ModelKind::Queue, 11.0), (ModelKind::AverageLt, 30.0)]
                     .into_iter()
                     .collect(),
             },
@@ -779,7 +816,7 @@ mod tests {
         assert_eq!(loaded.len(), 2);
         assert_eq!(loaded[0].victim, AppKind::Fftw);
         assert_eq!(loaded[0].measured, Some(12.5));
-        assert_eq!(loaded[0].predicted["Queue"], 11.0);
+        assert_eq!(loaded[0].predicted[&ModelKind::Queue], 11.0);
         assert_eq!(loaded[1].measured, None);
         std::fs::remove_file(&path).ok();
     }
@@ -847,9 +884,9 @@ mod tests {
     }
 
     #[test]
-    fn bench_json_carries_v3_fields() {
+    fn bench_json_carries_v4_fields() {
         use anp_core::RunRecord;
-        let dir = std::env::temp_dir().join("anp_bench_v3_test");
+        let dir = std::env::temp_dir().join("anp_bench_v4_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bench.json");
         let t = SweepTelemetry {
@@ -868,13 +905,27 @@ mod tests {
         };
         write_bench_json(&path, "h", 7, Some(Path::new("run.jsonl")), &[&t]).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
-        assert!(text.contains("\"schema\": \"anp-bench-v3\""));
+        assert!(text.contains("\"schema\": \"anp-bench-v4\""));
         assert!(text.contains("\"journal\": \"run.jsonl\""));
         assert!(text.contains("\"outcome\":\"resumed\""));
         assert!(text.contains("\"retries\":1"));
-        write_bench_json(&path, "h", 7, None, &[&t]).unwrap();
+        assert!(text.contains("\"sched\": ["), "v4 always carries a sched array");
+        let rec = SchedRecord {
+            policy: "predictive:Queue:flow".to_owned(),
+            model: Some(ModelKind::Queue),
+            backend: Some("flow".to_owned()),
+            mean_slowdown_pct: 12.0,
+            makespan_us: 50_000.0,
+            regret_pct: 2.0,
+            slo_violations: 1,
+            decisions: 10,
+            decision_wall_secs: 0.012,
+        };
+        write_bench_json_v4(&path, "h", 7, None, &[&t], &[rec]).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"journal\": null"));
+        assert!(text.contains("\"policy\":\"predictive:Queue:flow\""));
+        assert!(text.contains("\"regret_pct\":2"));
         std::fs::remove_file(&path).ok();
     }
 

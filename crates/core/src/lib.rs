@@ -75,12 +75,15 @@ pub use experiments::{
 };
 pub use journal::{config_fingerprint, CellStatus, JournalEntry, JournalError, Journaled, RunJournal};
 pub use lut::{CompressionEntry, LookupTable, SupervisedTable};
-pub use models::{all_models, AverageLt, AverageStDevLt, PdfLt, QueueModel, QueuePhaseModel, SlowdownModel};
+pub use models::{
+    all_models, AverageLt, AverageStDevLt, ModelKind, PdfLt, QueueModel, QueuePhaseModel,
+    SlowdownModel, UnknownModel,
+};
 pub use oracle::{
     run_oracle, Divergence, ModeArtefacts, OracleError, OracleReport, RungArtefact,
     FLOW_PROBE_ENVELOPE, FLOW_RUNTIME_ENVELOPE,
 };
-pub use prediction::{error_summaries, PairOutcome, Study};
+pub use prediction::{error_summaries, PairOutcome, PredictionError, Study};
 pub use queue::{Calibration, CalibrationError, MuPolicy};
 pub use samples::LatencyProfile;
 pub use series::TimedSeries;

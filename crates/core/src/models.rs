@@ -19,10 +19,99 @@ use crate::lut::LookupTable;
 use crate::samples::LatencyProfile;
 use crate::series::TimedSeries;
 
+/// The four prediction models, as a typed identifier.
+///
+/// Everything that used to pass model names around as strings —
+/// prediction maps, error summaries, harness tables, the
+/// `anp sched --model` flag — keys on this enum instead, so an unknown
+/// model is a parse error at the edge rather than a silent empty column
+/// deep inside a report. [`std::fmt::Display`] and [`std::str::FromStr`]
+/// round-trip through the paper's spellings (`AverageLT`, …);
+/// parsing is case-insensitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ModelKind {
+    /// §IV-A.1 — match on mean latency ([`AverageLt`]).
+    AverageLt,
+    /// §IV-A.2 — match on `µ±σ` interval overlap ([`AverageStDevLt`]).
+    AverageStDevLt,
+    /// §IV-A.3 — match on the PDF product integral ([`PdfLt`]).
+    PdfLt,
+    /// §IV-B — the queue-theoretic model ([`QueueModel`]).
+    Queue,
+}
+
+impl ModelKind {
+    /// All four models, in the paper's presentation order (Fig. 8/9).
+    pub const ALL: [ModelKind; 4] = [
+        ModelKind::AverageLt,
+        ModelKind::AverageStDevLt,
+        ModelKind::PdfLt,
+        ModelKind::Queue,
+    ];
+
+    /// The paper's spelling of the model's name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::AverageLt => "AverageLT",
+            ModelKind::AverageStDevLt => "AverageStDevLT",
+            ModelKind::PdfLt => "PDFLT",
+            ModelKind::Queue => "Queue",
+        }
+    }
+
+    /// Constructs the model this identifier names.
+    pub fn model(self) -> Box<dyn SlowdownModel> {
+        match self {
+            ModelKind::AverageLt => Box::new(AverageLt),
+            ModelKind::AverageStDevLt => Box::new(AverageStDevLt),
+            ModelKind::PdfLt => Box::new(PdfLt),
+            ModelKind::Queue => Box::new(QueueModel),
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A model name that matches none of the four models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownModel(pub String);
+
+impl std::fmt::Display for UnknownModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown model '{}' (expected one of: AverageLT, AverageStDevLT, PDFLT, Queue)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownModel {}
+
+impl std::str::FromStr for ModelKind {
+    type Err = UnknownModel;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ModelKind::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| UnknownModel(s.to_owned()))
+    }
+}
+
 /// A slowdown predictor built on the look-up table.
 pub trait SlowdownModel {
+    /// Which of the four models this is.
+    fn kind(&self) -> ModelKind;
+
     /// The model's display name (as in Fig. 8/9).
-    fn name(&self) -> &'static str;
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
 
     /// Predicted % slowdown of `victim` when co-running with a workload
     /// whose impact profile is `other`. Returns `None` when the table
@@ -41,8 +130,8 @@ fn slowdown_at(table: &LookupTable, idx: usize, victim: AppKind) -> Option<f64> 
 pub struct AverageLt;
 
 impl SlowdownModel for AverageLt {
-    fn name(&self) -> &'static str {
-        "AverageLT"
+    fn kind(&self) -> ModelKind {
+        ModelKind::AverageLt
     }
 
     fn predict(
@@ -71,8 +160,8 @@ impl SlowdownModel for AverageLt {
 pub struct AverageStDevLt;
 
 impl SlowdownModel for AverageStDevLt {
-    fn name(&self) -> &'static str {
-        "AverageStDevLT"
+    fn kind(&self) -> ModelKind {
+        ModelKind::AverageStDevLt
     }
 
     fn predict(
@@ -107,8 +196,8 @@ impl SlowdownModel for AverageStDevLt {
 pub struct PdfLt;
 
 impl SlowdownModel for PdfLt {
-    fn name(&self) -> &'static str {
-        "PDFLT"
+    fn kind(&self) -> ModelKind {
+        ModelKind::PdfLt
     }
 
     fn predict(
@@ -143,8 +232,8 @@ impl SlowdownModel for PdfLt {
 pub struct QueueModel;
 
 impl SlowdownModel for QueueModel {
-    fn name(&self) -> &'static str {
-        "Queue"
+    fn kind(&self) -> ModelKind {
+        ModelKind::Queue
     }
 
     fn predict(
@@ -243,12 +332,7 @@ impl QueuePhaseModel {
 
 /// All four models, in the paper's presentation order (Fig. 8/9).
 pub fn all_models() -> Vec<Box<dyn SlowdownModel>> {
-    vec![
-        Box::new(AverageLt),
-        Box::new(AverageStDevLt),
-        Box::new(PdfLt),
-        Box::new(QueueModel),
-    ]
+    ModelKind::ALL.into_iter().map(ModelKind::model).collect()
 }
 
 #[cfg(test)]
@@ -378,5 +462,22 @@ mod tests {
     fn model_names_match_paper() {
         let names: Vec<&str> = all_models().iter().map(|m| m.name()).collect();
         assert_eq!(names, ["AverageLT", "AverageStDevLT", "PDFLT", "Queue"]);
+    }
+
+    #[test]
+    fn model_kind_round_trips_through_display() {
+        for kind in ModelKind::ALL {
+            let rendered = kind.to_string();
+            assert_eq!(rendered.parse::<ModelKind>().unwrap(), kind);
+            // Parsing is case-insensitive so CLI flags stay forgiving.
+            assert_eq!(rendered.to_lowercase().parse::<ModelKind>().unwrap(), kind);
+            assert_eq!(rendered.to_uppercase().parse::<ModelKind>().unwrap(), kind);
+            // The boxed model agrees with its kind.
+            assert_eq!(kind.model().kind(), kind);
+            assert_eq!(kind.model().name(), rendered);
+        }
+        let err = "NoSuchModel".parse::<ModelKind>().unwrap_err();
+        assert!(err.to_string().contains("NoSuchModel"));
+        assert!(err.to_string().contains("AverageLT"));
     }
 }

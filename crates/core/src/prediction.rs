@@ -15,10 +15,72 @@ use crate::backend::{Backend, DesBackend, WorkloadSpec};
 use crate::experiments::{degradation_percent, ExperimentConfig, ExperimentError};
 use crate::journal::{config_fingerprint, JournalError, RunJournal};
 use crate::lut::LookupTable;
-use crate::models::SlowdownModel;
+use crate::models::{ModelKind, SlowdownModel};
 use crate::samples::LatencyProfile;
 use crate::supervise::{sweep_supervised_for, Supervisor, TaskError};
 use crate::sweep::{sweep_recorded_for, SweepTelemetry};
+
+/// Why a pairing has no slowdown value to offer.
+///
+/// Consumers that read slowdowns out of a study — most prominently the
+/// scheduler's placement policies in `anp-sched` — hit three distinct
+/// holes, and each needs a different reaction: an [`Unmeasured`] pairing
+/// can be measured (or the oracle skipped), a [`MissingProfile`] means
+/// the co-runner was never profiled, and [`NoPrediction`] means the
+/// look-up table carries no degradation data for the victim. All three
+/// used to surface as `Option::unwrap` panics deep inside report loops.
+///
+/// [`Unmeasured`]: PredictionError::Unmeasured
+/// [`MissingProfile`]: PredictionError::MissingProfile
+/// [`NoPrediction`]: PredictionError::NoPrediction
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredictionError {
+    /// The pairing's co-run ground truth was never measured (or its
+    /// measurement cell failed and left a typed hole).
+    Unmeasured {
+        /// The application whose slowdown was requested.
+        victim: AppKind,
+        /// The co-running application.
+        other: AppKind,
+    },
+    /// The co-runner has no impact profile in the study, so no model can
+    /// summarize its footprint.
+    MissingProfile {
+        /// The unprofiled co-runner.
+        app: AppKind,
+    },
+    /// The look-up table carries no degradation data for the victim
+    /// under this model.
+    NoPrediction {
+        /// The application whose slowdown was requested.
+        victim: AppKind,
+        /// The model that could not predict.
+        model: ModelKind,
+    },
+}
+
+impl std::fmt::Display for PredictionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictionError::Unmeasured { victim, other } => write!(
+                f,
+                "pairing {}+{} has no measured co-run slowdown",
+                victim.name(),
+                other.name()
+            ),
+            PredictionError::MissingProfile { app } => {
+                write!(f, "{} has no impact profile in the study", app.name())
+            }
+            PredictionError::NoPrediction { victim, model } => write!(
+                f,
+                "model {model} has no prediction for {} in the look-up table",
+                victim.name()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PredictionError {}
 
 /// One directed pairing: the slowdown of `victim` when co-run with
 /// `other`.
@@ -30,14 +92,25 @@ pub struct PairOutcome {
     pub other: AppKind,
     /// Measured % slowdown (ground truth; `None` until measured).
     pub measured: Option<f64>,
-    /// Model name → predicted % slowdown.
-    pub predicted: BTreeMap<&'static str, f64>,
+    /// Model → predicted % slowdown.
+    pub predicted: BTreeMap<ModelKind, f64>,
 }
 
 impl PairOutcome {
     /// The |measured − predicted| error of one model, if both sides exist.
-    pub fn abs_error(&self, model: &str) -> Option<f64> {
-        Some((self.measured? - self.predicted.get(model)?).abs())
+    pub fn abs_error(&self, model: ModelKind) -> Option<f64> {
+        Some((self.measured? - self.predicted.get(&model)?).abs())
+    }
+
+    /// The measured ground truth, or a typed
+    /// [`PredictionError::Unmeasured`] hole — for consumers (like the
+    /// scheduler's oracle policy) that must react to an unmeasured
+    /// pairing rather than panic on it.
+    pub fn measured_value(&self) -> Result<f64, PredictionError> {
+        self.measured.ok_or(PredictionError::Unmeasured {
+            victim: self.victim,
+            other: self.other,
+        })
     }
 }
 
@@ -187,7 +260,7 @@ impl Study {
         if let Some(other_profile) = self.app_profiles.get(&other) {
             for m in models {
                 if let Some(p) = m.predict(&self.table, victim, other_profile) {
-                    predicted.insert(m.name(), p);
+                    predicted.insert(m.kind(), p);
                 }
             }
         }
@@ -197,6 +270,27 @@ impl Study {
             measured: None,
             predicted,
         }
+    }
+
+    /// Predicts the slowdown of `victim` co-run with `other` under one
+    /// model, without touching (or requiring) any co-run measurement —
+    /// the entry point the scheduler's predictive placement policies use,
+    /// where only isolated measurements (table + profiles) exist and
+    /// every hole must be a typed error rather than a panic.
+    pub fn predicted_slowdown(
+        &self,
+        victim: AppKind,
+        other: AppKind,
+        model: ModelKind,
+    ) -> Result<f64, PredictionError> {
+        let other_profile = self
+            .app_profiles
+            .get(&other)
+            .ok_or(PredictionError::MissingProfile { app: other })?;
+        model
+            .model()
+            .predict(&self.table, victim, other_profile)
+            .ok_or(PredictionError::NoPrediction { victim, model })
     }
 
     /// Predicts every ordered pair from `apps` (the paper's 36 pairings
@@ -262,12 +356,12 @@ impl Study {
             sweep_recorded_for("pairing-grid", backend.name(), cfg.jobs, tasks);
         for (o, r) in outcomes.iter_mut().zip(results) {
             let solo = self.table.solo[&o.victim];
-            o.measured = Some(degradation_percent(solo, r?));
+            let measured = degradation_percent(solo, r?);
+            o.measured = Some(measured);
             progress(&format!(
-                "{} with {} -> measured {:+.1}%",
+                "{} with {} -> measured {measured:+.1}%",
                 o.victim.name(),
                 o.other.name(),
-                o.measured.unwrap()
             ));
         }
         Ok(telemetry)
@@ -311,12 +405,12 @@ impl Study {
             match r {
                 Ok(t) => match self.table.solo.get(&o.victim) {
                     Some(&solo) => {
-                        o.measured = Some(degradation_percent(solo, t));
+                        let measured = degradation_percent(solo, t);
+                        o.measured = Some(measured);
                         progress(&format!(
-                            "{} with {} -> measured {:+.1}%",
+                            "{} with {} -> measured {measured:+.1}%",
                             o.victim.name(),
                             o.other.name(),
-                            o.measured.unwrap()
                         ));
                     }
                     None => progress(&format!(
@@ -348,13 +442,13 @@ impl Study {
 /// panicking mid-report.
 pub fn error_summaries(
     outcomes: &[PairOutcome],
-    model_names: &[&'static str],
-) -> Result<BTreeMap<&'static str, QuartileSummary>, MetricsError> {
+    models: &[ModelKind],
+) -> Result<BTreeMap<ModelKind, QuartileSummary>, MetricsError> {
     let mut out = BTreeMap::new();
-    for &name in model_names {
-        let errors: Vec<f64> = outcomes.iter().filter_map(|o| o.abs_error(name)).collect();
+    for &model in models {
+        let errors: Vec<f64> = outcomes.iter().filter_map(|o| o.abs_error(model)).collect();
         if !errors.is_empty() {
-            out.insert(name, QuartileSummary::of(&errors)?);
+            out.insert(model, QuartileSummary::of(&errors)?);
         }
     }
     Ok(out)
@@ -404,8 +498,8 @@ mod tests {
         let with_heavy = s.predict_pair(AppKind::Fftw, AppKind::Fftw, &models);
         let with_light = s.predict_pair(AppKind::Fftw, AppKind::Milc, &models);
         for m in &models {
-            let h = with_heavy.predicted[m.name()];
-            let l = with_light.predicted[m.name()];
+            let h = with_heavy.predicted[&m.kind()];
+            let l = with_light.predicted[&m.kind()];
             assert!(
                 h >= l,
                 "{}: heavy partner {h} must beat light partner {l}",
@@ -425,10 +519,36 @@ mod tests {
     fn abs_error_requires_both_sides() {
         let s = study();
         let mut o = s.predict_pair(AppKind::Fftw, AppKind::Mcb, &all_models());
-        assert_eq!(o.abs_error("Queue"), None, "not measured yet");
-        o.measured = Some(o.predicted["Queue"] + 5.0);
-        assert!((o.abs_error("Queue").unwrap() - 5.0).abs() < 1e-9);
-        assert_eq!(o.abs_error("NoSuchModel"), None);
+        assert_eq!(o.abs_error(ModelKind::Queue), None, "not measured yet");
+        assert_eq!(
+            o.measured_value(),
+            Err(PredictionError::Unmeasured {
+                victim: AppKind::Fftw,
+                other: AppKind::Mcb,
+            }),
+            "the unmeasured hole is a typed error, not a panic"
+        );
+        o.measured = Some(o.predicted[&ModelKind::Queue] + 5.0);
+        assert!((o.abs_error(ModelKind::Queue).unwrap() - 5.0).abs() < 1e-9);
+        assert_eq!(o.measured_value(), Ok(o.measured.unwrap()));
+    }
+
+    #[test]
+    fn predicted_slowdown_without_measurement() {
+        let s = study();
+        let pair = s.predict_pair(AppKind::Fftw, AppKind::Mcb, &all_models());
+        for kind in ModelKind::ALL {
+            assert_eq!(
+                s.predicted_slowdown(AppKind::Fftw, AppKind::Mcb, kind),
+                Ok(pair.predicted[&kind]),
+                "{kind} matches the batch pipeline"
+            );
+        }
+        // An unprofiled co-runner is a typed hole, not a panic.
+        assert_eq!(
+            s.predicted_slowdown(AppKind::Fftw, AppKind::Amg, ModelKind::Queue),
+            Err(PredictionError::MissingProfile { app: AppKind::Amg })
+        );
     }
 
     #[test]
@@ -540,12 +660,13 @@ mod tests {
         let apps = [AppKind::Fftw, AppKind::Mcb, AppKind::Milc];
         let mut outcomes = s.predict_all(&apps, &all_models());
         for (i, o) in outcomes.iter_mut().enumerate() {
-            o.measured = Some(o.predicted["Queue"] + i as f64);
+            o.measured = Some(o.predicted[&ModelKind::Queue] + i as f64);
         }
-        let sums = error_summaries(&outcomes, &["AverageLT", "Queue"]).unwrap();
+        let sums =
+            error_summaries(&outcomes, &[ModelKind::AverageLt, ModelKind::Queue]).unwrap();
         assert_eq!(sums.len(), 2);
         // Queue's error was constructed as 0..8 → median 4.
-        let q = &sums["Queue"];
+        let q = &sums[&ModelKind::Queue];
         assert!((q.median - 4.0).abs() < 1e-9);
         assert_eq!(q.min, 0.0);
         assert_eq!(q.max, 8.0);
@@ -560,7 +681,7 @@ mod tests {
             o.measured = Some(f64::NAN);
         }
         assert_eq!(
-            error_summaries(&outcomes, &["Queue"]),
+            error_summaries(&outcomes, &[ModelKind::Queue]),
             Err(MetricsError::NanSample)
         );
     }

@@ -37,9 +37,14 @@
 pub mod extract;
 pub mod model;
 
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
 use anp_core::experiments::{ExperimentConfig, ExperimentError};
+use anp_core::journal::config_fingerprint;
 use anp_core::{Backend, BackendError, DesBackend, LatencyProfile, WorkloadSpec};
-use anp_simnet::SimDuration;
+use anp_simnet::{SimDuration, Topology};
 use anp_workloads::compressionb::CompressionConfig;
 use anp_workloads::{AppKind, RunMode};
 
@@ -75,12 +80,50 @@ pub fn backend_from_name(name: &str) -> Result<Box<dyn Backend>, BackendError> {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FlowBackend;
 
+/// Everything the symbolic walk reads: the application (and its derived
+/// build seed) plus the fabric facts `extract` consults — node count,
+/// MTU (packet segmentation), and leaf layout (cross-leaf fractions).
+type DescriptorKey = (AppKind, u64, u32, u64, u32, u32);
+
+/// Process-wide memo of extracted application descriptors. The walk is
+/// pure in [`DescriptorKey`] but costs tens of milliseconds per app
+/// (every rank program runs to completion), and it used to dominate
+/// every flow-backend measurement; memoizing it leaves the equilibrium
+/// solve — microseconds — as the marginal cost of a flow answer.
+static APP_DESCRIPTORS: OnceLock<Mutex<HashMap<DescriptorKey, TrafficDescriptor>>> =
+    OnceLock::new();
+
+fn descriptor_key(cfg: &ExperimentConfig, app: AppKind, salt: u64) -> DescriptorKey {
+    let (leaves, spines) = match cfg.switch.topology {
+        Topology::SingleSwitch => (0, 0),
+        Topology::FatTree { leaves, spines } => (leaves, spines),
+    };
+    (
+        app,
+        cfg.workload_seed(salt),
+        cfg.switch.nodes,
+        cfg.switch.mtu,
+        leaves,
+        spines,
+    )
+}
+
 impl FlowBackend {
     /// Builds `app` exactly as the DES experiment drivers would (same
-    /// run mode, same derived seed) and extracts its traffic descriptor.
+    /// run mode, same derived seed) and extracts its traffic descriptor,
+    /// memoized process-wide. The lock is not held across the walk:
+    /// concurrent first callers may extract twice, but both arrive at
+    /// the same (deterministic) descriptor.
     fn app_descriptor(cfg: &ExperimentConfig, app: AppKind, salt: u64) -> TrafficDescriptor {
+        let key = descriptor_key(cfg, app, salt);
+        let cache = APP_DESCRIPTORS.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(d) = cache.lock().unwrap().get(&key) {
+            return d.clone();
+        }
         let members = app.build(RunMode::Iterations(0), cfg.workload_seed(salt));
-        extract::describe_members(app.name(), members, &cfg.switch)
+        let d = extract::describe_members(app.name(), members, &cfg.switch);
+        cache.lock().unwrap().insert(key, d.clone());
+        d
     }
 
     fn equilibrium(cfg: &ExperimentConfig, workload: WorkloadSpec<'_>) -> Equilibrium {
@@ -218,6 +261,174 @@ impl Backend for FlowBackend {
     }
 }
 
+/// A memoizing cache key: the experiment-config fingerprint plus the
+/// question asked, so one evaluator can safely serve several configs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum BatchKey {
+    /// Impact profile of a workload (idle / app / compression config).
+    Profile(u64, ProfileKey),
+    /// App runtime under a CompressionB configuration.
+    Compression(u64, AppKind, (u32, u32, u64, u64, u32)),
+    /// Solo runtime of an app.
+    Solo(u64, AppKind),
+    /// Ordered co-run runtime (victim, other).
+    Corun(u64, AppKind, AppKind),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum ProfileKey {
+    Idle,
+    App(AppKind),
+    Compression((u32, u32, u64, u64, u32)),
+}
+
+fn comp_key(c: &CompressionConfig) -> (u32, u32, u64, u64, u32) {
+    (c.partners, c.messages, c.bubble_cycles, c.msg_bytes, c.tag)
+}
+
+/// A batching wrapper around any measurement backend: every answered
+/// question is memoized, so one calibration pass serves arbitrarily many
+/// candidate pairings afterwards at zero marginal cost.
+///
+/// This is the evaluator the `anp-sched` placement loop drives: a
+/// predictive policy asks for the same handful of impact profiles over
+/// and over while scoring hundreds of candidate placements, and the
+/// cache collapses those to one backend call each. Results are cached
+/// keyed by [`config_fingerprint`], so evaluating under several
+/// experiment configurations through one evaluator stays sound. Errors
+/// are never cached — a transient failure retries on the next ask.
+///
+/// The wrapper is deterministic by construction: it only replays what
+/// the inner backend returned, so any sequence of calls yields byte-wise
+/// the results the bare backend would have produced.
+pub struct BatchEvaluator {
+    inner: Box<dyn Backend>,
+    profiles: Mutex<BTreeMap<BatchKey, LatencyProfile>>,
+    durations: Mutex<BTreeMap<BatchKey, SimDuration>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BatchEvaluator {
+    /// Wraps `inner` with a fresh, empty memo.
+    pub fn new(inner: Box<dyn Backend>) -> Self {
+        BatchEvaluator {
+            inner,
+            profiles: Mutex::new(BTreeMap::new()),
+            durations: Mutex::new(BTreeMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Cache hits served so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Questions that had to reach the inner backend.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn fp(&self, cfg: &ExperimentConfig) -> u64 {
+        config_fingerprint(cfg, self.inner.name())
+    }
+
+    fn cached_duration(
+        &self,
+        key: BatchKey,
+        compute: impl FnOnce() -> Result<SimDuration, ExperimentError>,
+    ) -> Result<SimDuration, ExperimentError> {
+        if let Some(&d) = self.durations.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(d);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let d = compute()?;
+        self.durations.lock().unwrap().insert(key, d);
+        Ok(d)
+    }
+}
+
+impl Backend for BatchEvaluator {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn supports_faults(&self) -> bool {
+        self.inner.supports_faults()
+    }
+
+    fn supports_timed_series(&self) -> bool {
+        self.inner.supports_timed_series()
+    }
+
+    fn validate(&self, cfg: &ExperimentConfig) -> Result<(), BackendError> {
+        self.inner.validate(cfg)
+    }
+
+    fn measure_impact_profile(
+        &self,
+        cfg: &ExperimentConfig,
+        workload: WorkloadSpec<'_>,
+    ) -> Result<LatencyProfile, ExperimentError> {
+        let pk = match workload {
+            WorkloadSpec::Idle => ProfileKey::Idle,
+            WorkloadSpec::App(app) => ProfileKey::App(app),
+            WorkloadSpec::Compression(c) => ProfileKey::Compression(comp_key(c)),
+        };
+        let key = BatchKey::Profile(self.fp(cfg), pk);
+        if let Some(p) = self.profiles.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(p.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let p = self.inner.measure_impact_profile(cfg, workload)?;
+        self.profiles.lock().unwrap().insert(key, p.clone());
+        Ok(p)
+    }
+
+    fn measure_compression_run(
+        &self,
+        cfg: &ExperimentConfig,
+        app: AppKind,
+        comp: &CompressionConfig,
+    ) -> Result<SimDuration, ExperimentError> {
+        let key = BatchKey::Compression(self.fp(cfg), app, comp_key(comp));
+        self.cached_duration(key, || self.inner.measure_compression_run(cfg, app, comp))
+    }
+
+    fn measure_solo_runtime(
+        &self,
+        cfg: &ExperimentConfig,
+        app: AppKind,
+    ) -> Result<SimDuration, ExperimentError> {
+        let key = BatchKey::Solo(self.fp(cfg), app);
+        self.cached_duration(key, || self.inner.measure_solo_runtime(cfg, app))
+    }
+
+    fn measure_corun_runtime(
+        &self,
+        cfg: &ExperimentConfig,
+        victim: AppKind,
+        other: AppKind,
+    ) -> Result<SimDuration, ExperimentError> {
+        let key = BatchKey::Corun(self.fp(cfg), victim, other);
+        self.cached_duration(key, || self.inner.measure_corun_runtime(cfg, victim, other))
+    }
+}
+
+impl std::fmt::Debug for BatchEvaluator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchEvaluator")
+            .field("inner", &self.inner.name())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,6 +535,51 @@ mod tests {
             }
             other => panic!("expected a capability error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn batch_evaluator_replays_the_bare_backend() {
+        let cfg = ExperimentConfig::cab();
+        let batch = BatchEvaluator::new(Box::new(FlowBackend));
+
+        let bare_profile = FlowBackend
+            .measure_impact_profile(&cfg, WorkloadSpec::App(AppKind::Milc))
+            .unwrap();
+        let first = batch
+            .measure_impact_profile(&cfg, WorkloadSpec::App(AppKind::Milc))
+            .unwrap();
+        let second = batch
+            .measure_impact_profile(&cfg, WorkloadSpec::App(AppKind::Milc))
+            .unwrap();
+        assert_eq!(first.mean().to_bits(), bare_profile.mean().to_bits());
+        assert_eq!(second.mean().to_bits(), bare_profile.mean().to_bits());
+        assert_eq!(first.count(), bare_profile.count());
+
+        let bare_solo = FlowBackend.measure_solo_runtime(&cfg, AppKind::Fftw).unwrap();
+        assert_eq!(batch.measure_solo_runtime(&cfg, AppKind::Fftw).unwrap(), bare_solo);
+        assert_eq!(batch.measure_solo_runtime(&cfg, AppKind::Fftw).unwrap(), bare_solo);
+
+        assert_eq!(batch.misses(), 2, "one backend call per distinct question");
+        assert_eq!(batch.hits(), 2, "repeats served from the memo");
+    }
+
+    #[test]
+    fn batch_evaluator_distinguishes_configs() {
+        let cab = ExperimentConfig::cab();
+        let tiny = tiny_cfg();
+        let batch = BatchEvaluator::new(Box::new(FlowBackend));
+        let a = batch
+            .measure_impact_profile(&cab, WorkloadSpec::Idle)
+            .unwrap();
+        let b = batch
+            .measure_impact_profile(&tiny, WorkloadSpec::Idle)
+            .unwrap();
+        assert_ne!(
+            a.mean().to_bits(),
+            b.mean().to_bits(),
+            "different configs must not share cache entries"
+        );
+        assert_eq!(batch.misses(), 2);
     }
 
     #[test]

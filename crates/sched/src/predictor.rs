@@ -1,0 +1,82 @@
+//! Decision-time prediction plumbing for the predictive policies.
+//!
+//! A production scheduler consulting the paper's models pays for a real
+//! measurement: the candidate co-runner's impact profile. The
+//! [`Predictor`] keeps that cost honest by routing every prediction
+//! through a [`Backend`] — the analytic flow engine (wrapped in a
+//! memoizing [`BatchEvaluator`]) in the inner loop, or the packet-level
+//! DES for reference — so the decision-latency telemetry the study
+//! reports is the latency a deployment would see, not a table lookup in
+//! disguise.
+//!
+//! [`BatchEvaluator`]: anp_flowsim::BatchEvaluator
+
+use anp_core::{
+    Backend, ExperimentConfig, LookupTable, ModelKind, PredictionError, WorkloadSpec,
+};
+use anp_workloads::AppKind;
+
+use crate::SchedError;
+
+/// Predicts pairwise slowdowns at decision time by measuring the
+/// co-runner's impact profile through a backend and reading the
+/// prediction off the look-up table with one of the four models.
+pub struct Predictor<'a> {
+    backend: Box<dyn Backend>,
+    cfg: &'a ExperimentConfig,
+    table: &'a LookupTable,
+}
+
+impl std::fmt::Debug for Predictor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Predictor")
+            .field("backend", &self.backend.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> Predictor<'a> {
+    /// Builds a predictor over `backend`. Pass a memoizing wrapper (e.g.
+    /// [`anp_flowsim::BatchEvaluator`]) when the same co-runners recur —
+    /// which in a placement loop they always do.
+    pub fn new(
+        backend: Box<dyn Backend>,
+        cfg: &'a ExperimentConfig,
+        table: &'a LookupTable,
+    ) -> Self {
+        Predictor {
+            backend,
+            cfg,
+            table,
+        }
+    }
+
+    /// The measurement engine's short name (recorded in telemetry).
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Predicted % slowdown of `victim` co-run with `other` under
+    /// `model`. Measures `other`'s impact profile through the backend
+    /// (an [`ExperimentError`] becomes a typed [`SchedError`]), then
+    /// summarizes it against the look-up table.
+    ///
+    /// [`ExperimentError`]: anp_core::ExperimentError
+    pub fn predicted(
+        &self,
+        victim: AppKind,
+        other: AppKind,
+        model: ModelKind,
+    ) -> Result<f64, SchedError> {
+        let profile = self
+            .backend
+            .measure_impact_profile(self.cfg, WorkloadSpec::App(other))?;
+        model
+            .model()
+            .predict(self.table, victim, &profile)
+            .ok_or(SchedError::Prediction(PredictionError::NoPrediction {
+                victim,
+                model,
+            }))
+    }
+}

@@ -9,7 +9,9 @@
 //!   evaluation (AMG, FFTW, Lulesh, MCB, MILC, VPFFT), reproducing each
 //!   code's communication skeleton at the paper's scale (144 ranks on 18
 //!   nodes; Lulesh 64 on 16);
-//! * [`placement`] — the node-major rank layouts and torus topologies.
+//! * [`placement`] — the node-major rank layouts and torus topologies;
+//! * [`arrivals`] — seeded job arrival streams feeding the `anp-sched`
+//!   co-scheduling study.
 //!
 //! The production applications themselves are not available in this
 //! environment; per DESIGN.md, each proxy preserves the property the
@@ -19,12 +21,14 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod arrivals;
 pub mod compressionb;
 pub mod impactb;
 pub mod placement;
 pub mod registry;
 
 pub use apps::common::RunMode;
+pub use arrivals::{JobSpec, StreamConfig};
 pub use compressionb::{build_compressionb, CompressionConfig};
 pub use impactb::{build_impactb, latencies, new_sink, ImpactConfig, Members, ProbeSample, SampleSink};
 pub use placement::Layout;

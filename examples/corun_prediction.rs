@@ -56,10 +56,10 @@ fn main() {
             other.name(),
             outcome.measured.unwrap()
         );
-        for (model, prediction) in &outcome.predicted {
+        for (&model, prediction) in &outcome.predicted {
             println!(
                 "    {:<15} predicts {:+6.1}%  (|err| {:.1})",
-                model,
+                model.name(),
                 prediction,
                 outcome.abs_error(model).unwrap()
             );

@@ -8,6 +8,7 @@
 //! anp predict <APP> <APP>       # predict mutual slowdown of a pairing
 //! anp apps                      # list the built-in application proxies
 //! anp audit [--quick]           # invariant audit + differential oracle
+//! anp sched [--quick] [--model KIND]  # predictive co-scheduling study
 //! ```
 //!
 //! Global flags: `--seed <n>`, `--jobs <n>`, `--backend <des|flow>`,
@@ -19,8 +20,13 @@
 use anp_core::{
     all_models, audit_compiled, calibrate_with, completed_count, config_fingerprint,
     degradation_percent, loss_sweep_supervised, partial_exit_code, run_oracle,
-    sweep_supervised_for, Backend, BackendError, ExperimentConfig, LookupTable, MuPolicy,
-    RetryPolicy, RunBudget, RunJournal, Study, Supervisor, WorkloadSpec,
+    sweep_supervised_for, Backend, BackendError, DesBackend, ExperimentConfig, ExperimentError,
+    LatencyProfile, LookupTable, ModelKind, MuPolicy, Parallelism, RetryPolicy, RunBudget,
+    RunJournal, Study, Supervisor, WorkloadSpec,
+};
+use anp_sched::{
+    measure_truth_supervised, render_schedule, render_summary, run_suite, DecisionEngine,
+    PolicySpec, StudyOpts,
 };
 use anp_simmpi::ReliabilityConfig;
 use anp_simnet::SimDuration;
@@ -44,6 +50,14 @@ fn usage() -> ! {
          \x20                      --jobs 8, a kill-and-resume run, and the\n\
          \x20                      flow model; exits 1 on any divergence\n\
          \x20                      (--quick: small deterministic fabric)\n\
+         \x20 sched [--quick] [--model KIND]\n\
+         \x20                      predictive co-scheduling study: a seeded\n\
+         \x20                      job stream placed by the KIND model (over\n\
+         \x20                      the --backend engine) vs first-fit,\n\
+         \x20                      random, solo-only, and the oracle, on\n\
+         \x20                      DES-measured ground truth; KIND is one of\n\
+         \x20                      AverageLT, AverageStDevLT, PDFLT, Queue\n\
+         \x20                      (default Queue)\n\
          APP is one of: FFTW, Lulesh, MCB, MILC, VPFFT, AMG (case-insensitive)\n\
          --jobs N runs experiment sweeps on N worker threads (default: all\n\
          cores; results are identical for any setting, 1 = serial)\n\
@@ -95,6 +109,71 @@ fn fault_hook(label: &str) {
     }
     if listed("ANP_FAULT_SPIN") {
         anp_core::supervise::charge_events(u64::MAX / 2);
+    }
+}
+
+/// Wraps a backend so every measurement first passes its sweep-cell
+/// label through [`fault_hook`], using the same label spellings the
+/// supervised sweeps journal (`profile:APP`, `impact:COMP`, `solo:APP`,
+/// `corun:A+B`, `grid:APP:COMP`). This lets the fault-injection tests
+/// target individual ground-truth cells of `anp sched` exactly as they
+/// target `anp sweep` rungs.
+struct HookedBackend<B>(B);
+
+impl<B: Backend> Backend for HookedBackend<B> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn supports_faults(&self) -> bool {
+        self.0.supports_faults()
+    }
+
+    fn supports_timed_series(&self) -> bool {
+        self.0.supports_timed_series()
+    }
+
+    fn measure_impact_profile(
+        &self,
+        cfg: &ExperimentConfig,
+        workload: WorkloadSpec<'_>,
+    ) -> Result<LatencyProfile, ExperimentError> {
+        let label = match workload {
+            WorkloadSpec::Idle => "impact:idle".to_owned(),
+            WorkloadSpec::App(app) => format!("profile:{}", app.name()),
+            WorkloadSpec::Compression(comp) => format!("impact:{}", comp.label()),
+        };
+        fault_hook(&label);
+        self.0.measure_impact_profile(cfg, workload)
+    }
+
+    fn measure_compression_run(
+        &self,
+        cfg: &ExperimentConfig,
+        app: AppKind,
+        comp: &CompressionConfig,
+    ) -> Result<SimDuration, ExperimentError> {
+        fault_hook(&format!("grid:{}:{}", app.name(), comp.label()));
+        self.0.measure_compression_run(cfg, app, comp)
+    }
+
+    fn measure_solo_runtime(
+        &self,
+        cfg: &ExperimentConfig,
+        app: AppKind,
+    ) -> Result<SimDuration, ExperimentError> {
+        fault_hook(&format!("solo:{}", app.name()));
+        self.0.measure_solo_runtime(cfg, app)
+    }
+
+    fn measure_corun_runtime(
+        &self,
+        cfg: &ExperimentConfig,
+        victim: AppKind,
+        other: AppKind,
+    ) -> Result<SimDuration, ExperimentError> {
+        fault_hook(&format!("corun:{}+{}", victim.name(), other.name()));
+        self.0.measure_corun_runtime(cfg, victim, other)
     }
 }
 
@@ -500,6 +579,92 @@ fn main() {
                     break;
                 }
             }
+        }
+        "sched" => {
+            let mut quick = false;
+            let mut model = ModelKind::Queue;
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--quick" => quick = true,
+                    "--model" => {
+                        let v = args.next().unwrap_or_else(|| usage());
+                        model = v.parse().unwrap_or_else(|_| {
+                            eprintln!("unknown model '{v}'");
+                            usage()
+                        });
+                    }
+                    _ => usage(),
+                }
+            }
+            let mut sopts = if quick {
+                StudyOpts::quick(seed, jobs.unwrap_or(1))
+            } else {
+                StudyOpts::full(seed, jobs.unwrap_or(1))
+            };
+            if jobs.is_none() {
+                sopts.cfg.jobs = Parallelism::Auto;
+            }
+            // Ground truth is always DES-measured (the reference engine);
+            // the global --backend selects the engine the predictive
+            // policy consults for its placement decisions.
+            let engine = match backend_name.as_str() {
+                "des" => DecisionEngine::Des,
+                _ => DecisionEngine::Flow,
+            };
+            let journal = open_journal(resume.as_deref());
+            let campaign = measure_truth_supervised(
+                &HookedBackend(DesBackend),
+                &sopts.cfg,
+                &sopts.apps,
+                &sopts.ladder,
+                &supervisor,
+                journal.as_ref(),
+                |line| eprintln!("  [truth] {line}"),
+            )
+            .unwrap_or_else(|e| fail(e));
+            if !campaign.is_complete() {
+                campaign.report(|line| eprintln!("{line}"));
+                eprintln!(
+                    "truth incomplete: scheduling skipped (a holed pair grid would bias regret)"
+                );
+                if let Some(p) = &resume {
+                    eprintln!("(re-run with --resume {} to complete)", p.display());
+                }
+                std::process::exit(campaign.exit_code());
+            }
+            let truth = campaign.truth.as_ref().expect("complete campaign has truth");
+            let specs = [
+                PolicySpec::Predictive(model, engine),
+                PolicySpec::FirstFit,
+                PolicySpec::Random,
+                PolicySpec::SoloOnly,
+                PolicySpec::Oracle,
+            ];
+            let outcomes = run_suite(&sopts, truth, &specs, |line| eprintln!("  [sched] {line}"))
+                .unwrap_or_else(|e| fail(e));
+            // The predictive policy's realized schedule for the first
+            // stream, then the cross-policy summary. Wall-clock detail
+            // stays on stderr so stdout is byte-identical for any --jobs.
+            let predictive = &outcomes[0];
+            if let Some((stream_seed, sched)) = predictive.per_seed.first() {
+                println!(
+                    "{} schedule, stream seed {stream_seed}:",
+                    predictive.label
+                );
+                print!("{}", render_schedule(sched));
+                println!();
+            }
+            print!("{}", render_summary(&outcomes));
+            if predictive.decisions > 0 {
+                eprintln!(
+                    "decision latency ({}): {:.3}ms per decision over {} decisions",
+                    predictive.label,
+                    predictive.decision_wall.as_secs_f64() * 1e3
+                        / predictive.decisions as f64,
+                    predictive.decisions
+                );
+            }
+            std::process::exit(campaign.exit_code());
         }
         _ => usage(),
     }

@@ -8,7 +8,7 @@
 //! debug-build test suite.
 
 use active_netprobe::core::{
-    all_models, calibrate, ExperimentConfig, LookupTable, MuPolicy, Study,
+    all_models, calibrate, ExperimentConfig, LookupTable, ModelKind, MuPolicy, Study,
 };
 use active_netprobe::workloads::{AppKind, CompressionConfig};
 
@@ -61,14 +61,16 @@ fn full_pipeline_predicts_pairings_sanely() {
     assert!(mf.abs() < 10.0, "MCB must stay nearly insensitive ({mf}%)");
 
     // The queue model must separate the heavy pairing from the light one.
-    let q_ff = find(AppKind::Fftw, AppKind::Fftw).predicted["Queue"];
-    let q_fm = find(AppKind::Fftw, AppKind::Mcb).predicted["Queue"];
+    let q_ff = find(AppKind::Fftw, AppKind::Fftw).predicted[&ModelKind::Queue];
+    let q_fm = find(AppKind::Fftw, AppKind::Mcb).predicted[&ModelKind::Queue];
     assert!(
         q_ff > q_fm,
         "queue model must rank FFTW-partner above MCB-partner ({q_ff} vs {q_fm})"
     );
     // And its error on the light pairings must be small.
-    let e = find(AppKind::Mcb, AppKind::Fftw).abs_error("Queue").unwrap();
+    let e = find(AppKind::Mcb, AppKind::Fftw)
+        .abs_error(ModelKind::Queue)
+        .unwrap();
     assert!(e < 15.0, "queue-model error on a light pairing too big: {e}");
 }
 
