@@ -85,10 +85,7 @@ fn bench_model_prediction(c: &mut Criterion) {
     // A 40-entry table like the real study's.
     let entries: Vec<CompressionEntry> = (0..40)
         .map(|i| {
-            let profile = LatencyProfile::from_samples(&synthetic_samples(
-                2_000,
-                i as f64 * 0.2,
-            ));
+            let profile = LatencyProfile::from_samples(&synthetic_samples(2_000, i as f64 * 0.2));
             let utilization = calib.utilization(&profile);
             let slowdown: BTreeMap<AppKind, f64> = AppKind::ALL
                 .iter()

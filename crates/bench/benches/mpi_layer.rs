@@ -99,10 +99,8 @@ fn bench_world_exchange(c: &mut Criterion) {
                 let members: Vec<(Box<dyn Program>, NodeId)> = (0..36u32)
                     .map(|i| {
                         (
-                            Box::new(Scripted::new(vec![
-                                Op::Allreduce { bytes: 1024 },
-                                Op::Stop,
-                            ])) as Box<dyn Program>,
+                            Box::new(Scripted::new(vec![Op::Allreduce { bytes: 1024 }, Op::Stop]))
+                                as Box<dyn Program>,
                             NodeId(i / 2),
                         )
                     })

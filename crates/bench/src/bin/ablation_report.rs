@@ -24,8 +24,8 @@
 use anp_bench::{banner, HarnessOpts, Supervision};
 use anp_core::{
     calibrate, completed_count, config_fingerprint, idle_profile, impact_profile,
-    impact_profile_of_compression, sweep_supervised, ExperimentError, JournalError,
-    LatencyProfile, MuPolicy,
+    impact_profile_of_compression, sweep_supervised, ExperimentError, JournalError, LatencyProfile,
+    MuPolicy,
 };
 use anp_simmpi::{Looping, Op, Program, Src};
 use anp_simnet::NodeId;
@@ -82,8 +82,9 @@ fn main() {
                 // all eight first.
                 let members: Vec<(Box<dyn Program>, NodeId)> = (0..18u32)
                     .map(|n| {
-                        let peers: Vec<u32> =
-                            (1..=4).flat_map(|d| [(n + d) % 18, (n + 18 - d) % 18]).collect();
+                        let peers: Vec<u32> = (1..=4)
+                            .flat_map(|d| [(n + d) % 18, (n + 18 - d) % 18])
+                            .collect();
                         let mut body = Vec::new();
                         if chained {
                             for &p in &peers {
@@ -112,10 +113,7 @@ fn main() {
                             }
                             body.push(Op::WaitAll);
                         }
-                        (
-                            Box::new(Looping::new(body)) as Box<dyn Program>,
-                            NodeId(n),
-                        )
+                        (Box::new(Looping::new(body)) as Box<dyn Program>, NodeId(n))
                     })
                     .collect();
                 impact_profile(cfg, Some(members))
@@ -154,10 +152,7 @@ fn main() {
         "   mu(min)={:.4}/us  mu(mean)={:.4}/us",
         c_min.mu, c_mean.mu
     );
-    println!(
-        "   {:<18} {:>10} {:>10}",
-        "load", "util(min)", "util(mean)"
-    );
+    println!("   {:<18} {:>10} {:>10}", "load", "util(min)", "util(mean)");
     let util_row = |label: &str, p: Option<&LatencyProfile>| match p {
         Some(p) => println!(
             "   {:<18} {:>9.1}% {:>9.1}%",

@@ -178,7 +178,10 @@ fn main() {
             p.mean(),
             calib.utilization(p) * 100.0
         ),
-        None => println!("heaviest CompressionB ({}): -  (cell failed)", heavy.label()),
+        None => println!(
+            "heaviest CompressionB ({}): -  (cell failed)",
+            heavy.label()
+        ),
     }
     println!();
 

@@ -83,7 +83,9 @@ fn main() {
         .iter()
         .map(|&app| {
             let cfg = &cfg;
-            (format!("solo:{}", app.name()), move || solo_runtime(cfg, app))
+            (format!("solo:{}", app.name()), move || {
+                solo_runtime(cfg, app)
+            })
         })
         .collect();
     let (solos, solo_telemetry) = sweep_supervised(
@@ -96,7 +98,10 @@ fn main() {
     )
     .unwrap_or_else(|e| die(e));
     supervision.absorb(
-        solos.iter().filter_map(|r| r.as_ref().err().cloned()).collect(),
+        solos
+            .iter()
+            .filter_map(|r| r.as_ref().err().cloned())
+            .collect(),
         completed_count(&solos),
         solos.len(),
     );
@@ -105,10 +110,9 @@ fn main() {
         .flat_map(|&app| {
             let cfg = &cfg;
             sweep.iter().map(move |comp| {
-                (
-                    format!("grid:{}:{}", app.name(), comp.label()),
-                    move || runtime_under_compression(cfg, app, comp),
-                )
+                (format!("grid:{}:{}", app.name(), comp.label()), move || {
+                    runtime_under_compression(cfg, app, comp)
+                })
             })
         })
         .collect();
@@ -122,7 +126,9 @@ fn main() {
     )
     .unwrap_or_else(|e| die(e));
     supervision.absorb(
-        grid.iter().filter_map(|r| r.as_ref().err().cloned()).collect(),
+        grid.iter()
+            .filter_map(|r| r.as_ref().err().cloned())
+            .collect(),
         completed_count(&grid),
         grid.len(),
     );

@@ -190,7 +190,9 @@ fn main() {
         }
         for (vi, &victim) in victims.iter().enumerate() {
             let solo = runtimes[vi].as_ref().ok();
-            let corun = runtimes[victims.len() + oi * victims.len() + vi].as_ref().ok();
+            let corun = runtimes[victims.len() + oi * victims.len() + vi]
+                .as_ref()
+                .ok();
             let measured = match (solo, corun) {
                 (Some(s), Some(l)) => Some(degradation_percent(*s, *l)),
                 _ => None,

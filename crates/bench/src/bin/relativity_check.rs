@@ -122,7 +122,12 @@ fn main() {
     let apps = if opts.quick {
         vec![AppKind::Fftw, AppKind::Milc]
     } else {
-        vec![AppKind::Fftw, AppKind::Vpfft, AppKind::Milc, AppKind::Lulesh]
+        vec![
+            AppKind::Fftw,
+            AppKind::Vpfft,
+            AppKind::Milc,
+            AppKind::Lulesh,
+        ]
     };
     let fractions: [(u64, u64); 3] = [(3, 4), (1, 2), (1, 4)];
 
@@ -197,20 +202,16 @@ fn main() {
         for (fi, &(num, den)) in fractions.iter().enumerate() {
             let t_weak = runtimes[base + 1 + fi].as_ref().ok();
             let t_emul = runtimes[base + 1 + fractions.len() + fi].as_ref().ok();
-            let d_weak = solo
-                .zip(t_weak)
-                .map_or("-".to_owned(), |(s, t)| {
-                    format!("{:+.1}%", degradation_percent(*s, *t))
-                });
+            let d_weak = solo.zip(t_weak).map_or("-".to_owned(), |(s, t)| {
+                format!("{:+.1}%", degradation_percent(*s, *t))
+            });
             let (comp_txt, u_txt) = match choices[fi] {
                 Some((comp, u)) => (comp.label(), format!("{:.1}%", u * 100.0)),
                 None => ("-".to_owned(), "-".to_owned()),
             };
-            let d_emul = solo
-                .zip(t_emul)
-                .map_or("-".to_owned(), |(s, t)| {
-                    format!("{:+.1}%", degradation_percent(*s, *t))
-                });
+            let d_emul = solo.zip(t_emul).map_or("-".to_owned(), |(s, t)| {
+                format!("{:+.1}%", degradation_percent(*s, *t))
+            });
             println!(
                 "  {:>6}/{:<2} | {:>14} | {:>7} {:>16} {:>14}",
                 num, den, d_weak, u_txt, comp_txt, d_emul
@@ -223,10 +224,7 @@ fn main() {
     println!("the paper's software emulation at the matching utilization. The");
     println!("relativity principle predicts they agree in sign and order of");
     println!("magnitude for network-sensitive applications.");
-    opts.emit_bench_json(
-        "relativity_check",
-        &[&impact_telemetry, &runtime_telemetry],
-    );
+    opts.emit_bench_json("relativity_check", &[&impact_telemetry, &runtime_telemetry]);
     supervision.report(opts.resume.as_deref());
     std::process::exit(supervision.exit_code());
 }

@@ -82,12 +82,18 @@ fn main() {
         opts.emit_bench_json("sched_study", &sweeps);
         std::process::exit(campaign.exit_code());
     }
-    let truth = campaign.truth.as_ref().expect("complete campaign has truth");
+    let truth = campaign
+        .truth
+        .as_ref()
+        .expect("complete campaign has truth");
 
     // The default suite plus the Queue model on the DES engine, so the
     // telemetry carries a flow-vs-DES decision-latency comparison.
     let mut specs = anp_sched::default_specs();
-    specs.push(PolicySpec::Predictive(ModelKind::Queue, DecisionEngine::Des));
+    specs.push(PolicySpec::Predictive(
+        ModelKind::Queue,
+        DecisionEngine::Des,
+    ));
 
     let outcomes = run_suite(&sopts, truth, &specs, |line| println!("  [sched] {line}"))
         .unwrap_or_else(|e| {
@@ -108,8 +114,14 @@ fn main() {
             .map(|o| o.decision_wall.as_secs_f64() / o.decisions as f64)
     };
     if let (Some(flow), Some(des)) = (
-        per_decision(PolicySpec::Predictive(ModelKind::Queue, DecisionEngine::Flow)),
-        per_decision(PolicySpec::Predictive(ModelKind::Queue, DecisionEngine::Des)),
+        per_decision(PolicySpec::Predictive(
+            ModelKind::Queue,
+            DecisionEngine::Flow,
+        )),
+        per_decision(PolicySpec::Predictive(
+            ModelKind::Queue,
+            DecisionEngine::Des,
+        )),
     ) {
         eprintln!(
             "decision latency (Queue model): flow {:.3}ms vs des {:.3}ms per decision ({:.0}x)",

@@ -84,7 +84,9 @@ fn main() {
     .unwrap_or_else(|e| die(e));
     let mut supervision = Supervision::default();
     supervision.absorb(
-        rows.iter().filter_map(|r| r.as_ref().err().cloned()).collect(),
+        rows.iter()
+            .filter_map(|r| r.as_ref().err().cloned())
+            .collect(),
         completed_count(&rows),
         rows.len(),
     );

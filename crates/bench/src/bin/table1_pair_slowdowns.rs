@@ -125,12 +125,17 @@ fn main() {
 
     let mut supervision = Supervision::default();
     supervision.absorb(
-        solos.iter().filter_map(|r| r.as_ref().err().cloned()).collect(),
+        solos
+            .iter()
+            .filter_map(|r| r.as_ref().err().cloned())
+            .collect(),
         completed_count(&solos),
         solos.len(),
     );
     supervision.absorb(
-        grid.iter().filter_map(|r| r.as_ref().err().cloned()).collect(),
+        grid.iter()
+            .filter_map(|r| r.as_ref().err().cloned())
+            .collect(),
         completed_count(&grid),
         grid.len(),
     );

@@ -240,7 +240,14 @@ impl HarnessOpts {
         sched: &[SchedRecord],
     ) {
         let Some(path) = &self.bench_json else { return };
-        match write_bench_json_v4(path, harness, self.seed, self.resume.as_deref(), sweeps, sched) {
+        match write_bench_json_v4(
+            path,
+            harness,
+            self.seed,
+            self.resume.as_deref(),
+            sweeps,
+            sched,
+        ) {
             Ok(()) => println!("(sweep telemetry written to {})", path.display()),
             Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
         }
@@ -279,7 +286,11 @@ pub fn banner(artifact: &str, what: &str, opts: &HarnessOpts) {
     println!(
         "(Casas & Bronevetsky, IPDPS 2014; simulated Cab switch, seed={}, {})",
         opts.seed,
-        if opts.quick { "QUICK sweep" } else { "full sweep" }
+        if opts.quick {
+            "QUICK sweep"
+        } else {
+            "full sweep"
+        }
     );
     println!();
 }
@@ -413,11 +424,17 @@ pub fn measure_study_supervised_with(
         calibrate_with(backend, cfg, MuPolicy::MinLatency).expect("idle calibration failed");
     let mut supervision = Supervision::default();
     let (lut, lut_telemetry) = LookupTable::measure_supervised_with(
-        backend, cfg, calibration, apps, sweep, supervisor, journal, progress,
+        backend,
+        cfg,
+        calibration,
+        apps,
+        sweep,
+        supervisor,
+        journal,
+        progress,
     )?;
     let mut telemetry = vec![lut_telemetry];
-    let (table, failures, completed, total) =
-        (lut.table, lut.failures, lut.completed, lut.total);
+    let (table, failures, completed, total) = (lut.table, lut.failures, lut.completed, lut.total);
     supervision.absorb(failures, completed, total);
     let Some(table) = table else {
         return Ok((None, supervision, telemetry));
@@ -435,11 +452,7 @@ pub fn measure_study_supervised_with(
             }
         },
     )?;
-    supervision.absorb(
-        profile_failures,
-        study.app_profiles.len(),
-        apps.len(),
-    );
+    supervision.absorb(profile_failures, study.app_profiles.len(), apps.len());
     telemetry.push(profile_telemetry);
     Ok((Some(study), supervision, telemetry))
 }
@@ -854,8 +867,11 @@ mod tests {
         };
         assert_eq!(full.compression_sweep().len(), 40);
         assert_eq!(quick.compression_sweep().len(), 8);
-        let partners: std::collections::HashSet<u32> =
-            quick.compression_sweep().iter().map(|c| c.partners).collect();
+        let partners: std::collections::HashSet<u32> = quick
+            .compression_sweep()
+            .iter()
+            .map(|c| c.partners)
+            .collect();
         assert!(partners.len() >= 3, "quick sweep must vary P");
         assert_eq!(full.apps().len(), 6);
         assert_eq!(quick.apps().len(), 3);
@@ -909,7 +925,10 @@ mod tests {
         assert!(text.contains("\"journal\": \"run.jsonl\""));
         assert!(text.contains("\"outcome\":\"resumed\""));
         assert!(text.contains("\"retries\":1"));
-        assert!(text.contains("\"sched\": ["), "v4 always carries a sched array");
+        assert!(
+            text.contains("\"sched\": ["),
+            "v4 always carries a sched array"
+        );
         let rec = SchedRecord {
             policy: "predictive:Queue:flow".to_owned(),
             model: Some(ModelKind::Queue),

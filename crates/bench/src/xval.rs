@@ -15,12 +15,12 @@
 //! Wall-clock per backend comes from the sweep telemetry, so the
 //! reported speedup is the same number `BENCH_anp.json` records.
 
+use anp_core::sweep::{sweep_recorded_for, SweepTelemetry};
 use anp_core::{
     calibrate_with, completed_count, config_fingerprint, sweep_supervised_for, Backend,
     Calibration, CellResult, ExperimentConfig, ExperimentError, JournalError, Journaled,
     LatencyProfile, MuPolicy, RunJournal, Supervisor, TaskError, WorkloadSpec,
 };
-use anp_core::sweep::{sweep_recorded_for, SweepTelemetry};
 use anp_simnet::SimDuration;
 use anp_workloads::{AppKind, CompressionConfig};
 
@@ -82,8 +82,7 @@ impl XvalReport {
 
     /// True if every gated observable is inside its documented tolerance.
     pub fn within_tolerance(&self) -> bool {
-        self.max_probe_err() <= PROBE_TOLERANCE
-            && self.max_slowdown_err() <= SLOWDOWN_TOLERANCE
+        self.max_probe_err() <= PROBE_TOLERANCE && self.max_slowdown_err() <= SLOWDOWN_TOLERANCE
     }
 }
 
@@ -172,8 +171,7 @@ fn measure_grid(
             }
         })
         .collect();
-    let (results, telemetry) =
-        sweep_recorded_for("backend-xval", backend.name(), cfg.jobs, tasks);
+    let (results, telemetry) = sweep_recorded_for("backend-xval", backend.name(), cfg.jobs, tasks);
     let cells = results.into_iter().collect::<Result<Vec<_>, _>>()?;
     Ok((cells, telemetry))
 }

@@ -227,10 +227,7 @@ pub fn idle_profile(cfg: &ExperimentConfig) -> Result<LatencyProfile, Experiment
 }
 
 /// Calibrates the queue model from the idle profile.
-pub fn calibrate(
-    cfg: &ExperimentConfig,
-    policy: MuPolicy,
-) -> Result<Calibration, ExperimentError> {
+pub fn calibrate(cfg: &ExperimentConfig, policy: MuPolicy) -> Result<Calibration, ExperimentError> {
     Ok(Calibration::from_idle_profile(&idle_profile(cfg)?, policy)?)
 }
 
@@ -332,10 +329,7 @@ pub fn runtime_under_corun(
     victim: AppKind,
     other: AppKind,
 ) -> Result<SimDuration, ExperimentError> {
-    let members = victim.build(
-        RunMode::Iterations(0),
-        cfg.workload_seed(victim as u64 + 1),
-    );
+    let members = victim.build(RunMode::Iterations(0), cfg.workload_seed(victim as u64 + 1));
     // Distinct salt for the background copy so self-pairings (A with A)
     // do not run two phase-locked clones.
     let noise = other.build(RunMode::Endless, cfg.workload_seed(other as u64 + 101));
@@ -399,7 +393,9 @@ pub fn loss_sweep_recorded(
         .iter()
         .map(|&loss| {
             let label = format!("loss:{}:{loss}", app.name());
-            (label, move || runtime_under_loss(cfg, app, loss, reliability))
+            (label, move || {
+                runtime_under_loss(cfg, app, loss, reliability)
+            })
         })
         .collect();
     let (results, telemetry) = sweep::sweep_recorded("loss-sweep", cfg.jobs, tasks);
@@ -426,18 +422,14 @@ pub fn loss_sweep_supervised(
         .iter()
         .map(|&loss| {
             let label = format!("loss:{}:{loss}", app.name());
-            (label, move || runtime_under_loss(cfg, app, loss, reliability))
+            (label, move || {
+                runtime_under_loss(cfg, app, loss, reliability)
+            })
         })
         .collect();
     let fp = crate::journal::config_fingerprint(cfg, "des");
-    let (results, telemetry) = crate::supervise::sweep_supervised(
-        "loss-sweep",
-        cfg.jobs,
-        supervisor,
-        journal,
-        fp,
-        tasks,
-    )?;
+    let (results, telemetry) =
+        crate::supervise::sweep_supervised("loss-sweep", cfg.jobs, supervisor, journal, fp, tasks)?;
     Ok((losses.iter().copied().zip(results).collect(), telemetry))
 }
 
@@ -514,7 +506,10 @@ mod tests {
         assert!(p.count() > 20);
         // tiny switch one-way for 1 KB is exactly 2.448 µs.
         assert!((p.mean() - 2.448).abs() < 0.05, "mean {}", p.mean());
-        assert!(p.std_dev() < 0.05, "idle deterministic switch has no spread");
+        assert!(
+            p.std_dev() < 0.05,
+            "idle deterministic switch has no spread"
+        );
     }
 
     #[test]
@@ -546,7 +541,10 @@ mod tests {
         let idle_u = calib.utilization(&idle_profile(&cfg).unwrap());
         let loaded_u = calib.utilization(&impact_profile(&cfg, Some(noisy_members(4))).unwrap());
         assert!(loaded_u > idle_u);
-        assert!(loaded_u > 0.1, "heavy ring traffic must register: {loaded_u}");
+        assert!(
+            loaded_u > 0.1,
+            "heavy ring traffic must register: {loaded_u}"
+        );
     }
 
     #[test]
@@ -636,7 +634,10 @@ mod tests {
             panic!("expected Budget, got {err}");
         };
         assert!(report.events >= 500, "the run charged its events");
-        assert!(!report.stall.blocked.is_empty(), "diagnostics name the unfinished ranks");
+        assert!(
+            !report.stall.blocked.is_empty(),
+            "diagnostics name the unfinished ranks"
+        );
     }
 
     #[test]
@@ -804,10 +805,16 @@ mod tests {
     #[test]
     fn degradation_percent_math() {
         let solo = SimDuration::from_millis(100);
-        assert_eq!(degradation_percent(solo, SimDuration::from_millis(150)), 50.0);
+        assert_eq!(
+            degradation_percent(solo, SimDuration::from_millis(150)),
+            50.0
+        );
         assert_eq!(degradation_percent(solo, solo), 0.0);
         // Speedups are negative degradation, as in the paper's error plots.
-        assert_eq!(degradation_percent(solo, SimDuration::from_millis(90)), -10.0);
+        assert_eq!(
+            degradation_percent(solo, SimDuration::from_millis(90)),
+            -10.0
+        );
     }
 
     #[test]

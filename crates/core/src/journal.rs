@@ -386,7 +386,10 @@ impl fmt::Display for JournalError {
                  refusing to reuse its cells"
             ),
             JournalError::ShapeMismatch { sweep, detail } => {
-                write!(f, "journal sweep '{sweep}' does not match this run: {detail}")
+                write!(
+                    f,
+                    "journal sweep '{sweep}' does not match this run: {detail}"
+                )
             }
         }
     }
@@ -466,8 +469,8 @@ impl RunJournal {
                 if schema != JOURNAL_SCHEMA {
                     continue;
                 }
-                let fingerprint = str_field(line, "fingerprint")
-                    .and_then(|h| u64::from_str_radix(&h, 16).ok());
+                let fingerprint =
+                    str_field(line, "fingerprint").and_then(|h| u64::from_str_radix(&h, 16).ok());
                 let cells = raw_field(line, "cells").and_then(|c| c.parse().ok());
                 let (Some(fingerprint), Some(cells)) = (fingerprint, cells) else {
                     continue;
@@ -484,10 +487,9 @@ impl RunJournal {
                 let rec = sweeps.entry(entry.sweep.clone()).or_default();
                 // A success is final: never let a later failure (from a
                 // retried resume) shadow a completed cell.
-                let keep_old = rec
-                    .entries
-                    .get(&entry.cell)
-                    .is_some_and(|old| old.status == CellStatus::Ok && entry.status != CellStatus::Ok);
+                let keep_old = rec.entries.get(&entry.cell).is_some_and(|old| {
+                    old.status == CellStatus::Ok && entry.status != CellStatus::Ok
+                });
                 if !keep_old {
                     rec.entries.insert(entry.cell, entry);
                 }
@@ -710,7 +712,11 @@ mod tests {
         assert!(prior[1].is_none(), "never-run cell");
         assert_eq!(prior[2].as_ref().unwrap().status, CellStatus::Panicked);
         // Unknown sweeps resume from scratch.
-        assert!(j.prior("other", 1, &labels).unwrap().iter().all(Option::is_none));
+        assert!(j
+            .prior("other", 1, &labels)
+            .unwrap()
+            .iter()
+            .all(Option::is_none));
 
         // Wrong fingerprint or shape must refuse, not silently re-run.
         assert!(matches!(

@@ -73,7 +73,9 @@ pub use experiments::{
     runtime_under_corun, runtime_under_loss, solo_runtime, ExperimentConfig, ExperimentError,
     LossCurve, Members, SupervisedLossCurve,
 };
-pub use journal::{config_fingerprint, CellStatus, JournalEntry, JournalError, Journaled, RunJournal};
+pub use journal::{
+    config_fingerprint, CellStatus, JournalEntry, JournalError, Journaled, RunJournal,
+};
 pub use lut::{CompressionEntry, LookupTable, SupervisedTable};
 pub use models::{
     all_models, AverageLt, AverageStDevLt, ModelKind, PdfLt, QueueModel, QueuePhaseModel,

@@ -283,7 +283,10 @@ impl LookupTable {
                 slowdown,
             });
         }
-        Ok((LookupTable::from_parts(calibration, entries, solo), telemetry))
+        Ok((
+            LookupTable::from_parts(calibration, entries, solo),
+            telemetry,
+        ))
     }
 
     /// [`LookupTable::measure_recorded_with`] under a supervision
@@ -451,8 +454,8 @@ impl LookupTable {
             }
         }
         let completed = total - failures.len();
-        let table = (!entries.is_empty())
-            .then(|| LookupTable::from_parts(calibration, entries, solo));
+        let table =
+            (!entries.is_empty()).then(|| LookupTable::from_parts(calibration, entries, solo));
         Ok((
             SupervisedTable {
                 table,
@@ -675,7 +678,10 @@ mod tests {
         assert_eq!(curve.len(), 8);
         for w in curve.windows(2) {
             assert!(w[0].0 <= w[1].0, "curve must be sorted by utilization");
-            assert!(w[0].1 <= w[1].1, "synthetic slowdown grows with utilization");
+            assert!(
+                w[0].1 <= w[1].1,
+                "synthetic slowdown grows with utilization"
+            );
         }
     }
 

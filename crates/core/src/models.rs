@@ -116,8 +116,7 @@ pub trait SlowdownModel {
     /// Predicted % slowdown of `victim` when co-running with a workload
     /// whose impact profile is `other`. Returns `None` when the table
     /// carries no degradation data for `victim`.
-    fn predict(&self, table: &LookupTable, victim: AppKind, other: &LatencyProfile)
-        -> Option<f64>;
+    fn predict(&self, table: &LookupTable, victim: AppKind, other: &LatencyProfile) -> Option<f64>;
 }
 
 /// Returns the slowdown stored for `victim` in the entry at `idx`.
@@ -134,12 +133,7 @@ impl SlowdownModel for AverageLt {
         ModelKind::AverageLt
     }
 
-    fn predict(
-        &self,
-        table: &LookupTable,
-        victim: AppKind,
-        other: &LatencyProfile,
-    ) -> Option<f64> {
+    fn predict(&self, table: &LookupTable, victim: AppKind, other: &LatencyProfile) -> Option<f64> {
         let mu_b = other.mean();
         let idx = table
             .entries
@@ -164,12 +158,7 @@ impl SlowdownModel for AverageStDevLt {
         ModelKind::AverageStDevLt
     }
 
-    fn predict(
-        &self,
-        table: &LookupTable,
-        victim: AppKind,
-        other: &LatencyProfile,
-    ) -> Option<f64> {
+    fn predict(&self, table: &LookupTable, victim: AppKind, other: &LatencyProfile) -> Option<f64> {
         let ib = other.interval();
         let best = table
             .entries
@@ -200,12 +189,7 @@ impl SlowdownModel for PdfLt {
         ModelKind::PdfLt
     }
 
-    fn predict(
-        &self,
-        table: &LookupTable,
-        victim: AppKind,
-        other: &LatencyProfile,
-    ) -> Option<f64> {
+    fn predict(&self, table: &LookupTable, victim: AppKind, other: &LatencyProfile) -> Option<f64> {
         let best = table
             .entries
             .iter()
@@ -213,7 +197,8 @@ impl SlowdownModel for PdfLt {
             .max_by(|(_, a), (_, b)| {
                 let oa = other.pdf_similarity(&a.profile);
                 let ob = other.pdf_similarity(&b.profile);
-                oa.partial_cmp(&ob).expect("overlap integrals are never NaN")
+                oa.partial_cmp(&ob)
+                    .expect("overlap integrals are never NaN")
             })?
             .0;
         // Disjoint supports carry no signal; fall back to mean distance.
@@ -236,12 +221,7 @@ impl SlowdownModel for QueueModel {
         ModelKind::Queue
     }
 
-    fn predict(
-        &self,
-        table: &LookupTable,
-        victim: AppKind,
-        other: &LatencyProfile,
-    ) -> Option<f64> {
+    fn predict(&self, table: &LookupTable, victim: AppKind, other: &LatencyProfile) -> Option<f64> {
         let u_b = table.calibration.utilization(other);
         let curve = table.degradation_curve(victim);
         interpolate_clamped(&curve, u_b)

@@ -244,8 +244,15 @@ fn des_ladder(
             })
         })
         .collect();
-    let (cells, _telemetry) =
-        sweep_supervised_for("oracle-ladder", "des", par, &Supervisor::none(), journal, fp, tasks)?;
+    let (cells, _telemetry) = sweep_supervised_for(
+        "oracle-ladder",
+        "des",
+        par,
+        &Supervisor::none(),
+        journal,
+        fp,
+        tasks,
+    )?;
     cells
         .into_iter()
         .zip(ladder)
@@ -316,7 +323,11 @@ fn diff_exact(base: &ModeArtefacts, other: &ModeArtefacts, out: &mut Vec<Diverge
             if x.to_bits() != y.to_bits() {
                 push(
                     format!("{}: probe {name}", b.label),
-                    format!("{x:?} != {y:?} (bits {:016x} != {:016x})", x.to_bits(), y.to_bits()),
+                    format!(
+                        "{x:?} != {y:?} (bits {:016x} != {:016x})",
+                        x.to_bits(),
+                        y.to_bits()
+                    ),
                 );
             }
         };
@@ -418,8 +429,7 @@ pub fn run_oracle(
 
     // Mode 2: the same ladder fanned across 8 workers.
     log("mode des-jobs8: same ladder on 8 workers");
-    let parallel_cells =
-        des_ladder(&cfg, app, ladder, Parallelism::fixed(8), None, "des-jobs8")?;
+    let parallel_cells = des_ladder(&cfg, app, ladder, Parallelism::fixed(8), None, "des-jobs8")?;
     let parallel = des_artefacts(&cfg, app, ladder, parallel_cells, "des-jobs8")?;
 
     // Mode 3: kill the journal halfway and resume.
@@ -448,8 +458,8 @@ pub fn run_oracle(
             let rungs = ladder
                 .iter()
                 .map(|comp| {
-                    let p = backend
-                        .measure_impact_profile(&cfg, WorkloadSpec::Compression(comp))?;
+                    let p =
+                        backend.measure_impact_profile(&cfg, WorkloadSpec::Compression(comp))?;
                     let t = backend.measure_compression_run(&cfg, app, comp)?;
                     Ok(RungArtefact::new(rung_label(comp), &p, t))
                 })
@@ -517,14 +527,9 @@ mod tests {
         ];
         let path = temp_journal("clean");
         let mut lines = Vec::new();
-        let report = run_oracle(
-            &tiny_cfg(),
-            AppKind::Fftw,
-            &ladder,
-            None,
-            &path,
-            &mut |l| lines.push(l.to_owned()),
-        )
+        let report = run_oracle(&tiny_cfg(), AppKind::Fftw, &ladder, None, &path, &mut |l| {
+            lines.push(l.to_owned())
+        })
         .unwrap();
         assert!(report.is_clean(), "unexpected divergences:\n{report}");
         assert_eq!(report.modes.len(), 3);

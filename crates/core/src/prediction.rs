@@ -125,10 +125,7 @@ pub struct Study {
 
 impl Study {
     /// Assembles a study from measured parts.
-    pub fn from_parts(
-        table: LookupTable,
-        app_profiles: BTreeMap<AppKind, LatencyProfile>,
-    ) -> Self {
+    pub fn from_parts(table: LookupTable, app_profiles: BTreeMap<AppKind, LatencyProfile>) -> Self {
         Study {
             table,
             app_profiles,
@@ -176,7 +173,8 @@ impl Study {
                 })
             })
             .collect();
-        let (results, telemetry) = sweep_recorded_for("app-profiles", backend.name(), cfg.jobs, tasks);
+        let (results, telemetry) =
+            sweep_recorded_for("app-profiles", backend.name(), cfg.jobs, tasks);
         let mut app_profiles = BTreeMap::new();
         for (&app, r) in apps.iter().zip(results) {
             let p = r?;
@@ -349,7 +347,9 @@ impl Study {
             .map(|o| {
                 let (victim, other) = (o.victim, o.other);
                 let label = format!("corun:{}+{}", victim.name(), other.name());
-                (label, move || backend.measure_corun_runtime(cfg, victim, other))
+                (label, move || {
+                    backend.measure_corun_runtime(cfg, victim, other)
+                })
             })
             .collect();
         let (results, telemetry) =
@@ -388,7 +388,9 @@ impl Study {
             .map(|o| {
                 let (victim, other) = (o.victim, o.other);
                 let label = format!("corun:{}+{}", victim.name(), other.name());
-                (label, move || backend.measure_corun_runtime(cfg, victim, other))
+                (label, move || {
+                    backend.measure_corun_runtime(cfg, victim, other)
+                })
             })
             .collect();
         let (results, telemetry) = sweep_supervised_for(
@@ -563,10 +565,8 @@ mod tests {
                 (AppKind::Milc, 0.8),
             ],
         );
-        let backend = FakeBackend::faulty(
-            vec![format!("profile:{}", AppKind::Mcb.name())],
-            Vec::new(),
-        );
+        let backend =
+            FakeBackend::faulty(vec![format!("profile:{}", AppKind::Mcb.name())], Vec::new());
         let (study, failures, t) = Study::measure_profiles_supervised_with(
             &backend,
             &cfg,
@@ -662,8 +662,7 @@ mod tests {
         for (i, o) in outcomes.iter_mut().enumerate() {
             o.measured = Some(o.predicted[&ModelKind::Queue] + i as f64);
         }
-        let sums =
-            error_summaries(&outcomes, &[ModelKind::AverageLt, ModelKind::Queue]).unwrap();
+        let sums = error_summaries(&outcomes, &[ModelKind::AverageLt, ModelKind::Queue]).unwrap();
         assert_eq!(sums.len(), 2);
         // Queue's error was constructed as 0..8 → median 4.
         let q = &sums[&ModelKind::Queue];

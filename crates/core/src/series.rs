@@ -61,10 +61,7 @@ impl TimedSeries {
 
     /// Time span covered by the series.
     pub fn span(&self) -> (SimTime, SimTime) {
-        (
-            self.samples[0].at,
-            self.samples[self.samples.len() - 1].at,
-        )
+        (self.samples[0].at, self.samples[self.samples.len() - 1].at)
     }
 
     /// Collapses the series into a single (time-blind) latency profile —
@@ -217,7 +214,12 @@ mod tests {
     #[test]
     fn warmup_trims_earliest() {
         let s = TimedSeries::with_warmup(
-            vec![sample(1, 9.0), sample(2, 9.0), sample(3, 1.0), sample(4, 1.0)],
+            vec![
+                sample(1, 9.0),
+                sample(2, 9.0),
+                sample(3, 1.0),
+                sample(4, 1.0),
+            ],
             0.5,
         );
         assert_eq!(s.len(), 2);
@@ -259,10 +261,7 @@ mod tests {
         for i in 0..40u64 {
             // Alternating 10 ms phases of idle-ish and loaded latencies.
             let phase_loaded = (i / 10) % 2 == 1;
-            v.push(sample(
-                i * 1_000,
-                if phase_loaded { 6.0 } else { 1.05 },
-            ));
+            v.push(sample(i * 1_000, if phase_loaded { 6.0 } else { 1.05 }));
         }
         let s = TimedSeries::new(v);
         let dist = s.utilization_distribution(&calib(), SimDuration::from_millis(10), 3);
@@ -272,7 +271,10 @@ mod tests {
         // Loaded windows must read much higher utilization than idle ones.
         let max_u = dist.iter().map(|(u, _)| *u).fold(0.0, f64::max);
         let min_u = dist.iter().map(|(u, _)| *u).fold(1.0, f64::min);
-        assert!(max_u > min_u + 0.3, "phases must separate: {min_u}..{max_u}");
+        assert!(
+            max_u > min_u + 0.3,
+            "phases must separate: {min_u}..{max_u}"
+        );
     }
 
     #[test]

@@ -545,18 +545,19 @@ mod tests {
 
     #[test]
     fn panicking_cell_does_not_kill_siblings() {
-        let tasks: Vec<(String, Box<dyn Fn() -> Result<u64, ExperimentError> + Send + Sync>)> =
-            (0..8u64)
-                .map(|i| {
-                    let f: Box<dyn Fn() -> Result<u64, ExperimentError> + Send + Sync> =
-                        if i == 3 {
-                            Box::new(|| panic!("injected panic in cell 3"))
-                        } else {
-                            Box::new(move || Ok(i * 10))
-                        };
-                    (format!("cell{i}"), f)
-                })
-                .collect();
+        let tasks: Vec<(
+            String,
+            Box<dyn Fn() -> Result<u64, ExperimentError> + Send + Sync>,
+        )> = (0..8u64)
+            .map(|i| {
+                let f: Box<dyn Fn() -> Result<u64, ExperimentError> + Send + Sync> = if i == 3 {
+                    Box::new(|| panic!("injected panic in cell 3"))
+                } else {
+                    Box::new(move || Ok(i * 10))
+                };
+                (format!("cell{i}"), f)
+            })
+            .collect();
         let (results, t) =
             sweep_supervised("iso", Parallelism::fixed(8), &sup(), None, 0, tasks).unwrap();
         assert_eq!(completed_count(&results), 7);
@@ -572,20 +573,22 @@ mod tests {
         }
         assert_eq!(t.runs[3].outcome, "panicked");
         assert_eq!(t.runs[2].outcome, "ok");
-        assert_eq!(partial_exit_code(completed_count(&results), results.len()), 3);
+        assert_eq!(
+            partial_exit_code(completed_count(&results), results.len()),
+            3
+        );
     }
 
     #[test]
     fn retries_rerun_failed_and_panicked_cells() {
         let attempts = AtomicUsize::new(0);
-        let tasks: Vec<(String, _)> = vec![(
-            "flaky".to_owned(),
-            || match attempts.fetch_add(1, Ordering::SeqCst) {
+        let tasks: Vec<(String, _)> = vec![("flaky".to_owned(), || {
+            match attempts.fetch_add(1, Ordering::SeqCst) {
                 0 => Err(ExperimentError::NoSamples),
                 1 => panic!("second attempt panics"),
                 _ => Ok(7u64),
-            },
-        )];
+            }
+        })];
         let supervisor = Supervisor {
             retry: RetryPolicy {
                 max_retries: 2,
@@ -623,13 +626,17 @@ mod tests {
         ));
         assert_eq!(attempts.load(Ordering::SeqCst), 1, "budget must fail fast");
         assert_eq!(t.runs[0].outcome, "budget");
-        assert_eq!(partial_exit_code(completed_count(&results), results.len()), 1);
+        assert_eq!(
+            partial_exit_code(completed_count(&results), results.len()),
+            1
+        );
     }
 
     #[test]
     fn exhausted_retries_keep_the_typed_hole() {
-        let tasks: Vec<(String, _)> =
-            vec![("dead".to_owned(), || Err::<u64, _>(ExperimentError::NoSamples))];
+        let tasks: Vec<(String, _)> = vec![("dead".to_owned(), || {
+            Err::<u64, _>(ExperimentError::NoSamples)
+        })];
         let supervisor = Supervisor {
             retry: RetryPolicy {
                 max_retries: 2,
@@ -640,7 +647,13 @@ mod tests {
         let (results, t) =
             sweep_supervised("dead", Parallelism::fixed(1), &supervisor, None, 0, tasks).unwrap();
         let err = results[0].as_ref().unwrap_err();
-        assert!(matches!(err, TaskError::Failed { error: ExperimentError::NoSamples, .. }));
+        assert!(matches!(
+            err,
+            TaskError::Failed {
+                error: ExperimentError::NoSamples,
+                ..
+            }
+        ));
         assert_eq!(t.runs[0].retries, 2);
         assert_eq!(t.runs[0].outcome, "failed");
     }

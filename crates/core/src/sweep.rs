@@ -466,10 +466,7 @@ mod tests {
         assert!(j.contains("\"outcome\":\"ok\""));
         assert!(j.contains("\"retries\":1"));
         // Balanced braces/brackets (cheap well-formedness check).
-        assert_eq!(
-            j.matches('{').count(),
-            j.matches('}').count(),
-        );
+        assert_eq!(j.matches('{').count(), j.matches('}').count(),);
         assert_eq!(j.matches('[').count(), j.matches(']').count());
     }
 

@@ -199,7 +199,13 @@ pub fn describe_members(
                     expanded.extend(expand_bcast(local_u, root, n, bytes, Op::RESERVED_TAG_BASE));
                 }
                 Op::Reduce { root, bytes } => {
-                    expanded.extend(expand_reduce(local_u, root, n, bytes, Op::RESERVED_TAG_BASE));
+                    expanded.extend(expand_reduce(
+                        local_u,
+                        root,
+                        n,
+                        bytes,
+                        Op::RESERVED_TAG_BASE,
+                    ));
                 }
                 Op::Allgather { bytes_per_rank } => {
                     expanded.extend(expand_allgather(

@@ -555,9 +555,17 @@ mod tests {
         assert_eq!(second.mean().to_bits(), bare_profile.mean().to_bits());
         assert_eq!(first.count(), bare_profile.count());
 
-        let bare_solo = FlowBackend.measure_solo_runtime(&cfg, AppKind::Fftw).unwrap();
-        assert_eq!(batch.measure_solo_runtime(&cfg, AppKind::Fftw).unwrap(), bare_solo);
-        assert_eq!(batch.measure_solo_runtime(&cfg, AppKind::Fftw).unwrap(), bare_solo);
+        let bare_solo = FlowBackend
+            .measure_solo_runtime(&cfg, AppKind::Fftw)
+            .unwrap();
+        assert_eq!(
+            batch.measure_solo_runtime(&cfg, AppKind::Fftw).unwrap(),
+            bare_solo
+        );
+        assert_eq!(
+            batch.measure_solo_runtime(&cfg, AppKind::Fftw).unwrap(),
+            bare_solo
+        );
 
         assert_eq!(batch.misses(), 2, "one backend call per distinct question");
         assert_eq!(batch.hits(), 2, "repeats served from the memo");

@@ -512,7 +512,11 @@ fn loads_at_excluding(demands: &[Demand], durs: &[f64], skip: usize) -> StageLoa
             1024.0
         },
         duty: 1.0 - all_off,
-        sat: if duty_sum > 0.0 { sat_sum / duty_sum } else { 0.0 },
+        sat: if duty_sum > 0.0 {
+            sat_sum / duty_sum
+        } else {
+            0.0
+        },
         peers: if duty_sum > 0.0 {
             (peer_sum / duty_sum).max(1.0)
         } else {
@@ -615,7 +619,7 @@ mod tests {
     #[test]
     fn network_bound_job_is_bandwidth_limited() {
         let net = tiny(); // 1 GB/s ports
-        // 10 MB from the busiest node: 10 ms of serialization dominates.
+                          // 10 MB from the busiest node: 10 ms of serialization dominates.
         let d = desc(10_000_000.0, 2441.0, 0.0, 1.0);
         let eq = solve(&net, &[&d]);
         let t = eq.jobs[0].solo_ns;

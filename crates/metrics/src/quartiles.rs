@@ -185,7 +185,9 @@ mod tests {
     fn errors_display_their_cause() {
         assert!(MetricsError::EmptySample.to_string().contains("empty"));
         assert!(MetricsError::NanSample.to_string().contains("NaN"));
-        assert!(MetricsError::FractionOutOfRange.to_string().contains("[0, 1]"));
+        assert!(MetricsError::FractionOutOfRange
+            .to_string()
+            .contains("[0, 1]"));
     }
 
     proptest! {

@@ -118,9 +118,13 @@ pub fn simulate(
             .ok_or(SchedError::MissingSolo { app })
     };
     let slowdown = |victim: AppKind, other: AppKind| -> Result<f64, SchedError> {
-        pairs.get(&(victim, other)).copied().ok_or(
-            SchedError::Prediction(PredictionError::Unmeasured { victim, other }),
-        )
+        pairs
+            .get(&(victim, other))
+            .copied()
+            .ok_or(SchedError::Prediction(PredictionError::Unmeasured {
+                victim,
+                other,
+            }))
     };
 
     let mut rows: Vec<JobRow> = stream
@@ -213,7 +217,11 @@ pub fn simulate(
         let completion = active
             .iter()
             .map(|(&i, j)| (now + j.remaining / j.rate, i))
-            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times").then(a.1.cmp(&b.1)));
+            .min_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .expect("finite times")
+                    .then(a.1.cmp(&b.1))
+            });
         let arrival = stream.get(next_arrival).map(|j| j.arrival_us as f64);
 
         let take_completion = match (completion, arrival) {
@@ -257,7 +265,8 @@ pub fn simulate(
                 match policy.choose(&stream[head], &snaps)? {
                     Some(s) => {
                         queue.pop_front();
-                        place(head, s, now, &mut residents, &mut active, &mut rows).map_err(|e| annotate_choice(e, &policy_name))?;
+                        place(head, s, now, &mut residents, &mut active, &mut rows)
+                            .map_err(|e| annotate_choice(e, &policy_name))?;
                         refresh(s, &residents, &mut active, &rows)?;
                     }
                     None => break,

@@ -97,7 +97,10 @@ impl std::fmt::Display for SchedError {
                 write!(f, "no solo baseline for {} in the ground truth", app.name())
             }
             SchedError::InvalidChoice { policy, switch } => {
-                write!(f, "policy {policy} chose switch {switch} without a free slot")
+                write!(
+                    f,
+                    "policy {policy} chose switch {switch} without a free slot"
+                )
             }
             SchedError::Stalled { queued } => write!(
                 f,

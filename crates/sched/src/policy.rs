@@ -179,9 +179,12 @@ impl<'a> Oracle<'a> {
     }
 
     fn measured(&self, victim: AppKind, other: AppKind) -> Result<f64, SchedError> {
-        self.pairs.get(&(victim, other)).copied().ok_or(
-            SchedError::Prediction(anp_core::PredictionError::Unmeasured { victim, other }),
-        )
+        self.pairs
+            .get(&(victim, other))
+            .copied()
+            .ok_or(SchedError::Prediction(
+                anp_core::PredictionError::Unmeasured { victim, other },
+            ))
     }
 }
 
@@ -352,9 +355,15 @@ mod tests {
         ]);
         let mut oracle = Oracle::new(&pairs);
         let with_empty = [snap(&[AppKind::Milc]), snap(&[AppKind::Mcb]), snap(&[])];
-        assert_eq!(oracle.choose(&job(AppKind::Fftw), &with_empty).unwrap(), Some(2));
+        assert_eq!(
+            oracle.choose(&job(AppKind::Fftw), &with_empty).unwrap(),
+            Some(2)
+        );
         let no_empty = [snap(&[AppKind::Milc]), snap(&[AppKind::Mcb])];
-        assert_eq!(oracle.choose(&job(AppKind::Fftw), &no_empty).unwrap(), Some(1));
+        assert_eq!(
+            oracle.choose(&job(AppKind::Fftw), &no_empty).unwrap(),
+            Some(1)
+        );
         // An unmeasured pairing is a typed hole, not a silent zero.
         let sparse = BTreeMap::new();
         let mut blind = Oracle::new(&sparse);

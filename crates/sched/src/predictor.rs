@@ -11,9 +11,7 @@
 //!
 //! [`BatchEvaluator`]: anp_flowsim::BatchEvaluator
 
-use anp_core::{
-    Backend, ExperimentConfig, LookupTable, ModelKind, PredictionError, WorkloadSpec,
-};
+use anp_core::{Backend, ExperimentConfig, LookupTable, ModelKind, PredictionError, WorkloadSpec};
 use anp_workloads::AppKind;
 
 use crate::SchedError;

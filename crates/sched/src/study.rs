@@ -273,8 +273,11 @@ pub fn run_suite(
         }
         let stats = policy.decision_stats();
         let n = per_seed.len() as f64;
-        let mean_stretch_pct =
-            per_seed.iter().map(|(_, s)| s.mean_stretch_pct).sum::<f64>() / n;
+        let mean_stretch_pct = per_seed
+            .iter()
+            .map(|(_, s)| s.mean_stretch_pct)
+            .sum::<f64>()
+            / n;
         let mean_makespan_us = per_seed.iter().map(|(_, s)| s.makespan_us).sum::<f64>() / n;
         out.push(PolicyOutcome {
             spec,

@@ -48,9 +48,12 @@ impl GroundTruth {
     /// The measured % slowdown of `victim` co-run with `other`, or a
     /// typed unmeasured-pairing hole when its co-run cell failed.
     pub fn pair_slowdown(&self, victim: AppKind, other: AppKind) -> Result<f64, SchedError> {
-        self.pairs.get(&(victim, other)).copied().ok_or(
-            SchedError::Prediction(anp_core::PredictionError::Unmeasured { victim, other }),
-        )
+        self.pairs
+            .get(&(victim, other))
+            .copied()
+            .ok_or(SchedError::Prediction(
+                anp_core::PredictionError::Unmeasured { victim, other },
+            ))
     }
 }
 
@@ -204,9 +207,7 @@ mod tests {
     use anp_core::{Calibration, CompressionEntry, LatencyProfile};
 
     fn profile(mean_us: f64) -> LatencyProfile {
-        let samples: Vec<f64> = (0..32)
-            .map(|i| mean_us + (i % 3) as f64 * 0.01)
-            .collect();
+        let samples: Vec<f64> = (0..32).map(|i| mean_us + (i % 3) as f64 * 0.01).collect();
         LatencyProfile::from_samples(&samples)
     }
 

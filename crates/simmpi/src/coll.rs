@@ -340,14 +340,8 @@ mod tests {
     fn alltoall_round_count() {
         let n = 9;
         let ops = expand_alltoall(0, n, 100, 0);
-        let sends = ops
-            .iter()
-            .filter(|o| matches!(o, Op::Isend { .. }))
-            .count();
-        let recvs = ops
-            .iter()
-            .filter(|o| matches!(o, Op::Irecv { .. }))
-            .count();
+        let sends = ops.iter().filter(|o| matches!(o, Op::Isend { .. })).count();
+        let recvs = ops.iter().filter(|o| matches!(o, Op::Irecv { .. })).count();
         assert_eq!(sends, (n - 1) as usize);
         assert_eq!(recvs, (n - 1) as usize);
         let waits = ops.iter().filter(|o| matches!(o, Op::WaitAll)).count();
@@ -455,10 +449,7 @@ mod tests {
         // for the next collective.
         for n in [2u32, 5, 144] {
             for l in 0..n {
-                for ops in [
-                    expand_allreduce(l, n, 64, 0),
-                    expand_alltoall(l, n, 64, 0),
-                ] {
+                for ops in [expand_allreduce(l, n, 64, 0), expand_alltoall(l, n, 64, 0)] {
                     if let Some(last) = ops.last() {
                         assert_eq!(*last, Op::WaitAll, "n={n} l={l}");
                     }

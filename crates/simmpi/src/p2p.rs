@@ -158,7 +158,7 @@ mod tests {
         let mut mb = Mailbox::default();
         mb.post(Src::Any, 0); // recv A
         mb.post(Src::Rank(1), 0); // recv B
-        // A message from rank 1 matches recv A (posted earlier, wildcard).
+                                  // A message from rank 1 matches recv A (posted earlier, wildcard).
         assert!(mb.deliver(env(1, 0)));
         assert_eq!(mb.pending_recvs(), 1);
         // Next message from rank 1 matches recv B.

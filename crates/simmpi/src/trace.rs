@@ -148,7 +148,10 @@ mod tests {
         let mut log = TraceLog::new();
         assert!(!log.is_enabled());
         log.transition(0, RankPhase::Computing, SimTime::from_nanos(5));
-        assert_eq!(log.totals_at(0, SimTime::from_nanos(10)), PhaseTotals::default());
+        assert_eq!(
+            log.totals_at(0, SimTime::from_nanos(10)),
+            PhaseTotals::default()
+        );
     }
 
     #[test]

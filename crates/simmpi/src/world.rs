@@ -850,10 +850,7 @@ impl World {
         #[cfg(feature = "audit")]
         if let Some(a) = self.audit.as_deref_mut() {
             if t < a.prev_now {
-                let detail = format!(
-                    "event clock moved backwards: {} after {}",
-                    t, a.prev_now
-                );
+                let detail = format!("event clock moved backwards: {} after {}", t, a.prev_now);
                 a.log.violate(InvariantKind::TimeMonotonicity, t, detail);
             }
             a.prev_now = t;
@@ -903,9 +900,7 @@ impl World {
                             bytes: meta.bytes,
                             rendezvous: None,
                         };
-                        let seq = meta
-                            .seq
-                            .expect("eager message without a sequence number");
+                        let seq = meta.seq.expect("eager message without a sequence number");
                         // Under reliability the arrival acknowledges the
                         // send: drop the pending record and its timer
                         // guard. Either way the envelope resequences.
@@ -1154,8 +1149,7 @@ impl World {
     fn drain_sequenced(&mut self, src_global: u32, dst_global: u32) {
         let key = pair_key(src_global, dst_global);
         loop {
-            let next =
-                self.ranks[dst_global as usize].seq_recv[src_global as usize] & SEQ_CURSOR;
+            let next = self.ranks[dst_global as usize].seq_recv[src_global as usize] & SEQ_CURSOR;
             let buffer = self
                 .recv_buffers
                 .get_mut(&key)
@@ -1238,7 +1232,8 @@ impl World {
             return;
         }
         r.status = Status::Ready;
-        self.trace.transition(rank, RankPhase::Running, self.q.now());
+        self.trace
+            .transition(rank, RankPhase::Running, self.q.now());
         self.in_ready[rank as usize] = true;
         self.ready.push_back(rank);
     }
@@ -1330,7 +1325,8 @@ impl World {
                     );
                     r.status = Status::Stopped;
                     r.stopped_at = Some(self.q.now());
-                    self.trace.transition(rank, RankPhase::Running, self.q.now());
+                    self.trace
+                        .transition(rank, RankPhase::Running, self.q.now());
                     return;
                 }
             }
@@ -1373,8 +1369,7 @@ impl World {
                     seq: None,
                 },
             );
-            self.rendezvous_sends
-                .insert(rts.0, (rank, bytes, dst_node));
+            self.rendezvous_sends.insert(rts.0, (rank, bytes, dst_node));
             self.ranks[rank as usize].outstanding += 1;
             return;
         }
@@ -1421,8 +1416,10 @@ impl World {
                 },
             );
             self.msg_token.insert(msg, token);
-            self.q
-                .schedule_after(rel.retransmit_timeout, WorldEvent::RetransmitTimer { token });
+            self.q.schedule_after(
+                rel.retransmit_timeout,
+                WorldEvent::RetransmitTimer { token },
+            );
         }
         self.meta.insert(
             msg,
@@ -1450,7 +1447,8 @@ impl World {
                     *c += 1;
                     v
                 };
-                a.seq_issue.insert((pair_key(rank, dst_global), seq), (chan, issue));
+                a.seq_issue
+                    .insert((pair_key(rank, dst_global), seq), (chan, issue));
             }
         }
         self.ranks[rank as usize].outstanding += 1;
@@ -1569,7 +1567,9 @@ mod tests {
                 NodeId(0),
             )],
         );
-        assert!(w.run_until_job_done(job, SimTime::from_nanos(10_000)).completed());
+        assert!(w
+            .run_until_job_done(job, SimTime::from_nanos(10_000))
+            .completed());
         assert_eq!(w.job_finish_time(job), Some(SimTime::from_nanos(250)));
     }
 
@@ -1617,7 +1617,9 @@ mod tests {
                 ),
             ],
         );
-        assert!(w.run_until_job_done(job, SimTime::from_nanos(100_000)).completed());
+        assert!(w
+            .run_until_job_done(job, SimTime::from_nanos(100_000))
+            .completed());
         assert_eq!(w.job_finish_time(job), Some(SimTime::from_nanos(2848)));
     }
 
@@ -1656,10 +1658,7 @@ mod tests {
         let members: Vec<_> = (0..3)
             .map(|i| {
                 (
-                    boxed(Scripted::new(vec![
-                        Op::Allreduce { bytes: 800 },
-                        Op::Stop,
-                    ])),
+                    boxed(Scripted::new(vec![Op::Allreduce { bytes: 800 }, Op::Stop])),
                     NodeId(i),
                 )
             })
@@ -1716,7 +1715,9 @@ mod tests {
             })
             .collect();
         let job = w.add_job("rooted", members);
-        assert!(w.run_until_job_done(job, SimTime::from_secs(10)).completed());
+        assert!(w
+            .run_until_job_done(job, SimTime::from_secs(10))
+            .completed());
     }
 
     #[test]
@@ -1737,7 +1738,8 @@ mod tests {
                 .collect();
             let job = w.add_job("rooted", members);
             assert!(
-                w.run_until_job_done(job, SimTime::from_secs(10)).completed(),
+                w.run_until_job_done(job, SimTime::from_secs(10))
+                    .completed(),
                 "root {root} deadlocked"
             );
         }
@@ -1769,8 +1771,14 @@ mod tests {
                 Op::Stop,
             ]))
         };
-        let a = w.add_job("a", vec![(mk_sender(), NodeId(0)), (mk_recver(), NodeId(1))]);
-        let b = w.add_job("b", vec![(mk_sender(), NodeId(0)), (mk_recver(), NodeId(1))]);
+        let a = w.add_job(
+            "a",
+            vec![(mk_sender(), NodeId(0)), (mk_recver(), NodeId(1))],
+        );
+        let b = w.add_job(
+            "b",
+            vec![(mk_sender(), NodeId(0)), (mk_recver(), NodeId(1))],
+        );
         w.run_until(SimTime::from_secs(1));
         assert!(w.job_done(a));
         assert!(w.job_done(b));
@@ -1934,7 +1942,9 @@ mod tests {
                 })
                 .collect();
             let job = w.add_job("det", members);
-            assert!(w.run_until_job_done(job, SimTime::from_secs(10)).completed());
+            assert!(w
+                .run_until_job_done(job, SimTime::from_secs(10))
+                .completed());
             (w.job_finish_time(job), w.events_processed())
         };
         assert_eq!(run(), run());
@@ -2237,17 +2247,16 @@ mod tests {
             .collect();
         let job = w.add_job("coll-rdv", members);
         w.set_eager_threshold(8_192);
-        assert!(w.run_until_job_done(job, SimTime::from_secs(10)).completed());
+        assert!(w
+            .run_until_job_done(job, SimTime::from_secs(10))
+            .completed());
     }
 
     #[test]
     #[should_panic(expected = "before running")]
     fn protocol_split_is_fixed_after_start() {
         let mut w = tiny_world();
-        let job = w.add_job(
-            "j",
-            vec![(boxed(Scripted::new(vec![Op::Stop])), NodeId(0))],
-        );
+        let job = w.add_job("j", vec![(boxed(Scripted::new(vec![Op::Stop])), NodeId(0))]);
         w.run_until_job_done(job, SimTime::from_secs(1));
         w.set_eager_threshold(1);
     }
@@ -2518,7 +2527,12 @@ mod tests {
         w.set_reliability(ReliabilityConfig::default());
         let outcome = w.run_until_job_done(job, SimTime::from_secs(1));
         // Sequencing and timers must not change message timing at all.
-        assert_eq!(outcome, RunOutcome::Completed { at: SimTime::from_nanos(2848) });
+        assert_eq!(
+            outcome,
+            RunOutcome::Completed {
+                at: SimTime::from_nanos(2848)
+            }
+        );
         assert_eq!(w.reliability_stats(), ReliabilityStats::default());
     }
 
@@ -2551,9 +2565,8 @@ mod tests {
         // after a 60 µs compute) sails through. The failed send must void
         // its sequence number so B can still be delivered, and the stall
         // report must name both the failure and the orphaned recv.
-        let fault = LinkFault::on(LinkSelector::Link(LinkId::NodeUp(NodeId(0)))).with_down(
-            FaultWindow::new(SimTime::ZERO, SimTime::from_micros(50)),
-        );
+        let fault = LinkFault::on(LinkSelector::Link(LinkId::NodeUp(NodeId(0))))
+            .with_down(FaultWindow::new(SimTime::ZERO, SimTime::from_micros(50)));
         let mut w = World::new(
             SwitchConfig::tiny_deterministic()
                 .with_fault_plan(FaultPlan::none().with_link_fault(fault)),
@@ -2608,7 +2621,10 @@ mod tests {
         assert_eq!(w.reliability_stats().failures, 1);
         assert_eq!(report.failed_sends.len(), 1);
         let failed = &report.failed_sends[0];
-        assert_eq!((failed.src, failed.dst, failed.tag, failed.seq), (0, 1, 0, 0));
+        assert_eq!(
+            (failed.src, failed.dst, failed.tag, failed.seq),
+            (0, 1, 0, 0)
+        );
         assert_eq!(failed.attempts, 2, "1 original + 1 retry");
         // Message B was delivered despite A's failure: the receiver's only
         // unmatched recv is A's.
@@ -2649,7 +2665,9 @@ mod tests {
             })
             .collect();
         let job = w.add_job("coll-lossy", members);
-        assert!(w.run_until_job_done(job, SimTime::from_secs(10)).completed());
+        assert!(w
+            .run_until_job_done(job, SimTime::from_secs(10))
+            .completed());
         assert!(w.reliability_stats().retransmits > 0);
     }
 
@@ -2684,8 +2702,12 @@ mod tests {
         let (mut plain, job_p) = ping_pong_world(FaultPlan::none(), 5);
         let (mut audited, job_a) = ping_pong_world(FaultPlan::none(), 5);
         audited.enable_audit();
-        assert!(plain.run_until_job_done(job_p, SimTime::from_secs(1)).completed());
-        assert!(audited.run_until_job_done(job_a, SimTime::from_secs(1)).completed());
+        assert!(plain
+            .run_until_job_done(job_p, SimTime::from_secs(1))
+            .completed());
+        assert!(audited
+            .run_until_job_done(job_a, SimTime::from_secs(1))
+            .completed());
         assert_eq!(plain.job_finish_time(job_p), audited.job_finish_time(job_a));
         assert_eq!(plain.events_processed(), audited.events_processed());
     }
@@ -2702,7 +2724,9 @@ mod tests {
             max_retries: 10,
         });
         w.enable_audit();
-        assert!(w.run_until_job_done(job, SimTime::from_secs(10)).completed());
+        assert!(w
+            .run_until_job_done(job, SimTime::from_secs(10))
+            .completed());
         assert!(w.reliability_stats().retransmits > 0);
         let report = w.take_audit_report().expect("audit enabled");
         assert!(report.is_clean(), "unexpected violations: {report}");
@@ -2713,9 +2737,8 @@ mod tests {
     fn audited_failed_send_with_voided_seq_is_clean() {
         // A send abandoned after its retry budget voids its sequence
         // number; the window invariant must treat that as legal.
-        let fault = LinkFault::on(LinkSelector::Link(LinkId::NodeUp(NodeId(0)))).with_down(
-            FaultWindow::new(SimTime::ZERO, SimTime::from_micros(50)),
-        );
+        let fault = LinkFault::on(LinkSelector::Link(LinkId::NodeUp(NodeId(0))))
+            .with_down(FaultWindow::new(SimTime::ZERO, SimTime::from_micros(50)));
         let mut w = World::new(
             SwitchConfig::tiny_deterministic()
                 .with_fault_plan(FaultPlan::none().with_link_fault(fault)),
@@ -2761,7 +2784,10 @@ mod tests {
             ],
         );
         let outcome = w.run_until_job_done(job, SimTime::from_secs(1));
-        assert!(outcome.completed(), "B must deliver past A's voided seq: {outcome:?}");
+        assert!(
+            outcome.completed(),
+            "B must deliver past A's voided seq: {outcome:?}"
+        );
         assert_eq!(w.reliability_stats().failures, 1);
         let report = w.take_audit_report().expect("audit enabled");
         assert!(report.is_clean(), "unexpected violations: {report}");

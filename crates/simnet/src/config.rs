@@ -112,7 +112,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "bandwidth factor must be within (0, 1] (got {factor})")
             }
             ConfigError::InvalidSlowdownFactor { factor } => {
-                write!(f, "slowdown factor must be positive and finite (got {factor})")
+                write!(
+                    f,
+                    "slowdown factor must be positive and finite (got {factor})"
+                )
             }
             ConfigError::EmptyFaultWindow { from, until } => {
                 write!(

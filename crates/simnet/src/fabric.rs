@@ -39,9 +39,9 @@ use rand::SeedableRng;
 
 use rand::Rng;
 
+use crate::audit::AuditReport;
 #[cfg(feature = "audit")]
 use crate::audit::{AuditLog, InvariantKind};
-use crate::audit::AuditReport;
 use crate::config::{ConfigError, SwitchConfig, Topology};
 use crate::event::EventQueue;
 use crate::fault::{LinkId, LinkState, ServerFaultState};
@@ -491,7 +491,13 @@ impl Fabric {
         {
             self.audit.as_ref()?;
             self.audit_quiescence_check();
-            Some(self.audit.as_deref_mut().expect("checked above").log.take_report())
+            Some(
+                self.audit
+                    .as_deref_mut()
+                    .expect("checked above")
+                    .log
+                    .take_report(),
+            )
         }
         #[cfg(not(feature = "audit"))]
         {
@@ -544,9 +550,7 @@ impl Fabric {
             LinkId::NodeUp(node) => node.index(),
             LinkId::NodeDown(node) => nodes + node.index(),
             LinkId::Trunk { from, to } => {
-                2 * nodes
-                    + from as usize * self.routes.switch_count() as usize
-                    + to as usize
+                2 * nodes + from as usize * self.routes.switch_count() as usize + to as usize
             }
         }
     }
@@ -609,7 +613,10 @@ impl Fabric {
             prog.deliver_remaining == 0
         };
         if finished {
-            let prog = self.inflight.remove(&pkt.msg).expect("present: checked above");
+            let prog = self
+                .inflight
+                .remove(&pkt.msg)
+                .expect("present: checked above");
             self.stats.messages_dropped += 1;
             out.push(Notice::MessageDropped {
                 msg: pkt.msg,
@@ -1009,9 +1016,8 @@ impl Fabric {
         #[cfg(feature = "audit")]
         if let Some(a) = self.audit.as_deref_mut() {
             if self.switches[sw as usize].pools[class].in_use() == 0 {
-                let detail = format!(
-                    "credit release without matching acquire (switch {sw}, class {class})"
-                );
+                let detail =
+                    format!("credit release without matching acquire (switch {sw}, class {class})");
                 a.log
                     .violate(InvariantKind::CreditConservation, q.now(), detail);
                 return;
@@ -1290,11 +1296,10 @@ mod tests {
         fab.release_credit(&mut q, 0, 0);
         let report = fab.take_audit_report().expect("audit enabled");
         assert_eq!(report.violation_count(), 1);
-        assert_eq!(
-            report.violations[0].kind,
-            InvariantKind::CreditConservation
-        );
-        assert!(report.violations[0].detail.contains("without matching acquire"));
+        assert_eq!(report.violations[0].kind, InvariantKind::CreditConservation);
+        assert!(report.violations[0]
+            .detail
+            .contains("without matching acquire"));
     }
 
     #[test]
@@ -1597,9 +1602,8 @@ mod tests {
 
     #[test]
     fn link_recovers_after_down_window_closes() {
-        let fault = LinkFault::on(LinkSelector::Link(LinkId::NodeUp(NodeId(0)))).with_down(
-            FaultWindow::new(SimTime::ZERO, SimTime::from_micros(10)),
-        );
+        let fault = LinkFault::on(LinkSelector::Link(LinkId::NodeUp(NodeId(0))))
+            .with_down(FaultWindow::new(SimTime::ZERO, SimTime::from_micros(10)));
         let cfg = SwitchConfig::tiny_deterministic()
             .with_fault_plan(FaultPlan::none().with_link_fault(fault));
         let mut fab = Fabric::new(cfg);
@@ -1624,8 +1628,8 @@ mod tests {
         // Halving the node→switch bandwidth doubles NIC serialization:
         // nic 1024 + wire 100 + svc 200 + egress 512 + wire 100 = 1936 ns
         // (vs 1424 ns nominal for 512 B).
-        let fault = LinkFault::on(LinkSelector::Link(LinkId::NodeUp(NodeId(0))))
-            .with_bandwidth_factor(0.5);
+        let fault =
+            LinkFault::on(LinkSelector::Link(LinkId::NodeUp(NodeId(0)))).with_bandwidth_factor(0.5);
         let cfg = SwitchConfig::tiny_deterministic()
             .with_fault_plan(FaultPlan::none().with_link_fault(fault));
         let mut fab = Fabric::new(cfg);
@@ -1640,8 +1644,8 @@ mod tests {
     fn extra_latency_adds_per_wire_crossing() {
         // +50 ns on every link: the 512 B single-switch path crosses two
         // wires (node→switch, switch→node) → 1424 + 100 = 1524 ns.
-        let fault = LinkFault::on(LinkSelector::All)
-            .with_extra_latency(SimDuration::from_nanos(50));
+        let fault =
+            LinkFault::on(LinkSelector::All).with_extra_latency(SimDuration::from_nanos(50));
         let cfg = SwitchConfig::tiny_deterministic()
             .with_fault_plan(FaultPlan::none().with_link_fault(fault));
         let mut fab = Fabric::new(cfg);
@@ -1680,8 +1684,7 @@ mod tests {
 
     #[test]
     fn invalid_fault_plan_is_rejected_at_construction() {
-        let cfg = SwitchConfig::tiny_deterministic()
-            .with_fault_plan(FaultPlan::uniform_loss(1.5));
+        let cfg = SwitchConfig::tiny_deterministic().with_fault_plan(FaultPlan::uniform_loss(1.5));
         assert!(Fabric::try_new(cfg).is_err());
     }
 }

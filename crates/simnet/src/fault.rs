@@ -459,19 +459,21 @@ mod tests {
             .with_link_fault(LinkFault::on(LinkSelector::Node(NodeId(9))).with_loss(0.1));
         assert!(bad_node.validate(nodes, switches).is_err());
 
-        let bad_window = FaultPlan::none().with_link_fault(
-            LinkFault::on(LinkSelector::All)
-                .with_down(FaultWindow::new(SimTime::from_nanos(5), SimTime::from_nanos(5))),
-        );
+        let bad_window =
+            FaultPlan::none().with_link_fault(LinkFault::on(LinkSelector::All).with_down(
+                FaultWindow::new(SimTime::from_nanos(5), SimTime::from_nanos(5)),
+            ));
         assert!(bad_window.validate(nodes, switches).is_err());
 
-        let bad_switch =
-            FaultPlan::none().with_server_fault(ServerFault::on(3).with_blackout(
-                FaultWindow::new(SimTime::ZERO, SimTime::from_nanos(1)),
-            ));
+        let bad_switch = FaultPlan::none().with_server_fault(
+            ServerFault::on(3)
+                .with_blackout(FaultWindow::new(SimTime::ZERO, SimTime::from_nanos(1))),
+        );
         assert!(bad_switch.validate(nodes, switches).is_err());
 
-        assert!(FaultPlan::uniform_loss(0.01).validate(nodes, switches).is_ok());
+        assert!(FaultPlan::uniform_loss(0.01)
+            .validate(nodes, switches)
+            .is_ok());
     }
 
     #[test]

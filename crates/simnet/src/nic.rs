@@ -78,7 +78,9 @@ impl Nic {
     /// Completes the in-flight transmission, returning the packet now on
     /// the wire toward the switch.
     pub fn tx_done(&mut self) -> Packet {
-        self.tx.take().expect("NIC tx_done with no packet in flight")
+        self.tx
+            .take()
+            .expect("NIC tx_done with no packet in flight")
     }
 
     /// Packets queued (not counting one in flight).

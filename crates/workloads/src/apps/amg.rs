@@ -155,7 +155,9 @@ mod tests {
         };
         let members = build_amg(&params, &layout, RunMode::Iterations(2), 13);
         let job = world.add_job("amg", members);
-        assert!(world.run_until_job_done(job, SimTime::from_secs(10)).completed());
+        assert!(world
+            .run_until_job_done(job, SimTime::from_secs(10))
+            .completed());
         // Two halos per level per cycle (down + up), 4 neighbours each,
         // plus the coarse-level allreduce's lowered point-to-points
         // (8 ranks → 3 recursive-doubling rounds → 24 sends per cycle).

@@ -82,8 +82,7 @@ where
 /// Derives a per-rank RNG seed from an application seed: splitmix64-style
 /// mixing so consecutive ranks get decorrelated streams.
 pub fn rank_seed(app_seed: u64, rank: u32) -> u64 {
-    let mut z = app_seed
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(rank) + 1));
+    let mut z = app_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(rank) + 1));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -124,9 +123,7 @@ mod tests {
 
     #[test]
     fn endless_mode_never_stops() {
-        let mut p = IterativeProgram::new("t", 1, RunMode::Endless, |_, _| {
-            vec![Op::WaitAll]
-        });
+        let mut p = IterativeProgram::new("t", 1, RunMode::Endless, |_, _| vec![Op::WaitAll]);
         for _ in 0..1000 {
             assert_eq!(p.next_op(&ctx()), Op::WaitAll);
         }

@@ -93,7 +93,9 @@ mod tests {
         let members = build_fftw(&params, &layout, RunMode::Iterations(3), 1);
         assert_eq!(members.len(), 8);
         let job = world.add_job("fftw", members);
-        assert!(world.run_until_job_done(job, SimTime::from_secs(10)).completed());
+        assert!(world
+            .run_until_job_done(job, SimTime::from_secs(10))
+            .completed());
         // 2 alltoalls × 3 iterations × 8 ranks × 7 peers messages.
         assert_eq!(world.fabric().stats().messages_sent, 2 * 3 * 8 * 7);
     }
@@ -110,7 +112,9 @@ mod tests {
         };
         let members = build_fftw(&params, &layout, RunMode::Iterations(2), 1);
         let job = world.add_job("fftw", members);
-        assert!(world.run_until_job_done(job, SimTime::from_secs(100)).completed());
+        assert!(world
+            .run_until_job_done(job, SimTime::from_secs(100))
+            .completed());
         let runtime = world.job_finish_time(job).unwrap().as_secs_f64();
         let compute = 2.0 * 2.0 * params.compute_per_phase_ns as f64 / 1e9;
         assert!(

@@ -123,7 +123,9 @@ mod tests {
         let members = build_lulesh(&params, &layout, RunMode::Iterations(2), 3);
         assert_eq!(members.len(), 27);
         let job = world.add_job("lulesh", members);
-        assert!(world.run_until_job_done(job, SimTime::from_secs(10)).completed());
+        assert!(world
+            .run_until_job_done(job, SimTime::from_secs(10))
+            .completed());
         // 26 neighbour messages per rank per iteration, 2 iterations,
         // plus the dt-allreduce's lowered traffic on top.
         let halo = 27 * 26 * 2;

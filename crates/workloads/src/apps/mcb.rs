@@ -120,7 +120,9 @@ mod tests {
         };
         let members = build_mcb(&params, &layout, RunMode::Iterations(6), 5);
         let job = world.add_job("mcb", members);
-        assert!(world.run_until_job_done(job, SimTime::from_secs(10)).completed());
+        assert!(world
+            .run_until_job_done(job, SimTime::from_secs(10))
+            .completed());
     }
 
     #[test]
@@ -128,10 +130,13 @@ mod tests {
         let p = McbParams::default();
         // Average per-cycle traffic must be small next to compute, but the
         // burst must be large enough to visibly perturb probe latencies.
-        let avg_bytes = (p.msg_bytes * (p.burst_every as u64 - 1) + p.burst_bytes)
-            / p.burst_every as u64;
+        let avg_bytes =
+            (p.msg_bytes * (p.burst_every as u64 - 1) + p.burst_bytes) / p.burst_every as u64;
         let avg_comm_ns = avg_bytes as f64 / 5.0;
-        assert!(avg_comm_ns * 10.0 < p.compute_ns as f64, "MCB must be compute-bound");
+        assert!(
+            avg_comm_ns * 10.0 < p.compute_ns as f64,
+            "MCB must be compute-bound"
+        );
         assert!(p.burst_bytes >= 16 * p.msg_bytes, "bursts must stand out");
     }
 }

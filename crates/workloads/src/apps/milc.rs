@@ -122,7 +122,9 @@ mod tests {
         };
         let members = build_milc(&params, &layout, RunMode::Iterations(3), 11);
         let job = world.add_job("milc", members);
-        assert!(world.run_until_job_done(job, SimTime::from_secs(10)).completed());
+        assert!(world
+            .run_until_job_done(job, SimTime::from_secs(10))
+            .completed());
         // Halo traffic: 81 ranks × 8 neighbours × 3 iterations, plus the
         // lowered allreduce point-to-points on top.
         assert!(world.fabric().stats().messages_sent >= 81 * 8 * 3);

@@ -93,7 +93,9 @@ mod tests {
         };
         let members = build_vpfft(&params, &layout, RunMode::Iterations(2), 7);
         let job = world.add_job("vpfft", members);
-        assert!(world.run_until_job_done(job, SimTime::from_secs(10)).completed());
+        assert!(world
+            .run_until_job_done(job, SimTime::from_secs(10))
+            .completed());
     }
 
     #[test]

@@ -159,7 +159,9 @@ mod tests {
             }
         }
         // Parameter ranges match §IV-C.
-        assert!(sweep.iter().all(|c| [1, 4, 7, 14, 17].contains(&c.partners)));
+        assert!(sweep
+            .iter()
+            .all(|c| [1, 4, 7, 14, 17].contains(&c.partners)));
         assert!(sweep.iter().all(|c| [1, 10].contains(&c.messages)));
         assert!(sweep.iter().all(|c| c.msg_bytes == 40 * 1024));
     }
@@ -178,8 +180,14 @@ mod tests {
         let cfg = CompressionConfig::new(3, 1_000, 2);
         let layout = Layout::new(6, 2);
         let body = iteration_body(&cfg, &layout, 0, 1_000_000_000);
-        let sends = body.iter().filter(|o| matches!(o, Op::Isend { .. })).count();
-        let recvs = body.iter().filter(|o| matches!(o, Op::Irecv { .. })).count();
+        let sends = body
+            .iter()
+            .filter(|o| matches!(o, Op::Isend { .. }))
+            .count();
+        let recvs = body
+            .iter()
+            .filter(|o| matches!(o, Op::Irecv { .. }))
+            .count();
         let sleeps = body.iter().filter(|o| matches!(o, Op::Sleep(_))).count();
         let waits = body.iter().filter(|o| matches!(o, Op::WaitAll)).count();
         assert_eq!(sends, 6, "P*M sends");

@@ -30,6 +30,8 @@ pub mod registry;
 pub use apps::common::RunMode;
 pub use arrivals::{JobSpec, StreamConfig};
 pub use compressionb::{build_compressionb, CompressionConfig};
-pub use impactb::{build_impactb, latencies, new_sink, ImpactConfig, Members, ProbeSample, SampleSink};
+pub use impactb::{
+    build_impactb, latencies, new_sink, ImpactConfig, Members, ProbeSample, SampleSink,
+};
 pub use placement::Layout;
 pub use registry::AppKind;

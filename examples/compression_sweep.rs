@@ -49,7 +49,10 @@ fn main() {
         );
     }
     println!();
-    println!("Reading the curve: to estimate {}'s performance on a switch", app.name());
+    println!(
+        "Reading the curve: to estimate {}'s performance on a switch",
+        app.name()
+    );
     println!("with only (100-U)% of Cab's capability, look up the row whose");
     println!("utilization is U — that is the paper's performance-relativity move.");
 }

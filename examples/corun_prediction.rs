@@ -45,7 +45,10 @@ fn main() {
     // Predict both directions of the pairing with all four models.
     println!("[3/3] predicting FFTW <-> MILC, then verifying with a co-run...\n");
     let models = all_models();
-    for (victim, other) in [(AppKind::Fftw, AppKind::Milc), (AppKind::Milc, AppKind::Fftw)] {
+    for (victim, other) in [
+        (AppKind::Fftw, AppKind::Milc),
+        (AppKind::Milc, AppKind::Fftw),
+    ] {
         let mut outcome = study.predict_pair(victim, other, &models);
         study
             .measure_pair(&cfg, &mut outcome)

@@ -188,7 +188,10 @@ fn main() {
         cross_busy / cross_idle
     );
     println!();
-    println!("Cross-leaf probes see the extra hops ({:.2}us idle vs {:.2}us)", cross_idle, intra_idle);
+    println!(
+        "Cross-leaf probes see the extra hops ({:.2}us idle vs {:.2}us)",
+        cross_idle, intra_idle
+    );
     println!("and they alone expose spine contention: a single-leaf probe set,");
     println!("as used in the paper, must be replicated per switch level to");
     println!("cover a multi-level fabric.");

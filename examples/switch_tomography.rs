@@ -44,10 +44,7 @@ fn probe_under_load(bytes: u64, gap: SimDuration) -> (LatencyProfile, f64, u64) 
                     Op::WaitAll,
                     Op::Sleep(gap),
                 ];
-                (
-                    Box::new(Looping::new(body)) as Box<dyn Program>,
-                    NodeId(n),
-                )
+                (Box::new(Looping::new(body)) as Box<dyn Program>, NodeId(n))
             })
             .collect();
         world.add_job("synthetic-load", noisy);

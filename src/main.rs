@@ -338,7 +338,9 @@ fn main() {
             let app = parse_app(args.next());
             let calib =
                 calibrate_with(backend, &cfg, MuPolicy::MinLatency).unwrap_or_else(|e| fail(e));
-            let solo = backend.measure_solo_runtime(&cfg, app).unwrap_or_else(|e| fail(e));
+            let solo = backend
+                .measure_solo_runtime(&cfg, app)
+                .unwrap_or_else(|e| fail(e));
             println!("{} solo: {}", app.name(), solo);
             println!("{:<18} {:>7} {:>12}", "config", "util", "degradation");
             let ladder = [
@@ -362,8 +364,8 @@ fn main() {
                     let label = format!("rung:{}", comp.label());
                     (label.clone(), move || {
                         fault_hook(&label);
-                        let p = backend
-                            .measure_impact_profile(cfg, WorkloadSpec::Compression(comp))?;
+                        let p =
+                            backend.measure_impact_profile(cfg, WorkloadSpec::Compression(comp))?;
                         let t = backend.measure_compression_run(cfg, app, comp)?;
                         Ok((p, t))
                     })
@@ -395,7 +397,10 @@ fn main() {
             }
             let completed = completed_count(&rungs);
             if completed < rungs.len() {
-                eprintln!("error: {} rung(s) did not complete", rungs.len() - completed);
+                eprintln!(
+                    "error: {} rung(s) did not complete",
+                    rungs.len() - completed
+                );
                 if let Some(p) = &resume {
                     eprintln!("(re-run with --resume {} to complete)", p.display());
                 }
@@ -422,7 +427,9 @@ fn main() {
                 retransmit_timeout: SimDuration::from_millis(50),
                 max_retries: 10,
             };
-            let solo = backend.measure_solo_runtime(&cfg, app).unwrap_or_else(|e| fail(e));
+            let solo = backend
+                .measure_solo_runtime(&cfg, app)
+                .unwrap_or_else(|e| fail(e));
             println!("{} lossless: {}", app.name(), solo);
             println!("{:<10} {:>12} {:>12}", "loss", "runtime", "degradation");
             // Each loss point runs under the supervision envelope; with
@@ -465,7 +472,10 @@ fn main() {
                 }
             }
             if completed < total {
-                eprintln!("error: {} loss point(s) did not complete", total - completed);
+                eprintln!(
+                    "error: {} loss point(s) did not complete",
+                    total - completed
+                );
                 if let Some(p) = &resume {
                     eprintln!("(re-run with --resume {} to complete)", p.display());
                 }
@@ -555,19 +565,14 @@ fn main() {
                 .filter(|(i, _)| i % 5 == (i / 5) % 5)
                 .map(|(_, c)| c)
                 .collect();
-            let (table, _) = LookupTable::measure_recorded_with(
-                backend,
-                &cfg,
-                calib,
-                &apps,
-                &sweep,
-                |line| {
+            let (table, _) =
+                LookupTable::measure_recorded_with(backend, &cfg, calib, &apps, &sweep, |line| {
                     eprintln!("  {line}");
-                },
-            )
-            .unwrap_or_else(|e| fail(e));
-            let (study, _) = Study::measure_profiles_recorded_with(backend, &cfg, table, &apps, |_| {})
+                })
                 .unwrap_or_else(|e| fail(e));
+            let (study, _) =
+                Study::measure_profiles_recorded_with(backend, &cfg, table, &apps, |_| {})
+                    .unwrap_or_else(|e| fail(e));
             let models = all_models();
             for (victim, other) in [(a, b), (b, a)] {
                 let outcome = study.predict_pair(victim, other, &models);
@@ -632,7 +637,10 @@ fn main() {
                 }
                 std::process::exit(campaign.exit_code());
             }
-            let truth = campaign.truth.as_ref().expect("complete campaign has truth");
+            let truth = campaign
+                .truth
+                .as_ref()
+                .expect("complete campaign has truth");
             let specs = [
                 PolicySpec::Predictive(model, engine),
                 PolicySpec::FirstFit,
@@ -647,10 +655,7 @@ fn main() {
             // stays on stderr so stdout is byte-identical for any --jobs.
             let predictive = &outcomes[0];
             if let Some((stream_seed, sched)) = predictive.per_seed.first() {
-                println!(
-                    "{} schedule, stream seed {stream_seed}:",
-                    predictive.label
-                );
+                println!("{} schedule, stream seed {stream_seed}:", predictive.label);
                 print!("{}", render_schedule(sched));
                 println!();
             }
@@ -659,8 +664,7 @@ fn main() {
                 eprintln!(
                     "decision latency ({}): {:.3}ms per decision over {} decisions",
                     predictive.label,
-                    predictive.decision_wall.as_secs_f64() * 1e3
-                        / predictive.decisions as f64,
+                    predictive.decision_wall.as_secs_f64() * 1e3 / predictive.decisions as f64,
                     predictive.decisions
                 );
             }

@@ -8,8 +8,8 @@
 //! by-index result collection either).
 
 use anp_core::{
-    idle_profile, impact_profile_of_compression, runtime_under_compression, solo_runtime,
-    Backend, DesBackend, ExperimentConfig, LatencyProfile, Parallelism, WorkloadSpec,
+    idle_profile, impact_profile_of_compression, runtime_under_compression, solo_runtime, Backend,
+    DesBackend, ExperimentConfig, LatencyProfile, Parallelism, WorkloadSpec,
 };
 use anp_simnet::{SimDuration, SwitchConfig};
 use anp_workloads::{AppKind, CompressionConfig, ImpactConfig};
@@ -69,11 +69,7 @@ fn des_backend_is_bit_identical_to_the_free_functions() {
         let imp_traited = backend
             .measure_impact_profile(&cfg, WorkloadSpec::Compression(&comp))
             .unwrap();
-        assert_profiles_identical(
-            &imp_direct,
-            &imp_traited,
-            &format!("impact, jobs={jobs}"),
-        );
+        assert_profiles_identical(&imp_direct, &imp_traited, &format!("impact, jobs={jobs}"));
 
         let app = AppKind::Fftw;
         assert_eq!(

@@ -29,7 +29,9 @@ fn application_runs_unchanged_on_a_fat_tree() {
             9,
         );
         let job = w.add_job("milc", members);
-        assert!(w.run_until_job_done(job, SimTime::from_secs(30)).completed());
+        assert!(w
+            .run_until_job_done(job, SimTime::from_secs(30))
+            .completed());
         w.job_finish_time(job).unwrap()
     };
     let (tree, spine_packets) = {
@@ -46,7 +48,9 @@ fn application_runs_unchanged_on_a_fat_tree() {
             9,
         );
         let job = w.add_job("milc", members);
-        assert!(w.run_until_job_done(job, SimTime::from_secs(30)).completed());
+        assert!(w
+            .run_until_job_done(job, SimTime::from_secs(30))
+            .completed());
         let spine_packets: u64 = (4..8).map(|sw| w.fabric().central_stats(sw).served).sum();
         (w.job_finish_time(job).unwrap(), spine_packets)
     };
@@ -160,7 +164,9 @@ fn rooted_collectives_compose_with_stencils_at_scale() {
         })
         .collect();
     let job = w.add_job("mixed", members);
-    assert!(w.run_until_job_done(job, SimTime::from_secs(30)).completed());
+    assert!(w
+        .run_until_job_done(job, SimTime::from_secs(30))
+        .completed());
 }
 
 #[test]
@@ -179,7 +185,9 @@ fn tracing_exposes_an_apps_network_wait_at_scale() {
     );
     let job = w.add_job("milc", members);
     w.enable_tracing();
-    assert!(w.run_until_job_done(job, SimTime::from_secs(30)).completed());
+    assert!(w
+        .run_until_job_done(job, SimTime::from_secs(30))
+        .completed());
     let t = w.job_phase_totals(job);
     let wait = t.waiting_fraction();
     assert!(

@@ -14,9 +14,7 @@
 //!    budget and surfaces a structured `StallReport` naming the failed
 //!    send and the blocked receiver, instead of hanging forever.
 
-use active_netprobe::simmpi::{
-    Op, Program, ReliabilityConfig, RunOutcome, Scripted, Src, World,
-};
+use active_netprobe::simmpi::{Op, Program, ReliabilityConfig, RunOutcome, Scripted, Src, World};
 use active_netprobe::simnet::{
     FaultPlan, FaultWindow, LinkFault, LinkId, LinkSelector, NodeId, SimDuration, SimTime,
     SwitchConfig,
@@ -116,7 +114,8 @@ fn ping_pong_over_lossy_link_completes_with_exact_accounting() {
     let mut w = lossy_world(0.01, 42);
     let job = ping_pong(&mut w, rounds);
     assert!(
-        w.run_until_job_done(job, SimTime::from_secs(30)).completed(),
+        w.run_until_job_done(job, SimTime::from_secs(30))
+            .completed(),
         "1% loss must be recoverable"
     );
     let stats = w.fabric().stats();
@@ -175,8 +174,14 @@ fn dead_link_fails_with_a_structured_stall_report_not_a_hang() {
     // message hangs, and the report names the receive that cannot match.
     assert_eq!(report.blocked.len(), 1);
     let text = report.to_string();
-    assert!(text.contains("ping-pong"), "report must name the job: {text}");
-    assert!(text.contains("rank 1"), "report must name blocked ranks: {text}");
+    assert!(
+        text.contains("ping-pong"),
+        "report must name the job: {text}"
+    );
+    assert!(
+        text.contains("rank 1"),
+        "report must name blocked ranks: {text}"
+    );
     // Deterministic: the diagnosis itself replays identically.
     assert_eq!(run().to_string(), text);
 }

@@ -8,8 +8,8 @@
 //! `f64::to_bits` / integer comparisons on a small deterministic fabric.
 
 use anp_core::{
-    calibrate, loss_sweep, sweep_recorded, ExperimentConfig, LatencyProfile, LookupTable,
-    MuPolicy, Parallelism, Study,
+    calibrate, loss_sweep, sweep_recorded, ExperimentConfig, LatencyProfile, LookupTable, MuPolicy,
+    Parallelism, Study,
 };
 use anp_simmpi::ReliabilityConfig;
 use anp_simnet::{SimDuration, SwitchConfig};
@@ -175,8 +175,7 @@ fn telemetry_reflects_the_grid_shape() {
         CompressionConfig::new(1, 25_000_000, 1),
         CompressionConfig::new(17, 25_000, 10),
     ];
-    let (_, t) =
-        LookupTable::measure_recorded(&cfg, calib, &apps, &configs, |_| {}).unwrap();
+    let (_, t) = LookupTable::measure_recorded(&cfg, calib, &apps, &configs, |_| {}).unwrap();
     // apps + configs + apps×configs cells.
     assert_eq!(t.runs.len(), 1 + 2 + 2);
     assert_eq!(t.name, "lookup-table");

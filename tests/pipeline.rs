@@ -27,8 +27,7 @@ fn full_pipeline_predicts_pairings_sanely() {
     let apps = [AppKind::Fftw, AppKind::Mcb];
 
     let calib = calibrate(&cfg, MuPolicy::MinLatency).expect("calibration");
-    let table = LookupTable::measure(&cfg, calib, &apps, &reduced_sweep(), |_| {})
-        .expect("table");
+    let table = LookupTable::measure(&cfg, calib, &apps, &reduced_sweep(), |_| {}).expect("table");
     let (lo, hi) = table.utilization_range();
     assert!(lo < hi, "sweep must span a utilization range");
     assert!(hi > 0.7, "heaviest config must be heavy (got {hi})");
@@ -71,7 +70,10 @@ fn full_pipeline_predicts_pairings_sanely() {
     let e = find(AppKind::Mcb, AppKind::Fftw)
         .abs_error(ModelKind::Queue)
         .unwrap();
-    assert!(e < 15.0, "queue-model error on a light pairing too big: {e}");
+    assert!(
+        e < 15.0,
+        "queue-model error on a light pairing too big: {e}"
+    );
 }
 
 #[test]

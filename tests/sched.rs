@@ -49,7 +49,14 @@ fn sched_stdout_is_byte_identical_for_any_worker_count() {
         "sched stdout must not depend on the worker count"
     );
     // The report carries the policy roster and the regret anchor.
-    for needle in ["predictive:Queue:des", "first-fit", "random", "solo-only", "oracle", "regret%"] {
+    for needle in [
+        "predictive:Queue:des",
+        "first-fit",
+        "random",
+        "solo-only",
+        "oracle",
+        "regret%",
+    ] {
         assert!(
             serial_out.contains(needle),
             "summary must mention {needle:?}:\n{serial_out}"

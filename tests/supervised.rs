@@ -24,7 +24,10 @@ const RUNGS: [&str; 4] = [
 ];
 
 fn scratch_journal(name: &str) -> PathBuf {
-    let path = std::env::temp_dir().join(format!("anp-supervised-{}-{name}.jsonl", std::process::id()));
+    let path = std::env::temp_dir().join(format!(
+        "anp-supervised-{}-{name}.jsonl",
+        std::process::id()
+    ));
     let _ = std::fs::remove_file(&path);
     path
 }
@@ -69,10 +72,7 @@ fn faulted_parallel_sweep_isolates_cells_then_resumes_byte_identically() {
             "sweep",
             "Lulesh",
         ],
-        &[
-            ("ANP_FAULT_PANIC", RUNGS[1]),
-            ("ANP_FAULT_SPIN", RUNGS[2]),
-        ],
+        &[("ANP_FAULT_PANIC", RUNGS[1]), ("ANP_FAULT_SPIN", RUNGS[2])],
     );
     assert_eq!(
         faulted.status.code(),

@@ -36,7 +36,9 @@ fn fftw_at_paper_scale() {
     );
     assert_eq!(members.len(), 144);
     let job = w.add_job("fftw", members);
-    assert!(w.run_until_job_done(job, SimTime::from_secs(30)).completed());
+    assert!(w
+        .run_until_job_done(job, SimTime::from_secs(30))
+        .completed());
     // Every alltoall moves 144×143 messages; two per iteration.
     assert_eq!(w.fabric().stats().messages_sent, 144 * 143 * 2 * 2);
     assert_eq!(
@@ -58,7 +60,9 @@ fn vpfft_at_paper_scale() {
         2,
     );
     let job = w.add_job("vpfft", members);
-    assert!(w.run_until_job_done(job, SimTime::from_secs(30)).completed());
+    assert!(w
+        .run_until_job_done(job, SimTime::from_secs(30))
+        .completed());
 }
 
 #[test]
@@ -75,7 +79,9 @@ fn lulesh_at_paper_scale() {
     );
     assert_eq!(members.len(), 64);
     let job = w.add_job("lulesh", members);
-    assert!(w.run_until_job_done(job, SimTime::from_secs(30)).completed());
+    assert!(w
+        .run_until_job_done(job, SimTime::from_secs(30))
+        .completed());
     // 26 halo messages per rank per step, plus allreduce lowering.
     assert!(w.fabric().stats().messages_sent >= 64 * 26 * 3);
 }
@@ -93,7 +99,9 @@ fn milc_at_paper_scale() {
         4,
     );
     let job = w.add_job("milc", members);
-    assert!(w.run_until_job_done(job, SimTime::from_secs(30)).completed());
+    assert!(w
+        .run_until_job_done(job, SimTime::from_secs(30))
+        .completed());
 }
 
 #[test]
@@ -132,7 +140,10 @@ fn probes_and_compression_share_the_switch_with_an_app() {
     let (probes, sink) = build_impactb(&ImpactConfig::default(), 18);
     w.add_job("impactb", probes);
     let comp = CompressionConfig::new(7, 2_500_000, 1);
-    w.add_job("compressionb", build_compressionb(&comp, 18, 2, 2_600_000_000));
+    w.add_job(
+        "compressionb",
+        build_compressionb(&comp, 18, 2, 2_600_000_000),
+    );
     let app = build_milc(
         &MilcParams {
             iterations: 10,
@@ -143,7 +154,9 @@ fn probes_and_compression_share_the_switch_with_an_app() {
         7,
     );
     let job = w.add_job("milc", app);
-    assert!(w.run_until_job_done(job, SimTime::from_secs(30)).completed());
+    assert!(w
+        .run_until_job_done(job, SimTime::from_secs(30))
+        .completed());
     assert!(
         !sink.borrow().is_empty(),
         "probes must keep sampling under full co-location"
@@ -156,7 +169,8 @@ fn registry_default_builds_run_one_iteration_each() {
         let mut w = World::new(SwitchConfig::cab().with_seed(kind as u64));
         let job = w.add_job(kind.name(), kind.build(RunMode::Iterations(1), 8));
         assert!(
-            w.run_until_job_done(job, SimTime::from_secs(30)).completed(),
+            w.run_until_job_done(job, SimTime::from_secs(30))
+                .completed(),
             "{} did not finish one iteration",
             kind.name()
         );

@@ -296,15 +296,13 @@ macro_rules! prop_assert_eq {
     ($left:expr, $right:expr $(,)?) => {{
         let (l, r) = (&$left, &$right);
         if *l != *r {
-            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
-                format!(
-                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
-                    stringify!($left),
-                    stringify!($right),
-                    l,
-                    r
-                ),
-            ));
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
         }
     }};
 }
