@@ -21,6 +21,8 @@
 //! | `phase_model_study` | the §V-B phase-aware queue model |
 //! | `seed_sensitivity` | across-seed spread of headline metrics |
 //! | `backend_xval` | flow-model vs DES cross-validation (error + speedup) |
+//! | `sched_study` | predictive co-scheduling regret vs the oracle |
+//! | `monitor_study` | online utilization estimation + change-point gates |
 //!
 //! Every binary accepts `--quick` (a scaled-down sweep for smoke runs),
 //! `--seed <n>`, `--backend {des,flow}`, and prints plain-text tables.
@@ -44,6 +46,7 @@ use anp_core::{
     ExperimentConfig, JournalError, LatencyProfile, LookupTable, ModelKind, MuPolicy, PairOutcome,
     Parallelism, RetryPolicy, RunBudget, RunJournal, Study, Supervisor, SweepTelemetry, TaskError,
 };
+use anp_monitor::MonitorRecord;
 use anp_sched::SchedRecord;
 use anp_workloads::{AppKind, CompressionConfig};
 
@@ -227,11 +230,11 @@ impl HarnessOpts {
     /// Serializes sweep telemetry to the configured `BENCH_anp.json`
     /// (no-op under `--no-bench-json`).
     pub fn emit_bench_json(&self, harness: &str, sweeps: &[&SweepTelemetry]) {
-        self.emit_bench_json_sched(harness, sweeps, &[]);
+        self.emit_bench_json_full(harness, sweeps, &[], &[]);
     }
 
     /// [`HarnessOpts::emit_bench_json`] with per-policy scheduling
-    /// records for the v4 `sched` array (the `sched_study` harness and
+    /// records for the `sched` array (the `sched_study` harness and
     /// the `anp sched` subcommand).
     pub fn emit_bench_json_sched(
         &self,
@@ -239,14 +242,39 @@ impl HarnessOpts {
         sweeps: &[&SweepTelemetry],
         sched: &[SchedRecord],
     ) {
+        self.emit_bench_json_full(harness, sweeps, sched, &[]);
+    }
+
+    /// [`HarnessOpts::emit_bench_json`] with per-window monitor records
+    /// for the v5 `monitor` array (the `monitor_study` harness and the
+    /// `anp monitor` subcommand).
+    pub fn emit_bench_json_monitor(
+        &self,
+        harness: &str,
+        sweeps: &[&SweepTelemetry],
+        monitor: &[MonitorRecord],
+    ) {
+        self.emit_bench_json_full(harness, sweeps, &[], monitor);
+    }
+
+    /// The full emitter behind every `emit_bench_json*` front: writes the
+    /// v5 document with whichever arrays the harness populated.
+    pub fn emit_bench_json_full(
+        &self,
+        harness: &str,
+        sweeps: &[&SweepTelemetry],
+        sched: &[SchedRecord],
+        monitor: &[MonitorRecord],
+    ) {
         let Some(path) = &self.bench_json else { return };
-        match write_bench_json_v4(
+        match write_bench_json_v5(
             path,
             harness,
             self.seed,
             self.resume.as_deref(),
             sweeps,
             sched,
+            monitor,
         ) {
             Ok(()) => println!("(sweep telemetry written to {})", path.display()),
             Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
@@ -626,10 +654,11 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
 /// the `BENCH_anp.json` perf-trajectory artefact. Schema (one object):
 ///
 /// ```text
-/// { "schema": "anp-bench-v4", "harness": "<binary>", "seed": N,
+/// { "schema": "anp-bench-v5", "harness": "<binary>", "seed": N,
 ///   "journal": "<path>" | null,
 ///   "sweeps": [ <SweepTelemetry::to_json() objects> ],
-///   "sched": [ <SchedRecord::to_json() objects> ] }
+///   "sched": [ <SchedRecord::to_json() objects> ],
+///   "monitor": [ <MonitorRecord::to_json() objects> ] }
 /// ```
 ///
 /// Each sweep object carries `backend` (`"des"`, `"flow"`, or `"mixed"`),
@@ -643,7 +672,10 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
 /// v4 added the top-level `sched` array of per-policy scheduling records
 /// (`{policy, model, backend, mean_slowdown_pct, makespan_us,
 /// regret_pct, slo_violations, decisions, decision_wall_secs}`), empty
-/// for harnesses that do not schedule (see DESIGN.md, "Telemetry
+/// for harnesses that do not schedule; v5 added the top-level `monitor`
+/// array of per-window online-estimation records (`{cell, window,
+/// end_us, samples, mean_us, smooth_mean_us, utilization, shift}`),
+/// empty for harnesses that do not monitor (see DESIGN.md, "Telemetry
 /// schema"). The file is written atomically ([`write_atomic`]).
 pub fn write_bench_json(
     path: &Path,
@@ -652,10 +684,10 @@ pub fn write_bench_json(
     journal: Option<&Path>,
     sweeps: &[&SweepTelemetry],
 ) -> std::io::Result<()> {
-    write_bench_json_v4(path, harness, seed, journal, sweeps, &[])
+    write_bench_json_v5(path, harness, seed, journal, sweeps, &[], &[])
 }
 
-/// [`write_bench_json`] with the v4 `sched` array populated: one record
+/// [`write_bench_json`] with the `sched` array populated: one record
 /// per placement policy of a scheduling study.
 pub fn write_bench_json_v4(
     path: &Path,
@@ -665,10 +697,24 @@ pub fn write_bench_json_v4(
     sweeps: &[&SweepTelemetry],
     sched: &[SchedRecord],
 ) -> std::io::Result<()> {
+    write_bench_json_v5(path, harness, seed, journal, sweeps, sched, &[])
+}
+
+/// [`write_bench_json`] with both optional arrays: per-policy `sched`
+/// records and per-window `monitor` records.
+pub fn write_bench_json_v5(
+    path: &Path,
+    harness: &str,
+    seed: u64,
+    journal: Option<&Path>,
+    sweeps: &[&SweepTelemetry],
+    sched: &[SchedRecord],
+    monitor: &[MonitorRecord],
+) -> std::io::Result<()> {
     let mut out = String::new();
     let journal = journal.map_or("null".to_owned(), |p| format!("\"{}\"", p.display()));
     out.push_str(&format!(
-        "{{\n  \"schema\": \"anp-bench-v4\",\n  \"harness\": \"{harness}\",\n  \"seed\": {seed},\n  \"journal\": {journal},\n  \"sweeps\": [\n"
+        "{{\n  \"schema\": \"anp-bench-v5\",\n  \"harness\": \"{harness}\",\n  \"seed\": {seed},\n  \"journal\": {journal},\n  \"sweeps\": [\n"
     ));
     for (i, t) in sweeps.iter().enumerate() {
         if i > 0 {
@@ -679,6 +725,14 @@ pub fn write_bench_json_v4(
     }
     out.push_str("\n  ],\n  \"sched\": [\n");
     for (i, r) in sched.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("    ");
+        out.push_str(&r.to_json());
+    }
+    out.push_str("\n  ],\n  \"monitor\": [\n");
+    for (i, r) in monitor.iter().enumerate() {
         if i > 0 {
             out.push_str(",\n");
         }
@@ -900,9 +954,9 @@ mod tests {
     }
 
     #[test]
-    fn bench_json_carries_v4_fields() {
+    fn bench_json_carries_v5_fields() {
         use anp_core::RunRecord;
-        let dir = std::env::temp_dir().join("anp_bench_v4_test");
+        let dir = std::env::temp_dir().join("anp_bench_v5_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bench.json");
         let t = SweepTelemetry {
@@ -921,13 +975,17 @@ mod tests {
         };
         write_bench_json(&path, "h", 7, Some(Path::new("run.jsonl")), &[&t]).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
-        assert!(text.contains("\"schema\": \"anp-bench-v4\""));
+        assert!(text.contains("\"schema\": \"anp-bench-v5\""));
         assert!(text.contains("\"journal\": \"run.jsonl\""));
         assert!(text.contains("\"outcome\":\"resumed\""));
         assert!(text.contains("\"retries\":1"));
         assert!(
             text.contains("\"sched\": ["),
-            "v4 always carries a sched array"
+            "v5 always carries a sched array"
+        );
+        assert!(
+            text.contains("\"monitor\": ["),
+            "v5 always carries a monitor array"
         );
         let rec = SchedRecord {
             policy: "predictive:Queue:flow".to_owned(),
@@ -940,11 +998,35 @@ mod tests {
             decisions: 10,
             decision_wall_secs: 0.012,
         };
-        write_bench_json_v4(&path, "h", 7, None, &[&t], &[rec]).unwrap();
+        let win = MonitorRecord {
+            cell: "util:P5-B1.0e6-M10".to_owned(),
+            window: 3,
+            end_us: 1000.0,
+            samples: 9,
+            mean_us: Some(2.75),
+            smooth_mean_us: 2.6,
+            utilization: 0.42,
+            shift: Some("up"),
+        };
+        let quiet = MonitorRecord {
+            cell: "detect:FFTW".to_owned(),
+            window: 0,
+            end_us: 250.0,
+            samples: 1,
+            mean_us: None,
+            smooth_mean_us: 2.45,
+            utilization: 0.0,
+            shift: None,
+        };
+        write_bench_json_v5(&path, "h", 7, None, &[&t], &[rec], &[win, quiet]).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"journal\": null"));
         assert!(text.contains("\"policy\":\"predictive:Queue:flow\""));
         assert!(text.contains("\"regret_pct\":2"));
+        assert!(text.contains("\"cell\":\"util:P5-B1.0e6-M10\""));
+        assert!(text.contains("\"shift\":\"up\""));
+        assert!(text.contains("\"mean_us\":null"));
+        assert!(text.contains("\"shift\":null"));
         std::fs::remove_file(&path).ok();
     }
 

@@ -5,6 +5,9 @@
 //!
 //! * [`OnlineStats`] — streaming mean/variance (Welford) for latency
 //!   samples;
+//! * [`Ewma`], [`WindowedQuantiles`], [`Cusum`] — the live monitor's
+//!   estimators: decaying moments, sliding-window quantiles, and
+//!   change-point detection over probe streams;
 //! * [`Histogram`] — fixed-bin latency histograms with the paper's PDFLT
 //!   overlap integral `∫ f·g` and distance metrics;
 //! * [`Interval`] — `µ±σ` intervals and their overlap (AverageStDevLT);
@@ -22,5 +25,5 @@ pub mod quartiles;
 pub use histogram::Histogram;
 pub use interval::Interval;
 pub use linfit::{linear_fit, LinearFit};
-pub use online::OnlineStats;
+pub use online::{Cusum, Ewma, OnlineStats, Shift, WindowedQuantiles};
 pub use quartiles::{quantile, quantile_sorted, MetricsError, QuartileSummary};

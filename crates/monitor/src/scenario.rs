@@ -1,0 +1,281 @@
+//! DES co-execution scenarios: the monitor job living next to real
+//! workloads inside one simulated switch.
+//!
+//! Three drivers cover what the monitor needs measured:
+//!
+//! * [`train_series`] — the probe train next to an optional endless
+//!   workload (the online counterpart of
+//!   [`anp_core::impact_series`], with the jittered comb instead of the
+//!   fixed-period one);
+//! * [`probed_profile_of_app`] — the live impact footprint of one
+//!   application, as the `probed:*` placement policy consumes it;
+//! * [`run_change_scenario`] — a workload that *arrives* mid-run and
+//!   *departs* before the horizon, with both ground-truth instants
+//!   recorded, so change-point detection latency can be gated in probe
+//!   windows rather than hand-waved.
+
+use anp_core::{ExperimentConfig, ExperimentError, LatencyProfile, Members, TimedSeries};
+use anp_simmpi::{Ctx, Op, Program, World};
+use anp_simnet::{SimDuration, SimTime};
+use anp_workloads::{build_probe_train, AppKind, RunMode, TrainConfig};
+
+/// Wraps a program so its first op is a sleep: the job exists from time
+/// zero (ranks are placed, the switch knows them) but stays silent until
+/// `delay` — an arrival, as the monitor on the switch experiences one.
+struct Delayed {
+    delay: SimDuration,
+    inner: Box<dyn Program>,
+    started: bool,
+}
+
+impl Program for Delayed {
+    fn next_op(&mut self, ctx: &Ctx) -> Op {
+        if !self.started {
+            self.started = true;
+            if self.delay > SimDuration::ZERO {
+                return Op::Sleep(self.delay);
+            }
+        }
+        self.inner.next_op(ctx)
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+/// Delays every member of a job by the same offset (collective phases
+/// stay aligned; the whole job just starts later).
+pub fn delayed_members(members: Members, delay: SimDuration) -> Members {
+    members
+        .into_iter()
+        .map(|(inner, node)| {
+            (
+                Box::new(Delayed {
+                    delay,
+                    inner,
+                    started: false,
+                }) as Box<dyn Program>,
+                node,
+            )
+        })
+        .collect()
+}
+
+/// The probe train's seed for a study configuration: derived from the
+/// experiment seed with its own salt so the jitter stream never collides
+/// with a workload's seed.
+pub fn train_seed(cfg: &ExperimentConfig) -> u64 {
+    cfg.workload_seed(0x300_717)
+}
+
+/// The train configuration a study uses: the study's probe shape with
+/// the default jitter, seeded from the experiment seed.
+pub fn train_config(cfg: &ExperimentConfig) -> TrainConfig {
+    TrainConfig::new(cfg.impact.clone(), train_seed(cfg))
+}
+
+/// Runs the jittered probe train next to an optional endless workload
+/// for `cfg.measure_window`, returning the timed probe series after
+/// warm-up removal. The online counterpart of
+/// [`anp_core::impact_series`].
+pub fn train_series(
+    cfg: &ExperimentConfig,
+    workload: Option<Members>,
+) -> Result<TimedSeries, ExperimentError> {
+    train_series_until(cfg, workload, SimTime::ZERO + cfg.measure_window).map(|(series, _)| series)
+}
+
+/// [`train_series`] with an explicit horizon; also returns the finish
+/// time of the co-running job when it completed before the horizon
+/// (ground truth for departure detection).
+fn train_series_until(
+    cfg: &ExperimentConfig,
+    workload: Option<Members>,
+    horizon: SimTime,
+) -> Result<(TimedSeries, Option<SimTime>), ExperimentError> {
+    let mut world = World::new(cfg.switch.clone());
+    if cfg.audit {
+        world.enable_audit();
+    }
+    let (probe_members, sink) = build_probe_train(&train_config(cfg), cfg.switch.nodes);
+    let probe = world.add_job("probe-train", probe_members);
+    let workload_job = workload.map(|members| world.add_job("workload", members));
+    let (max_events, wall_deadline) = anp_core::supervise::world_allowance();
+    world.set_run_budget(max_events, wall_deadline);
+    world.run_until(horizon);
+    anp_core::sweep::note_events(world.events_processed());
+    if let Some(report) = world.take_audit_report() {
+        if !report.is_clean() {
+            return Err(ExperimentError::Invariant(report));
+        }
+    }
+    if world.budget_exhausted() {
+        return Err(ExperimentError::Budget(world.stall_report(probe)));
+    }
+    let finish = workload_job.and_then(|job| world.job_finish_time(job));
+    let samples = sink.borrow();
+    if samples.is_empty() {
+        return Err(ExperimentError::NoSamples);
+    }
+    Ok((
+        TimedSeries::with_warmup(samples.clone(), cfg.warmup_frac),
+        finish,
+    ))
+}
+
+/// The live impact footprint of `app`: the probe train co-runs with an
+/// endless copy of the application and the resulting probe series is
+/// collapsed to a latency profile. This is what the `probed:*` placement
+/// policy feeds the paper's models — a profile measured *by the monitor*
+/// rather than by a dedicated offline campaign. Workload seeding matches
+/// [`anp_core::impact_series_of_app`] exactly, so probed and offline
+/// profiles describe the same simulated execution.
+pub fn probed_profile_of_app(
+    cfg: &ExperimentConfig,
+    app: AppKind,
+) -> Result<LatencyProfile, ExperimentError> {
+    let members = app.build(RunMode::Endless, cfg.workload_seed(app as u64 + 1));
+    Ok(train_series(cfg, Some(members))?.profile())
+}
+
+/// A single arrive-and-depart episode on one switch.
+#[derive(Debug, Clone)]
+pub struct ChangeScenario {
+    /// The application that arrives.
+    pub app: AppKind,
+    /// When it starts communicating.
+    pub arrival: SimDuration,
+    /// Iterations it runs before departing (`RunMode::Iterations`).
+    pub iterations: u32,
+    /// Total simulated horizon of the episode.
+    pub horizon: SimDuration,
+}
+
+/// What an episode measured: the probe stream plus the ground-truth
+/// instants the detector is judged against.
+#[derive(Debug, Clone)]
+pub struct ChangeOutcome {
+    /// The probe series over the whole horizon (no warm-up removal — the
+    /// pre-arrival quiet is signal here, not warm-up).
+    pub series: TimedSeries,
+    /// When the workload started communicating (ground truth).
+    pub arrival: SimTime,
+    /// When the workload finished, if it did before the horizon.
+    pub departure: Option<SimTime>,
+}
+
+/// Runs one arrive-and-depart episode: the probe train samples the whole
+/// horizon while the scenario's application sleeps until `arrival`, runs
+/// `iterations` iterations, and stops. The caller feeds
+/// [`ChangeOutcome::series`] to a [`crate::LiveEstimator`] and compares
+/// flagged windows against the two ground-truth instants.
+pub fn run_change_scenario(
+    cfg: &ExperimentConfig,
+    scenario: &ChangeScenario,
+) -> Result<ChangeOutcome, ExperimentError> {
+    let seed = cfg.workload_seed(scenario.app as u64 + 1);
+    let members = scenario
+        .app
+        .build(RunMode::Iterations(scenario.iterations), seed);
+    let members = delayed_members(members, scenario.arrival);
+    let mut probe_cfg = cfg.clone();
+    // The whole episode is the measurement; no warm-up trimming.
+    probe_cfg.warmup_frac = 0.0;
+    let (series, departure) =
+        train_series_until(&probe_cfg, Some(members), SimTime::ZERO + scenario.horizon)?;
+    Ok(ChangeOutcome {
+        series,
+        arrival: SimTime::ZERO + scenario.arrival,
+        departure,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anp_core::Parallelism;
+    use anp_simnet::SwitchConfig;
+    use anp_workloads::ImpactConfig;
+
+    fn quick_cfg() -> ExperimentConfig {
+        let mut switch = SwitchConfig::tiny_deterministic();
+        switch.nodes = 18;
+        switch.route_servers = 18;
+        ExperimentConfig {
+            switch,
+            impact: ImpactConfig {
+                period: SimDuration::from_micros(100),
+                pairs_per_node: 1,
+                ..ImpactConfig::default()
+            },
+            measure_window: SimDuration::from_millis(5),
+            warmup_frac: 0.1,
+            run_cap: SimDuration::from_secs(60),
+            seed: 7,
+            jobs: Parallelism::fixed(1),
+            audit: false,
+        }
+    }
+
+    #[test]
+    fn idle_train_series_matches_fixed_probe_baseline() {
+        let cfg = quick_cfg();
+        let live = train_series(&cfg, None).unwrap().profile();
+        let offline = anp_core::idle_profile(&cfg).unwrap();
+        assert!(
+            (live.mean() - offline.mean()).abs() < 0.1,
+            "jittered idle mean {:.3} vs fixed {:.3}",
+            live.mean(),
+            offline.mean()
+        );
+    }
+
+    #[test]
+    fn probed_profile_shifts_under_an_app() {
+        let cfg = quick_cfg();
+        let idle = train_series(&cfg, None).unwrap().profile();
+        let loaded = probed_profile_of_app(&cfg, AppKind::Fftw).unwrap();
+        assert!(
+            loaded.mean() > idle.mean() * 1.05,
+            "FFTW must inflate probed latency: idle {:.3} vs loaded {:.3}",
+            idle.mean(),
+            loaded.mean()
+        );
+    }
+
+    #[test]
+    fn change_scenario_reports_both_ground_truth_instants() {
+        let cfg = quick_cfg();
+        let scenario = ChangeScenario {
+            app: AppKind::Fftw,
+            arrival: SimDuration::from_millis(2),
+            iterations: 1,
+            horizon: SimDuration::from_millis(12),
+        };
+        let out = run_change_scenario(&cfg, &scenario).unwrap();
+        assert_eq!(out.arrival, SimTime::from_millis(2));
+        let departure = out.departure.expect("one iteration fits the horizon");
+        assert!(departure > out.arrival);
+        assert!(departure < SimTime::ZERO + scenario.horizon);
+        // The probe stream spans the episode on both sides of the edges.
+        let (start, end) = out.series.span();
+        assert!(start < out.arrival);
+        assert!(end > departure);
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let cfg = quick_cfg();
+        let scenario = ChangeScenario {
+            app: AppKind::Mcb,
+            arrival: SimDuration::from_millis(1),
+            iterations: 1,
+            horizon: SimDuration::from_millis(8),
+        };
+        let a = run_change_scenario(&cfg, &scenario).unwrap();
+        let b = run_change_scenario(&cfg, &scenario).unwrap();
+        assert_eq!(a.series.samples(), b.series.samples());
+        assert_eq!(a.departure, b.departure);
+    }
+}

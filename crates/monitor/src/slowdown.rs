@@ -1,0 +1,117 @@
+//! Live slowdown estimation: the probed latency distribution mapped back
+//! through the paper's four models.
+//!
+//! The offline pipeline predicts `victim`'s slowdown from an impact
+//! profile measured in a dedicated campaign. The monitor produces the
+//! same kind of profile continuously ([`crate::LiveEstimator::live_profile`],
+//! or [`crate::probed_profile_of_app`] for a one-shot measurement), so the
+//! identical model machinery turns a *live* probe stream into a *live*
+//! per-job slowdown estimate — the number a production scheduler or an
+//! operator dashboard would actually watch.
+
+use anp_core::{LatencyProfile, LookupTable, ModelKind};
+use anp_workloads::AppKind;
+
+/// One model's live verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiveSlowdown {
+    /// Which of the four models produced it.
+    pub model: ModelKind,
+    /// Predicted % slowdown of the victim under the probed interference;
+    /// `None` when the table carries no degradation data for the victim.
+    pub predicted_pct: Option<f64>,
+}
+
+/// Maps a live probed profile through all four models: the predicted %
+/// slowdown `victim` would suffer if co-scheduled with whatever is
+/// currently inflating the probe stream. Model order is
+/// [`ModelKind::ALL`].
+pub fn live_slowdowns(
+    table: &LookupTable,
+    victim: AppKind,
+    probed: &LatencyProfile,
+) -> Vec<LiveSlowdown> {
+    ModelKind::ALL
+        .into_iter()
+        .map(|kind| LiveSlowdown {
+            model: kind,
+            predicted_pct: kind.model().predict(table, victim, probed),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anp_core::{Calibration, CompressionEntry, MuPolicy};
+    use anp_workloads::CompressionConfig;
+    use std::collections::BTreeMap;
+
+    /// A synthetic two-point profile centred on `mean` with spread `sd`.
+    fn profile(mean: f64, sd: f64) -> LatencyProfile {
+        let xs: Vec<f64> = (0..200)
+            .map(|i| if i % 2 == 0 { mean - sd } else { mean + sd })
+            .collect();
+        LatencyProfile::from_samples(&xs)
+    }
+
+    fn synthetic_table() -> LookupTable {
+        let calib = Calibration::from_idle_profile(&profile(2.0, 0.2), MuPolicy::MeanLatency)
+            .expect("valid idle profile");
+        // Three rungs of rising interference; FFTW degrades linearly with
+        // the rung's latency inflation.
+        let entries = (0..3)
+            .map(|i| {
+                let mean = 3.0 + i as f64 * 2.0;
+                let p = profile(mean, 0.4);
+                let utilization = calib.utilization(&p);
+                CompressionEntry {
+                    config: CompressionConfig::new(1 + i, 25_000, 1),
+                    profile: p,
+                    utilization,
+                    slowdown: BTreeMap::from([(AppKind::Fftw, 10.0 * (i as f64 + 1.0))]),
+                }
+            })
+            .collect();
+        LookupTable::from_parts(calib, entries, BTreeMap::new())
+    }
+
+    #[test]
+    fn all_four_models_answer_for_a_known_victim() {
+        let table = synthetic_table();
+        let verdicts = live_slowdowns(&table, AppKind::Fftw, &profile(5.0, 0.4));
+        assert_eq!(verdicts.len(), 4);
+        for v in &verdicts {
+            let p = v
+                .predicted_pct
+                .unwrap_or_else(|| panic!("{} must predict", v.model.name()));
+            assert!(
+                (5.0..=35.0).contains(&p),
+                "{}: {p:.1}% out of the table's range",
+                v.model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn hotter_probe_stream_predicts_more_slowdown() {
+        let table = synthetic_table();
+        let cool = live_slowdowns(&table, AppKind::Fftw, &profile(3.0, 0.4));
+        let hot = live_slowdowns(&table, AppKind::Fftw, &profile(7.0, 0.4));
+        for (c, h) in cool.iter().zip(&hot) {
+            assert!(
+                h.predicted_pct.unwrap() >= c.predicted_pct.unwrap(),
+                "{} must not predict less under more load",
+                c.model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_victim_is_a_typed_absence() {
+        let table = synthetic_table();
+        for v in live_slowdowns(&table, AppKind::Amg, &profile(5.0, 0.4)) {
+            assert_eq!(v.predicted_pct, None, "{}", v.model.name());
+        }
+    }
+}

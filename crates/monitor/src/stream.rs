@@ -1,0 +1,325 @@
+//! The streaming estimation pipeline: probe samples in, per-window live
+//! estimates out.
+//!
+//! The offline methodology collects a whole measurement window, collapses
+//! it to a [`LatencyProfile`], and only then inverts the queue model. The
+//! [`LiveEstimator`] does the same inversion *while the stream is still
+//! flowing*: probe samples are bucketed into fixed sim-time windows; each
+//! closed window yields a raw mean sojourn, an EWMA-smoothed mean (the
+//! live utilization input), sliding-window quantiles over recent samples,
+//! and a CUSUM verdict on whether the interference regime just shifted.
+
+use anp_core::{Calibration, LatencyProfile};
+use anp_metrics::{Cusum, Ewma, Shift, WindowedQuantiles};
+use anp_simnet::{SimDuration, SimTime};
+use anp_workloads::ProbeSample;
+
+/// Tuning knobs of the live estimation pipeline.
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Width of one estimation window in simulated time. Every closed
+    /// window emits one [`WindowEstimate`].
+    pub window: SimDuration,
+    /// Windows with fewer probe samples than this are still closed but
+    /// carry no estimate update (the previous smoothed state persists).
+    pub min_window_samples: usize,
+    /// EWMA smoothing factor applied across window means.
+    pub ewma_alpha: f64,
+    /// How many recent probe samples back the sliding quantile window
+    /// (and the live profile handed to the slowdown models).
+    pub quantile_capacity: usize,
+    /// CUSUM slack, in units of the idle profile's σ.
+    pub cusum_k: f64,
+    /// CUSUM decision threshold, in units of the idle profile's σ.
+    pub cusum_h: f64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            window: SimDuration::from_micros(500),
+            min_window_samples: 3,
+            ewma_alpha: 0.3,
+            quantile_capacity: 256,
+            cusum_k: 0.5,
+            cusum_h: 4.0,
+        }
+    }
+}
+
+/// One closed estimation window.
+#[derive(Debug, Clone)]
+pub struct WindowEstimate {
+    /// Zero-based window index since the estimator started.
+    pub index: u64,
+    /// Simulated end of the window.
+    pub end: SimTime,
+    /// Probe samples that landed in the window.
+    pub samples: usize,
+    /// Raw mean one-way latency of this window (µs); `None` when the
+    /// window was under-populated.
+    pub mean_us: Option<f64>,
+    /// EWMA-smoothed mean latency across windows (µs).
+    pub smooth_mean_us: f64,
+    /// Median of the sliding sample window (µs).
+    pub p50_us: Option<f64>,
+    /// 95th percentile of the sliding sample window (µs).
+    pub p95_us: Option<f64>,
+    /// Live switch-utilization estimate, from the smoothed mean through
+    /// the queue model's P-K inversion.
+    pub utilization: f64,
+    /// CUSUM verdict: did this window's mean end a regime?
+    pub shift: Option<Shift>,
+}
+
+/// The streaming pipeline: calibrated once against the idle switch, then
+/// fed probe samples in timestamp order.
+#[derive(Debug, Clone)]
+pub struct LiveEstimator {
+    cfg: MonitorConfig,
+    calib: Calibration,
+    ewma: Ewma,
+    quantiles: WindowedQuantiles,
+    cusum: Cusum,
+    window_end: Option<SimTime>,
+    window_samples: Vec<f64>,
+    next_index: u64,
+}
+
+impl LiveEstimator {
+    /// Builds the pipeline. `idle` is the idle-switch probe profile (the
+    /// calibration measurement): its mean/σ become the CUSUM's initial
+    /// in-control reference, and `calib` (derived from the same profile)
+    /// provides the utilization inversion.
+    pub fn new(cfg: MonitorConfig, calib: Calibration, idle: &LatencyProfile) -> Self {
+        let mut cusum = Cusum::new(cfg.cusum_k, cfg.cusum_h);
+        // Reference σ: the idle spread, floored at 1 % of the idle mean so
+        // a perfectly deterministic fabric still standardizes sanely.
+        let sd = idle.std_dev().max(idle.mean() * 0.01).max(1e-9);
+        cusum.set_reference(idle.mean(), sd);
+        LiveEstimator {
+            quantiles: WindowedQuantiles::new(cfg.quantile_capacity),
+            ewma: Ewma::new(cfg.ewma_alpha),
+            cfg,
+            calib,
+            cusum,
+            window_end: None,
+            window_samples: Vec::new(),
+            next_index: 0,
+        }
+    }
+
+    /// The estimator's window width.
+    pub fn window(&self) -> SimDuration {
+        self.cfg.window
+    }
+
+    /// Feeds one probe sample; returns the estimates of every window the
+    /// sample's timestamp closed (usually zero or one; more when the
+    /// probe stream had a long gap).
+    pub fn push(&mut self, sample: &ProbeSample) -> Vec<WindowEstimate> {
+        let mut closed = Vec::new();
+        let end = *self.window_end.get_or_insert(sample.at + self.cfg.window);
+        if sample.at >= end {
+            closed.push(self.close_window());
+            // Long probe gaps can skip whole windows; close them too (they
+            // are empty, which keeps window indices aligned to sim time).
+            while sample.at >= self.window_end.expect("set by close_window") {
+                closed.push(self.close_window());
+            }
+        }
+        self.window_samples.push(sample.one_way_us);
+        self.quantiles.push(sample.one_way_us);
+        closed
+    }
+
+    /// Closes the current window and starts the next one.
+    fn close_window(&mut self) -> WindowEstimate {
+        let end = self.window_end.expect("a window is open");
+        let populated = self.window_samples.len() >= self.cfg.min_window_samples.max(1);
+        let mean_us = populated
+            .then(|| self.window_samples.iter().sum::<f64>() / self.window_samples.len() as f64);
+        let mut shift = None;
+        if let Some(m) = mean_us {
+            self.ewma.push(m);
+            shift = self.cusum.push(m);
+        }
+        let est = WindowEstimate {
+            index: self.next_index,
+            end,
+            samples: self.window_samples.len(),
+            mean_us,
+            smooth_mean_us: self.ewma.mean(),
+            p50_us: self.quantiles.median(),
+            p95_us: self.quantiles.quantile(0.95),
+            utilization: self.utilization(),
+            shift,
+        };
+        self.next_index += 1;
+        self.window_end = Some(end + self.cfg.window);
+        self.window_samples.clear();
+        est
+    }
+
+    /// Feeds a whole sample slice (timestamp order), returning every
+    /// closed window in order.
+    pub fn run(&mut self, samples: &[ProbeSample]) -> Vec<WindowEstimate> {
+        let mut out = Vec::new();
+        for s in samples {
+            out.extend(self.push(s));
+        }
+        out
+    }
+
+    /// The current live utilization estimate: the EWMA-smoothed mean
+    /// sojourn inverted through the P-K formula. Zero until the first
+    /// populated window closes.
+    pub fn utilization(&self) -> f64 {
+        if self.ewma.count() == 0 {
+            return 0.0;
+        }
+        self.calib.utilization_from_sojourn(self.ewma.mean())
+    }
+
+    /// The live latency profile: the sliding window of recent raw probe
+    /// samples collapsed to a [`LatencyProfile`] — what the paper's four
+    /// slowdown models consume. `None` until any sample arrived.
+    pub fn live_profile(&self) -> Option<LatencyProfile> {
+        if self.quantiles.is_empty() {
+            return None;
+        }
+        // The quantile window already holds the most recent samples,
+        // including the still-open window's (both are pushed together).
+        let recent: Vec<f64> = self.quantiles.samples().collect();
+        Some(LatencyProfile::from_samples(&recent))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idle_profile(mean: f64, sd: f64, n: usize) -> LatencyProfile {
+        // Deterministic two-point sample with the requested moments.
+        let mut xs = Vec::with_capacity(n);
+        for i in 0..n {
+            xs.push(if i % 2 == 0 { mean - sd } else { mean + sd });
+        }
+        LatencyProfile::from_samples(&xs)
+    }
+
+    fn calib_for(idle: &LatencyProfile) -> Calibration {
+        Calibration::from_idle_profile(idle, anp_core::MuPolicy::MinLatency).unwrap()
+    }
+
+    fn sample(at_us: u64, lat: f64) -> ProbeSample {
+        ProbeSample {
+            at: SimTime::from_micros(at_us),
+            one_way_us: lat,
+        }
+    }
+
+    #[test]
+    fn windows_close_on_time_and_track_the_mean() {
+        let idle = idle_profile(2.5, 0.1, 100);
+        let cfg = MonitorConfig {
+            window: SimDuration::from_micros(100),
+            min_window_samples: 2,
+            ..MonitorConfig::default()
+        };
+        let mut est = LiveEstimator::new(cfg, calib_for(&idle), &idle);
+        let mut windows = Vec::new();
+        for i in 0..40u64 {
+            windows.extend(est.push(&sample(10 + i * 25, 2.5)));
+        }
+        assert!(windows.len() >= 8, "40 samples / 4 per window");
+        for w in &windows {
+            assert_eq!(w.mean_us, Some(2.5));
+            assert!((w.smooth_mean_us - 2.5).abs() < 1e-9);
+            assert!(w.shift.is_none(), "steady stream, no change point");
+        }
+        // Indices are consecutive from zero.
+        for (i, w) in windows.iter().enumerate() {
+            assert_eq!(w.index, i as u64);
+        }
+    }
+
+    #[test]
+    fn utilization_rises_when_latency_inflates() {
+        let idle = idle_profile(2.5, 0.1, 100);
+        let cfg = MonitorConfig {
+            window: SimDuration::from_micros(100),
+            min_window_samples: 2,
+            ..MonitorConfig::default()
+        };
+        let mut est = LiveEstimator::new(cfg, calib_for(&idle), &idle);
+        for i in 0..40u64 {
+            est.push(&sample(10 + i * 25, 2.5));
+        }
+        let low = est.utilization();
+        for i in 40..120u64 {
+            est.push(&sample(10 + i * 25, 7.5));
+        }
+        let high = est.utilization();
+        assert!(
+            high > low + 0.2,
+            "3x latency must read as much higher utilization: {low:.3} -> {high:.3}"
+        );
+        assert!((0.0..=1.0).contains(&high));
+    }
+
+    #[test]
+    fn change_points_fire_on_shift_and_quiet_otherwise() {
+        let idle = idle_profile(2.5, 0.1, 100);
+        let cfg = MonitorConfig {
+            window: SimDuration::from_micros(100),
+            min_window_samples: 2,
+            ..MonitorConfig::default()
+        };
+        let mut est = LiveEstimator::new(cfg, calib_for(&idle), &idle);
+        let mut shifts = Vec::new();
+        // 10 idle windows, then 10 loaded, then 10 idle again.
+        for i in 0..120u64 {
+            let lat = if (40..80).contains(&i) { 7.5 } else { 2.5 };
+            for w in est.push(&sample(10 + i * 25, lat)) {
+                if let Some(s) = w.shift {
+                    shifts.push((w.index, s));
+                }
+            }
+        }
+        assert!(
+            shifts.iter().any(|&(_, s)| s == Shift::Up),
+            "arrival must be flagged: {shifts:?}"
+        );
+        assert!(
+            shifts.iter().any(|&(_, s)| s == Shift::Down),
+            "departure must be flagged: {shifts:?}"
+        );
+        assert!(
+            shifts.len() <= 4,
+            "a two-edge scenario must not alarm continuously: {shifts:?}"
+        );
+    }
+
+    #[test]
+    fn empty_gap_windows_keep_indices_aligned() {
+        let idle = idle_profile(2.5, 0.1, 100);
+        let cfg = MonitorConfig {
+            window: SimDuration::from_micros(100),
+            min_window_samples: 2,
+            ..MonitorConfig::default()
+        };
+        let mut est = LiveEstimator::new(cfg, calib_for(&idle), &idle);
+        est.push(&sample(10, 2.5));
+        est.push(&sample(20, 2.5));
+        // A sample 5 windows later closes the stale window plus the empty
+        // ones in between.
+        let closed = est.push(&sample(560, 2.5));
+        assert!(
+            closed.len() >= 4,
+            "gap windows must close: {}",
+            closed.len()
+        );
+        assert!(closed[1].mean_us.is_none(), "gap windows carry no mean");
+    }
+}

@@ -27,7 +27,7 @@
 //! * [`study`] — the experiment driver: streams over a seed set, every
 //!   policy on every stream, per-policy regret vs the oracle.
 //! * [`report`] — deterministic schedule/summary tables and the
-//!   `anp-bench-v4` telemetry records.
+//!   `anp-bench-v5` telemetry records.
 //!
 //! [`Study`]: anp_core::Study
 //! [`Backend`]: anp_core::Backend
@@ -47,7 +47,8 @@ use anp_workloads::AppKind;
 
 pub use cluster::{simulate, JobRow, ScheduleOutcome, SLOTS_PER_SWITCH};
 pub use policy::{
-    DecisionStats, FirstFit, Oracle, PlacementPolicy, Predictive, Random, SoloOnly, SwitchSnapshot,
+    DecisionStats, FirstFit, Oracle, PlacementPolicy, Predictive, Probed, Random, SoloOnly,
+    SwitchSnapshot,
 };
 pub use predictor::Predictor;
 pub use report::{oracle_mean, records, render_schedule, render_summary, SchedRecord};

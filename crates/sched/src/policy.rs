@@ -17,7 +17,8 @@
 
 use std::time::{Duration, Instant};
 
-use anp_core::ModelKind;
+use anp_core::{ExperimentConfig, LatencyProfile, LookupTable, ModelKind, PredictionError};
+use anp_monitor::probed_profile_of_app;
 use anp_workloads::arrivals::JobSpec;
 use anp_workloads::AppKind;
 use rand::rngs::StdRng;
@@ -269,6 +270,99 @@ impl PlacementPolicy for Predictive<'_> {
             for &r in &sw.residents {
                 cost += self.predictor.predicted(job.app, r, self.model)?
                     + self.predictor.predicted(r, job.app, self.model)?;
+            }
+            if best.is_none_or(|(c, _)| cost < c) {
+                best = Some((cost, i));
+            }
+        }
+        self.decisions += 1;
+        self.wall += started.elapsed();
+        Ok(best.map(|(_, i)| i))
+    }
+
+    fn decision_stats(&self) -> DecisionStats {
+        DecisionStats {
+            decisions: self.decisions,
+            wall: self.wall,
+        }
+    }
+}
+
+/// Placement from the *online monitor* instead of the offline campaign:
+/// co-runner footprints come from [`anp_monitor::probed_profile_of_app`]
+/// — the jittered probe train co-running with the application inside the
+/// DES — and flow through the same four models and the same greedy
+/// scoring as [`Predictive`]. This is the policy a deployment could
+/// actually run: it needs only the calibrated look-up table and a live
+/// probe stream, never a dedicated measurement campaign per co-runner.
+///
+/// Probed profiles are memoized per application (a production monitor
+/// keeps estimating the same resident for free), so the decision wall
+/// clock reflects first-contact probing plus model evaluation.
+#[derive(Debug)]
+pub struct Probed<'a> {
+    model: ModelKind,
+    cfg: &'a ExperimentConfig,
+    table: &'a LookupTable,
+    profiles: BTreeMap<AppKind, LatencyProfile>,
+    decisions: u64,
+    wall: Duration,
+}
+
+impl<'a> Probed<'a> {
+    /// Builds the policy around a model, the probe/fabric configuration,
+    /// and the calibrated look-up table the models interpolate in.
+    pub fn new(model: ModelKind, cfg: &'a ExperimentConfig, table: &'a LookupTable) -> Self {
+        Probed {
+            model,
+            cfg,
+            table,
+            profiles: BTreeMap::new(),
+            decisions: 0,
+            wall: Duration::ZERO,
+        }
+    }
+
+    /// The prediction model this instance consults.
+    pub fn model(&self) -> ModelKind {
+        self.model
+    }
+
+    fn predicted(&mut self, victim: AppKind, other: AppKind) -> Result<f64, SchedError> {
+        if !self.profiles.contains_key(&other) {
+            let profile = probed_profile_of_app(self.cfg, other)?;
+            self.profiles.insert(other, profile);
+        }
+        let profile = &self.profiles[&other];
+        self.model
+            .model()
+            .predict(self.table, victim, profile)
+            .ok_or(SchedError::Prediction(PredictionError::NoPrediction {
+                victim,
+                model: self.model,
+            }))
+    }
+}
+
+impl PlacementPolicy for Probed<'_> {
+    fn name(&self) -> String {
+        format!("probed:{}", self.model.name())
+    }
+
+    fn choose(
+        &mut self,
+        job: &JobSpec,
+        switches: &[SwitchSnapshot],
+    ) -> Result<Option<usize>, SchedError> {
+        let started = Instant::now();
+        let mut best: Option<(f64, usize)> = None;
+        for (i, sw) in switches.iter().enumerate() {
+            if !sw.has_free_slot() {
+                continue;
+            }
+            let mut cost = 0.0;
+            for &r in &sw.residents {
+                cost += self.predicted(job.app, r)? + self.predicted(r, job.app)?;
             }
             if best.is_none_or(|(c, _)| cost < c) {
                 best = Some((cost, i));

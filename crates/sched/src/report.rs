@@ -1,4 +1,4 @@
-//! Deterministic reporting and `anp-bench-v4` telemetry records.
+//! Deterministic reporting and `anp-bench-v5` telemetry records.
 //!
 //! Two audiences, two surfaces. Humans get fixed-width tables —
 //! [`render_summary`] for the per-policy regret table, [`render_schedule`]
@@ -6,14 +6,14 @@
 //! numbers**, so stdout is byte-identical across `--jobs` settings and
 //! machines (the CLI determinism test pins this). Machines get
 //! [`SchedRecord`]s, which *do* carry decision latency, embedded in the
-//! bench harness's `anp-bench-v4` JSON.
+//! bench harness's `anp-bench-v5` JSON.
 
 use anp_core::ModelKind;
 
 use crate::cluster::ScheduleOutcome;
 use crate::study::{PolicyOutcome, PolicySpec};
 
-/// One policy's row in the `anp-bench-v4` `sched` array.
+/// One policy's row in the `anp-bench-v5` `sched` array.
 #[derive(Debug, Clone)]
 pub struct SchedRecord {
     /// Policy label (`"oracle"`, `"predictive:Queue:flow"`, …).
@@ -88,6 +88,7 @@ pub fn records(outcomes: &[PolicyOutcome]) -> Vec<SchedRecord> {
         .map(|o| {
             let (model, backend) = match o.spec {
                 PolicySpec::Predictive(m, e) => (Some(m), Some(e.name().to_owned())),
+                PolicySpec::Probed(m) => (Some(m), Some("monitor".to_owned())),
                 _ => (None, None),
             };
             SchedRecord {

@@ -19,7 +19,7 @@ use anp_workloads::arrivals::{JobSpec, StreamConfig};
 use anp_workloads::{AppKind, CompressionConfig, ImpactConfig};
 
 use crate::cluster::{simulate, ScheduleOutcome, SLOTS_PER_SWITCH};
-use crate::policy::{FirstFit, Oracle, PlacementPolicy, Predictive, Random, SoloOnly};
+use crate::policy::{FirstFit, Oracle, PlacementPolicy, Predictive, Probed, Random, SoloOnly};
 use crate::predictor::Predictor;
 use crate::truth::GroundTruth;
 use crate::SchedError;
@@ -68,6 +68,11 @@ pub enum PolicySpec {
     /// Model-driven placement with decision-time measurement through the
     /// given engine.
     Predictive(ModelKind, DecisionEngine),
+    /// Model-driven placement fed by the *online monitor*: co-runner
+    /// footprints probed live by the jittered train
+    /// ([`anp_monitor::probed_profile_of_app`]) instead of a dedicated
+    /// offline campaign.
+    Probed(ModelKind),
 }
 
 impl PolicySpec {
@@ -81,6 +86,7 @@ impl PolicySpec {
             PolicySpec::Predictive(m, e) => {
                 format!("predictive:{}:{}", m.name(), e.name())
             }
+            PolicySpec::Probed(m) => format!("probed:{}", m.name()),
         }
     }
 }
@@ -108,13 +114,10 @@ pub struct StudyOpts {
 
 /// The four-rung utilization ladder used by the CLI's `sweep`/`predict`
 /// paths: one rung per utilization regime, light to near-saturation.
+/// (Canonically defined on [`CompressionConfig::gated_ladder`]; kept here
+/// as the name the scheduling code has always used.)
 pub fn gated_ladder() -> Vec<CompressionConfig> {
-    vec![
-        CompressionConfig::new(1, 25_000_000, 1),
-        CompressionConfig::new(7, 2_500_000, 10),
-        CompressionConfig::new(14, 250_000, 1),
-        CompressionConfig::new(17, 25_000, 10),
-    ]
+    CompressionConfig::gated_ladder()
 }
 
 impl StudyOpts {
@@ -258,6 +261,7 @@ pub fn run_suite(
                 kind,
                 Predictor::new(engine.backend(), &opts.cfg, &truth.study.table),
             )),
+            PolicySpec::Probed(kind) => Box::new(Probed::new(kind, &opts.cfg, &truth.study.table)),
         };
         let label = spec.label();
         let mut per_seed = Vec::with_capacity(opts.stream_seeds.len());
@@ -308,6 +312,7 @@ mod tests {
             PolicySpec::Predictive(ModelKind::Queue, DecisionEngine::Flow).label(),
             "predictive:Queue:flow"
         );
+        assert_eq!(PolicySpec::Probed(ModelKind::Queue).label(), "probed:Queue");
         assert_eq!(specs.last().unwrap().label(), "oracle");
     }
 

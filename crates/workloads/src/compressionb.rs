@@ -68,6 +68,18 @@ impl CompressionConfig {
         out
     }
 
+    /// The four-rung utilization ladder shared by the CLI's gated paths,
+    /// the scheduling study, and the monitor study: one rung per
+    /// utilization regime, light to near-saturation.
+    pub fn gated_ladder() -> Vec<CompressionConfig> {
+        vec![
+            CompressionConfig::new(1, 25_000_000, 1),
+            CompressionConfig::new(7, 2_500_000, 10),
+            CompressionConfig::new(14, 250_000, 1),
+            CompressionConfig::new(17, 25_000, 10),
+        ]
+    }
+
     /// A short human-readable label, e.g. `P14-B2.5e5-M10`.
     pub fn label(&self) -> String {
         format!(

@@ -9,6 +9,9 @@
 //!   evaluation (AMG, FFTW, Lulesh, MCB, MILC, VPFFT), reproducing each
 //!   code's communication skeleton at the paper's scale (144 ranks on 18
 //!   nodes; Lulesh 64 on 16);
+//! * [`probetrain`] — seeded, jittered ImpactB probe trains for the
+//!   always-on monitor (`anp-monitor`), decorrelated from workload
+//!   phases;
 //! * [`placement`] — the node-major rank layouts and torus topologies;
 //! * [`arrivals`] — seeded job arrival streams feeding the `anp-sched`
 //!   co-scheduling study.
@@ -25,6 +28,7 @@ pub mod arrivals;
 pub mod compressionb;
 pub mod impactb;
 pub mod placement;
+pub mod probetrain;
 pub mod registry;
 
 pub use apps::common::RunMode;
@@ -34,4 +38,5 @@ pub use impactb::{
     build_impactb, latencies, new_sink, ImpactConfig, Members, ProbeSample, SampleSink,
 };
 pub use placement::Layout;
+pub use probetrain::{build_probe_train, TrainConfig};
 pub use registry::AppKind;

@@ -1,0 +1,275 @@
+//! Seeded ImpactB probe *trains* for continuous online monitoring.
+//!
+//! The offline methodology ([`crate::impactb`]) fires probes on a fixed
+//! period, which is fine for a dedicated measurement window but risky for
+//! a monitor that runs forever next to production jobs: a fixed period
+//! can alias with an application's own communication phases and sample
+//! only the quiet (or only the busy) part of every phase. The probe
+//! train breaks the lock-step by drawing each inter-probe gap from a
+//! seeded uniform jitter around the base period, so the sampling comb is
+//! incommensurate with any workload phase while the mean probe rate —
+//! and therefore the probe's own load budget — stays exactly the
+//! configured one. The same seed always produces the same train, which
+//! the monitor's determinism tests pin.
+
+use std::rc::Rc;
+
+use anp_simmpi::{Ctx, Op, Program, Src};
+use anp_simnet::{NodeId, SimDuration, SimTime};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::impactb::{new_sink, ImpactConfig, Members, ProbeSample, SampleSink};
+use crate::placement::Layout;
+
+/// Parameters of a monitoring probe train.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// The underlying probe shape (message size, base period, pairs, tag).
+    pub impact: ImpactConfig,
+    /// Jitter amplitude as a fraction of the base period: each gap is
+    /// drawn uniformly from `period · [1−jitter, 1+jitter]`. Zero
+    /// degenerates to the fixed-period ImpactB comb.
+    pub jitter_frac: f64,
+    /// Seed of the jitter stream. Every pinger derives its own
+    /// independent substream from this, so two trains with the same seed
+    /// are sample-for-sample identical.
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// A train over the given probe shape with the default 25 % jitter.
+    pub fn new(impact: ImpactConfig, seed: u64) -> Self {
+        TrainConfig {
+            impact,
+            jitter_frac: 0.25,
+            seed,
+        }
+    }
+}
+
+/// The pinging side of one jittered probe pair.
+struct TrainPinger {
+    partner: u32,
+    bytes: u64,
+    period: SimDuration,
+    jitter_frac: f64,
+    tag: u32,
+    sink: SampleSink,
+    rng: StdRng,
+    t0: SimTime,
+    step: u8,
+    start_delay: SimDuration,
+    started: bool,
+}
+
+impl TrainPinger {
+    /// Draws the next inter-probe gap: `period · uniform[1−j, 1+j]`.
+    fn next_gap(&mut self) -> SimDuration {
+        if self.jitter_frac <= 0.0 {
+            return self.period;
+        }
+        let j = self.jitter_frac.min(1.0);
+        let scale = self.rng.gen_range(1.0 - j..1.0 + j);
+        let nanos = (self.period.as_nanos() as f64 * scale).round().max(1.0);
+        SimDuration::from_nanos(nanos as u64)
+    }
+}
+
+impl Program for TrainPinger {
+    fn next_op(&mut self, ctx: &Ctx) -> Op {
+        if !self.started {
+            self.started = true;
+            if self.start_delay > SimDuration::ZERO {
+                return Op::Sleep(self.start_delay);
+            }
+        }
+        match self.step {
+            0 => {
+                self.t0 = ctx.now;
+                self.step = 1;
+                Op::Isend {
+                    dst: self.partner,
+                    bytes: self.bytes,
+                    tag: self.tag,
+                }
+            }
+            1 => {
+                self.step = 2;
+                Op::Irecv {
+                    src: Src::Rank(self.partner),
+                    tag: self.tag,
+                }
+            }
+            2 => {
+                self.step = 3;
+                Op::WaitAll
+            }
+            _ => {
+                let rtt = ctx.now.since(self.t0);
+                self.sink.borrow_mut().push(ProbeSample {
+                    at: ctx.now,
+                    one_way_us: rtt.as_micros_f64() / 2.0,
+                });
+                self.step = 0;
+                Op::Sleep(self.next_gap())
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "probe-train-ping"
+    }
+}
+
+/// Builds the ponger side: receive, reply, forever.
+fn ponger(partner: u32, bytes: u64, tag: u32) -> anp_simmpi::Looping {
+    anp_simmpi::Looping::new(vec![
+        Op::Irecv {
+            src: Src::Rank(partner),
+            tag,
+        },
+        Op::WaitAll,
+        Op::Isend {
+            dst: partner,
+            bytes,
+            tag,
+        },
+        Op::WaitAll,
+    ])
+    .named("probe-train-pong")
+}
+
+/// Builds a jittered probe-train job for a switch of `nodes` nodes.
+///
+/// Placement mirrors [`crate::build_impactb`]: nodes are paired
+/// `(0,1), (2,3), …` with `pairs_per_node` couples per node pair and
+/// staggered start offsets, but every pinger additionally carries its own
+/// seeded jitter stream (substream = `seed` mixed with the pair index).
+///
+/// # Panics
+/// Panics if fewer than two nodes are available.
+pub fn build_probe_train(cfg: &TrainConfig, nodes: u32) -> (Members, SampleSink) {
+    assert!(nodes >= 2, "a probe train needs at least one node pair");
+    let sink = new_sink();
+    let impact = &cfg.impact;
+    let layout = Layout::new(nodes - nodes % 2, impact.pairs_per_node);
+    let total_pairs = (layout.nodes / 2) * impact.pairs_per_node;
+    let mut members: Vec<(Box<dyn Program>, NodeId)> = Vec::new();
+    let mut pair_idx = 0u32;
+    for local in 0..layout.ranks() {
+        let node_idx = layout.node_index_of(local);
+        let core = layout.core_of(local);
+        let node = layout.node_of(local);
+        let program: Box<dyn Program> = if node_idx.is_multiple_of(2) {
+            let partner = layout.rank_at(node_idx + 1, core);
+            let start_delay = impact.period * u64::from(pair_idx) / u64::from(total_pairs.max(1));
+            let substream = cfg
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(u64::from(pair_idx) + 1);
+            pair_idx += 1;
+            Box::new(TrainPinger {
+                partner,
+                bytes: impact.msg_bytes,
+                period: impact.period,
+                jitter_frac: cfg.jitter_frac,
+                tag: impact.tag,
+                sink: Rc::clone(&sink),
+                rng: StdRng::seed_from_u64(substream),
+                t0: SimTime::ZERO,
+                step: 0,
+                start_delay,
+                started: false,
+            })
+        } else {
+            let partner = layout.rank_at(node_idx - 1, core);
+            Box::new(ponger(partner, impact.msg_bytes, impact.tag))
+        };
+        members.push((program, node));
+    }
+    (members, sink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anp_simmpi::World;
+    use anp_simnet::SwitchConfig;
+
+    fn quick_train(seed: u64, jitter: f64) -> Vec<ProbeSample> {
+        let mut world = World::new(SwitchConfig::tiny_deterministic());
+        let cfg = TrainConfig {
+            impact: ImpactConfig {
+                period: SimDuration::from_micros(50),
+                pairs_per_node: 1,
+                ..ImpactConfig::default()
+            },
+            jitter_frac: jitter,
+            seed,
+        };
+        let (members, sink) = build_probe_train(&cfg, 4);
+        world.add_job("probe-train", members);
+        world.run_until(SimTime::from_millis(2));
+        let samples = sink.borrow().clone();
+        samples
+    }
+
+    #[test]
+    fn same_seed_same_train() {
+        let a = quick_train(7, 0.25);
+        let b = quick_train(7, 0.25);
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "a probe train must be a pure function of its seed");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = quick_train(7, 0.25);
+        let b = quick_train(8, 0.25);
+        assert_ne!(
+            a, b,
+            "different jitter seeds must decorrelate the sampling comb"
+        );
+    }
+
+    #[test]
+    fn zero_jitter_matches_impactb_cadence() {
+        let fixed = quick_train(7, 0.0);
+        let jittered = quick_train(7, 0.25);
+        // Same horizon and mean rate, so sample counts stay comparable...
+        let ratio = fixed.len() as f64 / jittered.len() as f64;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "jitter must not change the mean probe rate: {} vs {}",
+            fixed.len(),
+            jittered.len()
+        );
+        // ...but the jittered gaps must actually vary.
+        let gaps = |s: &[ProbeSample]| -> Vec<u64> {
+            s.windows(2)
+                .map(|w| w[1].at.since(w[0].at).as_nanos())
+                .collect()
+        };
+        let fixed_gaps = gaps(&fixed);
+        let jitter_gaps = gaps(&jittered);
+        let spread = |g: &[u64]| g.iter().max().unwrap() - g.iter().min().unwrap();
+        assert!(
+            spread(&jitter_gaps) > spread(&fixed_gaps),
+            "jittered gaps must spread wider than the fixed comb"
+        );
+    }
+
+    #[test]
+    fn idle_latency_matches_impactb_baseline() {
+        // Jitter moves *when* probes fire, never what they measure: on an
+        // idle deterministic switch every sample is still the 2.448 µs
+        // one-way of crate::impactb.
+        for s in quick_train(3, 0.5) {
+            assert!(
+                (s.one_way_us - 2.448).abs() < 0.1,
+                "latency sample {} off",
+                s.one_way_us
+            );
+        }
+    }
+}

@@ -54,6 +54,20 @@ impl AppKind {
         }
     }
 
+    /// One-line communication skeleton, as shown by `anp apps` — what
+    /// the proxy actually exercises on the switch, so a user picking an
+    /// `<APP>` argument knows the traffic shape they are signing up for.
+    pub fn skeleton(self) -> &'static str {
+        match self {
+            AppKind::Fftw => "2-D FFT, all-to-all dominated",
+            AppKind::Lulesh => "shock hydrodynamics, stencil + heavy compute",
+            AppKind::Mcb => "Monte Carlo burnup, compute-dominated with bursts",
+            AppKind::Milc => "lattice QCD conjugate gradient, latency-sensitive",
+            AppKind::Vpfft => "crystal plasticity FFT, all-to-all + heavy compute",
+            AppKind::Amg => "algebraic multigrid, phased behaviour",
+        }
+    }
+
     /// Parses a case-insensitive application name.
     pub fn from_name(name: &str) -> Option<AppKind> {
         AppKind::ALL
@@ -101,6 +115,13 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn every_app_has_a_nonempty_skeleton() {
+        for k in AppKind::ALL {
+            assert!(!k.skeleton().is_empty(), "{k}");
+        }
     }
 
     #[test]

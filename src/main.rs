@@ -9,6 +9,7 @@
 //! anp apps                      # list the built-in application proxies
 //! anp audit [--quick]           # invariant audit + differential oracle
 //! anp sched [--quick] [--model KIND]  # predictive co-scheduling study
+//! anp monitor [--quick]         # online monitor accuracy study
 //! ```
 //!
 //! Global flags: `--seed <n>`, `--jobs <n>`, `--backend <des|flow>`,
@@ -23,6 +24,9 @@ use anp_core::{
     sweep_supervised_for, Backend, BackendError, DesBackend, ExperimentConfig, ExperimentError,
     LatencyProfile, LookupTable, ModelKind, MuPolicy, Parallelism, RetryPolicy, RunBudget,
     RunJournal, Study, Supervisor, WorkloadSpec,
+};
+use anp_monitor::{
+    gate_violations, render_report as render_monitor_report, run_monitor_study, MonitorOpts,
 };
 use anp_sched::{
     measure_truth_supervised, render_schedule, render_summary, run_suite, DecisionEngine,
@@ -58,6 +62,13 @@ fn usage() -> ! {
          \x20                      DES-measured ground truth; KIND is one of\n\
          \x20                      AverageLT, AverageStDevLT, PDFLT, Queue\n\
          \x20                      (default Queue)\n\
+         \x20 monitor [--quick]    online monitor accuracy study: a jittered\n\
+         \x20                      probe train co-runs with workloads in the\n\
+         \x20                      DES and its streaming estimate is gated\n\
+         \x20                      against ground truth — utilization error\n\
+         \x20                      per ladder rung, change-point detection\n\
+         \x20                      latency per app, and probe overhead;\n\
+         \x20                      exits 1 on any gate violation\n\
          APP is one of: FFTW, Lulesh, MCB, MILC, VPFFT, AMG (case-insensitive)\n\
          --jobs N runs experiment sweeps on N worker threads (default: all\n\
          cores; results are identical for any setting, 1 = serial)\n\
@@ -79,6 +90,21 @@ fn usage() -> ! {
 fn fail<E: std::fmt::Display>(err: E) -> ! {
     eprintln!("error: {err}");
     std::process::exit(1);
+}
+
+/// Parses a flag's value, naming the flag and the offending text on
+/// stderr before the usage text — `anp: invalid value for --seed: "foo"`
+/// — instead of a bare usage dump that leaves the user hunting for the
+/// typo.
+fn parse_flag<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(v) = value else {
+        eprintln!("anp: missing value for {flag}");
+        usage()
+    };
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("anp: invalid value for {flag}: \"{v}\"");
+        usage()
+    })
 }
 
 fn parse_app(arg: Option<String>) -> AppKind {
@@ -214,36 +240,42 @@ fn main() {
     while let Some(a) = args.peek() {
         if a == "--seed" {
             args.next();
-            let v = args.next().unwrap_or_else(|| usage());
-            seed = v.parse().unwrap_or_else(|_| usage());
+            seed = parse_flag("--seed", args.next());
         } else if a == "--jobs" {
             args.next();
-            let v = args.next().unwrap_or_else(|| usage());
-            jobs = Some(v.parse().unwrap_or_else(|_| usage()));
+            jobs = Some(parse_flag("--jobs", args.next()));
         } else if a == "--backend" {
             args.next();
-            backend_name = args.next().unwrap_or_else(|| usage());
+            let Some(v) = args.next() else {
+                eprintln!("anp: missing value for --backend");
+                usage()
+            };
+            backend_name = v;
         } else if a == "--max-retries" {
             args.next();
-            let v = args.next().unwrap_or_else(|| usage());
-            max_retries = v.parse().unwrap_or_else(|_| usage());
+            max_retries = parse_flag("--max-retries", args.next());
         } else if a == "--run-budget" {
             args.next();
-            let v = args.next().unwrap_or_else(|| usage());
-            let secs: f64 = v.parse().unwrap_or_else(|_| usage());
+            let raw = args.next();
+            let secs: f64 = parse_flag("--run-budget", raw.clone());
             if secs.is_nan() || secs <= 0.0 {
+                eprintln!(
+                    "anp: invalid value for --run-budget: \"{}\"",
+                    raw.unwrap_or_default()
+                );
                 usage();
             }
             run_budget_secs = Some(secs);
         } else if a == "--event-budget" {
             args.next();
-            let v = args.next().unwrap_or_else(|| usage());
-            event_budget = Some(v.parse().unwrap_or_else(|_| usage()));
+            event_budget = Some(parse_flag("--event-budget", args.next()));
         } else if a == "--resume" {
             args.next();
-            resume = Some(std::path::PathBuf::from(
-                args.next().unwrap_or_else(|| usage()),
-            ));
+            let Some(v) = args.next() else {
+                eprintln!("anp: missing value for --resume");
+                usage()
+            };
+            resume = Some(std::path::PathBuf::from(v));
         } else {
             break;
         }
@@ -307,11 +339,12 @@ fn main() {
             for app in AppKind::ALL {
                 let l = app.layout();
                 println!(
-                    "{:<7} {:>4} ranks on {:>2} nodes ({} per node)",
+                    "{:<7} {:>4} ranks on {:>2} nodes ({} per node)  {}",
                     app.name(),
                     l.ranks(),
                     l.nodes,
-                    l.per_node
+                    l.per_node,
+                    app.skeleton()
                 );
             }
         }
@@ -669,6 +702,34 @@ fn main() {
                 );
             }
             std::process::exit(campaign.exit_code());
+        }
+        "monitor" => {
+            let quick = match args.next() {
+                None => false,
+                Some(a) if a == "--quick" => true,
+                Some(_) => usage(),
+            };
+            let mut mopts = if quick {
+                MonitorOpts::quick(seed, jobs.unwrap_or(1))
+            } else {
+                MonitorOpts::full(seed, jobs.unwrap_or(1))
+            };
+            if jobs.is_none() {
+                mopts.cfg.jobs = Parallelism::Auto;
+            }
+            // Progress narration (cell-by-cell results) goes to stderr;
+            // stdout carries only the final wall-clock-free tables, so it
+            // is byte-identical for any --jobs setting.
+            let report = run_monitor_study(&mopts, |line| eprintln!("  [monitor] {line}"))
+                .unwrap_or_else(|e| fail(e));
+            print!("{}", render_monitor_report(&mopts, &report));
+            let violations = gate_violations(&mopts, &report);
+            if !violations.is_empty() {
+                for v in &violations {
+                    eprintln!("gate violation: {v}");
+                }
+                std::process::exit(1);
+            }
         }
         _ => usage(),
     }
