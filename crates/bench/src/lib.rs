@@ -80,6 +80,15 @@ pub struct HarnessOpts {
     pub resume: Option<PathBuf>,
 }
 
+/// Reports a command-line usage error and exits with status 2, the
+/// conventional "bad invocation" code. The bench harness is a binary
+/// boundary: bad flags are operator errors, not states the library
+/// should try to recover from.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("anp-bench: {msg}");
+    std::process::exit(2);
+}
+
 impl HarnessOpts {
     /// Parses `--quick`, `--seed <n>`, `--cache <path>`, `--jobs <n>`,
     /// `--bench-json <path>` / `--no-bench-json`, `--backend <name>`,
@@ -103,49 +112,81 @@ impl HarnessOpts {
             match a.as_str() {
                 "--quick" => opts.quick = true,
                 "--seed" => {
-                    let v = args.next().expect("--seed needs a value");
-                    opts.seed = v.parse().expect("--seed needs an integer");
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage_error("--seed needs a value"));
+                    opts.seed = v
+                        .parse()
+                        .unwrap_or_else(|_| usage_error("--seed needs an integer"));
                 }
                 "--cache" => {
-                    let v = args.next().expect("--cache needs a path");
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage_error("--cache needs a path"));
                     opts.cache = Some(PathBuf::from(v));
                 }
                 "--jobs" => {
-                    let v = args.next().expect("--jobs needs a value");
-                    opts.jobs = Some(v.parse().expect("--jobs needs an integer"));
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage_error("--jobs needs a value"));
+                    opts.jobs = Some(
+                        v.parse()
+                            .unwrap_or_else(|_| usage_error("--jobs needs an integer")),
+                    );
                 }
                 "--bench-json" => {
-                    let v = args.next().expect("--bench-json needs a path");
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage_error("--bench-json needs a path"));
                     opts.bench_json = Some(PathBuf::from(v));
                 }
                 "--no-bench-json" => opts.bench_json = None,
                 "--backend" => {
-                    let v = args.next().expect("--backend needs a value (des or flow)");
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage_error("--backend needs a value (des or flow)"));
                     opts.backend = v;
                 }
                 "--max-retries" => {
-                    let v = args.next().expect("--max-retries needs a value");
-                    opts.max_retries = v.parse().expect("--max-retries needs an integer");
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage_error("--max-retries needs a value"));
+                    opts.max_retries = v
+                        .parse()
+                        .unwrap_or_else(|_| usage_error("--max-retries needs an integer"));
                 }
                 "--run-budget" => {
-                    let v = args.next().expect("--run-budget needs seconds");
-                    let secs: f64 = v.parse().expect("--run-budget needs a number of seconds");
-                    assert!(secs > 0.0, "--run-budget must be positive");
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage_error("--run-budget needs seconds"));
+                    let secs: f64 = v
+                        .parse()
+                        .unwrap_or_else(|_| usage_error("--run-budget needs a number of seconds"));
+                    if secs <= 0.0 {
+                        usage_error("--run-budget must be positive");
+                    }
                     opts.run_budget_secs = Some(secs);
                 }
                 "--event-budget" => {
-                    let v = args.next().expect("--event-budget needs a value");
-                    opts.event_budget = Some(v.parse().expect("--event-budget needs an integer"));
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage_error("--event-budget needs a value"));
+                    opts.event_budget = Some(
+                        v.parse()
+                            .unwrap_or_else(|_| usage_error("--event-budget needs an integer")),
+                    );
                 }
                 "--resume" => {
-                    let v = args.next().expect("--resume needs a journal path");
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage_error("--resume needs a journal path"));
                     opts.resume = Some(PathBuf::from(v));
                 }
-                other => panic!(
+                other => usage_error(&format!(
                     "unknown argument: {other} (try --quick / --seed N / --cache P / \
                      --jobs N / --bench-json P / --no-bench-json / --backend des|flow / \
                      --max-retries N / --run-budget SECS / --event-budget N / --resume P)"
-                ),
+                )),
             }
         }
         opts
@@ -363,9 +404,11 @@ pub fn measure_study_recorded_with(
         }
     };
     let calibration: Calibration =
+        // anp-lint: allow(D003) — bench harness boundary: a failed measurement invalidates the whole benchmark run, so aborting with the error text is the contract
         calibrate_with(backend, cfg, MuPolicy::MinLatency).expect("idle calibration failed");
     let (table, lut_telemetry) =
         LookupTable::measure_recorded_with(backend, cfg, calibration, apps, sweep, progress)
+            // anp-lint: allow(D003) — bench harness boundary: a failed measurement invalidates the whole benchmark run, so aborting with the error text is the contract
             .expect("look-up table measurement failed");
     let (study, profile_telemetry) =
         Study::measure_profiles_recorded_with(backend, cfg, table, apps, |line| {
@@ -373,6 +416,7 @@ pub fn measure_study_recorded_with(
                 println!("  [measure] {line}");
             }
         })
+        // anp-lint: allow(D003) — bench harness boundary: a failed measurement invalidates the whole benchmark run, so aborting with the error text is the contract
         .expect("app impact profiles failed");
     (study, vec![lut_telemetry, profile_telemetry])
 }
@@ -449,6 +493,7 @@ pub fn measure_study_supervised_with(
         }
     };
     let calibration: Calibration =
+        // anp-lint: allow(D003) — bench harness boundary: a failed measurement invalidates the whole benchmark run, so aborting with the error text is the contract
         calibrate_with(backend, cfg, MuPolicy::MinLatency).expect("idle calibration failed");
     let mut supervision = Supervision::default();
     let (lut, lut_telemetry) = LookupTable::measure_supervised_with(
@@ -609,6 +654,7 @@ pub fn full_outcomes_recorded(opts: &HarnessOpts) -> (Vec<PairOutcome>, Vec<Swee
         .measure_pairs_recorded_with(backend.as_ref(), &cfg, &mut outcomes, |line| {
             println!("  [corun] {line}")
         })
+        // anp-lint: allow(D003) — bench harness boundary: a failed measurement invalidates the whole benchmark run, so aborting with the error text is the contract
         .expect("co-run measurement failed");
     telemetry.push(pair_telemetry);
     if let Some(path) = &opts.cache {

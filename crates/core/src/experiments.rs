@@ -61,6 +61,13 @@ pub enum ExperimentError {
     /// artefacts cannot be trusted; the report names each violated
     /// invariant and carries the event trace tail leading up to it.
     Invariant(AuditReport),
+    /// The parallel sweep returned fewer cells than tasks submitted — a
+    /// harness defect (the sweep contract is one result per task, in
+    /// task order), surfaced as a typed error instead of a panic.
+    SweepShape {
+        /// Which reassembly stage came up short.
+        stage: &'static str,
+    },
 }
 
 impl std::fmt::Display for ExperimentError {
@@ -78,6 +85,9 @@ impl std::fmt::Display for ExperimentError {
             ExperimentError::Backend(err) => write!(f, "{err}"),
             ExperimentError::Invariant(report) => {
                 write!(f, "simulator invariant violated: {report}")
+            }
+            ExperimentError::SweepShape { stage } => {
+                write!(f, "sweep returned too few cells (short at stage '{stage}')")
             }
         }
     }
@@ -451,6 +461,7 @@ fn check_audit(world: &mut World) -> Result<(), ExperimentError> {
 pub fn degradation_percent(solo: SimDuration, loaded: SimDuration) -> f64 {
     let s = solo.as_nanos() as f64;
     let l = loaded.as_nanos() as f64;
+    // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
     assert!(s > 0.0, "solo runtime must be positive");
     (l - s) / s * 100.0
 }
@@ -595,6 +606,7 @@ mod tests {
 
     /// Runs `f` inside a supervised single-cell sweep so the installed
     /// [`crate::supervise::RunBudget`] reaches the drivers' worlds.
+    #[allow(clippy::result_large_err)] // test helper; the large variants are the point
     fn supervised_cell<T: Send + crate::journal::Journaled>(
         budget: crate::supervise::RunBudget,
         f: impl Fn() -> Result<T, ExperimentError> + Send + Sync,

@@ -17,7 +17,7 @@
 //! — but deliberately **not** the worker count, which only affects
 //! scheduling (`--jobs 8` can resume a `--jobs 1` journal).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead as _, BufReader, Write as _};
@@ -401,7 +401,7 @@ impl std::error::Error for JournalError {}
 struct SweepRecord {
     fingerprint: u64,
     cells: usize,
-    entries: HashMap<usize, JournalEntry>,
+    entries: BTreeMap<usize, JournalEntry>,
 }
 
 /// An append-only cell-outcome journal backing `--resume`.
@@ -413,7 +413,7 @@ struct SweepRecord {
 pub struct RunJournal {
     path: PathBuf,
     file: Mutex<File>,
-    sweeps: HashMap<String, SweepRecord>,
+    sweeps: BTreeMap<String, SweepRecord>,
     write_failed: AtomicBool,
 }
 
@@ -438,7 +438,7 @@ impl RunJournal {
         Ok(RunJournal {
             path,
             file: Mutex::new(file),
-            sweeps: HashMap::new(),
+            sweeps: BTreeMap::new(),
             write_failed: AtomicBool::new(false),
         })
     }
@@ -453,7 +453,7 @@ impl RunJournal {
             error: e.to_string(),
         };
         let reader = BufReader::new(File::open(&path).map_err(io_err)?);
-        let mut sweeps: HashMap<String, SweepRecord> = HashMap::new();
+        let mut sweeps: BTreeMap<String, SweepRecord> = BTreeMap::new();
         for line in reader.split(b'\n') {
             let line = line.map_err(io_err)?;
             let Ok(line) = String::from_utf8(line) else {
@@ -724,7 +724,7 @@ mod tests {
             Err(JournalError::FingerprintMismatch { .. })
         ));
         assert!(matches!(
-            j.prior("lut", 0xABCD, &labels[..2].to_vec()),
+            j.prior("lut", 0xABCD, &labels[..2]),
             Err(JournalError::ShapeMismatch { .. })
         ));
         let mut wrong = labels.clone();

@@ -126,6 +126,7 @@ impl LookupTable {
         entries: Vec<CompressionEntry>,
         solo: BTreeMap<AppKind, SimDuration>,
     ) -> Self {
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(!entries.is_empty(), "a look-up table needs entries");
         LookupTable {
             calibration,
@@ -228,21 +229,30 @@ impl LookupTable {
         let mut solo = BTreeMap::new();
         let mut solo_results = Vec::with_capacity(apps.len());
         for &app in apps {
-            match cells.next().expect("sweep returned too few cells") {
+            match cells
+                .next()
+                .ok_or(ExperimentError::SweepShape { stage: "solo" })?
+            {
                 Cell::Solo(r) => solo_results.push((app, r)),
                 _ => unreachable!("cell order mismatch"),
             }
         }
         let mut profiles = Vec::with_capacity(configs.len());
         for _ in configs {
-            match cells.next().expect("sweep returned too few cells") {
+            match cells
+                .next()
+                .ok_or(ExperimentError::SweepShape { stage: "impact" })?
+            {
                 Cell::Impact(r) => profiles.push(r),
                 _ => unreachable!("cell order mismatch"),
             }
         }
         let mut grid = Vec::with_capacity(configs.len() * apps.len());
         for _ in 0..configs.len() * apps.len() {
-            match cells.next().expect("sweep returned too few cells") {
+            match cells
+                .next()
+                .ok_or(ExperimentError::SweepShape { stage: "grid" })?
+            {
                 Cell::Runtime(r) => grid.push(r),
                 _ => unreachable!("cell order mismatch"),
             }
@@ -266,7 +276,9 @@ impl LookupTable {
             ));
             let mut slowdown = BTreeMap::new();
             for &app in apps {
-                let t = grid.next().expect("runtime grid exhausted early")?;
+                let t = grid
+                    .next()
+                    .ok_or(ExperimentError::SweepShape { stage: "grid" })??;
                 let d = degradation_percent(solo[&app], t);
                 progress(&format!(
                     "  {} under {} -> {:.1}%",
@@ -363,7 +375,10 @@ impl LookupTable {
         // route failures into typed holes instead of `?`-ing out.
         let mut solo = BTreeMap::new();
         for &app in apps {
-            match results.next().expect("sweep returned too few cells") {
+            match results.next().ok_or_else(|| JournalError::ShapeMismatch {
+                sweep: "lookup-table".to_owned(),
+                detail: "sweep returned too few cells (short at stage solo)".to_owned(),
+            })? {
                 Ok(LutCell::Solo(t)) => {
                     progress(&format!("solo {} = {t}", app.name()));
                     solo.insert(app, t);
@@ -377,7 +392,10 @@ impl LookupTable {
         }
         let mut profiles = Vec::with_capacity(configs.len());
         for _ in configs {
-            match results.next().expect("sweep returned too few cells") {
+            match results.next().ok_or_else(|| JournalError::ShapeMismatch {
+                sweep: "lookup-table".to_owned(),
+                detail: "sweep returned too few cells (short at stage impact)".to_owned(),
+            })? {
                 Ok(LutCell::Impact(p)) => profiles.push(Ok(p)),
                 Ok(_) => unreachable!("cell order mismatch"),
                 Err(e) => profiles.push(Err(e)),
@@ -385,7 +403,10 @@ impl LookupTable {
         }
         let mut grid = Vec::with_capacity(configs.len() * apps.len());
         for _ in 0..configs.len() * apps.len() {
-            match results.next().expect("sweep returned too few cells") {
+            match results.next().ok_or_else(|| JournalError::ShapeMismatch {
+                sweep: "lookup-table".to_owned(),
+                detail: "sweep returned too few cells (short at stage grid)".to_owned(),
+            })? {
                 Ok(LutCell::Runtime(t)) => grid.push(Ok(t)),
                 Ok(_) => unreachable!("cell order mismatch"),
                 Err(e) => grid.push(Err(e)),
@@ -414,7 +435,10 @@ impl LookupTable {
             };
             let mut slowdown = BTreeMap::new();
             for &app in apps {
-                match grid.next().expect("runtime grid exhausted early") {
+                match grid.next().ok_or_else(|| JournalError::ShapeMismatch {
+                    sweep: "lookup-table".to_owned(),
+                    detail: "runtime grid exhausted early".to_owned(),
+                })? {
                     Ok(t) => match solo.get(&app) {
                         Some(&baseline) => {
                             let d = degradation_percent(baseline, t);
@@ -475,7 +499,7 @@ impl LookupTable {
             .iter()
             .filter_map(|e| e.slowdown.get(&app).map(|d| (e.utilization, *d)))
             .collect();
-        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("utilization is never NaN"));
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
         pts
     }
 

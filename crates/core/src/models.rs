@@ -142,7 +142,7 @@ impl SlowdownModel for AverageLt {
             .min_by(|(_, a), (_, b)| {
                 let da = (a.profile.mean() - mu_b).abs();
                 let db = (b.profile.mean() - mu_b).abs();
-                da.partial_cmp(&db).expect("latency means are never NaN")
+                da.total_cmp(&db)
             })?
             .0;
         slowdown_at(table, idx, victim)
@@ -167,7 +167,7 @@ impl SlowdownModel for AverageStDevLt {
             .max_by(|(_, a), (_, b)| {
                 let oa = ib.overlap(&a.profile.interval());
                 let ob = ib.overlap(&b.profile.interval());
-                oa.partial_cmp(&ob).expect("overlaps are never NaN")
+                oa.total_cmp(&ob)
             })?
             .0;
         // Degenerate case: no entry overlaps at all. The interval carries
@@ -197,8 +197,7 @@ impl SlowdownModel for PdfLt {
             .max_by(|(_, a), (_, b)| {
                 let oa = other.pdf_similarity(&a.profile);
                 let ob = other.pdf_similarity(&b.profile);
-                oa.partial_cmp(&ob)
-                    .expect("overlap integrals are never NaN")
+                oa.total_cmp(&ob)
             })?
             .0;
         // Disjoint supports carry no signal; fall back to mean distance.

@@ -141,6 +141,7 @@ impl Calibration {
     /// # Panics
     /// Panics unless `0 ≤ λ < µ` (the queue must be stable).
     pub fn pk_sojourn(&self, lambda: f64) -> f64 {
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(
             (0.0..self.mu).contains(&lambda),
             "P-K needs 0 <= lambda < mu"

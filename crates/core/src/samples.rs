@@ -23,6 +23,7 @@ impl LatencyProfile {
     /// Panics if `samples` is empty — a profile of nothing is meaningless
     /// and always indicates a broken experiment.
     pub fn from_samples(samples: &[f64]) -> Self {
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(!samples.is_empty(), "cannot profile zero latency samples");
         let mut histogram = Histogram::latency_us();
         histogram.extend(samples.iter().copied());
@@ -39,6 +40,7 @@ impl LatencyProfile {
     /// # Panics
     /// Panics if nothing survives the warm-up cut.
     pub fn from_samples_with_warmup(samples: &[f64], warmup_frac: f64) -> Self {
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!((0.0..1.0).contains(&warmup_frac), "bad warmup fraction");
         let skip = (samples.len() as f64 * warmup_frac).floor() as usize;
         Self::from_samples(&samples[skip..])
@@ -63,11 +65,13 @@ impl LatencyProfile {
     /// Smallest observed latency in µs (used for idle-switch calibration
     /// of the service rate, per the paper's §IV-B).
     pub fn min(&self) -> f64 {
+        // anp-lint: allow(D003) — non-empty by construction: the public constructor rejects empty sample sets
         self.stats.min().expect("profile is never empty")
     }
 
     /// Largest observed latency in µs.
     pub fn max(&self) -> f64 {
+        // anp-lint: allow(D003) — non-empty by construction: the public constructor rejects empty sample sets
         self.stats.max().expect("profile is never empty")
     }
 

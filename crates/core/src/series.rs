@@ -30,6 +30,7 @@ impl TimedSeries {
     /// # Panics
     /// Panics if `samples` is empty.
     pub fn new(mut samples: Vec<ProbeSample>) -> Self {
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(!samples.is_empty(), "a timed series needs samples");
         if !samples.windows(2).all(|w| w[0].at <= w[1].at) {
             samples.sort_by_key(|s| s.at);
@@ -39,6 +40,7 @@ impl TimedSeries {
 
     /// Builds a series discarding the first `warmup_frac` of the samples.
     pub fn with_warmup(samples: Vec<ProbeSample>, warmup_frac: f64) -> Self {
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!((0.0..1.0).contains(&warmup_frac), "bad warmup fraction");
         let skip = (samples.len() as f64 * warmup_frac).floor() as usize;
         TimedSeries::new(samples[skip..].to_vec())
@@ -79,6 +81,7 @@ impl TimedSeries {
         window: SimDuration,
         min_samples: usize,
     ) -> Vec<(LatencyProfile, usize)> {
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(window > SimDuration::ZERO, "window must be positive");
         let (start, end) = self.span();
         let mut out = Vec::new();

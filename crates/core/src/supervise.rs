@@ -496,7 +496,9 @@ where
                         break;
                     }
                     let out = finish_cell(i);
-                    *slots[i].lock().expect("supervised result slot poisoned") = Some(out);
+                    *slots[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
                 });
             }
         });
@@ -505,7 +507,8 @@ where
         for slot in slots {
             let (r, rec) = slot
                 .into_inner()
-                .expect("supervised result slot poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                // anp-lint: allow(D003) — thread::scope joins every worker before collection, so each slot holds exactly one result
                 .expect("supervised cell did not produce a result");
             results.push(r);
             runs.push(rec);
@@ -543,14 +546,13 @@ mod tests {
         Supervisor::none()
     }
 
+    type CellFn = Box<dyn Fn() -> Result<u64, ExperimentError> + Send + Sync>;
+
     #[test]
     fn panicking_cell_does_not_kill_siblings() {
-        let tasks: Vec<(
-            String,
-            Box<dyn Fn() -> Result<u64, ExperimentError> + Send + Sync>,
-        )> = (0..8u64)
+        let tasks: Vec<(String, CellFn)> = (0..8u64)
             .map(|i| {
-                let f: Box<dyn Fn() -> Result<u64, ExperimentError> + Send + Sync> = if i == 3 {
+                let f: CellFn = if i == 3 {
                     Box::new(|| panic!("injected panic in cell 3"))
                 } else {
                     Box::new(move || Ok(i * 10))

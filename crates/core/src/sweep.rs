@@ -329,11 +329,14 @@ where
                 }
                 let (label, f) = task_slots[i]
                     .lock()
-                    .expect("sweep task slot poisoned")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .take()
+                    // anp-lint: allow(D003) — the atomic counter hands each index to exactly one worker; a double claim is engine corruption that must halt loudly
                     .expect("sweep task claimed twice");
                 let out = run_task(label, f);
-                *result_slots[i].lock().expect("sweep result slot poisoned") = Some(out);
+                *result_slots[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
             });
         }
     });
@@ -343,7 +346,8 @@ where
     for slot in result_slots {
         let (v, r) = slot
             .into_inner()
-            .expect("sweep result slot poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            // anp-lint: allow(D003) — thread::scope joins every worker before collection, so each slot holds exactly one result
             .expect("sweep task did not produce a result");
         values.push(v);
         runs.push(r);

@@ -8,7 +8,7 @@
 //! extracted byte/packet/round counts are exactly the counts the DES
 //! would move — only the timing is left to the analytic model.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 use anp_simmpi::coll::{
     expand_allgather, expand_allreduce, expand_alltoall, expand_barrier, expand_bcast,
@@ -118,7 +118,7 @@ pub fn describe_members(
     let nodes_of: Vec<NodeId> = members.iter().map(|(_, node)| *node).collect();
     let mut tx = vec![0.0f64; net.nodes as usize];
     let mut rx = vec![0.0f64; net.nodes as usize];
-    let mut dsts: Vec<HashSet<u32>> = vec![HashSet::new(); net.nodes as usize];
+    let mut dsts: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); net.nodes as usize];
     let mut d = TrafficDescriptor {
         label: label.to_owned(),
         ranks: n,
@@ -147,6 +147,7 @@ pub fn describe_members(
                 Some(op) => op,
                 None => prog.next_op(&ctx),
             };
+            // anp-lint: allow(D003) — documented "# Panics" contract: an endless program is a caller bug the walk must not mask
             assert!(
                 budget > 0,
                 "traffic extraction for '{label}' exceeded {OP_BUDGET} ops \
@@ -222,7 +223,7 @@ pub fn describe_members(
     }
     d.max_node_tx_bytes = tx.iter().copied().fold(0.0, f64::max);
     d.max_node_rx_bytes = rx.iter().copied().fold(0.0, f64::max);
-    d.peers = dsts.iter().map(HashSet::len).max().unwrap_or(0) as f64;
+    d.peers = dsts.iter().map(BTreeSet::len).max().unwrap_or(0) as f64;
     d
 }
 

@@ -37,7 +37,7 @@
 pub mod extract;
 pub mod model;
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -90,8 +90,17 @@ type DescriptorKey = (AppKind, u64, u32, u64, u32, u32);
 /// (every rank program runs to completion), and it used to dominate
 /// every flow-backend measurement; memoizing it leaves the equilibrium
 /// solve — microseconds — as the marginal cost of a flow answer.
-static APP_DESCRIPTORS: OnceLock<Mutex<HashMap<DescriptorKey, TrafficDescriptor>>> =
+static APP_DESCRIPTORS: OnceLock<Mutex<BTreeMap<DescriptorKey, TrafficDescriptor>>> =
     OnceLock::new();
+
+/// Recovers a memo-table lock even if a supervised sweep cell panicked
+/// while holding it. The memo tables only ever hold fully computed
+/// values (compute happens outside the lock), so the data behind a
+/// poisoned lock is still sound — worst case a missing entry is
+/// recomputed.
+fn lock_memo<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 fn descriptor_key(cfg: &ExperimentConfig, app: AppKind, salt: u64) -> DescriptorKey {
     let (leaves, spines) = match cfg.switch.topology {
@@ -116,13 +125,13 @@ impl FlowBackend {
     /// the same (deterministic) descriptor.
     fn app_descriptor(cfg: &ExperimentConfig, app: AppKind, salt: u64) -> TrafficDescriptor {
         let key = descriptor_key(cfg, app, salt);
-        let cache = APP_DESCRIPTORS.get_or_init(|| Mutex::new(HashMap::new()));
-        if let Some(d) = cache.lock().unwrap().get(&key) {
+        let cache = APP_DESCRIPTORS.get_or_init(|| Mutex::new(BTreeMap::new()));
+        if let Some(d) = lock_memo(cache).get(&key) {
             return d.clone();
         }
         let members = app.build(RunMode::Iterations(0), cfg.workload_seed(salt));
         let d = extract::describe_members(app.name(), members, &cfg.switch);
-        cache.lock().unwrap().insert(key, d.clone());
+        lock_memo(cache).insert(key, d.clone());
         d
     }
 
@@ -340,13 +349,13 @@ impl BatchEvaluator {
         key: BatchKey,
         compute: impl FnOnce() -> Result<SimDuration, ExperimentError>,
     ) -> Result<SimDuration, ExperimentError> {
-        if let Some(&d) = self.durations.lock().unwrap().get(&key) {
+        if let Some(&d) = lock_memo(&self.durations).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(d);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let d = compute()?;
-        self.durations.lock().unwrap().insert(key, d);
+        lock_memo(&self.durations).insert(key, d);
         Ok(d)
     }
 }
@@ -379,13 +388,13 @@ impl Backend for BatchEvaluator {
             WorkloadSpec::Compression(c) => ProfileKey::Compression(comp_key(c)),
         };
         let key = BatchKey::Profile(self.fp(cfg), pk);
-        if let Some(p) = self.profiles.lock().unwrap().get(&key) {
+        if let Some(p) = lock_memo(&self.profiles).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(p.clone());
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let p = self.inner.measure_impact_profile(cfg, workload)?;
-        self.profiles.lock().unwrap().insert(key, p.clone());
+        lock_memo(&self.profiles).insert(key, p.clone());
         Ok(p)
     }
 

@@ -1,0 +1,675 @@
+//! A hand-rolled token scanner for Rust sources.
+//!
+//! The linter's rules work on token streams, never on raw text, so a
+//! `HashMap` mentioned in a string literal, a `unwrap()` in a doc
+//! example, or an `Instant` inside a `#[doc = "…"]` attribute can never
+//! produce a false positive. The scanner understands:
+//!
+//! * line comments (`//`), outer/inner doc comments (`///`, `//!`),
+//!   and *nested* block comments (`/* /* */ */`, `/** … */`, `/*! … */`);
+//! * string literals with escapes, multi-line strings, byte strings,
+//!   and raw strings with any number of `#` guards (`r#"…"#`);
+//! * char literals versus lifetimes (`'a'` vs `'a`), including escaped
+//!   chars (`'\''`, `'\u{1F600}'`);
+//! * attributes (`#[…]`, `#![…]`): their tokens are captured but marked
+//!   `in_attr`, and `#[cfg(test)]` / `#[test]` items are marked
+//!   `in_test` through their entire brace-balanced extent.
+//!
+//! It is deliberately *not* a parser: no grammar, no AST, no external
+//! dependencies (consistent with the workspace's vendored-stand-ins
+//! policy). Every diagnostic is a scoped token-pattern match.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `fn`, `unwrap`).
+    Ident,
+    /// Numeric literal (`42`, `0.5`, `1_000u64`).
+    Number,
+    /// Single punctuation character (`.`, `(`, `+`, …).
+    Punct,
+    /// String literal of any flavor (contents not retained).
+    Str,
+    /// Char or byte literal.
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One lexed token with its source position and context flags.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token text (empty for string literals; rules never match on
+    /// string contents).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based column (in chars).
+    pub col: u32,
+    /// Lexeme class.
+    pub kind: TokenKind,
+    /// True when the token is part of an attribute (`#[…]` / `#![…]`).
+    pub in_attr: bool,
+    /// True when the token is inside `#[cfg(test)]` / `#[test]` code
+    /// (or the whole file is test code: `tests/`, `benches/`).
+    pub in_test: bool,
+}
+
+/// Which comment syntax produced a [`Comment`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommentKind {
+    /// `// …`
+    Line,
+    /// `/* … */` (possibly nested)
+    Block,
+    /// `/// …` or `//! …` or `/** … */` or `/*! … */`
+    Doc,
+}
+
+/// A comment with its text and line extent.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment body: text after the comment marker, untrimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for `//`).
+    pub end_line: u32,
+    /// Comment flavor; doc comments feed the D006 documentation check.
+    pub kind: CommentKind,
+}
+
+/// A fully lexed source file.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// All tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+    /// The source split into lines (for violation snippets).
+    pub lines: Vec<String>,
+}
+
+impl LexedFile {
+    /// The trimmed text of a 1-based source line, for report snippets.
+    pub fn snippet(&self, line: u32) -> String {
+        self.lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+}
+
+struct Scanner {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Scanner {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+/// Lexes `text`, marking test context from the path: files under
+/// `tests/` or `benches/` are entirely test code.
+pub fn lex(text: &str, whole_file_is_test: bool) -> LexedFile {
+    let mut s = Scanner {
+        chars: text.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = LexedFile {
+        tokens: Vec::new(),
+        comments: Vec::new(),
+        lines: text.lines().map(str::to_string).collect(),
+    };
+
+    while let Some(c) = s.peek(0) {
+        let (line, col) = (s.line, s.col);
+        if c.is_whitespace() {
+            s.bump();
+        } else if c == '/' && s.peek(1) == Some('/') {
+            lex_line_comment(&mut s, &mut out, line);
+        } else if c == '/' && s.peek(1) == Some('*') {
+            lex_block_comment(&mut s, &mut out, line);
+        } else if c == '"' {
+            lex_string(&mut s);
+            push(&mut out, String::new(), line, col, TokenKind::Str);
+        } else if c == '\'' {
+            lex_quote(&mut s, &mut out, line, col);
+        } else if c.is_ascii_digit() {
+            let text = lex_number(&mut s);
+            push(&mut out, text, line, col, TokenKind::Number);
+        } else if c.is_alphabetic() || c == '_' {
+            let ident = lex_ident(&mut s);
+            // Raw/byte literal prefixes: `r"…"`, `r#"…"#`, `b"…"`,
+            // `br#"…"#`, `b'…'`.
+            let next = s.peek(0);
+            if (ident == "r" || ident == "br") && matches!(next, Some('"') | Some('#')) {
+                if lex_raw_string(&mut s) {
+                    push(&mut out, String::new(), line, col, TokenKind::Str);
+                } else {
+                    // `r#ident` raw identifier or stray `#`: keep the
+                    // ident; the `#` is re-scanned as punctuation.
+                    push(&mut out, ident, line, col, TokenKind::Ident);
+                }
+            } else if ident == "b" && next == Some('"') {
+                lex_string_body(&mut s);
+                push(&mut out, String::new(), line, col, TokenKind::Str);
+            } else if ident == "b" && next == Some('\'') {
+                s.bump();
+                lex_char_body(&mut s);
+                push(&mut out, String::new(), line, col, TokenKind::Char);
+            } else {
+                push(&mut out, ident, line, col, TokenKind::Ident);
+            }
+        } else {
+            s.bump();
+            push(&mut out, c.to_string(), line, col, TokenKind::Punct);
+        }
+    }
+
+    mark_attributes_and_tests(&mut out, whole_file_is_test);
+    out
+}
+
+fn push(out: &mut LexedFile, text: String, line: u32, col: u32, kind: TokenKind) {
+    out.tokens.push(Token {
+        text,
+        line,
+        col,
+        kind,
+        in_attr: false,
+        in_test: false,
+    });
+}
+
+fn lex_line_comment(s: &mut Scanner, out: &mut LexedFile, line: u32) {
+    s.bump();
+    s.bump();
+    let third = s.peek(0);
+    // `///` (but not `////…`) and `//!` are doc comments.
+    let doc = (third == Some('/') && s.peek(1) != Some('/')) || third == Some('!');
+    let mut text = String::new();
+    while let Some(c) = s.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        s.bump();
+    }
+    out.comments.push(Comment {
+        text,
+        line,
+        end_line: line,
+        kind: if doc {
+            CommentKind::Doc
+        } else {
+            CommentKind::Line
+        },
+    });
+}
+
+fn lex_block_comment(s: &mut Scanner, out: &mut LexedFile, line: u32) {
+    s.bump();
+    s.bump();
+    // `/**` (not `/***`, not the empty `/**/`) and `/*!` are doc.
+    let doc = (s.peek(0) == Some('*') && s.peek(1) != Some('*') && s.peek(1) != Some('/'))
+        || s.peek(0) == Some('!');
+    let mut depth = 1u32;
+    let mut text = String::new();
+    while depth > 0 {
+        match (s.peek(0), s.peek(1)) {
+            (Some('/'), Some('*')) => {
+                depth += 1;
+                s.bump();
+                s.bump();
+                text.push_str("/*");
+            }
+            (Some('*'), Some('/')) => {
+                depth -= 1;
+                s.bump();
+                s.bump();
+                if depth > 0 {
+                    text.push_str("*/");
+                }
+            }
+            (Some(c), _) => {
+                text.push(c);
+                s.bump();
+            }
+            (None, _) => break,
+        }
+    }
+    out.comments.push(Comment {
+        text,
+        line,
+        end_line: s.line,
+        kind: if doc {
+            CommentKind::Doc
+        } else {
+            CommentKind::Block
+        },
+    });
+}
+
+fn lex_string(s: &mut Scanner) {
+    s.bump(); // opening quote
+    lex_string_tail(s);
+}
+
+/// For `b"…"`: the scanner sits on the opening quote.
+fn lex_string_body(s: &mut Scanner) {
+    s.bump();
+    lex_string_tail(s);
+}
+
+fn lex_string_tail(s: &mut Scanner) {
+    while let Some(c) = s.bump() {
+        match c {
+            '\\' => {
+                s.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Raw string after an `r`/`br` prefix: `#`* `"` … `"` `#`*. Returns
+/// false if what follows is not actually a raw string (e.g. `r#ident`).
+fn lex_raw_string(s: &mut Scanner) -> bool {
+    let mut guards = 0usize;
+    while s.peek(guards) == Some('#') {
+        guards += 1;
+    }
+    if s.peek(guards) != Some('"') {
+        return false;
+    }
+    for _ in 0..=guards {
+        s.bump();
+    }
+    'scan: while let Some(c) = s.bump() {
+        if c == '"' {
+            for k in 0..guards {
+                if s.peek(k) != Some('#') {
+                    continue 'scan;
+                }
+            }
+            for _ in 0..guards {
+                s.bump();
+            }
+            break;
+        }
+    }
+    true
+}
+
+/// After a `'`: decides lifetime vs char literal.
+fn lex_quote(s: &mut Scanner, out: &mut LexedFile, line: u32, col: u32) {
+    s.bump(); // the quote
+    let c1 = s.peek(0);
+    let is_lifetime = match c1 {
+        Some(c) if c.is_alphanumeric() || c == '_' => s.peek(1) != Some('\''),
+        _ => false,
+    };
+    if is_lifetime {
+        let mut text = String::from("'");
+        while let Some(c) = s.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                s.bump();
+            } else {
+                break;
+            }
+        }
+        push(out, text, line, col, TokenKind::Lifetime);
+    } else {
+        lex_char_body(s);
+        push(out, String::new(), line, col, TokenKind::Char);
+    }
+}
+
+/// Char literal body after the opening quote: one (possibly escaped)
+/// char then the closing quote.
+fn lex_char_body(s: &mut Scanner) {
+    match s.bump() {
+        Some('\\') => {
+            // The escaped character itself first — it may BE a quote
+            // (`'\''`) — then scan to the closing quote (covers
+            // multi-char escapes like `\u{1F600}`).
+            s.bump();
+            while let Some(c) = s.bump() {
+                if c == '\'' {
+                    break;
+                }
+            }
+        }
+        Some(_) => {
+            s.bump(); // closing quote
+        }
+        None => {}
+    }
+}
+
+fn lex_number(s: &mut Scanner) -> String {
+    let mut text = String::new();
+    let mut last = '\0';
+    while let Some(c) = s.peek(0) {
+        let fractional_dot =
+            c == '.' && !text.contains('.') && s.peek(1).is_some_and(|d| d.is_ascii_digit());
+        let exponent_sign = (c == '+' || c == '-')
+            && (last == 'e' || last == 'E')
+            && s.peek(1).is_some_and(|d| d.is_ascii_digit());
+        if c.is_alphanumeric() || c == '_' || fractional_dot || exponent_sign {
+            text.push(c);
+            last = c;
+            s.bump();
+        } else {
+            break;
+        }
+    }
+    text
+}
+
+fn lex_ident(s: &mut Scanner) -> String {
+    let mut text = String::new();
+    while let Some(c) = s.peek(0) {
+        if c.is_alphanumeric() || c == '_' {
+            text.push(c);
+            s.bump();
+        } else {
+            break;
+        }
+    }
+    text
+}
+
+/// Second pass: marks attribute spans (`in_attr`) and test-only items
+/// (`in_test`). `#[cfg(test)]` / `#[test]` mark the *next item* through
+/// its brace-balanced extent; `#![cfg(test)]` marks the whole file.
+fn mark_attributes_and_tests(out: &mut LexedFile, whole_file_is_test: bool) {
+    let n = out.tokens.len();
+    let mut whole_file_test = whole_file_is_test;
+    let mut pending_test = false;
+    let mut i = 0;
+    while i < n {
+        if out.tokens[i].text == "#" && out.tokens[i].kind == TokenKind::Punct {
+            let mut j = i + 1;
+            let inner = j < n && out.tokens[j].text == "!";
+            if inner {
+                j += 1;
+            }
+            if j < n && out.tokens[j].text == "[" {
+                // Attribute: find the matching `]`.
+                let open = j;
+                let mut depth = 0i32;
+                let mut close = open;
+                for (off, t) in out.tokens[open..].iter().enumerate() {
+                    match t.text.as_str() {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                close = open + off;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                let body: Vec<&str> = out.tokens[open + 1..close]
+                    .iter()
+                    .filter(|t| t.kind == TokenKind::Ident)
+                    .map(|t| t.text.as_str())
+                    .collect();
+                let is_test_attr = body.as_slice() == ["test"]
+                    || (body.first() == Some(&"cfg")
+                        && body.contains(&"test")
+                        && !body.contains(&"not"));
+                if is_test_attr {
+                    if inner {
+                        whole_file_test = true;
+                    } else {
+                        pending_test = true;
+                    }
+                }
+                for t in &mut out.tokens[i..=close] {
+                    t.in_attr = true;
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        if pending_test {
+            // Skip one item: to the matching `}` if a brace opens first,
+            // else to the terminating `;`.
+            let start = i;
+            let mut brace = 0i32;
+            let mut end = n - 1;
+            let mut j = i;
+            while j < n {
+                match out.tokens[j].text.as_str() {
+                    "{" => brace += 1,
+                    "}" => {
+                        brace -= 1;
+                        if brace == 0 {
+                            end = j;
+                            break;
+                        }
+                    }
+                    ";" if brace == 0 => {
+                        end = j;
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            for t in &mut out.tokens[start..=end.min(n - 1)] {
+                t.in_test = true;
+            }
+            pending_test = false;
+            i = end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    if whole_file_test {
+        for t in &mut out.tokens {
+            t.in_test = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(file: &LexedFile) -> Vec<&str> {
+        file.tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let f = lex(r#"let x = "HashMap::unwrap() // not a comment"; y"#, false);
+        assert!(idents(&f).contains(&"x"));
+        assert!(idents(&f).contains(&"y"));
+        assert!(!idents(&f).contains(&"HashMap"));
+        assert_eq!(
+            f.comments.len(),
+            0,
+            "string contents must not lex as comments"
+        );
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let f = lex(r#"let s = "a\"HashMap\""; done"#, false);
+        assert!(!idents(&f).contains(&"HashMap"));
+        assert!(idents(&f).contains(&"done"));
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let src = "let s = r#\"unwrap() \" still \" inside\"#; let t = r\"Instant\"; end";
+        let f = lex(src, false);
+        assert!(!idents(&f).contains(&"unwrap"));
+        assert!(!idents(&f).contains(&"Instant"));
+        assert!(idents(&f).contains(&"end"));
+        assert_eq!(
+            f.tokens.iter().filter(|t| t.kind == TokenKind::Str).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let f = lex(r#"let a = b"HashMap"; let c = b'x'; end"#, false);
+        assert!(!idents(&f).contains(&"HashMap"));
+        assert!(idents(&f).contains(&"end"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = lex("/* outer /* inner unwrap() */ still comment */ code", false);
+        assert!(!idents(&f).contains(&"unwrap"));
+        assert!(idents(&f).contains(&"code"));
+        assert_eq!(f.comments.len(), 1);
+        assert_eq!(f.comments[0].kind, CommentKind::Block);
+        assert!(f.comments[0].text.contains("inner unwrap()"));
+    }
+
+    #[test]
+    fn doc_comments_are_classified() {
+        let f = lex(
+            "/// outer doc\n//! inner doc\n// plain\n/** block doc */\nfn x() {}",
+            false,
+        );
+        let kinds: Vec<CommentKind> = f.comments.iter().map(|c| c.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                CommentKind::Doc,
+                CommentKind::Doc,
+                CommentKind::Line,
+                CommentKind::Doc
+            ]
+        );
+    }
+
+    #[test]
+    fn four_slashes_is_not_doc() {
+        let f = lex("//// separator\ncode", false);
+        assert_eq!(f.comments[0].kind, CommentKind::Line);
+    }
+
+    #[test]
+    fn lifetimes_versus_char_literals() {
+        let f = lex(
+            "fn f<'a>(x: &'a str) { let c = 'b'; let nl = '\\n'; let q = '\\''; }",
+            false,
+        );
+        let lifetimes: Vec<&str> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        assert_eq!(
+            f.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Char)
+                .count(),
+            3
+        );
+        // The `b` in `'b'` must not leak out as an identifier.
+        assert!(!idents(&f).contains(&"b"));
+    }
+
+    #[test]
+    fn attributes_are_marked_and_tokens_kept() {
+        let f = lex("#[derive(Debug, Clone)]\nstruct S;", false);
+        let derive = f
+            .tokens
+            .iter()
+            .find(|t| t.text == "derive")
+            .expect("derive token");
+        assert!(derive.in_attr);
+        let s = f.tokens.iter().find(|t| t.text == "S").expect("S token");
+        assert!(!s.in_attr);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_test_scoped() {
+        let src = "fn lib_code() { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n  fn helper() { y.unwrap(); }\n}\n\
+                   fn more_lib() { z }";
+        let f = lex(src, false);
+        let unwraps: Vec<&Token> = f.tokens.iter().filter(|t| t.text == "unwrap").collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!unwraps[0].in_test);
+        assert!(unwraps[1].in_test);
+        let z = f.tokens.iter().find(|t| t.text == "z").expect("z");
+        assert!(!z.in_test, "code after the test mod is lib code again");
+    }
+
+    #[test]
+    fn test_attr_with_stacked_attributes() {
+        let src = "#[test]\n#[allow(dead_code)]\nfn t() { a.unwrap() }\nfn lib() { b }";
+        let f = lex(src, false);
+        let a = f.tokens.iter().find(|t| t.text == "a").expect("a");
+        assert!(a.in_test);
+        let b = f.tokens.iter().find(|t| t.text == "b").expect("b");
+        assert!(!b.in_test);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test_code() {
+        let f = lex("#[cfg(not(test))]\nfn shipping() { x.unwrap() }", false);
+        let x = f.tokens.iter().find(|t| t.text == "x").expect("x");
+        assert!(!x.in_test);
+    }
+
+    #[test]
+    fn whole_file_test_flag() {
+        let f = lex("fn anything() { q.unwrap() }", true);
+        assert!(f.tokens.iter().all(|t| t.in_test));
+    }
+
+    #[test]
+    fn numbers_including_floats_and_exponents() {
+        let f = lex(
+            "let a = 1_000u64; let b = 0.5; let c = 1.5e-3; let r = 1..3;",
+            false,
+        );
+        let nums: Vec<&str> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["1_000u64", "0.5", "1.5e-3", "1", "3"]);
+    }
+}

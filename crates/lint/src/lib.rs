@@ -1,0 +1,402 @@
+//! # anp-lint — workspace determinism & robustness static analysis
+//!
+//! Every result this reproduction publishes rests on byte-identical
+//! determinism (parallel sweeps, `--resume`, the differential oracle)
+//! and on typed-error robustness. Those invariants are enforced
+//! dynamically by the test suites; this crate makes them checkable
+//! *before* any simulation runs, as a self-contained static pass over
+//! all workspace Rust sources. There are no external parser
+//! dependencies — the scanner in [`lexer`] is hand-rolled, consistent
+//! with the workspace's vendored-stand-ins policy.
+//!
+//! ## Diagnostics
+//!
+//! | code | rule |
+//! |------|------|
+//! | D000 | malformed `anp-lint:` directive |
+//! | D001 | `HashMap`/`HashSet` in simulation/result-ordering paths |
+//! | D002 | wall clock (`Instant`/`SystemTime`) or OS entropy in sim crates |
+//! | D003 | `unwrap()`/`expect()`/bare `assert!` in non-test library code |
+//! | D004 | unchecked arithmetic on `SimTime`/`SimDuration` ticks |
+//! | D005 | order-sensitive float accumulation in parallel-collection files |
+//! | D006 | undocumented `pub` item in anp-core/simnet/simmpi |
+//!
+//! A violation can be suppressed only by an inline directive that the
+//! tool records in its report:
+//!
+//! ```text
+//! // anp-lint: allow(D003) — heap is non-empty: checked two lines up
+//! ```
+//!
+//! ## Output
+//!
+//! [`LintReport::render_human`] prints `CODE path:line:col message`
+//! lines; [`LintReport::to_json`] emits the `anp-lint-v1` schema.
+//! Both orders are fully deterministic (sorted by file, then line,
+//! then column, then code), so the JSON is byte-identical for any
+//! `--jobs` setting and any directory-walk order.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+use rules::FileOutcome;
+use std::path::{Path, PathBuf};
+
+/// Options for a workspace lint pass.
+#[derive(Debug, Clone)]
+pub struct LintOptions {
+    /// Worker threads for the per-file scan. The report is identical
+    /// for any value; `1` is fully serial.
+    pub jobs: usize,
+    /// Quick mode: only library/binary sources (skips `tests/`,
+    /// `benches/`, and `examples/` trees).
+    pub quick: bool,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions {
+            jobs: 1,
+            quick: false,
+        }
+    }
+}
+
+/// A surviving (unsuppressed) violation, workspace-relative.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Diagnostic code (`D000` … `D006`).
+    pub code: &'static str,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Explanation of the rule hit.
+    pub message: String,
+    /// The trimmed source line.
+    pub snippet: String,
+}
+
+/// A suppressed violation: where, what, and the recorded reason.
+#[derive(Debug, Clone)]
+pub struct Allowed {
+    /// Diagnostic code that was suppressed.
+    pub code: &'static str,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line of the suppressed violation.
+    pub line: u32,
+    /// Justification from the `anp-lint: allow` directive.
+    pub reason: String,
+}
+
+/// The result of linting a file tree.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// How many `.rs` files were scanned.
+    pub files_scanned: usize,
+    /// Unsuppressed violations, sorted by (file, line, col, code).
+    pub violations: Vec<Violation>,
+    /// Recorded suppressions, sorted by (file, line, code).
+    pub allowed: Vec<Allowed>,
+    /// Whether this was a `--quick` pass (recorded in the JSON so a
+    /// quick report is never mistaken for a full one).
+    pub quick: bool,
+}
+
+/// Why a lint pass could not run to completion.
+#[derive(Debug)]
+pub enum LintError {
+    /// The requested root is not a directory.
+    NotADirectory(PathBuf),
+    /// A file or directory could not be read.
+    Io {
+        /// The offending path.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::NotADirectory(p) => {
+                write!(f, "lint root {} is not a directory", p.display())
+            }
+            LintError::Io { path, source } => {
+                write!(f, "reading {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Directory names never descended into: build artefacts, VCS state,
+/// the vendored dependency stand-ins (not ours to lint), and the lint
+/// crate's own rule fixtures (which contain violations on purpose).
+const SKIP_DIRS: [&str; 4] = ["target", "vendor", ".git", "fixtures"];
+
+/// Collects every workspace `.rs` file under `root`, sorted by
+/// workspace-relative path so downstream order never depends on the
+/// directory walk.
+pub fn collect_files(root: &Path, quick: bool) -> Result<Vec<String>, LintError> {
+    if !root.is_dir() {
+        return Err(LintError::NotADirectory(root.to_path_buf()));
+    }
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    if quick {
+        files.retain(|f| !rules_test_tree(f));
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn rules_test_tree(rel: &str) -> bool {
+    rel.starts_with("tests/")
+        || rel.contains("/tests/")
+        || rel.starts_with("benches/")
+        || rel.contains("/benches/")
+        || rel.starts_with("examples/")
+        || rel.contains("/examples/")
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), LintError> {
+    let entries = std::fs::read_dir(dir).map_err(|source| LintError::Io {
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    for entry in entries {
+        let entry = entry.map_err(|source| LintError::Io {
+            path: dir.to_path_buf(),
+            source,
+        })?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                let rel: Vec<String> = rel
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect();
+                out.push(rel.join("/"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lints one source text as if it lived at `rel_path`; the entry point
+/// for fixture and unit tests.
+pub fn lint_source(rel_path: &str, text: &str) -> FileOutcome {
+    rules::lint_source(rel_path, text)
+}
+
+/// Lints every workspace source under `root`. The scan fans out over
+/// `opts.jobs` worker threads with interleaved file assignment; the
+/// merged report is sorted, so output is byte-identical for any job
+/// count.
+pub fn lint_workspace(root: &Path, opts: &LintOptions) -> Result<LintReport, LintError> {
+    let files = collect_files(root, opts.quick)?;
+    let jobs = opts.jobs.max(1).min(files.len().max(1));
+
+    // Worker w owns files w, w+jobs, w+2*jobs, … — disjoint slots, no
+    // locks, and the final sort keys on content, not completion order.
+    let mut slots: Vec<Vec<Result<(String, FileOutcome), LintError>>> = Vec::new();
+    for _ in 0..jobs {
+        slots.push(Vec::new());
+    }
+    std::thread::scope(|s| {
+        for (w, slot) in slots.iter_mut().enumerate() {
+            let files = &files;
+            s.spawn(move || {
+                let mut idx = w;
+                while idx < files.len() {
+                    let rel = &files[idx];
+                    let path = root.join(rel);
+                    let item = match std::fs::read_to_string(&path) {
+                        Ok(text) => Ok((rel.clone(), lint_source(rel, &text))),
+                        Err(source) => Err(LintError::Io { path, source }),
+                    };
+                    slot.push(item);
+                    idx += jobs;
+                }
+            });
+        }
+    });
+
+    let mut report = LintReport {
+        files_scanned: files.len(),
+        quick: opts.quick,
+        ..LintReport::default()
+    };
+    for item in slots.into_iter().flatten() {
+        let (rel, outcome) = item?;
+        for (v, snippet) in outcome.violations.into_iter().zip(outcome.snippets) {
+            report.violations.push(Violation {
+                code: v.code,
+                file: rel.clone(),
+                line: v.line,
+                col: v.col,
+                message: v.message,
+                snippet,
+            });
+        }
+        for a in outcome.allowed {
+            report.allowed.push(Allowed {
+                code: a.code,
+                file: rel.clone(),
+                line: a.line,
+                reason: a.reason,
+            });
+        }
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.code).cmp(&(&b.file, b.line, b.col, b.code)));
+    report
+        .allowed
+        .sort_by(|a, b| (&a.file, a.line, a.code).cmp(&(&b.file, b.line, b.code)));
+    Ok(report)
+}
+
+impl LintReport {
+    /// True when no unsuppressed violation survived.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violation count for one diagnostic code.
+    pub fn count(&self, code: &str) -> usize {
+        self.violations.iter().filter(|v| v.code == code).count()
+    }
+
+    /// Human-readable report: one `CODE path:line:col message` block per
+    /// violation, then the suppression audit trail and a summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!(
+                "{} {}:{}:{} {}\n    {}\n",
+                v.code, v.file, v.line, v.col, v.message, v.snippet
+            ));
+        }
+        if !self.allowed.is_empty() {
+            out.push_str(&format!(
+                "{} recorded suppression(s):\n",
+                self.allowed.len()
+            ));
+            for a in &self.allowed {
+                out.push_str(&format!(
+                    "  {} {}:{} — {}\n",
+                    a.code, a.file, a.line, a.reason
+                ));
+            }
+        }
+        let mode = if self.quick { " (quick)" } else { "" };
+        if self.is_clean() {
+            out.push_str(&format!(
+                "anp-lint: clean{mode} — {} files, 0 violations, {} suppressions\n",
+                self.files_scanned,
+                self.allowed.len()
+            ));
+        } else {
+            out.push_str(&format!(
+                "anp-lint: FAILED{mode} — {} files, {} violation(s), {} suppression(s)\n",
+                self.files_scanned,
+                self.violations.len(),
+                self.allowed.len()
+            ));
+        }
+        out
+    }
+
+    /// The `anp-lint-v1` machine-readable report. Key order, member
+    /// order, and formatting are fixed; the bytes depend only on the
+    /// linted tree, never on `--jobs` or walk order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("\"schema\":\"anp-lint-v1\",\n");
+        out.push_str(&format!("\"quick\":{},\n", self.quick));
+        out.push_str(&format!("\"files_scanned\":{},\n", self.files_scanned));
+        out.push_str("\"violations\":[");
+        for (i, v) in self.violations.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "{{\"code\":\"{}\",\"file\":\"{}\",\"line\":{},\"column\":{},\"message\":\"{}\",\"snippet\":\"{}\"}}",
+                v.code,
+                json_escape(&v.file),
+                v.line,
+                v.col,
+                json_escape(&v.message),
+                json_escape(&v.snippet)
+            ));
+        }
+        out.push_str("\n],\n\"allowed\":[");
+        for (i, a) in self.allowed.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "{{\"code\":\"{}\",\"file\":\"{}\",\"line\":{},\"reason\":\"{}\"}}",
+                a.code,
+                json_escape(&a.file),
+                a.line,
+                json_escape(&a.reason)
+            ));
+        }
+        out.push_str("\n],\n\"summary\":{");
+        for code in rules::ALL_CODES {
+            out.push_str(&format!("\"{}\":{},", code, self.count(code)));
+        }
+        out.push_str(&format!("\"total\":{}}}\n}}\n", self.violations.len()));
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escape_covers_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn report_json_is_well_formed_when_empty() {
+        let r = LintReport::default();
+        let j = r.to_json();
+        assert!(j.contains("\"schema\":\"anp-lint-v1\""));
+        assert!(j.contains("\"total\":0"));
+    }
+}

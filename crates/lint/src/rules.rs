@@ -1,0 +1,711 @@
+//! The diagnostic rules (D001–D006) and the suppression pass.
+//!
+//! Each rule is a scoped token-pattern match over a [`LexedFile`]; the
+//! scopes encode where the workspace's determinism contract applies
+//! (see DESIGN.md, "Static analysis: the determinism contract").
+//! Suppression is only possible through an inline directive the tool
+//! records:
+//!
+//! ```text
+//! // anp-lint: allow(D003) — reason the site is sound
+//! ```
+//!
+//! placed on the violating line or on the line directly above it. A
+//! directive that does not parse is itself a violation (D000), so a
+//! typo'd allow can never silently disable a rule.
+
+use crate::lexer::{lex, CommentKind, LexedFile, Token, TokenKind};
+
+/// All diagnostic codes, in report order.
+pub const ALL_CODES: [&str; 7] = ["D000", "D001", "D002", "D003", "D004", "D005", "D006"];
+
+/// A rule hit before suppression is applied.
+#[derive(Debug, Clone)]
+pub struct RawViolation {
+    /// Diagnostic code (`D001` … `D006`, or `D000` for a malformed
+    /// directive).
+    pub code: &'static str,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable explanation of the hit.
+    pub message: String,
+}
+
+/// A suppressed violation, recorded with the directive's reason.
+#[derive(Debug, Clone)]
+pub struct AllowedHit {
+    /// Diagnostic code that was suppressed.
+    pub code: &'static str,
+    /// 1-based line of the suppressed violation.
+    pub line: u32,
+    /// The justification text from the allow directive.
+    pub reason: String,
+}
+
+/// Outcome of linting one file: surviving violations plus the recorded
+/// suppressions.
+#[derive(Debug, Default)]
+pub struct FileOutcome {
+    /// Violations that no directive suppressed.
+    pub violations: Vec<RawViolation>,
+    /// Suppressed hits, with reasons (the audit trail).
+    pub allowed: Vec<AllowedHit>,
+    /// Trimmed source lines for snippets, keyed by violation line.
+    pub snippets: Vec<String>,
+}
+
+/// Parsed `anp-lint: allow(...)` directive.
+struct AllowDirective {
+    codes: Vec<String>,
+    reason: String,
+    line: u32,
+}
+
+/// Lints a single source text as if it lived at `rel_path` (workspace-
+/// relative, forward slashes). This is the whole per-file pipeline:
+/// lex, run every scoped rule, then apply suppressions.
+pub fn lint_source(rel_path: &str, text: &str) -> FileOutcome {
+    let whole_file_is_test = is_test_path(rel_path);
+    let file = lex(text, whole_file_is_test);
+
+    let mut raw: Vec<RawViolation> = Vec::new();
+    let mut directives: Vec<AllowDirective> = Vec::new();
+    scan_directives(&file, &mut raw, &mut directives);
+
+    if in_scope(rel_path, D001_SCOPE) {
+        rule_d001(&file, &mut raw);
+    }
+    if in_scope(rel_path, D002_SCOPE) {
+        rule_d002(&file, &mut raw);
+    }
+    if d003_in_scope(rel_path) {
+        rule_d003(&file, &mut raw);
+    }
+    rule_d004(&file, &mut raw);
+    rule_d005(&file, &mut raw);
+    if in_scope(rel_path, D006_SCOPE) && !whole_file_is_test {
+        rule_d006(&file, &mut raw);
+    }
+
+    apply_suppressions(&file, raw, &directives)
+}
+
+/// Paths where D001 (hash collections) applies: the simulation and
+/// result-ordering crates. `IdHashMap` (deterministic hasher) is exempt
+/// by name; `std` hash collections are not.
+const D001_SCOPE: &[&str] = &[
+    "crates/simnet/src/",
+    "crates/simmpi/src/",
+    "crates/core/src/",
+    "crates/flowsim/src/",
+];
+
+/// Paths where D002 (wall clock / OS entropy) applies: everything that
+/// executes *inside* simulated time. The experiment drivers in
+/// `anp-core` legitimately read wall clocks for telemetry and budgets,
+/// so they are out of scope here.
+const D002_SCOPE: &[&str] = &[
+    "crates/simnet/src/",
+    "crates/simmpi/src/",
+    "crates/flowsim/src/",
+    "crates/workloads/src/",
+];
+
+/// Paths where D006 (pub items documented) applies.
+const D006_SCOPE: &[&str] = &[
+    "crates/core/src/",
+    "crates/simnet/src/",
+    "crates/simmpi/src/",
+];
+
+fn in_scope(rel_path: &str, scope: &[&str]) -> bool {
+    scope.iter().any(|p| rel_path.starts_with(p))
+}
+
+/// D003 applies to non-test *library* code: every `crates/*/src` file
+/// that is not a binary (`src/bin/`), plus the root `src/lib.rs`.
+fn d003_in_scope(rel_path: &str) -> bool {
+    if rel_path == "src/lib.rs" {
+        return true;
+    }
+    rel_path.starts_with("crates/")
+        && rel_path.contains("/src/")
+        && !rel_path.contains("/src/bin/")
+        && !is_test_path(rel_path)
+}
+
+fn is_test_path(rel_path: &str) -> bool {
+    rel_path.starts_with("tests/")
+        || rel_path.contains("/tests/")
+        || rel_path.starts_with("benches/")
+        || rel_path.contains("/benches/")
+        || rel_path.starts_with("examples/")
+        || rel_path.contains("/examples/")
+}
+
+/// True for tokens the token-pattern rules should look at.
+fn live(t: &Token) -> bool {
+    !t.in_attr && !t.in_test
+}
+
+// ---------------------------------------------------------------- D001
+
+fn rule_d001(file: &LexedFile, out: &mut Vec<RawViolation>) {
+    for t in &file.tokens {
+        if !live(t) || t.kind != TokenKind::Ident {
+            continue;
+        }
+        if t.text == "HashMap" || t.text == "HashSet" {
+            out.push(RawViolation {
+                code: "D001",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}` iteration order is nondeterministic (RandomState): use \
+                     `BTreeMap`/`BTreeSet`, or `IdHashMap` with documented sorted \
+                     iteration, in simulation/result-ordering paths",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------- D002
+
+fn rule_d002(file: &LexedFile, out: &mut Vec<RawViolation>) {
+    for t in &file.tokens {
+        if !live(t) || t.kind != TokenKind::Ident {
+            continue;
+        }
+        if matches!(
+            t.text.as_str(),
+            "Instant" | "SystemTime" | "thread_rng" | "from_entropy" | "OsRng"
+        ) {
+            out.push(RawViolation {
+                code: "D002",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}` injects wall-clock time or OS entropy into a simulation \
+                     crate; simulated time must come from `SimTime` and randomness \
+                     from seeded `StdRng`",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------- D003
+
+fn rule_d003(file: &LexedFile, out: &mut Vec<RawViolation>) {
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !live(t) || t.kind != TokenKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "unwrap" | "expect" => {
+                let after_dot =
+                    i > 0 && toks[i - 1].text == "." && toks[i - 1].kind == TokenKind::Punct;
+                let called = toks.get(i + 1).is_some_and(|n| n.text == "(");
+                if after_dot && called {
+                    out.push(RawViolation {
+                        code: "D003",
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "`.{}()` in non-test library code can panic; return a \
+                             typed error (extend the crate's error enum) or prove \
+                             the case impossible and allow it with a reason",
+                            t.text
+                        ),
+                    });
+                }
+            }
+            "assert" if toks.get(i + 1).is_some_and(|n| n.text == "!") => {
+                out.push(RawViolation {
+                    code: "D003",
+                    line: t.line,
+                    col: t.col,
+                    message: "bare `assert!` in non-test library code panics in \
+                              release builds; use `debug_assert!` for internal \
+                              invariants or a typed error for reachable conditions"
+                        .to_string(),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------- D004
+
+const SIMTIME_ACCESSORS: [&str; 3] = ["as_nanos", "as_micros", "as_millis"];
+const SIMTIME_CONSTRUCTORS: [&str; 4] = ["from_nanos", "from_micros", "from_millis", "from_secs"];
+
+/// True when `tok` is a binary `+`/`-`/`*` (not unary deref/negation):
+/// binary operators follow a value-ending token.
+fn is_binary_arith(toks: &[Token], i: usize) -> bool {
+    let t = &toks[i];
+    if t.kind != TokenKind::Punct || !matches!(t.text.as_str(), "+" | "-" | "*") {
+        return false;
+    }
+    let Some(prev) = toks.get(i.wrapping_sub(1)) else {
+        return false;
+    };
+    if i == 0 {
+        return false;
+    }
+    match prev.kind {
+        TokenKind::Ident | TokenKind::Number | TokenKind::Str | TokenKind::Char => true,
+        TokenKind::Punct => matches!(prev.text.as_str(), ")" | "]"),
+        TokenKind::Lifetime => false,
+    }
+}
+
+fn rule_d004(file: &LexedFile, out: &mut Vec<RawViolation>) {
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !live(t) || t.kind != TokenKind::Ident {
+            continue;
+        }
+        // `x.as_nanos() + …`: raw integer arithmetic on extracted ticks.
+        if SIMTIME_ACCESSORS.contains(&t.text.as_str())
+            && i >= 1
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).is_some_and(|n| n.text == "(")
+            && toks.get(i + 2).is_some_and(|n| n.text == ")")
+            && i + 3 < toks.len()
+            && is_binary_arith(toks, i + 3)
+        {
+            out.push(RawViolation {
+                code: "D004",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "unchecked `{}{}() {}` arithmetic on extracted ticks wraps in \
+                     release builds; compute in SimTime/SimDuration space (their \
+                     Add/Sub/Mul are overflow-checked) or use checked integer ops",
+                    ".",
+                    t.text,
+                    toks[i + 3].text
+                ),
+            });
+        }
+        // `SimTime::from_nanos(a + b)`: arithmetic inside the constructor
+        // argument happens *before* the checked constructor sees it.
+        if (t.text == "SimTime" || t.text == "SimDuration")
+            && toks.get(i + 1).is_some_and(|n| n.text == ":")
+            && toks.get(i + 2).is_some_and(|n| n.text == ":")
+            && toks
+                .get(i + 3)
+                .is_some_and(|n| SIMTIME_CONSTRUCTORS.contains(&n.text.as_str()))
+            && toks.get(i + 4).is_some_and(|n| n.text == "(")
+        {
+            let open = i + 4;
+            let mut depth = 0i32;
+            for (off, a) in toks[open..].iter().enumerate() {
+                match a.text.as_str() {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {
+                        if depth >= 1 && is_binary_arith(toks, open + off) {
+                            out.push(RawViolation {
+                                code: "D004",
+                                line: a.line,
+                                col: a.col,
+                                message: format!(
+                                    "arithmetic (`{}`) inside `{}::{}(…)` is unchecked \
+                                     integer math; build the operands as \
+                                     SimTime/SimDuration and use their checked operators",
+                                    a.text,
+                                    t.text,
+                                    toks[i + 3].text
+                                ),
+                            });
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- D005
+
+fn rule_d005(file: &LexedFile, out: &mut Vec<RawViolation>) {
+    let toks = &file.tokens;
+    // The rule only fires in files that do parallel collection at all.
+    let parallel = toks.iter().enumerate().any(|(i, t)| {
+        t.kind == TokenKind::Ident
+            && live(t)
+            && (((t.text == "scope" || t.text == "spawn")
+                && i >= 3
+                && toks[i - 1].text == ":"
+                && toks[i - 2].text == ":"
+                && toks[i - 3].text == "thread")
+                || t.text == "mpsc")
+    });
+    if !parallel {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if !live(t) || t.kind != TokenKind::Ident {
+            continue;
+        }
+        // `.sum::<f64>()` / `.sum::<f32>()`
+        if t.text == "sum"
+            && toks.get(i + 1).is_some_and(|n| n.text == ":")
+            && toks.get(i + 2).is_some_and(|n| n.text == ":")
+            && toks.get(i + 3).is_some_and(|n| n.text == "<")
+            && toks
+                .get(i + 4)
+                .is_some_and(|n| n.text == "f64" || n.text == "f32")
+        {
+            out.push(RawViolation {
+                code: "D005",
+                line: t.line,
+                col: t.col,
+                message: "float reduction in a file that collects results in \
+                          parallel: float addition is order-sensitive, so the \
+                          accumulation must run over an index-ordered container \
+                          (document it with an allow, or restructure)"
+                    .to_string(),
+            });
+        }
+        // `.fold(0.0, …)` — a float-seeded fold.
+        if t.text == "fold"
+            && toks.get(i + 1).is_some_and(|n| n.text == "(")
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| n.kind == TokenKind::Number && n.text.contains('.'))
+        {
+            out.push(RawViolation {
+                code: "D005",
+                line: t.line,
+                col: t.col,
+                message: "float-seeded `fold` in a file that collects results in \
+                          parallel: float addition is order-sensitive, so the \
+                          accumulation must run over an index-ordered container \
+                          (document it with an allow, or restructure)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------- D006
+
+const ITEM_KEYWORDS: [&str; 9] = [
+    "fn", "struct", "enum", "trait", "type", "const", "static", "mod", "union",
+];
+
+fn rule_d006(file: &LexedFile, out: &mut Vec<RawViolation>) {
+    // Lines carrying a doc comment (`///`, `//!`, `/** */`) or a `doc`
+    // attribute; lines that are purely attributes are transparent when
+    // scanning upward from an item to its docs.
+    let nlines = file.lines.len() + 2;
+    let mut doc_line = vec![false; nlines];
+    let mut comment_line = vec![false; nlines];
+    for c in &file.comments {
+        for l in c.line..=c.end_line {
+            if let Some(slot) = comment_line.get_mut(l as usize) {
+                *slot = true;
+            }
+            if c.kind == CommentKind::Doc {
+                if let Some(slot) = doc_line.get_mut(l as usize) {
+                    *slot = true;
+                }
+            }
+        }
+    }
+    let mut attr_line = vec![false; nlines];
+    let mut code_line = vec![false; nlines];
+    for t in &file.tokens {
+        let l = t.line as usize;
+        if l >= nlines {
+            continue;
+        }
+        if t.in_attr {
+            attr_line[l] = true;
+            if t.kind == TokenKind::Ident && t.text == "doc" {
+                doc_line[l] = true;
+            }
+        } else {
+            code_line[l] = true;
+        }
+    }
+
+    let toks = &file.tokens;
+    // Track trait-impl blocks: their members are documented on the trait.
+    let mut block_stack: Vec<bool> = Vec::new(); // true = trait impl
+    let mut pending_block_is_trait_impl = false;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.in_attr || t.in_test {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "{" => {
+                block_stack.push(pending_block_is_trait_impl);
+                pending_block_is_trait_impl = false;
+            }
+            "}" => {
+                block_stack.pop();
+            }
+            "impl" if t.kind == TokenKind::Ident => {
+                // Scan the impl header up to its `{`: a `for` keyword (not
+                // the HRTB `for<…>`) marks a trait impl.
+                let mut j = i + 1;
+                while j < toks.len() && toks[j].text != "{" {
+                    if toks[j].kind == TokenKind::Ident
+                        && toks[j].text == "for"
+                        && toks.get(j + 1).map(|n| n.text.as_str()) != Some("<")
+                    {
+                        pending_block_is_trait_impl = true;
+                    }
+                    j += 1;
+                }
+            }
+            "pub" if t.kind == TokenKind::Ident => {
+                if block_stack.iter().any(|trait_impl| *trait_impl) {
+                    i += 1;
+                    continue;
+                }
+                let mut j = i + 1;
+                // `pub(crate)` / `pub(super)` are not public API.
+                if toks.get(j).is_some_and(|n| n.text == "(") {
+                    i += 1;
+                    continue;
+                }
+                // Skip modifiers to the item keyword.
+                while toks
+                    .get(j)
+                    .is_some_and(|n| matches!(n.text.as_str(), "unsafe" | "async" | "extern"))
+                {
+                    j += 1;
+                }
+                let Some(kw) = toks.get(j) else {
+                    break;
+                };
+                let is_item = ITEM_KEYWORDS.contains(&kw.text.as_str())
+                    || (kw.text == "const" && toks.get(j + 1).is_some_and(|n| n.text == "fn"));
+                if !is_item {
+                    // `pub use`, struct fields, macro output: not D006's
+                    // business.
+                    i += 1;
+                    continue;
+                }
+                // `pub mod name;` (out-of-line): the module's docs live
+                // in its own file as `//!`, where `missing_docs` checks
+                // them; only inline `pub mod name { … }` is ours.
+                if kw.text == "mod" && toks.get(j + 2).is_some_and(|n| n.text == ";") {
+                    i += 1;
+                    continue;
+                }
+                let mut l = t.line as usize;
+                let mut documented = false;
+                while l > 1 {
+                    l -= 1;
+                    if doc_line[l] {
+                        documented = true;
+                        break;
+                    }
+                    // Attribute lines and plain-comment lines (including
+                    // anp-lint directives) sit legally between an item
+                    // and its docs.
+                    if (attr_line[l] || comment_line[l]) && !code_line[l] {
+                        continue;
+                    }
+                    break;
+                }
+                if !documented {
+                    out.push(RawViolation {
+                        code: "D006",
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "public `{}` in a contract crate (anp-core/simnet/simmpi) \
+                             has no doc comment; every exported item must state its \
+                             contract",
+                            kw.text
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+// ------------------------------------------------------- suppressions
+
+/// Recognizes `anp-lint:` directives in line comments; a directive that
+/// fails to parse becomes a D000 violation so typos cannot silently
+/// disable a rule.
+fn scan_directives(
+    file: &LexedFile,
+    raw: &mut Vec<RawViolation>,
+    directives: &mut Vec<AllowDirective>,
+) {
+    for c in &file.comments {
+        if c.kind != CommentKind::Line {
+            continue;
+        }
+        let text = c.text.trim_start();
+        if !text.starts_with("anp-lint:") {
+            continue;
+        }
+        match parse_directive(text) {
+            Some((codes, reason)) => directives.push(AllowDirective {
+                codes,
+                reason,
+                line: c.line,
+            }),
+            None => raw.push(RawViolation {
+                code: "D000",
+                line: c.line,
+                col: 1,
+                message: "malformed anp-lint directive; expected \
+                          `// anp-lint: allow(Dnnn[, Dnnn…]) — reason`"
+                    .to_string(),
+            }),
+        }
+    }
+}
+
+/// Parses `anp-lint: allow(D001, D003) — reason`. The reason separator
+/// may be an em-dash `—`, `--`, or a single `-`; the reason must be
+/// non-empty.
+fn parse_directive(text: &str) -> Option<(Vec<String>, String)> {
+    let rest = text.strip_prefix("anp-lint:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let (code_list, tail) = rest.split_at(close);
+    let mut codes = Vec::new();
+    for code in code_list.split(',') {
+        let code = code.trim();
+        if code.len() != 4
+            || !code.starts_with('D')
+            || !code[1..].chars().all(|c| c.is_ascii_digit())
+        {
+            return None;
+        }
+        codes.push(code.to_string());
+    }
+    if codes.is_empty() {
+        return None;
+    }
+    let tail = tail[1..].trim_start();
+    let reason = tail
+        .strip_prefix('—')
+        .or_else(|| tail.strip_prefix("--"))
+        .or_else(|| tail.strip_prefix('-'))?
+        .trim();
+    if reason.is_empty() {
+        return None;
+    }
+    Some((codes, reason.to_string()))
+}
+
+/// A directive on line `L` suppresses matching violations on `L` (the
+/// trailing-comment style) and on `L+1` (the comment-above style).
+fn apply_suppressions(
+    file: &LexedFile,
+    raw: Vec<RawViolation>,
+    directives: &[AllowDirective],
+) -> FileOutcome {
+    let mut outcome = FileOutcome::default();
+    for v in raw {
+        let hit = directives.iter().find(|d| {
+            (d.line == v.line || d.line + 1 == v.line) && d.codes.iter().any(|c| c == v.code)
+        });
+        match hit {
+            Some(d) => outcome.allowed.push(AllowedHit {
+                code: v.code,
+                line: v.line,
+                reason: d.reason.clone(),
+            }),
+            None => {
+                outcome.snippets.push(file.snippet(v.line));
+                outcome.violations.push(v);
+            }
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directive_parses_all_separators() {
+        for sep in ["—", "--", "-"] {
+            let (codes, reason) =
+                parse_directive(&format!("anp-lint: allow(D001, D003) {sep} fine here"))
+                    .expect("parses");
+            assert_eq!(codes, vec!["D001", "D003"]);
+            assert_eq!(reason, "fine here");
+        }
+    }
+
+    #[test]
+    fn directive_requires_reason_and_valid_codes() {
+        assert!(parse_directive("anp-lint: allow(D001) —").is_none());
+        assert!(parse_directive("anp-lint: allow(D001)").is_none());
+        assert!(parse_directive("anp-lint: allow(D1) — short code").is_none());
+        assert!(parse_directive("anp-lint: allow() — empty").is_none());
+        assert!(parse_directive("anp-lint: permit(D001) — wrong verb").is_none());
+    }
+
+    #[test]
+    fn malformed_directive_is_d000() {
+        let out = lint_source(
+            "crates/simnet/src/x.rs",
+            "// anp-lint: allow(D001)\nfn f() {}\n",
+        );
+        assert_eq!(out.violations.len(), 1);
+        assert_eq!(out.violations[0].code, "D000");
+    }
+
+    #[test]
+    fn suppression_covers_same_line_and_next_line() {
+        let src = "use std::collections::HashMap; // anp-lint: allow(D001) — test of trailing\n\
+                   // anp-lint: allow(D001) — test of above\n\
+                   use std::collections::HashMap;\n\
+                   use std::collections::HashMap;\n";
+        let out = lint_source("crates/simnet/src/x.rs", src);
+        assert_eq!(out.allowed.len(), 2);
+        assert_eq!(out.violations.len(), 1);
+        assert_eq!(out.violations[0].line, 4);
+    }
+
+    #[test]
+    fn scopes_gate_the_rules() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(
+            lint_source("crates/simnet/src/x.rs", src).violations.len(),
+            1
+        );
+        assert_eq!(
+            lint_source("crates/metrics/src/x.rs", src).violations.len(),
+            0
+        );
+        assert_eq!(lint_source("tests/x.rs", src).violations.len(), 0);
+    }
+}

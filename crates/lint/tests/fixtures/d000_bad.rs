@@ -1,0 +1,13 @@
+//! D000 fixture: malformed suppression directives.
+
+/// Reads the head of a queue.
+pub fn head(q: &[u64]) -> u64 {
+    // anp-lint: allow(D003)
+    q.first().copied().unwrap_or(0)
+}
+
+/// Reads the tail of a queue.
+pub fn tail(q: &[u64]) -> u64 {
+    // anp-lint: alow(D003) — typo in the verb
+    q.last().copied().unwrap_or(0)
+}

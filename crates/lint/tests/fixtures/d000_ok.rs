@@ -1,0 +1,7 @@
+//! D000 fixture: a well-formed directive suppressing a real hit.
+
+/// Reads the head of a non-empty queue.
+pub fn head(q: &[u64]) -> u64 {
+    // anp-lint: allow(D003) — the caller guarantees a non-empty queue by construction
+    q.first().copied().expect("non-empty by contract")
+}

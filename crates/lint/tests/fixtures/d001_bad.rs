@@ -1,0 +1,15 @@
+//! D001 fixture: randomized-hash collections in a simulation path.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+/// Per-flow byte counters keyed by flow id.
+pub fn tally(flows: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut bytes: HashMap<u64, u64> = HashMap::new();
+    for &(flow, n) in flows {
+        seen.insert(flow);
+        *bytes.entry(flow).or_insert(0) += n;
+    }
+    bytes.into_iter().collect()
+}

@@ -1,0 +1,15 @@
+//! D001 fixture: ordered collections keep iteration deterministic.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// Per-flow byte counters keyed by flow id, in flow-id order.
+pub fn tally(flows: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    let mut bytes: BTreeMap<u64, u64> = BTreeMap::new();
+    for &(flow, n) in flows {
+        seen.insert(flow);
+        *bytes.entry(flow).or_insert(0) += n;
+    }
+    bytes.into_iter().collect()
+}

@@ -1,0 +1,10 @@
+//! D002 fixture: wall-clock reads inside a simulation crate.
+
+use std::time::Instant;
+
+/// Times one simulated step with the host clock (non-reproducible).
+pub fn step_duration() -> f64 {
+    let start = Instant::now();
+    let elapsed = start.elapsed();
+    elapsed.as_secs_f64()
+}

@@ -1,0 +1,8 @@
+//! D002 fixture: simulated time only; no host clock, no OS entropy.
+
+/// Advances a simulated clock by a fixed step and reports it in
+/// seconds. Every quantity derives from simulation state.
+pub fn step_duration(now_ns: u64, step_ns: u64) -> f64 {
+    let next = now_ns.saturating_add(step_ns);
+    (next - now_ns) as f64 / 1e9
+}

@@ -1,0 +1,9 @@
+//! D003 fixture: panicking calls in non-test library code.
+
+/// Returns the first sample, panicking when the slice is empty.
+pub fn first(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "no samples");
+    let head = samples.first().expect("just checked");
+    let tail = samples.last().unwrap();
+    head.max(*tail)
+}

@@ -1,0 +1,22 @@
+//! D003 fixture: typed errors instead of panics; test code may assert.
+
+/// Returns the larger of the first and last sample, or `None` when the
+/// slice is empty.
+pub fn first(samples: &[f64]) -> Option<f64> {
+    let head = samples.first()?;
+    let tail = samples.last()?;
+    Some(head.max(*tail))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::first;
+
+    #[test]
+    fn picks_larger_endpoint() {
+        // Test code is outside D003's scope: these panicking forms are fine.
+        assert!(first(&[]).is_none());
+        let v = first(&[1.0, 3.0]).unwrap();
+        assert_eq!(v, 3.0);
+    }
+}

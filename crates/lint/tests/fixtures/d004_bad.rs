@@ -1,0 +1,13 @@
+//! D004 fixture: unchecked tick arithmetic on simulation time types.
+
+use crate::{SimDuration, SimTime};
+
+/// Midpoint of a window via raw tick arithmetic — wraps on overflow.
+pub fn window_mid(start: SimTime, width: SimDuration) -> u64 {
+    start.as_nanos() + width.as_nanos() / 2
+}
+
+/// Builds a duration from raw multiplied ticks.
+pub fn scaled(base_ns: u64, factor: u64) -> SimDuration {
+    SimDuration::from_nanos(base_ns * factor)
+}

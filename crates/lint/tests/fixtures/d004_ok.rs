@@ -1,0 +1,14 @@
+//! D004 fixture: time arithmetic through the checked constructors.
+
+use crate::{SimDuration, SimTime};
+
+/// Midpoint of a window using the checked operators on the time types
+/// themselves (their `Add`/`Sub` impls reject overflow).
+pub fn window_mid(start: SimTime, width: SimDuration) -> SimTime {
+    start + SimDuration::from_nanos(width.as_nanos() / 2)
+}
+
+/// Builds a duration from ticks scaled by the checked multiplier.
+pub fn scaled(base_ns: u64, factor: u64) -> SimDuration {
+    SimDuration::from_nanos(base_ns).checked_mul(factor)
+}

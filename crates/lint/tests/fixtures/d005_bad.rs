@@ -1,0 +1,18 @@
+//! D005 fixture: order-sensitive float reduction in a file that
+//! collects results from worker threads.
+
+/// Fans samples out to workers, then reduces in completion order.
+pub fn parallel_mean(chunks: Vec<Vec<f64>>) -> f64 {
+    let mut partials = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|c| s.spawn(|| c.iter().copied().sum::<f64>()))
+            .collect();
+        for h in handles {
+            partials.push(h.join().unwrap_or(0.0));
+        }
+    });
+    let n = partials.len() as f64;
+    partials.into_iter().fold(0.0f64, |a, b| a + b) / n
+}

@@ -1,0 +1,31 @@
+//! D005 fixture: per-index result slots make the reduction order a
+//! pure function of the task order, not of thread timing.
+
+/// Fans samples out to workers; partial sums land in their own indexed
+/// slot and the final reduction walks the slots in index order.
+pub fn parallel_mean(chunks: Vec<Vec<f64>>) -> f64 {
+    let mut partials = vec![0.0f64; chunks.len()];
+    std::thread::scope(|s| {
+        let mut rest = partials.as_mut_slice();
+        for chunk in &chunks {
+            let (slot, tail) = match rest.split_first_mut() {
+                Some(pair) => pair,
+                None => break,
+            };
+            rest = tail;
+            s.spawn(move || {
+                let mut acc = 0.0f64;
+                for x in chunk {
+                    acc += x;
+                }
+                *slot = acc;
+            });
+        }
+    });
+    let n = partials.len() as f64;
+    let mut total = 0.0f64;
+    for p in &partials {
+        total += p;
+    }
+    total / n
+}

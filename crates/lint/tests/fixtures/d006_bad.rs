@@ -1,0 +1,13 @@
+//! D006 fixture: undocumented public API surface.
+
+/// Documented wrapper so only the items below violate.
+pub struct Window {
+    /// Inclusive start tick.
+    pub start: u64,
+}
+
+pub fn undocumented_width(w: &Window) -> u64 {
+    w.start
+}
+
+pub const UNDOCUMENTED_CAP: u64 = 1024;

@@ -1,0 +1,15 @@
+//! D006 fixture: every public item carries a doc comment.
+
+/// A half-open measurement window.
+pub struct Window {
+    /// Inclusive start tick.
+    pub start: u64,
+}
+
+/// Width of the window in ticks.
+pub fn documented_width(w: &Window) -> u64 {
+    w.start
+}
+
+/// Hard cap on concurrent windows.
+pub const DOCUMENTED_CAP: u64 = 1024;

@@ -1,0 +1,151 @@
+//! Per-rule fixture tests: every diagnostic code has one violating and
+//! one clean fixture, linted under a rule-appropriate synthetic path.
+//! The fixtures live in `tests/fixtures/`, which the workspace walk
+//! skips, so they never pollute a real `anp lint` run.
+
+use anp_lint::lint_source;
+
+/// Lints `fixture` as if it lived at `rel_path` and returns the codes
+/// of its unsuppressed violations.
+fn codes(rel_path: &str, fixture: &str) -> Vec<&'static str> {
+    let outcome = lint_source(rel_path, fixture);
+    outcome.violations.iter().map(|v| v.code).collect()
+}
+
+/// Asserts that the bad fixture trips `code` (and nothing else) while
+/// the clean fixture is silent under the same path.
+fn check_pair(code: &str, rel_path: &str, bad: &str, ok: &str) {
+    let bad_codes = codes(rel_path, bad);
+    assert!(
+        !bad_codes.is_empty(),
+        "{code}: bad fixture produced no violations at {rel_path}"
+    );
+    assert!(
+        bad_codes.iter().all(|c| *c == code),
+        "{code}: bad fixture tripped other rules too: {bad_codes:?}"
+    );
+    let ok_codes = codes(rel_path, ok);
+    assert!(
+        ok_codes.is_empty(),
+        "{code}: clean fixture is not clean at {rel_path}: {ok_codes:?}"
+    );
+}
+
+#[test]
+fn d000_malformed_directives() {
+    let bad_codes = codes(
+        "crates/simnet/src/fixture.rs",
+        include_str!("fixtures/d000_bad.rs"),
+    );
+    assert_eq!(
+        bad_codes.iter().filter(|c| **c == "D000").count(),
+        2,
+        "both malformed directives must be reported: {bad_codes:?}"
+    );
+    // The reasonless directive suppresses nothing, so the `unwrap_or`
+    // line underneath stays clean but the typo'd one is inert too.
+    let outcome = lint_source(
+        "crates/simnet/src/fixture.rs",
+        include_str!("fixtures/d000_ok.rs"),
+    );
+    assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
+    assert_eq!(outcome.allowed.len(), 1, "the allow must be recorded");
+    assert_eq!(outcome.allowed[0].code, "D003");
+}
+
+#[test]
+fn d001_hash_collections_in_sim_paths() {
+    check_pair(
+        "D001",
+        "crates/simnet/src/fixture.rs",
+        include_str!("fixtures/d001_bad.rs"),
+        include_str!("fixtures/d001_ok.rs"),
+    );
+    // Outside D001's scope the same source is legal.
+    assert!(codes(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/d001_bad.rs")
+    )
+    .is_empty());
+}
+
+#[test]
+fn d002_wall_clock_in_sim_crates() {
+    check_pair(
+        "D002",
+        "crates/simnet/src/fixture.rs",
+        include_str!("fixtures/d002_bad.rs"),
+        include_str!("fixtures/d002_ok.rs"),
+    );
+    // The monitor crate is not in D002's scope (it may time real runs).
+    assert!(codes(
+        "crates/monitor/src/fixture.rs",
+        include_str!("fixtures/d002_bad.rs")
+    )
+    .is_empty());
+}
+
+#[test]
+fn d003_panicking_calls_in_library_code() {
+    let path = "crates/core/src/fixture.rs";
+    let bad_codes = codes(path, include_str!("fixtures/d003_bad.rs"));
+    assert_eq!(
+        bad_codes,
+        vec!["D003", "D003", "D003"],
+        "assert!, expect(), and unwrap() must each be reported"
+    );
+    assert!(codes(path, include_str!("fixtures/d003_ok.rs")).is_empty());
+    // Whole-file test context (tests/ tree): the same bad source is legal.
+    assert!(codes(
+        "crates/core/tests/fixture.rs",
+        include_str!("fixtures/d003_bad.rs")
+    )
+    .is_empty());
+}
+
+#[test]
+fn d004_unchecked_tick_arithmetic() {
+    let path = "crates/simnet/src/fixture.rs";
+    let bad = codes(path, include_str!("fixtures/d004_bad.rs"));
+    assert_eq!(
+        bad.iter().filter(|c| **c == "D004").count(),
+        2,
+        "both the as_nanos() sum and the from_nanos(a * b) must be reported: {bad:?}"
+    );
+    assert!(bad.iter().all(|c| *c == "D004"), "{bad:?}");
+    assert!(codes(path, include_str!("fixtures/d004_ok.rs")).is_empty());
+}
+
+#[test]
+fn d005_unordered_float_reduction() {
+    let path = "crates/core/src/fixture.rs";
+    let bad = codes(path, include_str!("fixtures/d005_bad.rs"));
+    assert_eq!(
+        bad.iter().filter(|c| **c == "D005").count(),
+        2,
+        "both sum::<f64>() and the float fold must be reported: {bad:?}"
+    );
+    assert!(bad.iter().all(|c| *c == "D005"), "{bad:?}");
+    assert!(codes(path, include_str!("fixtures/d005_ok.rs")).is_empty());
+}
+
+#[test]
+fn d006_undocumented_pub_items() {
+    check_pair(
+        "D006",
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/d006_bad.rs"),
+        include_str!("fixtures/d006_ok.rs"),
+    );
+    let bad = codes(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/d006_bad.rs"),
+    );
+    assert_eq!(bad.len(), 2, "the undocumented fn and const: {bad:?}");
+    // Crates outside the documented-API scope are exempt.
+    assert!(codes(
+        "crates/workloads/src/fixture.rs",
+        include_str!("fixtures/d006_bad.rs")
+    )
+    .is_empty());
+}

@@ -1,0 +1,38 @@
+//! Self-test: the workspace this crate ships in must lint clean. A
+//! violation introduced anywhere in the tree fails this test before CI
+//! even reaches the dedicated `anp lint` job.
+
+use anp_lint::{lint_workspace, LintOptions};
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf);
+    let root = match root {
+        Some(r) => r,
+        None => {
+            // Unreachable in practice: the crate always lives two levels
+            // below the workspace root.
+            return;
+        }
+    };
+    let report = match lint_workspace(&root, &LintOptions::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            // Surface walk errors as a readable failure, not a panic.
+            unreachable!("workspace walk failed: {e}");
+        }
+    };
+    let rendered = report.render_human();
+    assert!(
+        report.is_clean(),
+        "the workspace must lint clean; run `anp lint` locally.\n{rendered}"
+    );
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously small scan — wrong root?"
+    );
+}

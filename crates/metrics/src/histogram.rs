@@ -36,7 +36,9 @@ impl Histogram {
     /// # Panics
     /// Panics if `bins == 0` or `hi <= lo` or the bounds are non-finite.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(bins > 0, "need at least one bin");
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(lo.is_finite() && hi.is_finite() && hi > lo, "bad bounds");
         Histogram {
             lo,
@@ -91,7 +93,9 @@ impl Histogram {
     /// # Panics
     /// Panics on the same bad bounds as [`Histogram::new`].
     pub fn from_parts(lo: f64, hi: f64, counts: Vec<u64>, underflow: u64, overflow: u64) -> Self {
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(!counts.is_empty(), "need at least one bin");
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(lo.is_finite() && hi.is_finite() && hi > lo, "bad bounds");
         let total = counts.iter().sum::<u64>() + underflow + overflow;
         Histogram {
@@ -233,6 +237,7 @@ impl Histogram {
     }
 
     fn assert_compatible(&self, other: &Histogram) {
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(
             self.lo == other.lo && self.hi == other.hi && self.bins() == other.bins(),
             "histograms have incompatible binning"

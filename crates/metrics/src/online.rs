@@ -181,6 +181,7 @@ impl Ewma {
     /// Panics when `alpha` is outside `(0, 1]` or not finite — a
     /// mis-tuned detector is a construction bug, not a data condition.
     pub fn new(alpha: f64) -> Self {
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(
             alpha.is_finite() && alpha > 0.0 && alpha <= 1.0,
             "EWMA smoothing factor must lie in (0, 1], got {alpha}"
@@ -281,6 +282,7 @@ impl WindowedQuantiles {
     /// Panics when `capacity` is zero — a window that can hold nothing
     /// can answer nothing.
     pub fn new(capacity: usize) -> Self {
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(capacity > 0, "window capacity must be positive");
         WindowedQuantiles {
             capacity,
@@ -332,7 +334,7 @@ impl WindowedQuantiles {
     /// when `q` is outside `[0, 1]`).
     pub fn quantile(&self, q: f64) -> Option<f64> {
         let mut sorted: Vec<f64> = self.window.iter().copied().collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected at push"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         quantile_sorted(&sorted, q).ok()
     }
 
@@ -382,10 +384,12 @@ impl Cusum {
     /// # Panics
     /// Panics when `k` is negative or `h` is not positive.
     pub fn new(k: f64, h: f64) -> Self {
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(
             k >= 0.0 && k.is_finite(),
             "CUSUM slack must be ≥ 0, got {k}"
         );
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(
             h > 0.0 && h.is_finite(),
             "CUSUM threshold must be > 0, got {h}"

@@ -56,7 +56,7 @@ fn sorted_copy(xs: &[f64]) -> Result<Vec<f64>, MetricsError> {
         return Err(MetricsError::NanSample);
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN excluded above"));
+    v.sort_by(|a, b| a.total_cmp(b));
     Ok(v)
 }
 
@@ -97,8 +97,11 @@ impl QuartileSummary {
         let v = sorted_copy(xs)?;
         Ok(QuartileSummary {
             min: v[0],
+            // anp-lint: allow(D003) — non-empty by construction: the public constructor rejects empty sample sets
             q1: quantile_sorted(&v, 0.25).expect("non-empty by construction"),
+            // anp-lint: allow(D003) — non-empty by construction: the public constructor rejects empty sample sets
             median: quantile_sorted(&v, 0.5).expect("non-empty by construction"),
+            // anp-lint: allow(D003) — non-empty by construction: the public constructor rejects empty sample sets
             q3: quantile_sorted(&v, 0.75).expect("non-empty by construction"),
             max: v[v.len() - 1],
         })

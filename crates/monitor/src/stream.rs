@@ -119,23 +119,20 @@ impl LiveEstimator {
     /// probe stream had a long gap).
     pub fn push(&mut self, sample: &ProbeSample) -> Vec<WindowEstimate> {
         let mut closed = Vec::new();
-        let end = *self.window_end.get_or_insert(sample.at + self.cfg.window);
-        if sample.at >= end {
-            closed.push(self.close_window());
-            // Long probe gaps can skip whole windows; close them too (they
-            // are empty, which keeps window indices aligned to sim time).
-            while sample.at >= self.window_end.expect("set by close_window") {
-                closed.push(self.close_window());
-            }
+        // Long probe gaps can skip whole windows; close them too (they
+        // are empty, which keeps window indices aligned to sim time).
+        let mut end = *self.window_end.get_or_insert(sample.at + self.cfg.window);
+        while sample.at >= end {
+            closed.push(self.close_window(end));
+            end += self.cfg.window;
         }
         self.window_samples.push(sample.one_way_us);
         self.quantiles.push(sample.one_way_us);
         closed
     }
 
-    /// Closes the current window and starts the next one.
-    fn close_window(&mut self) -> WindowEstimate {
-        let end = self.window_end.expect("a window is open");
+    /// Closes the window ending at `end` and starts the next one.
+    fn close_window(&mut self, end: SimTime) -> WindowEstimate {
         let populated = self.window_samples.len() >= self.cfg.min_window_samples.max(1);
         let mean_us = populated
             .then(|| self.window_samples.iter().sum::<f64>() / self.window_samples.len() as f64);

@@ -34,6 +34,7 @@ pub const ALLTOALL_WINDOW: usize = 1;
 /// assert!(expand_allreduce(0, 1, 1024, 100).is_empty());
 /// ```
 pub fn expand_allreduce(local: u32, n: u32, bytes: u64, tag_base: u32) -> Vec<Op> {
+    // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
     assert!(local < n, "rank {local} out of job of size {n}");
     if n == 1 {
         return Vec::new();
@@ -119,6 +120,7 @@ pub fn expand_barrier(local: u32, n: u32, tag_base: u32) -> Vec<Op> {
 /// windowed [`ALLTOALL_WINDOW`] rounds at a time. The self-"exchange" is a
 /// local copy and costs nothing on the network.
 pub fn expand_alltoall(local: u32, n: u32, bytes_per_pair: u64, tag_base: u32) -> Vec<Op> {
+    // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
     assert!(local < n, "rank {local} out of job of size {n}");
     if n == 1 {
         return Vec::new();
@@ -158,6 +160,7 @@ pub fn expand_alltoall(local: u32, n: u32, bytes_per_pair: u64, tag_base: u32) -
 /// assert_eq!(sends, 3);
 /// ```
 pub fn expand_bcast(local: u32, root: u32, n: u32, bytes: u64, tag: u32) -> Vec<Op> {
+    // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
     assert!(local < n && root < n, "rank/root out of job of size {n}");
     if n == 1 {
         return Vec::new();
@@ -204,6 +207,7 @@ pub fn expand_bcast(local: u32, root: u32, n: u32, bytes: u64, tag: u32) -> Vec<
 /// out of `n`. The mirror image of [`expand_bcast`]: leaves send first,
 /// interior ranks combine children before forwarding.
 pub fn expand_reduce(local: u32, root: u32, n: u32, bytes: u64, tag: u32) -> Vec<Op> {
+    // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
     assert!(local < n && root < n, "rank/root out of job of size {n}");
     if n == 1 {
         return Vec::new();
@@ -242,6 +246,7 @@ pub fn expand_reduce(local: u32, root: u32, n: u32, bytes: u64, tag: u32) -> Vec
 /// `n − 1` steps, each forwarding one rank's block to the successor while
 /// receiving another from the predecessor.
 pub fn expand_allgather(local: u32, n: u32, bytes_per_rank: u64, tag: u32) -> Vec<Op> {
+    // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
     assert!(local < n, "rank {local} out of job of size {n}");
     if n == 1 {
         return Vec::new();
@@ -265,6 +270,7 @@ pub fn expand_allgather(local: u32, n: u32, bytes_per_rank: u64, tag: u32) -> Ve
 }
 
 fn prev_power_of_two(n: u32) -> u32 {
+    // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
     assert!(n > 0);
     1 << (31 - n.leading_zeros())
 }

@@ -77,7 +77,9 @@ impl Looping {
     /// Panics if `body` is empty or contains [`Op::Stop`] (a looping
     /// program never stops).
     pub fn new(body: Vec<Op>) -> Self {
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(!body.is_empty(), "looping body must not be empty");
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(
             !body.iter().any(|op| matches!(op, Op::Stop)),
             "looping body must not contain Stop"

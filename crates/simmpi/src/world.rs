@@ -17,8 +17,6 @@ use std::fmt;
 
 #[cfg(feature = "audit")]
 use anp_simnet::audit::{AuditLog, InvariantKind};
-#[cfg(feature = "audit")]
-use std::collections::HashMap;
 
 use anp_simnet::util::IdHashMap;
 use anp_simnet::{
@@ -420,6 +418,7 @@ pub struct World {
     max_events: Option<u64>,
     /// Wall-clock deadline for the run loops, checked every
     /// [`WALL_CHECK_MASK`]+1 events; `None` = unlimited.
+    // anp-lint: allow(D002) — cooperative wall budget from the supervisor; trips only abort a cell, never alter a completed result
     wall_deadline: Option<std::time::Instant>,
     /// Set once a run loop stopped because the budget was spent.
     budget_exhausted: bool,
@@ -443,15 +442,15 @@ struct WorldAudit {
     /// Clock of the previously popped event, for the monotonicity check.
     prev_now: SimTime,
     /// Next issue index per (pair key, tag) channel.
-    issue_next: HashMap<(u64, u32), u64>,
+    issue_next: BTreeMap<(u64, u32), u64>,
     /// (pair key, sequence number) → (channel, issue index), stamped at
     /// send time and consumed when the resequencer hands the slot to
     /// matching — stable across retransmissions, which reuse the seq.
-    seq_issue: HashMap<(u64, u64), ((u64, u32), u64)>,
+    seq_issue: BTreeMap<(u64, u64), ((u64, u32), u64)>,
     /// One past the last delivered issue index per channel.
-    delivered: HashMap<(u64, u32), u64>,
+    delivered: BTreeMap<(u64, u32), u64>,
     /// Lowest legal value of each pair's resequencing cursor.
-    seq_floor: HashMap<u64, u64>,
+    seq_floor: BTreeMap<u64, u64>,
 }
 
 #[cfg(feature = "audit")]
@@ -460,10 +459,10 @@ impl WorldAudit {
         WorldAudit {
             log: AuditLog::new(),
             prev_now: SimTime::ZERO,
-            issue_next: HashMap::new(),
-            seq_issue: HashMap::new(),
-            delivered: HashMap::new(),
-            seq_floor: HashMap::new(),
+            issue_next: BTreeMap::new(),
+            seq_issue: BTreeMap::new(),
+            delivered: BTreeMap::new(),
+            seq_floor: BTreeMap::new(),
         }
     }
 }
@@ -570,6 +569,7 @@ impl World {
     pub fn set_run_budget(
         &mut self,
         max_events: Option<u64>,
+        // anp-lint: allow(D002) — deadline handed down by the supervision envelope (anp-core::supervise), not read here
         wall_deadline: Option<std::time::Instant>,
     ) {
         self.max_events = max_events;
@@ -593,6 +593,7 @@ impl World {
             || (events & WALL_CHECK_MASK == 0
                 && self
                     .wall_deadline
+                    // anp-lint: allow(D002) — wall-budget trip check; a trip yields a typed BudgetReport, never a silent result change
                     .is_some_and(|dl| std::time::Instant::now() >= dl));
         if tripped {
             self.budget_exhausted = true;
@@ -605,7 +606,9 @@ impl World {
     /// applications to survive a lossy [`anp_simnet::FaultPlan`]; useless
     /// overhead on a lossless fabric. Call before the world starts.
     pub fn set_reliability(&mut self, cfg: ReliabilityConfig) {
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(!self.started, "enable reliability before running");
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(
             cfg.retransmit_timeout > SimDuration::ZERO,
             "retransmit timeout must be positive"
@@ -623,6 +626,7 @@ impl World {
     /// stacks do for large transfers. The default (`u64::MAX`) keeps
     /// everything eager. Call before the world starts.
     pub fn set_eager_threshold(&mut self, bytes: u64) {
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(!self.started, "set the protocol split before running");
         self.eager_threshold = bytes;
     }
@@ -656,11 +660,14 @@ impl World {
         name: impl Into<String>,
         members: Vec<(Box<dyn Program>, NodeId)>,
     ) -> JobId {
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(!self.started, "cannot add jobs after the world started");
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(!members.is_empty(), "a job needs at least one rank");
         let job = JobId(self.jobs.len() as u32);
         let mut ranks = Vec::with_capacity(members.len());
         for (local, (program, node)) in members.into_iter().enumerate() {
+            // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
             assert!(
                 node.index() < self.fabric.nodes() as usize,
                 "node {} out of range for a {}-node fabric",
@@ -846,6 +853,7 @@ impl World {
         if t > horizon {
             return false;
         }
+        // anp-lint: allow(D003) — internal engine ledger invariant; breakage means corrupted simulator state, which must halt rather than emit plausible-but-wrong results
         let (_, ev) = self.q.pop().expect("peeked event vanished");
         #[cfg(feature = "audit")]
         if let Some(a) = self.audit.as_deref_mut() {
@@ -890,6 +898,7 @@ impl World {
                 let meta = self
                     .meta
                     .remove(&msg)
+                    // anp-lint: allow(D003) — internal engine ledger invariant; breakage means corrupted simulator state, which must halt rather than emit plausible-but-wrong results
                     .expect("delivered message without metadata");
                 let dst_global = self.jobs[meta.job.0 as usize].ranks[meta.dst_local as usize];
                 match meta.kind {
@@ -900,6 +909,7 @@ impl World {
                             bytes: meta.bytes,
                             rendezvous: None,
                         };
+                        // anp-lint: allow(D003) — internal engine ledger invariant; breakage means corrupted simulator state, which must halt rather than emit plausible-but-wrong results
                         let seq = meta.seq.expect("eager message without a sequence number");
                         // Under reliability the arrival acknowledges the
                         // send: drop the pending record and its timer
@@ -933,6 +943,7 @@ impl World {
                         let (sender_rank, bytes, dst_node) = self
                             .rendezvous_sends
                             .remove(&answer)
+                            // anp-lint: allow(D003) — internal engine ledger invariant; breakage means corrupted simulator state, which must halt rather than emit plausible-but-wrong results
                             .expect("CTS for unknown handshake");
                         let src_node = self.ranks[sender_rank as usize].node;
                         let data = self.fabric.send_message(
@@ -962,6 +973,7 @@ impl World {
                         let receiver = self
                             .awaiting_data
                             .remove(&answer)
+                            // anp-lint: allow(D003) — internal engine ledger invariant; breakage means corrupted simulator state, which must halt rather than emit plausible-but-wrong results
                             .expect("payload for unknown handshake");
                         debug_assert_eq!(receiver, dst_global);
                         let r = &mut self.ranks[receiver as usize];
@@ -1153,6 +1165,7 @@ impl World {
             let buffer = self
                 .recv_buffers
                 .get_mut(&key)
+                // anp-lint: allow(D003) — internal engine ledger invariant; breakage means corrupted simulator state, which must halt rather than emit plausible-but-wrong results
                 .expect("pair buffer vanished");
             let Some(slot) = buffer.remove(&next) else {
                 if buffer.is_empty() {
@@ -1180,6 +1193,7 @@ impl World {
         };
         let rel = self
             .reliability
+            // anp-lint: allow(D003) — internal engine ledger invariant; breakage means corrupted simulator state, which must halt rather than emit plausible-but-wrong results
             .expect("pending send tracked without a reliability config");
         if p.attempts > rel.max_retries {
             // Budget spent: give up and unblock the destination's later
@@ -1211,6 +1225,7 @@ impl World {
         );
         self.meta.insert(msg, p.meta);
         self.msg_token.insert(msg, token);
+        // anp-lint: allow(D003) — locally proven: guarded by the explicit check a few lines above
         let entry = self.pending_sends.get_mut(&token).expect("checked above");
         entry.attempts += 1;
         entry.current_msg = msg;
@@ -1339,6 +1354,7 @@ impl World {
             (r.job, r.local, r.node)
         };
         let job_info = &self.jobs[job.0 as usize];
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(
             (dst_local as usize) < job_info.ranks.len(),
             "Isend to rank {dst_local} outside job '{}' of size {}",
@@ -2112,10 +2128,7 @@ mod tests {
         assert!(w.run_until_job_done(job, SimTime::from_secs(1)).completed());
         // The *sender* (rank 0) stops only after CTS returns, i.e. well
         // past the receiver's 500 µs compute.
-        let sender_stop = {
-            let t = w.job_finish_time(job).unwrap();
-            t
-        };
+        let sender_stop = { w.job_finish_time(job).unwrap() };
         assert!(
             sender_stop > SimTime::from_micros(500),
             "rendezvous must wait for the late receiver (stopped {sender_stop})"

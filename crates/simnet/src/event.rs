@@ -92,6 +92,7 @@ impl<E> EventQueue<E> {
     /// # Panics
     /// Panics if `at` is before the current clock.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(
             at >= self.now,
             "cannot schedule into the past: at={at} now={}",

@@ -381,7 +381,7 @@ impl ServerFaultState {
         let mut out = service;
         for (w, factor) in &self.slowdown {
             if w.contains(now) {
-                out = SimDuration::from_nanos((out.as_nanos() as f64 * factor).round() as u64);
+                out = out.mul_f64(*factor);
             }
         }
         for w in &self.blackout {

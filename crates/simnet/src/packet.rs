@@ -63,6 +63,7 @@ pub struct Packet {
 /// zero-payload control messages (barrier tokens, eager headers) transit the
 /// switch like any other traffic.
 pub fn segment_sizes(bytes: u64, mtu: u64) -> Vec<u64> {
+    // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
     assert!(mtu > 0, "MTU must be positive");
     if bytes == 0 {
         return vec![0];

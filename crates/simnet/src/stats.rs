@@ -127,8 +127,10 @@ mod tests {
 
     #[test]
     fn utilization_is_busy_over_horizon() {
-        let mut s = SwitchStats::default();
-        s.busy_ns = 400;
+        let mut s = SwitchStats {
+            busy_ns: 400,
+            ..SwitchStats::default()
+        };
         assert!((s.utilization(SimTime::from_nanos(1_000)) - 0.4).abs() < 1e-12);
         // Clamped to 1 even if accounting overshoots.
         s.busy_ns = 5_000;
@@ -152,9 +154,11 @@ mod tests {
 
     #[test]
     fn window_reset_rebases_horizon() {
-        let mut s = SwitchStats::default();
-        s.busy_ns = 500;
-        s.served = 10;
+        let mut s = SwitchStats {
+            busy_ns: 500,
+            served: 10,
+            ..SwitchStats::default()
+        };
         s.reset_window(SimTime::from_nanos(2_000));
         assert_eq!(s.served, 0);
         assert_eq!(s.busy_ns, 0);
@@ -165,10 +169,12 @@ mod tests {
 
     #[test]
     fn mean_wait_and_sojourn_divide_by_served() {
-        let mut s = SwitchStats::default();
-        s.served = 4;
-        s.total_wait_ns = 400;
-        s.total_sojourn_ns = 1_200;
+        let s = SwitchStats {
+            served: 4,
+            total_wait_ns: 400,
+            total_sojourn_ns: 1_200,
+            ..SwitchStats::default()
+        };
         assert_eq!(s.mean_wait().as_nanos(), 100);
         assert_eq!(s.mean_sojourn().as_nanos(), 300);
     }

@@ -58,6 +58,7 @@ pub struct CreditPool {
 impl CreditPool {
     /// Creates a pool of `capacity` credits.
     pub fn new(capacity: usize) -> Self {
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(capacity > 0, "a credit pool needs capacity");
         CreditPool {
             in_use: 0,
@@ -101,6 +102,7 @@ pub struct CentralStage {
 impl CentralStage {
     /// Creates an idle stage with `servers` parallel routing servers.
     pub fn new(service: ServiceDistribution, servers: usize) -> Self {
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(servers >= 1, "need at least one routing server");
         CentralStage {
             queue: VecDeque::new(),
@@ -230,6 +232,7 @@ impl EgressPort {
         let pkt = self
             .queue
             .pop_front()
+            // anp-lint: allow(D003) — internal engine ledger invariant; breakage means corrupted simulator state, which must halt rather than emit plausible-but-wrong results
             .expect("start_tx on empty egress queue");
         let d = SimDuration::serialization(pkt.bytes, bytes_per_sec);
         self.in_flight = Some(pkt);
@@ -241,6 +244,7 @@ impl EgressPort {
     pub fn tx_done(&mut self) -> Packet {
         self.in_flight
             .take()
+            // anp-lint: allow(D003) — internal engine ledger invariant; breakage means corrupted simulator state, which must halt rather than emit plausible-but-wrong results
             .expect("egress tx_done fired with no packet in flight")
     }
 

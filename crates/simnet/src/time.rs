@@ -84,6 +84,7 @@ impl SimTime {
         SimDuration(
             self.0
                 .checked_sub(earlier.0)
+                // anp-lint: allow(D003) — this IS the checked constructor D004 mandates; running past the representable range corrupts event ordering, so it halts loudly
                 .expect("SimTime::since: `earlier` is after `self`"),
         )
     }
@@ -153,6 +154,7 @@ impl SimDuration {
     /// The paper expresses CompressionB's "bubble" parameter `B` in cycles
     /// of Cab's 2.6 GHz Xeons; this is the conversion used throughout.
     pub fn from_cycles(cycles: u64, hz: u64) -> Self {
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(hz > 0, "clock rate must be positive");
         // cycles / hz seconds == cycles * 1e9 / hz nanoseconds. Use u128 to
         // avoid overflow for large cycle counts.
@@ -163,6 +165,7 @@ impl SimDuration {
     /// bandwidth, rounded up to the next nanosecond (never zero for a
     /// non-empty payload).
     pub fn serialization(bytes: u64, bytes_per_sec: u64) -> Self {
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(bytes_per_sec > 0, "bandwidth must be positive");
         if bytes == 0 {
             return SimDuration::ZERO;
@@ -190,6 +193,19 @@ impl SimDuration {
     pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_sub(rhs.0))
     }
+
+    /// Scales the span by a non-negative float factor, rounding to the
+    /// nearest nanosecond — the checked constructor for derating and
+    /// jitter factors (anp-lint D004). Saturates at the representable
+    /// maximum; negative and non-finite factors clamp to zero.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        if !factor.is_finite() || factor <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        // `as u64` on a float saturates at the integer bounds, so an
+        // overflowing product pins at u64::MAX instead of wrapping.
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
 }
 
 impl Add<SimDuration> for SimTime {
@@ -198,6 +214,7 @@ impl Add<SimDuration> for SimTime {
         SimTime(
             self.0
                 .checked_add(rhs.0)
+                // anp-lint: allow(D003) — this IS the checked constructor D004 mandates; running past the representable range corrupts event ordering, so it halts loudly
                 .expect("SimTime overflow: simulation ran past u64 nanoseconds"),
         )
     }
@@ -219,6 +236,7 @@ impl Sub<SimTime> for SimTime {
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
+        // anp-lint: allow(D003) — this IS the checked constructor D004 mandates; running past the representable range corrupts event ordering, so it halts loudly
         SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
     }
 }
@@ -235,6 +253,7 @@ impl Sub for SimDuration {
         SimDuration(
             self.0
                 .checked_sub(rhs.0)
+                // anp-lint: allow(D003) — this IS the checked constructor D004 mandates; running past the representable range corrupts event ordering, so it halts loudly
                 .expect("SimDuration underflow: negative spans are not representable"),
         )
     }
@@ -243,6 +262,7 @@ impl Sub for SimDuration {
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     fn mul(self, rhs: u64) -> SimDuration {
+        // anp-lint: allow(D003) — this IS the checked constructor D004 mandates; running past the representable range corrupts event ordering, so it halts loudly
         SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
     }
 }

@@ -74,11 +74,13 @@ pub fn build_amg(
 ) -> Vec<(Box<dyn Program>, NodeId)> {
     let p = params.clone();
     let n = layout.ranks();
+    // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
     assert!(
         n.is_multiple_of(p.grid_w) && n / p.grid_w >= 2 && p.grid_w >= 2,
         "AMG needs a {}×h grid with h ≥ 2 (got {n} ranks)",
         p.grid_w
     );
+    // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
     assert!(!p.levels.is_empty(), "AMG needs at least one level");
     let grid_h = n / p.grid_w;
     let mode = match mode {

@@ -59,6 +59,7 @@ pub fn build_mcb(
 ) -> Vec<(Box<dyn Program>, NodeId)> {
     let p = *params;
     let n = layout.ranks();
+    // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
     assert!(n >= 2, "MCB needs at least 2 ranks");
     let mode = match mode {
         RunMode::Iterations(0) => RunMode::Iterations(p.iterations),

@@ -73,7 +73,9 @@ impl StreamConfig {
     /// time (ids break ties). Deterministic in the configuration: equal
     /// configs generate equal streams.
     pub fn generate(&self) -> Vec<JobSpec> {
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(!self.apps.is_empty(), "stream needs at least one app");
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(
             self.size_range.0 > 0.0 && self.size_range.1 >= self.size_range.0,
             "size range must be positive and ordered"

@@ -100,6 +100,7 @@ impl CompressionConfig {
 /// its ring consists of the ranks with the same core id, ordered by node.
 fn iteration_body(cfg: &CompressionConfig, layout: &Layout, local: u32, cpu_hz: u64) -> Vec<Op> {
     let nodes = layout.nodes;
+    // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
     assert!(
         cfg.partners < nodes,
         "P={} partners need at least {} nodes in the ring",

@@ -165,6 +165,7 @@ fn ponger(partner: u32, bytes: u64, tag: u32) -> Looping {
 /// # Panics
 /// Panics if fewer than two nodes are available.
 pub fn build_impactb(cfg: &ImpactConfig, nodes: u32) -> (Members, SampleSink) {
+    // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
     assert!(nodes >= 2, "ImpactB needs at least one node pair");
     let sink = new_sink();
     let layout = Layout::new(nodes - nodes % 2, cfg.pairs_per_node);

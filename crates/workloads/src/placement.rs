@@ -55,6 +55,7 @@ impl Layout {
 
     /// Node hosting job-local rank `r` (node-major layout).
     pub fn node_of(&self, r: u32) -> NodeId {
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(r < self.ranks(), "rank {r} out of layout");
         NodeId(self.base_node + r / self.per_node)
     }
@@ -71,6 +72,7 @@ impl Layout {
 
     /// The rank living on node-index `node` (within the job) at `core`.
     pub fn rank_at(&self, node: u32, core: u32) -> u32 {
+        // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
         assert!(node < self.nodes && core < self.per_node);
         node * self.per_node + core
     }
@@ -84,6 +86,7 @@ impl Layout {
 /// Neighbours of `rank` on a periodic 2-D torus of `w × h` ranks
 /// (row-major), in order −x, +x, −y, +y.
 pub fn torus2d_neighbors(rank: u32, w: u32, h: u32) -> [u32; 4] {
+    // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
     assert!(rank < w * h, "rank off the torus");
     let x = rank % w;
     let y = rank / w;
@@ -100,7 +103,9 @@ pub fn torus2d_neighbors(rank: u32, w: u32, h: u32) -> [u32; 4] {
 /// eight neighbours are distinct.
 pub fn torus4d_neighbors(rank: u32, dims: [u32; 4]) -> [u32; 8] {
     let n: u32 = dims.iter().product();
+    // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
     assert!(rank < n, "rank off the torus");
+    // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
     assert!(dims.iter().all(|&d| d >= 3), "all dims must be >= 3");
     let mut coord = [0u32; 4];
     let mut rest = rank;
@@ -132,6 +137,7 @@ pub fn torus4d_neighbors(rank: u32, dims: [u32; 4]) -> [u32; 8] {
 /// `d × d × d` ranks, split by stencil class:
 /// returns (6 face neighbours, 12 edge neighbours, 8 corner neighbours).
 pub fn torus3d_neighbors(rank: u32, d: u32) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
     assert!(rank < d * d * d, "rank off the torus");
     let x = (rank % d) as i64;
     let y = ((rank / d) % d) as i64;

@@ -149,6 +149,7 @@ fn ponger(partner: u32, bytes: u64, tag: u32) -> anp_simmpi::Looping {
 /// # Panics
 /// Panics if fewer than two nodes are available.
 pub fn build_probe_train(cfg: &TrainConfig, nodes: u32) -> (Members, SampleSink) {
+    // anp-lint: allow(D003) — documented `# Panics` precondition on caller input; a bad value is a caller bug, not a runtime condition
     assert!(nodes >= 2, "a probe train needs at least one node pair");
     let sink = new_sink();
     let impact = &cfg.impact;

@@ -10,6 +10,7 @@
 //! anp audit [--quick]           # invariant audit + differential oracle
 //! anp sched [--quick] [--model KIND]  # predictive co-scheduling study
 //! anp monitor [--quick]         # online monitor accuracy study
+//! anp lint [--json] [--quick]   # determinism/robustness static analysis
 //! ```
 //!
 //! Global flags: `--seed <n>`, `--jobs <n>`, `--backend <des|flow>`,
@@ -69,6 +70,17 @@ fn usage() -> ! {
          \x20                      per ladder rung, change-point detection\n\
          \x20                      latency per app, and probe overhead;\n\
          \x20                      exits 1 on any gate violation\n\
+         \x20 lint [--json] [--quick] [--root DIR]\n\
+         \x20                      static analysis of the workspace sources\n\
+         \x20                      against the determinism contract (D001..\n\
+         \x20                      D006: hash-map iteration, wall clocks in\n\
+         \x20                      sim crates, unwrap/expect in library\n\
+         \x20                      code, unchecked SimTime arithmetic,\n\
+         \x20                      order-sensitive float accumulation,\n\
+         \x20                      undocumented pub items); --json emits\n\
+         \x20                      the anp-lint-v1 report, --quick skips\n\
+         \x20                      tests/benches/examples; exits 1 on any\n\
+         \x20                      unsuppressed violation\n\
          APP is one of: FFTW, Lulesh, MCB, MILC, VPFFT, AMG (case-insensitive)\n\
          --jobs N runs experiment sweeps on N worker threads (default: all\n\
          cores; results are identical for any setting, 1 = serial)\n\
@@ -279,6 +291,45 @@ fn main() {
         } else {
             break;
         }
+    }
+    // `lint` is a pure source-analysis pass: it needs no backend, no
+    // switch config, and no supervision envelope, so it dispatches
+    // before any of those are resolved.
+    if args.peek().map(String::as_str) == Some("lint") {
+        args.next();
+        let mut json = false;
+        let mut quick = false;
+        let mut root: Option<std::path::PathBuf> = None;
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--json" => json = true,
+                "--quick" => quick = true,
+                "--root" => {
+                    let Some(v) = args.next() else {
+                        eprintln!("anp: missing value for --root");
+                        usage()
+                    };
+                    root = Some(std::path::PathBuf::from(v));
+                }
+                _ => usage(),
+            }
+        }
+        let root = root.unwrap_or_else(|| std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")));
+        let opts = anp_lint::LintOptions {
+            jobs: jobs.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            }),
+            quick,
+        };
+        let report = anp_lint::lint_workspace(&root, &opts).unwrap_or_else(|e| fail(e));
+        if json {
+            print!("{}", report.to_json());
+        } else {
+            print!("{}", report.render_human());
+        }
+        std::process::exit(if report.is_clean() { 0 } else { 1 });
     }
     let supervisor = Supervisor {
         budget: RunBudget {

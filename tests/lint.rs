@@ -1,0 +1,163 @@
+//! Integration tests for `anp lint`: output determinism across worker
+//! counts, a clean verdict on the shipped tree, and a seeded fixture
+//! tree that must trip every diagnostic code exactly once.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn anp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_anp"))
+}
+
+fn run(args: &[&str]) -> Output {
+    let out = anp()
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to launch anp {args:?}: {e}"));
+    assert!(
+        out.stderr.is_empty(),
+        "anp {args:?} wrote to stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn workspace_root() -> &'static str {
+    env!("CARGO_MANIFEST_DIR")
+}
+
+#[test]
+fn shipped_tree_lints_clean() {
+    let out = run(&["lint", "--root", workspace_root()]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "the shipped tree must lint clean:\n{text}"
+    );
+    assert!(text.contains("anp-lint: clean"), "{text}");
+}
+
+#[test]
+fn json_is_byte_identical_across_jobs() {
+    let one = run(&["--jobs", "1", "lint", "--json", "--root", workspace_root()]);
+    let eight = run(&["--jobs", "8", "lint", "--json", "--root", workspace_root()]);
+    assert!(one.status.success() && eight.status.success());
+    assert_eq!(
+        one.stdout, eight.stdout,
+        "anp lint --json must be byte-identical for any --jobs"
+    );
+    let text = String::from_utf8_lossy(&one.stdout);
+    assert!(text.contains("\"schema\":\"anp-lint-v1\""), "{text}");
+    // A second identical invocation must also be byte-identical
+    // (no wall-clock or entropy leaks into the report).
+    let again = run(&["--jobs", "1", "lint", "--json", "--root", workspace_root()]);
+    assert_eq!(one.stdout, again.stdout);
+}
+
+#[test]
+fn quick_mode_scans_fewer_files() {
+    let full = run(&["lint", "--json", "--root", workspace_root()]);
+    let quick = run(&["lint", "--json", "--quick", "--root", workspace_root()]);
+    assert!(full.status.success() && quick.status.success());
+    let files = |raw: &[u8]| -> u64 {
+        let text = String::from_utf8_lossy(raw).into_owned();
+        let tail = text
+            .split("\"files_scanned\":")
+            .nth(1)
+            .unwrap_or_else(|| panic!("no files_scanned in {text}"))
+            .to_owned();
+        let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+        digits
+            .parse()
+            .unwrap_or_else(|e| panic!("bad files_scanned in {text}: {e}"))
+    };
+    assert!(
+        files(&full.stdout) > files(&quick.stdout),
+        "--quick must skip the tests/benches/examples trees"
+    );
+}
+
+/// Writes one file per diagnostic code into a scratch workspace, each
+/// seeding exactly one violation of that code.
+fn write_fixture_tree(root: &Path) {
+    let seeds: &[(&str, &str)] = &[
+        (
+            "crates/simnet/src/seed_d000.rs",
+            "//! Seeds D000.\n\n/// Head of the queue.\npub fn head(q: &[u64]) -> u64 {\n    // anp-lint: allow(D003)\n    q.first().copied().unwrap_or(0)\n}\n",
+        ),
+        (
+            "crates/simnet/src/seed_d001.rs",
+            "//! Seeds D001.\n\n/// Builds a map (one randomized-hash mention).\npub fn build() -> usize {\n    std::collections::HashMap::<u64, u64>::new().len()\n}\n",
+        ),
+        (
+            "crates/simnet/src/seed_d002.rs",
+            "//! Seeds D002.\n\n/// Reads the host clock (one wall-clock mention).\npub fn stamp() -> f64 {\n    std::time::Instant::now().elapsed().as_secs_f64()\n}\n",
+        ),
+        (
+            "crates/core/src/seed_d003.rs",
+            "//! Seeds D003.\n\n/// First sample.\npub fn first(v: &[f64]) -> f64 {\n    *v.first().unwrap()\n}\n",
+        ),
+        (
+            "crates/simnet/src/seed_d004.rs",
+            "//! Seeds D004.\nuse crate::SimTime;\n\n/// Raw tick sum.\npub fn late(t: SimTime) -> u64 {\n    t.as_nanos() + 1\n}\n",
+        ),
+        (
+            "crates/core/src/seed_d005.rs",
+            "//! Seeds D005.\n\n/// Unordered reduction in a parallel-collection file.\npub fn total(vs: Vec<f64>) -> f64 {\n    let h = std::thread::spawn(move || vs.iter().copied().sum::<f64>());\n    h.join().unwrap_or(0.0)\n}\n",
+        ),
+        (
+            "crates/core/src/seed_d006.rs",
+            "//! Seeds D006.\n\npub fn undocumented() -> u64 {\n    7\n}\n",
+        ),
+    ];
+    for (rel, text) in seeds {
+        let path = root.join(rel);
+        let dir = path.parent().map(Path::to_path_buf);
+        if let Some(dir) = dir {
+            std::fs::create_dir_all(&dir)
+                .unwrap_or_else(|e| panic!("mkdir {}: {e}", dir.display()));
+        }
+        std::fs::write(&path, text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    }
+}
+
+#[test]
+fn seeded_fixture_tree_trips_every_code() {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("lint-seeded-tree");
+    if root.exists() {
+        std::fs::remove_dir_all(&root).unwrap_or_else(|e| panic!("clear {}: {e}", root.display()));
+    }
+    write_fixture_tree(&root);
+
+    let root_arg = root.to_string_lossy().into_owned();
+    let out = run(&["lint", "--json", "--root", &root_arg]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "unsuppressed violations must exit 1:\n{text}"
+    );
+    assert!(text.contains("\"schema\":\"anp-lint-v1\""), "{text}");
+    for code in ["D000", "D001", "D002", "D003", "D004", "D005", "D006"] {
+        assert!(
+            text.contains(&format!("\"{code}\":1,")),
+            "summary must count exactly one {code}:\n{text}"
+        );
+    }
+    assert!(text.contains("\"total\":7}"), "{text}");
+    // Violations are sorted by file, then line: the seed files embed
+    // their code in the path, so the JSON order is checkable directly.
+    let order: Vec<usize> = ["seed_d003", "seed_d005", "seed_d006", "seed_d000"]
+        .iter()
+        .map(|name| {
+            text.find(name)
+                .unwrap_or_else(|| panic!("{name} missing:\n{text}"))
+        })
+        .collect();
+    let mut sorted = order.clone();
+    sorted.sort_unstable();
+    assert_eq!(
+        order, sorted,
+        "violations must be sorted by file path:\n{text}"
+    );
+}

@@ -368,7 +368,6 @@ mod tests {
     fn failing_property_panics() {
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(4))]
-            #[test]
             fn inner(x in 0u32..10) {
                 prop_assert!(x > 100, "x was {}", x);
             }
